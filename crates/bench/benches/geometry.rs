@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the region algebra: the relationship checks are the
+//! innermost loop of cache classification, and point-membership tests are
+//! the innermost loop of local evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp_geometry::celestial::{radec_to_unit, radial_query_sphere};
+use fp_geometry::{HyperRect, Polytope, Region};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_spheres(n: usize, seed: u64) -> Vec<Region> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Region::Sphere(
+                radial_query_sphere(
+                    rng.gen_range(180.0..190.0),
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(2.0..30.0),
+                )
+                .expect("valid"),
+            )
+        })
+        .collect()
+}
+
+fn bench_relate(c: &mut Criterion) {
+    let spheres = random_spheres(1024, 1);
+    let rects: Vec<Region> = spheres
+        .iter()
+        .map(|s| Region::Rect(s.bounding_rect()))
+        .collect();
+    let polys: Vec<Region> = rects
+        .iter()
+        .map(|r| {
+            let Region::Rect(rect) = r else {
+                unreachable!()
+            };
+            Region::Polytope(Polytope::from_rect(rect))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("region_relate");
+    group.throughput(Throughput::Elements(spheres.len() as u64));
+    for (label, pool) in [
+        ("sphere_sphere", &spheres),
+        ("rect_rect", &rects),
+        ("polytope_polytope", &polys),
+    ] {
+        group.bench_function(BenchmarkId::new("pair", label), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for w in pool.windows(2) {
+                    acc += w[0].relate(&w[1]) as usize;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let region = Region::Sphere(radial_query_sphere(185.0, 0.0, 20.0).expect("valid"));
+    let rect_region = Region::Rect(HyperRect::new(vec![184.0, -1.0], vec![186.0, 1.0]).unwrap());
+    let mut rng = StdRng::seed_from_u64(2);
+    let points3: Vec<[f64; 3]> = (0..4096)
+        .map(|_| radec_to_unit(rng.gen_range(184.0..186.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    let points2: Vec<[f64; 2]> = (0..4096)
+        .map(|_| [rng.gen_range(183.0..187.0), rng.gen_range(-2.0..2.0)])
+        .collect();
+
+    let mut group = c.benchmark_group("point_membership");
+    group.throughput(Throughput::Elements(points3.len() as u64));
+    group.bench_function("sphere_3d", |b| {
+        b.iter(|| {
+            points3
+                .iter()
+                .filter(|p| region.contains_coords(&p[..]))
+                .count()
+        });
+    });
+    group.bench_function("rect_2d", |b| {
+        b.iter(|| {
+            points2
+                .iter()
+                .filter(|p| rect_region.contains_coords(&p[..]))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relate, bench_membership);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! SQL front-end micro-benchmarks: parsing form queries, template
+//! matching/binding, and printing (remainder-query synthesis emits SQL
+//! text on the overlap path, so printing is not cold code).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fp_sqlmini::{parse_query, QueryTemplate};
+
+const RADIAL_SQL: &str = "SELECT TOP 1000 p.objID, p.run, p.ra, p.dec, p.cx, p.cy, p.cz \
+     FROM fGetNearbyObjEq(185.0, 1.5, 30.0) n \
+     JOIN PhotoPrimary p ON n.objID = p.objID \
+     WHERE p.u BETWEEN 0.0 AND 22.5 AND p.r < 20.0 AND p.type IN (3, 6)";
+
+const RADIAL_TEMPLATE: &str = "SELECT TOP 1000 p.objID, p.run, p.ra, p.dec, p.cx, p.cy, p.cz \
+     FROM fGetNearbyObjEq($ra, $dec, $radius) n \
+     JOIN PhotoPrimary p ON n.objID = p.objID \
+     WHERE p.u BETWEEN 0.0 AND 22.5 AND p.r < $maxmag AND p.type IN (3, 6)";
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_front_end");
+    group.throughput(Throughput::Bytes(RADIAL_SQL.len() as u64));
+    group.bench_function("parse_radial_query", |b| {
+        b.iter(|| parse_query(RADIAL_SQL).expect("parses"));
+    });
+
+    let query = parse_query(RADIAL_SQL).expect("parses");
+    group.bench_function("print_radial_query", |b| {
+        b.iter(|| query.to_sql());
+    });
+
+    let template = QueryTemplate::parse("radial", RADIAL_TEMPLATE).expect("parses");
+    let concrete = {
+        // Longest names first: `$ra` is a prefix of `$radius`.
+        let sql = RADIAL_TEMPLATE
+            .replace("$radius", "30.0")
+            .replace("$maxmag", "20.0")
+            .replace("$dec", "1.5")
+            .replace("$ra", "185.0");
+        parse_query(&sql).expect("parses")
+    };
+    group.bench_function("template_match_and_bind", |b| {
+        b.iter(|| template.match_query(&concrete).expect("matches"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! R-tree micro-benchmarks: incremental insert, STR bulk load, and window
+//! search against a brute-force scan baseline — the origin site's spatial
+//! index is the hottest structure on the miss path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fp_geometry::HyperRect;
+use fp_rtree::RTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, seed: u64) -> Vec<(HyperRect, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen_range(0.0..100.0);
+            let y = rng.gen_range(0.0..100.0);
+            let z = rng.gen_range(0.0..100.0);
+            (
+                HyperRect::new(vec![x, y, z], vec![x, y, z]).expect("valid"),
+                i as u32,
+            )
+        })
+        .collect()
+}
+
+fn windows(n: usize, seed: u64) -> Vec<HyperRect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0..95.0);
+            let y = rng.gen_range(0.0..95.0);
+            let z = rng.gen_range(0.0..95.0);
+            let s = rng.gen_range(1.0..5.0);
+            HyperRect::new(vec![x, y, z], vec![x + s, y + s, z + s]).expect("valid")
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    for n in [10_000usize, 100_000] {
+        let data = points(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = RTree::with_capacity_params(3, 16);
+                for (r, v) in data {
+                    t.insert(r.clone(), *v);
+                }
+                t.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_str", n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = RTree::with_capacity_params(3, 16);
+                t.bulk_load(data.clone());
+                t.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let data = points(100_000, 3);
+    let probes = windows(128, 9);
+    let mut tree = RTree::with_capacity_params(3, 16);
+    tree.bulk_load(data.clone());
+
+    let mut group = c.benchmark_group("rtree_search");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("rtree_window", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &probes {
+                hits += tree.search_intersecting(w).len();
+            }
+            hits
+        });
+    });
+    group.bench_function("linear_scan_baseline", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &probes {
+                hits += data.iter().filter(|(r, _)| r.intersects_rect(w)).count();
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_search);
+criterion_main!(benches);

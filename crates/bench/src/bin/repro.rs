@@ -1,0 +1,125 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--objects N] [--queries N] [--seed S] [--json] <experiment>...
+//!
+//! experiments:
+//!   trace-stats   §4.1 relationship census of the Radial trace
+//!   table1        Table 1: cache efficiency of AC vs PC across cache sizes
+//!   figure5       Figure 5: response time of ACR/ACNR/PC/NC across cache sizes
+//!   figure6       Figure 6: response time of the three active schemes
+//!   compaction    §3.2 region-containment compaction ablation
+//!   replacement   extension: replacement-policy ablation at 1/6 cache size
+//!   coverage      extension: overlap coverage-threshold ablation
+//!   checktime     §4.2 cache-checking time, array vs R-tree
+//!   all           everything above
+//! ```
+
+use fp_bench::{Experiment, Scale};
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut json = false;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => scale.objects = parse_num(args.next(), "--objects"),
+            "--queries" => scale.queries = parse_num(args.next(), "--queries"),
+            "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`");
+                print_usage();
+                std::process::exit(2);
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    let all = experiments.iter().any(|e| e == "all");
+
+    eprintln!(
+        "# preparing experiment: {} catalog objects, {} trace queries, seed {}",
+        scale.objects, scale.queries, scale.seed
+    );
+    let exp = Experiment::prepare(scale);
+    eprintln!(
+        "# total result size of the trace: {:.1} MB ({} bytes)",
+        exp.total_result_bytes as f64 / 1e6,
+        exp.total_result_bytes
+    );
+
+    let want = |name: &str| all || experiments.iter().any(|e| e == name);
+
+    if want("trace-stats") {
+        let mix = exp.trace_stats();
+        if json {
+            println!("{}", serde_json::to_string(&mix).expect("serializes"));
+        } else {
+            println!("\nSection 4.1 trace census (paper: 17% exact, 34% contained, ~9% overlap)");
+            println!("  {mix}");
+            println!(
+                "  completely answerable from cache: {:.1}% (paper: ~51%)",
+                mix.fully_answerable() * 100.0
+            );
+        }
+    }
+    if want("table1") {
+        let t = exp.table1();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("figure5") {
+        let t = exp.figure5();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("figure6") {
+        let t = exp.figure6();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("compaction") {
+        let t = exp.compaction();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("replacement") {
+        let t = exp.replacement();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("coverage") {
+        let t = exp.coverage();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+    if want("checktime") {
+        let t = exp.checktime();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
+}
+
+fn print_block(json: bool, table: &dyn std::fmt::Display, json_text: &str) {
+    if json {
+        println!("{json_text}");
+    } else {
+        println!("\n{table}");
+    }
+}
+
+fn parse_num(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a number");
+        std::process::exit(2);
+    })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro [--objects N] [--queries N] [--seed S] [--json] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|all]..."
+    );
+}

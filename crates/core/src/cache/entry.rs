@@ -1,0 +1,79 @@
+//! Cache entries: one cached query and its result.
+
+use fp_geometry::Region;
+use fp_skyserver::ResultSet;
+
+/// One cached query result.
+///
+/// Entries are immutable once stored; replacement bookkeeping
+/// (`last_used`) lives in the store.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Store-assigned id (stable for the entry's lifetime).
+    pub id: u64,
+    /// Residual group key: only queries with an equal key may be answered
+    /// from this entry (same template, same non-spatial parameters, same
+    /// `TOP`).
+    pub residual_key: String,
+    /// The query's spatial region.
+    pub region: Region,
+    /// The cached result tuples.
+    pub result: ResultSet,
+    /// Size charged against the cache capacity (serialized XML bytes, the
+    /// unit the paper's cache-size fractions are defined in).
+    pub bytes: usize,
+    /// Whether the result may have been clipped by a `TOP` limit. A
+    /// truncated entry can serve exact matches but must not answer
+    /// subsumed queries: tuples inside the smaller region may have been
+    /// among those clipped away.
+    pub truncated: bool,
+    /// Canonical SQL text that produced the entry (exact-match key).
+    pub exact_sql: String,
+}
+
+impl CacheEntry {
+    /// Indexes of the coordinate columns inside the result, in region
+    /// dimension order.
+    ///
+    /// Returns `None` when any column is missing — which registration
+    /// prevents, so callers treat `None` as "not locally evaluable".
+    pub fn coord_indexes(&self, coord_columns: &[String]) -> Option<Vec<usize>> {
+        coord_columns
+            .iter()
+            .map(|c| self.result.column_index(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geometry::HyperRect;
+    use fp_sqlmini::Value;
+
+    #[test]
+    fn coord_indexes_resolve_in_order() {
+        let entry = CacheEntry {
+            id: 1,
+            residual_key: "k".into(),
+            region: Region::Rect(HyperRect::new(vec![0.0], vec![1.0]).unwrap()),
+            result: ResultSet {
+                columns: vec!["objID".into(), "cz".into(), "cx".into(), "cy".into()],
+                rows: vec![vec![
+                    Value::Int(1),
+                    Value::Float(3.0),
+                    Value::Float(1.0),
+                    Value::Float(2.0),
+                ]],
+            },
+            bytes: 10,
+            truncated: false,
+            exact_sql: "SELECT".into(),
+        };
+        assert_eq!(
+            entry.coord_indexes(&["cx".into(), "cy".into(), "cz".into()]),
+            Some(vec![2, 3, 1])
+        );
+        assert_eq!(entry.coord_indexes(&["missing".into()]), None);
+    }
+}

@@ -1,0 +1,13 @@
+//! The proxy cache: result store, replacement, and cache descriptions.
+
+mod description;
+mod entry;
+mod persist;
+mod replace;
+mod store;
+
+pub use description::{ArrayDescription, CacheDescription, DescriptionKind, RTreeDescription};
+pub use entry::CacheEntry;
+pub use persist::{region_from_xml, region_to_xml, SnapshotLoad};
+pub use replace::Replacement;
+pub use store::{CacheStats, CacheStore};

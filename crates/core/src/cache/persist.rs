@@ -1,0 +1,308 @@
+//! Cache persistence: the paper's proxy keeps its cached results as XML
+//! files on disk ("Query Result Files" in its Figure 4 architecture) so
+//! the cache survives servlet restarts. This module provides the same
+//! durability: a snapshot writes every entry as one self-describing XML
+//! document, and a load rebuilds the store — including the cache
+//! descriptions — from those files.
+//!
+//! Floating-point fidelity matters here (regions are compared with tight
+//! tolerances), so numbers are written with Rust's shortest-roundtrip
+//! formatting and parsed back exactly.
+
+use crate::cache::entry::CacheEntry;
+use crate::cache::store::CacheStore;
+use fp_geometry::{HalfSpace, HyperRect, HyperSphere, Point, Polytope, Region};
+use fp_skyserver::ResultSet;
+use fp_xmlite::Element;
+use std::io;
+use std::path::Path;
+
+impl CacheStore {
+    /// Writes every cached entry to `dir` (created if absent) as
+    /// `entry_<id>.xml`. Pre-existing entry files in the directory are
+    /// removed first so the snapshot is exact.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_snapshot(&self, dir: &Path) -> io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        for existing in std::fs::read_dir(dir)? {
+            let path = existing?.path();
+            let is_entry = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("entry_") && n.ends_with(".xml"));
+            if is_entry {
+                std::fs::remove_file(path)?;
+            }
+        }
+        let mut written = 0;
+        for entry in self.iter_entries() {
+            let doc = entry_to_xml(entry);
+            std::fs::write(
+                dir.join(format!("entry_{}.xml", entry.id)),
+                doc.to_xml_pretty(),
+            )?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Loads every `entry_*.xml` in `dir` into this store (on top of its
+    /// current contents; typically called on an empty store). Unreadable
+    /// or malformed files are skipped and reported in the error count —
+    /// a proxy should come up with a partial cache rather than not at all.
+    ///
+    /// # Errors
+    /// Propagates the directory-listing error only.
+    pub fn load_snapshot(&mut self, dir: &Path) -> io::Result<SnapshotLoad> {
+        let mut load = SnapshotLoad::default();
+        for file in std::fs::read_dir(dir)? {
+            let path = file?.path();
+            let is_entry = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("entry_") && n.ends_with(".xml"));
+            if !is_entry {
+                continue;
+            }
+            let parsed = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Element::parse(&text).ok())
+                .and_then(|doc| entry_from_xml(&doc));
+            match parsed {
+                Some((residual_key, region, result, truncated, sql)) => {
+                    self.insert(&residual_key, region, result, truncated, &sql);
+                    load.loaded += 1;
+                }
+                None => load.skipped += 1,
+            }
+        }
+        Ok(load)
+    }
+}
+
+/// Outcome of a snapshot load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotLoad {
+    /// Entries restored.
+    pub loaded: usize,
+    /// Files present but unreadable/malformed (skipped).
+    pub skipped: usize,
+}
+
+fn entry_to_xml(entry: &CacheEntry) -> Element {
+    Element::new("CacheEntry")
+        .with_attr("truncated", if entry.truncated { "1" } else { "0" })
+        .with_child(Element::new("ResidualKey").with_text(entry.residual_key.clone()))
+        .with_child(Element::new("Sql").with_text(entry.exact_sql.clone()))
+        .with_child(region_to_xml(&entry.region))
+        .with_child(entry.result.to_xml())
+}
+
+type ParsedEntry = (String, Region, ResultSet, bool, String);
+
+fn entry_from_xml(doc: &Element) -> Option<ParsedEntry> {
+    if doc.name() != "CacheEntry" {
+        return None;
+    }
+    let residual_key = doc.child_text("ResidualKey")?.to_string();
+    let sql = doc.child_text("Sql")?.to_string();
+    let truncated = doc.attr("truncated") == Some("1");
+    let region = region_from_xml(doc.child("Region")?)?;
+    let result = ResultSet::from_xml(doc.child("ResultSet")?)?;
+    Some((residual_key, region, result, truncated, sql))
+}
+
+/// Shortest-roundtrip float text.
+fn num(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn nums(tag: &str, values: &[f64]) -> Element {
+    let mut el = Element::new(tag);
+    for v in values {
+        el.push_child(Element::new("N").with_text(num(*v)));
+    }
+    el
+}
+
+fn parse_nums(el: &Element) -> Option<Vec<f64>> {
+    el.children_named("N")
+        .map(|n| n.text().parse::<f64>().ok())
+        .collect()
+}
+
+/// Serializes a region as XML (concrete numbers, unlike the parameterized
+/// function-template form).
+pub fn region_to_xml(region: &Region) -> Element {
+    let mut el = Element::new("Region");
+    match region {
+        Region::Sphere(s) => {
+            el.push_child(
+                Element::new("Sphere")
+                    .with_child(nums("Center", s.center().coords()))
+                    .with_child(Element::new("Radius").with_text(num(s.radius()))),
+            );
+        }
+        Region::Rect(r) => {
+            el.push_child(
+                Element::new("Rect")
+                    .with_child(nums("Lo", r.lo()))
+                    .with_child(nums("Hi", r.hi())),
+            );
+        }
+        Region::Polytope(p) => {
+            let mut poly = Element::new("Polytope")
+                .with_child(nums("BBoxLo", p.bbox().lo()))
+                .with_child(nums("BBoxHi", p.bbox().hi()));
+            for face in p.faces() {
+                poly.push_child(
+                    Element::new("Face")
+                        .with_child(nums("Normal", face.normal()))
+                        .with_child(Element::new("Offset").with_text(num(face.offset()))),
+                );
+            }
+            el.push_child(poly);
+        }
+    }
+    el
+}
+
+/// Parses the XML region form.
+pub fn region_from_xml(el: &Element) -> Option<Region> {
+    if el.name() != "Region" {
+        return None;
+    }
+    if let Some(s) = el.child("Sphere") {
+        let center = parse_nums(s.child("Center")?)?;
+        let radius: f64 = s.child_text("Radius")?.parse().ok()?;
+        return Some(Region::Sphere(
+            HyperSphere::new(Point::new(center).ok()?, radius).ok()?,
+        ));
+    }
+    if let Some(r) = el.child("Rect") {
+        let lo = parse_nums(r.child("Lo")?)?;
+        let hi = parse_nums(r.child("Hi")?)?;
+        return Some(Region::Rect(HyperRect::new(lo, hi).ok()?));
+    }
+    if let Some(p) = el.child("Polytope") {
+        let lo = parse_nums(p.child("BBoxLo")?)?;
+        let hi = parse_nums(p.child("BBoxHi")?)?;
+        let bbox = HyperRect::new(lo, hi).ok()?;
+        let mut faces = Vec::new();
+        for f in p.children_named("Face") {
+            let normal = parse_nums(f.child("Normal")?)?;
+            let offset: f64 = f.child_text("Offset")?.parse().ok()?;
+            faces.push(HalfSpace::new(normal, offset).ok()?);
+        }
+        return Some(Region::Polytope(Polytope::new(faces, bbox).ok()?));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DescriptionKind;
+    use fp_sqlmini::Value;
+
+    fn sample_regions() -> Vec<Region> {
+        vec![
+            Region::Sphere(
+                HyperSphere::new(Point::from_slice(&[0.1, -0.25, 1.0 / 3.0]), 0.0087266).unwrap(),
+            ),
+            Region::Rect(HyperRect::new(vec![184.0, -1.5], vec![186.25, 0.75]).unwrap()),
+            Region::Polytope(Polytope::from_rect(
+                &HyperRect::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap(),
+            )),
+        ]
+    }
+
+    #[test]
+    fn region_xml_roundtrips_bit_exactly() {
+        for region in sample_regions() {
+            let xml = region_to_xml(&region);
+            // Through text, as a real file would go.
+            let reparsed = Element::parse(&xml.to_xml_pretty()).unwrap();
+            let back = region_from_xml(&reparsed).unwrap();
+            assert_eq!(back, region);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_a_store() {
+        let dir = std::env::temp_dir().join(format!("fp_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+        let rs = ResultSet {
+            columns: vec!["objID".into(), "cx".into()],
+            rows: vec![
+                vec![Value::Int(7), Value::Float(0.125)],
+                vec![Value::Int(9), Value::Null],
+            ],
+        };
+        // One group per region: groups are per-template in real use, so
+        // dimensionalities never mix within one cache description.
+        for (i, region) in sample_regions().into_iter().enumerate() {
+            store.insert(
+                &format!("group{i}"),
+                region,
+                rs.clone(),
+                i == 1,
+                &format!("SELECT {i}"),
+            );
+        }
+        let written = store.save_snapshot(&dir).unwrap();
+        assert_eq!(written, 3);
+
+        let mut restored = CacheStore::new(DescriptionKind::RTree, None);
+        let load = restored.load_snapshot(&dir).unwrap();
+        assert_eq!(load.loaded, 3);
+        assert_eq!(load.skipped, 0);
+        assert_eq!(restored.stats().entries, 3);
+
+        // Exact-match map, regions, truncation flags, and results survive.
+        let id = restored.lookup_exact("SELECT 1").unwrap();
+        let entry = restored.peek(id).unwrap();
+        assert!(entry.truncated);
+        assert_eq!(entry.result, rs);
+        assert_eq!(entry.residual_key, "group1");
+        // Candidates work after reload (descriptions rebuilt).
+        let probe = sample_regions()[1].clone();
+        assert_eq!(restored.candidates("group1", &probe).len(), 1);
+
+        // Malformed files are skipped, not fatal.
+        std::fs::write(dir.join("entry_999.xml"), "<wat>").unwrap();
+        let mut again = CacheStore::new(DescriptionKind::Array, None);
+        let load = again.load_snapshot(&dir).unwrap();
+        assert_eq!(load.loaded, 3);
+        assert_eq!(load.skipped, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_replaces_stale_entry_files() {
+        let dir = std::env::temp_dir().join(format!("fp_snap2_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+        let rs = ResultSet {
+            columns: vec!["objID".into()],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        store.insert("g", sample_regions()[0].clone(), rs.clone(), false, "A");
+        store.save_snapshot(&dir).unwrap();
+        // Second snapshot with different contents must not leak the first.
+        let mut store2 = CacheStore::new(DescriptionKind::Array, None);
+        store2.insert("g", sample_regions()[1].clone(), rs, false, "B");
+        let written = store2.save_snapshot(&dir).unwrap();
+        assert_eq!(written, 1);
+        let mut restored = CacheStore::new(DescriptionKind::Array, None);
+        assert_eq!(restored.load_snapshot(&dir).unwrap().loaded, 1);
+        assert!(restored.lookup_exact("B").is_some());
+        assert!(restored.lookup_exact("A").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

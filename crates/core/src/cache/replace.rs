@@ -1,0 +1,101 @@
+//! Cache replacement policies.
+//!
+//! The paper's servlet evicts implicitly (oldest result files go first);
+//! this reproduction makes the policy explicit and ablatable, because
+//! which entry to sacrifice interacts with active caching in a way plain
+//! web caches never see: a *large* entry is expensive to hold but answers
+//! many future subsumed queries, a *small* one is cheap but only helps
+//! near-duplicates. `repro replacement` runs the comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Victim-selection policy for a full cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Evict the least-recently-used entry (default; closest to the
+    /// paper's behaviour).
+    Lru,
+    /// Evict the oldest entry regardless of use.
+    Fifo,
+    /// Evict the largest entry (frees the most bytes per eviction, at the
+    /// cost of the entries most useful for containment answering).
+    LargestFirst,
+    /// Evict the smallest entry (hoards big, containment-friendly
+    /// entries; can thrash when many small entries arrive).
+    SmallestFirst,
+}
+
+impl Replacement {
+    /// All policies, for sweeps.
+    pub fn all() -> [Replacement; 4] {
+        [
+            Replacement::Lru,
+            Replacement::Fifo,
+            Replacement::LargestFirst,
+            Replacement::SmallestFirst,
+        ]
+    }
+}
+
+impl std::fmt::Display for Replacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Replacement::Lru => "lru",
+            Replacement::Fifo => "fifo",
+            Replacement::LargestFirst => "largest-first",
+            Replacement::SmallestFirst => "smallest-first",
+        })
+    }
+}
+
+/// Selects the victim among `(id, created_seq, last_used_seq, bytes)`
+/// tuples. Returns `None` for an empty iterator.
+pub(crate) fn select_victim(
+    policy: Replacement,
+    candidates: impl Iterator<Item = (u64, u64, u64, usize)>,
+) -> Option<u64> {
+    match policy {
+        Replacement::Lru => candidates.min_by_key(|(_, _, used, _)| *used),
+        Replacement::Fifo => candidates.min_by_key(|(_, created, _, _)| *created),
+        Replacement::LargestFirst => candidates.max_by_key(|(_, _, _, bytes)| *bytes),
+        Replacement::SmallestFirst => candidates.min_by_key(|(_, _, _, bytes)| *bytes),
+    }
+    .map(|(id, _, _, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<(u64, u64, u64, usize)> {
+        // (id, created, last_used, bytes)
+        vec![(1, 10, 50, 300), (2, 20, 40, 100), (3, 30, 60, 500)]
+    }
+
+    #[test]
+    fn policies_pick_their_victims() {
+        assert_eq!(
+            select_victim(Replacement::Lru, candidates().into_iter()),
+            Some(2)
+        );
+        assert_eq!(
+            select_victim(Replacement::Fifo, candidates().into_iter()),
+            Some(1)
+        );
+        assert_eq!(
+            select_victim(Replacement::LargestFirst, candidates().into_iter()),
+            Some(3)
+        );
+        assert_eq!(
+            select_victim(Replacement::SmallestFirst, candidates().into_iter()),
+            Some(2)
+        );
+        assert_eq!(select_victim(Replacement::Lru, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn display_and_sweep() {
+        assert_eq!(Replacement::Lru.to_string(), "lru");
+        assert_eq!(Replacement::all().len(), 4);
+    }
+}

@@ -1,0 +1,365 @@
+//! The size-bounded result store with LRU replacement.
+
+use crate::cache::description::{CacheDescription, DescriptionKind};
+use crate::cache::entry::CacheEntry;
+use crate::cache::replace::{select_victim, Replacement};
+use fp_geometry::Region;
+use fp_skyserver::ResultSet;
+use std::collections::HashMap;
+
+/// Aggregate statistics of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Bytes currently charged.
+    pub bytes: usize,
+    /// Entries evicted so far (replacement policy victims).
+    pub evictions: usize,
+    /// Entries removed by region-containment compaction.
+    pub compactions: usize,
+}
+
+/// The proxy's cache: entries, the exact-match map, and one cache
+/// description per residual group (regions of different templates have
+/// different dimensionality, so each group gets its own index).
+pub struct CacheStore {
+    kind: DescriptionKind,
+    capacity: Option<usize>,
+    replacement: Replacement,
+    entries: HashMap<u64, CacheEntry>,
+    /// Replacement bookkeeping: `(created_seq, last_used_seq)` per id,
+    /// monotone sequence numbers.
+    last_used: HashMap<u64, (u64, u64)>,
+    clock: u64,
+    groups: HashMap<String, Box<dyn CacheDescription>>,
+    exact: HashMap<String, u64>,
+    total_bytes: usize,
+    next_id: u64,
+    evictions: usize,
+    compactions: usize,
+}
+
+impl CacheStore {
+    /// A store with the given description kind and byte capacity
+    /// (`None` = unbounded, the paper's "unlimited cache size").
+    pub fn new(kind: DescriptionKind, capacity: Option<usize>) -> Self {
+        Self::with_replacement(kind, capacity, Replacement::Lru)
+    }
+
+    /// A store with an explicit replacement policy.
+    pub fn with_replacement(
+        kind: DescriptionKind,
+        capacity: Option<usize>,
+        replacement: Replacement,
+    ) -> Self {
+        CacheStore {
+            kind,
+            capacity,
+            replacement,
+            entries: HashMap::new(),
+            last_used: HashMap::new(),
+            clock: 0,
+            groups: HashMap::new(),
+            exact: HashMap::new(),
+            total_bytes: 0,
+            next_id: 1,
+            evictions: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The configured description kind.
+    pub fn description_kind(&self) -> DescriptionKind {
+        self.kind
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.entries.len(),
+            bytes: self.total_bytes,
+            evictions: self.evictions,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Inserts a result; returns the new entry's id, or `None` when the
+    /// entry alone exceeds the capacity (too large to ever cache).
+    ///
+    /// Replaces any previous entry with the same canonical SQL. Evicts
+    /// least-recently-used entries until the new entry fits.
+    pub fn insert(
+        &mut self,
+        residual_key: &str,
+        region: Region,
+        result: ResultSet,
+        truncated: bool,
+        exact_sql: &str,
+    ) -> Option<u64> {
+        let bytes = result.xml_bytes();
+        if let Some(cap) = self.capacity {
+            if bytes > cap {
+                return None;
+            }
+        }
+        if let Some(&old) = self.exact.get(exact_sql) {
+            self.remove(old);
+        }
+        if let Some(cap) = self.capacity {
+            while self.total_bytes + bytes > cap {
+                let Some(victim) = self.lru_victim() else {
+                    break;
+                };
+                self.remove(victim);
+                self.evictions += 1;
+            }
+        }
+
+        let id = self.next_id;
+        self.next_id += 1;
+        let entry = CacheEntry {
+            id,
+            residual_key: residual_key.to_string(),
+            region: region.clone(),
+            result,
+            bytes,
+            truncated,
+            exact_sql: exact_sql.to_string(),
+        };
+        let bbox = region.bounding_rect();
+        self.groups
+            .entry(residual_key.to_string())
+            .or_insert_with(|| self.kind.make(bbox.dims()))
+            .insert(id, bbox);
+        self.exact.insert(exact_sql.to_string(), id);
+        self.total_bytes += bytes;
+        self.clock += 1;
+        self.last_used.insert(id, (self.clock, self.clock));
+        self.entries.insert(id, entry);
+        Some(id)
+    }
+
+    /// The next victim under the configured replacement policy, if any.
+    fn lru_victim(&self) -> Option<u64> {
+        select_victim(
+            self.replacement,
+            self.last_used.iter().map(|(id, (created, used))| {
+                let bytes = self.entries.get(id).map_or(0, |e| e.bytes);
+                (*id, *created, *used, bytes)
+            }),
+        )
+    }
+
+    /// Removes an entry by id; returns it when present.
+    pub fn remove(&mut self, id: u64) -> Option<CacheEntry> {
+        let entry = self.entries.remove(&id)?;
+        self.total_bytes -= entry.bytes;
+        self.last_used.remove(&id);
+        self.exact.remove(&entry.exact_sql);
+        if let Some(g) = self.groups.get_mut(&entry.residual_key) {
+            g.remove(id, &entry.region.bounding_rect());
+        }
+        Some(entry)
+    }
+
+    /// Removes entries subsumed by a region-containment merge, counting
+    /// them as compactions rather than evictions.
+    pub fn compact(&mut self, ids: &[u64]) {
+        for &id in ids {
+            if self.remove(id).is_some() {
+                self.compactions += 1;
+            }
+        }
+    }
+
+    /// Reads an entry and marks it used.
+    pub fn get(&mut self, id: u64) -> Option<&CacheEntry> {
+        if self.entries.contains_key(&id) {
+            self.clock += 1;
+            let clock = self.clock;
+            if let Some((_, used)) = self.last_used.get_mut(&id) {
+                *used = clock;
+            }
+        }
+        self.entries.get(&id)
+    }
+
+    /// Reads an entry without touching the LRU clock (relationship
+    /// checking peeks at many entries; only actual hits count as use).
+    pub fn peek(&self, id: u64) -> Option<&CacheEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Exact-match lookup by canonical SQL text.
+    pub fn lookup_exact(&self, sql: &str) -> Option<u64> {
+        self.exact.get(sql).copied()
+    }
+
+    /// Ids in `residual_key`'s group whose bounding box intersects the
+    /// probe region's bounding box.
+    pub fn candidates(&self, residual_key: &str, region: &Region) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Some(g) = self.groups.get(residual_key) {
+            g.candidates(&region.bounding_rect(), &mut out);
+        }
+        out
+    }
+
+    /// Iterates all live entries in unspecified order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Number of indexed entries in a residual group (description size).
+    pub fn group_len(&self, residual_key: &str) -> usize {
+        self.groups.get(residual_key).map_or(0, |g| g.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geometry::HyperRect;
+    use fp_sqlmini::Value;
+
+    fn rs(n: usize) -> ResultSet {
+        ResultSet {
+            columns: vec!["objID".into()],
+            rows: (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        }
+    }
+
+    fn region(lo: f64, hi: f64) -> Region {
+        Region::Rect(HyperRect::new(vec![lo, lo], vec![hi, hi]).unwrap())
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        let id = s
+            .insert("k", region(0.0, 1.0), rs(3), false, "SQL A")
+            .unwrap();
+        assert_eq!(s.lookup_exact("SQL A"), Some(id));
+        assert_eq!(s.get(id).unwrap().result.len(), 3);
+        assert_eq!(s.candidates("k", &region(0.5, 0.6)), vec![id]);
+        assert!(s.candidates("other", &region(0.5, 0.6)).is_empty());
+        let removed = s.remove(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert_eq!(s.lookup_exact("SQL A"), None);
+        assert!(s.candidates("k", &region(0.5, 0.6)).is_empty());
+        assert_eq!(s.stats().entries, 0);
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn same_sql_replaces() {
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        let a = s
+            .insert("k", region(0.0, 1.0), rs(3), false, "SQL")
+            .unwrap();
+        let b = s
+            .insert("k", region(0.0, 1.0), rs(5), false, "SQL")
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.stats().entries, 1);
+        assert_eq!(s.lookup_exact("SQL"), Some(b));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let one_bytes = rs(10).xml_bytes();
+        let mut s = CacheStore::new(DescriptionKind::Array, Some(one_bytes * 3));
+        let a = s.insert("k", region(0.0, 1.0), rs(10), false, "A").unwrap();
+        let b = s.insert("k", region(2.0, 3.0), rs(10), false, "B").unwrap();
+        let c = s.insert("k", region(4.0, 5.0), rs(10), false, "C").unwrap();
+        // Touch A so B is the LRU.
+        s.get(a);
+        let d = s.insert("k", region(6.0, 7.0), rs(10), false, "D").unwrap();
+        assert!(s.peek(b).is_none(), "B should have been evicted");
+        for id in [a, c, d] {
+            assert!(s.peek(id).is_some());
+        }
+        assert_eq!(s.stats().evictions, 1);
+        assert!(s.stats().bytes <= one_bytes * 3);
+    }
+
+    #[test]
+    fn replacement_policies_choose_different_victims() {
+        // Three entries of different sizes; capacity forces one eviction.
+        let sizes = [30usize, 5, 60];
+        let make = |policy| {
+            let bytes: usize = sizes.iter().map(|n| rs(*n).xml_bytes()).sum();
+            let mut s = CacheStore::with_replacement(DescriptionKind::Array, Some(bytes), policy);
+            let ids: Vec<u64> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    s.insert(
+                        "k",
+                        region(i as f64 * 10.0, i as f64 * 10.0 + 1.0),
+                        rs(*n),
+                        false,
+                        &format!("Q{i}"),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            // Touch entry 0 so FIFO and LRU would differ if sizes allowed.
+            s.get(ids[0]);
+            // Force an eviction with a fourth entry.
+            s.insert("k", region(100.0, 101.0), rs(3), false, "Q3")
+                .unwrap();
+            let survivors: Vec<bool> = ids.iter().map(|id| s.peek(*id).is_some()).collect();
+            (survivors, s.stats().evictions)
+        };
+
+        let (lru, _) = make(crate::cache::Replacement::Lru);
+        assert_eq!(lru, [true, false, true], "LRU evicts the untouched oldest");
+        let (fifo, _) = make(crate::cache::Replacement::Fifo);
+        assert_eq!(fifo, [false, true, true], "FIFO evicts the first inserted");
+        let (largest, _) = make(crate::cache::Replacement::LargestFirst);
+        assert_eq!(
+            largest,
+            [true, true, false],
+            "largest-first evicts the big one"
+        );
+        let (smallest, ev) = make(crate::cache::Replacement::SmallestFirst);
+        // Smallest-first may need several evictions to fit the newcomer.
+        assert!(!smallest[1], "smallest-first evicts the small one first");
+        assert!(ev >= 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let mut s = CacheStore::new(DescriptionKind::Array, Some(10));
+        assert!(s
+            .insert("k", region(0.0, 1.0), rs(100), false, "A")
+            .is_none());
+        assert_eq!(s.stats().entries, 0);
+    }
+
+    #[test]
+    fn compaction_counts_separately() {
+        let mut s = CacheStore::new(DescriptionKind::RTree, None);
+        let a = s.insert("k", region(0.0, 1.0), rs(1), false, "A").unwrap();
+        let b = s.insert("k", region(2.0, 3.0), rs(1), false, "B").unwrap();
+        s.compact(&[a, b, 999]);
+        let st = s.stats();
+        assert_eq!(st.compactions, 2);
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.entries, 0);
+    }
+
+    #[test]
+    fn groups_are_isolated_and_dimension_safe() {
+        let mut s = CacheStore::new(DescriptionKind::RTree, None);
+        // 2-D group and 3-D group coexist.
+        s.insert("g2", region(0.0, 1.0), rs(1), false, "A").unwrap();
+        let r3 = Region::Rect(HyperRect::new(vec![0.0; 3], vec![1.0; 3]).unwrap());
+        s.insert("g3", r3.clone(), rs(1), false, "B").unwrap();
+        assert_eq!(s.group_len("g2"), 1);
+        assert_eq!(s.group_len("g3"), 1);
+        assert_eq!(s.candidates("g3", &r3).len(), 1);
+    }
+}

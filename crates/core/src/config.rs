@@ -1,0 +1,103 @@
+//! Proxy configuration.
+
+use crate::cache::{DescriptionKind, Replacement};
+use crate::schemes::Scheme;
+use crate::sim::CostModel;
+
+/// Configuration of one proxy instance — the paper's "configuration"
+/// triple (caching scheme, cache description implementation, cache size)
+/// plus the cost model and the overlap fan-out bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyConfig {
+    /// Which caching scheme runs.
+    pub scheme: Scheme,
+    /// Array ("ACNR") or R-tree ("ACR") cache description.
+    pub description: DescriptionKind,
+    /// Cache capacity in bytes (`None` = unlimited).
+    pub capacity: Option<usize>,
+    /// Victim selection when the cache is full.
+    pub replacement: Replacement,
+    /// The WAN/server cost model used for simulated timing.
+    pub cost: CostModel,
+    /// Maximum cached entries one overlap/region-containment answer may
+    /// combine (bounds remainder-query complexity; extra overlapping
+    /// entries are ignored, costing efficiency but never correctness).
+    pub max_merge_entries: usize,
+    /// Minimum estimated fraction of a new query's region the cache must
+    /// cover before the overlap path (probe + remainder) is taken; below
+    /// it the original query is forwarded. `0.0` (default) always takes
+    /// the remainder path, like the paper's full semantic caching. This is
+    /// the §3.2 processing/transfer tradeoff made tunable.
+    pub min_overlap_coverage: f64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            scheme: Scheme::FullSemantic,
+            description: DescriptionKind::Array,
+            capacity: None,
+            replacement: Replacement::Lru,
+            cost: CostModel::default(),
+            max_merge_entries: 8,
+            min_overlap_coverage: 0.0,
+        }
+    }
+}
+
+impl ProxyConfig {
+    /// Convenience builder for the scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Convenience builder for the description kind.
+    pub fn with_description(mut self, description: DescriptionKind) -> Self {
+        self.description = description;
+        self
+    }
+
+    /// Convenience builder for the capacity.
+    pub fn with_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Convenience builder for the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Convenience builder for the replacement policy.
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Convenience builder for the overlap coverage threshold.
+    pub fn with_min_overlap_coverage(mut self, threshold: f64) -> Self {
+        self.min_overlap_coverage = threshold;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ProxyConfig::default()
+            .with_scheme(Scheme::Passive)
+            .with_description(DescriptionKind::RTree)
+            .with_capacity(Some(1024))
+            .with_cost(CostModel::free());
+        assert_eq!(c.scheme, Scheme::Passive);
+        assert_eq!(c.description, DescriptionKind::RTree);
+        assert_eq!(c.capacity, Some(1024));
+        assert_eq!(c.cost, CostModel::free());
+        assert_eq!(c.max_merge_entries, 8);
+    }
+}

@@ -1,0 +1,90 @@
+//! # funcproxy — template-based proxy caching for table-valued functions
+//!
+//! This crate is the primary contribution of Luo & Xue's *function proxy*
+//! paper: a web proxy that caches the results of **function-embedded
+//! queries** (SQL queries calling table-valued functions, like SkyServer's
+//! Radial search) and answers new queries from previously cached ones by
+//! reasoning about the **spatial regions** the functions select.
+//!
+//! ## How a request flows
+//!
+//! 1. An HTTP form request (`/search/radial?ra=185&dec=1.5&radius=30`)
+//!    arrives. The [`template::TemplateManager`] looks up the registered
+//!    **information file** for that form, binds the form fields to the
+//!    form's **function-embedded query template**, and uses the embedded
+//!    function's **function template** (an XML description of its spatial
+//!    semantics, paper Fig. 3) to build the query's [`fp_geometry::Region`].
+//! 2. The [`proxy::FunctionProxy`] classifies the new query against the
+//!    **cache description** (array or R-tree over cached query regions):
+//!    exact match / contained / region containment / overlapping /
+//!    disjoint.
+//! 3. Depending on the configured [`schemes::Scheme`], the proxy serves
+//!    the result from the cache (local spatial selection over cached
+//!    tuples), synthesizes a **remainder query** for the origin site's SQL
+//!    endpoint and merges, or simply forwards the query.
+//!
+//! ## Crate layout
+//!
+//! * [`template`] — function templates, query templates, info files.
+//! * [`cache`] — the result store with size-bounded LRU replacement and
+//!   the two cache-description implementations (ACNR array / ACR R-tree).
+//! * [`query`] — relationship classification, local evaluation of subsumed
+//!   queries, remainder-query synthesis, result merging.
+//! * [`schemes`] — the five caching schemes of the paper's evaluation
+//!   (no-cache, passive, and the three active variants).
+//! * [`origin`] — the origin-site abstraction (in-process synthetic
+//!   SkyServer, or any callback).
+//! * [`sim`] — the WAN/server cost model that converts execution
+//!   statistics into simulated milliseconds.
+//! * [`proxy`] — the proxy itself, plus per-query [`metrics`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod metrics;
+pub mod origin;
+pub mod proxy;
+pub mod query;
+pub mod schemes;
+pub mod sim;
+pub mod template;
+
+pub use config::ProxyConfig;
+pub use origin::{Origin, OriginError, SiteOrigin};
+pub use proxy::FunctionProxy;
+pub use schemes::Scheme;
+pub use sim::CostModel;
+
+/// Errors surfaced by the proxy.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// The request did not match any registered form or template.
+    UnknownForm(String),
+    /// A form field was missing or malformed.
+    BadRequest(String),
+    /// Template registration problems (bad XML/SQL, inconsistent shapes).
+    Template(String),
+    /// The origin site failed.
+    Origin(OriginError),
+}
+
+impl std::fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProxyError::UnknownForm(p) => write!(f, "no registered form at `{p}`"),
+            ProxyError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ProxyError::Template(m) => write!(f, "template error: {m}"),
+            ProxyError::Origin(e) => write!(f, "origin error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<OriginError> for ProxyError {
+    fn from(e: OriginError) -> Self {
+        ProxyError::Origin(e)
+    }
+}

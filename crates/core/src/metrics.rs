@@ -1,0 +1,182 @@
+//! Per-query and per-trace metrics.
+//!
+//! The paper's two headline metrics (§4.1): **response time**, measured at
+//! the browser emulator, and **cache efficiency** — "the percentage of the
+//! result tuples that are served from the proxy cache to the total number
+//! of result tuples of the query", averaged arithmetically over the trace.
+//! The proxy additionally records the timing breakdown its servlet logged
+//! ("the proxy servlet records timing information in each step of query
+//! processing").
+
+use serde::{Deserialize, Serialize};
+
+/// How one query was ultimately answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Served whole from one cached entry (exact match).
+    Exact,
+    /// Served by local evaluation over a containing entry.
+    Contained,
+    /// Region containment: cached parts + remainder, compaction applied.
+    RegionContainment,
+    /// General overlap: probe + remainder merge.
+    Overlap,
+    /// Forwarded to the origin (disjoint, inactive scheme, or fallback).
+    Forwarded,
+}
+
+impl Outcome {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Exact => "exact",
+            Outcome::Contained => "contained",
+            Outcome::RegionContainment => "region-containment",
+            Outcome::Overlap => "overlap",
+            Outcome::Forwarded => "forwarded",
+        }
+    }
+}
+
+/// Everything recorded about one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// How the query was answered.
+    pub outcome: Outcome,
+    /// End-to-end response time: simulated origin/WAN cost plus measured
+    /// proxy compute time.
+    pub response_ms: f64,
+    /// Simulated portion (origin + network).
+    pub sim_ms: f64,
+    /// Measured proxy compute portion.
+    pub proxy_ms: f64,
+    /// Cache-checking time within `proxy_ms`.
+    pub check_ms: f64,
+    /// Local evaluation + merge time within `proxy_ms`.
+    pub local_ms: f64,
+    /// Total result tuples returned to the client.
+    pub rows_total: usize,
+    /// Of those, tuples served from the proxy cache.
+    pub rows_from_cache: usize,
+}
+
+impl QueryMetrics {
+    /// The paper's per-query cache efficiency. Empty results count as
+    /// efficiency 1 when served from cache and 0 otherwise (an empty
+    /// cached answer still saved the origin round trip).
+    pub fn cache_efficiency(&self) -> f64 {
+        if self.rows_total == 0 {
+            return match self.outcome {
+                Outcome::Exact | Outcome::Contained => 1.0,
+                _ => 0.0,
+            };
+        }
+        self.rows_from_cache as f64 / self.rows_total as f64
+    }
+}
+
+/// Aggregate over a trace run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Number of queries.
+    pub queries: usize,
+    /// Arithmetic mean response time, ms.
+    pub avg_response_ms: f64,
+    /// Arithmetic mean cache efficiency (the paper's Table 1 metric).
+    pub avg_cache_efficiency: f64,
+    /// Mean cache-check time, ms.
+    pub avg_check_ms: f64,
+    /// Outcome counts: (exact, contained, region containment, overlap,
+    /// forwarded).
+    pub counts: [usize; 5],
+}
+
+impl TraceReport {
+    /// Aggregates per-query metrics.
+    pub fn from_metrics(metrics: &[QueryMetrics]) -> TraceReport {
+        let n = metrics.len();
+        if n == 0 {
+            return TraceReport::default();
+        }
+        let mut report = TraceReport {
+            queries: n,
+            ..TraceReport::default()
+        };
+        for m in metrics {
+            report.avg_response_ms += m.response_ms;
+            report.avg_cache_efficiency += m.cache_efficiency();
+            report.avg_check_ms += m.check_ms;
+            let slot = match m.outcome {
+                Outcome::Exact => 0,
+                Outcome::Contained => 1,
+                Outcome::RegionContainment => 2,
+                Outcome::Overlap => 3,
+                Outcome::Forwarded => 4,
+            };
+            report.counts[slot] += 1;
+        }
+        report.avg_response_ms /= n as f64;
+        report.avg_cache_efficiency /= n as f64;
+        report.avg_check_ms /= n as f64;
+        report
+    }
+
+    /// Fraction of queries fully answered by the cache
+    /// (exact + contained), the paper's "completely answered" 51 %.
+    pub fn full_hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        (self.counts[0] + self.counts[1]) as f64 / self.queries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(outcome: Outcome, response: f64, total: usize, cached: usize) -> QueryMetrics {
+        QueryMetrics {
+            outcome,
+            response_ms: response,
+            sim_ms: response,
+            proxy_ms: 0.0,
+            check_ms: 1.0,
+            local_ms: 0.0,
+            rows_total: total,
+            rows_from_cache: cached,
+        }
+    }
+
+    #[test]
+    fn efficiency_definition() {
+        assert_eq!(m(Outcome::Exact, 1.0, 100, 100).cache_efficiency(), 1.0);
+        assert_eq!(m(Outcome::Overlap, 1.0, 100, 40).cache_efficiency(), 0.4);
+        assert_eq!(m(Outcome::Forwarded, 1.0, 100, 0).cache_efficiency(), 0.0);
+        // Empty results.
+        assert_eq!(m(Outcome::Exact, 1.0, 0, 0).cache_efficiency(), 1.0);
+        assert_eq!(m(Outcome::Forwarded, 1.0, 0, 0).cache_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let metrics = vec![
+            m(Outcome::Exact, 100.0, 10, 10),
+            m(Outcome::Forwarded, 300.0, 10, 0),
+            m(Outcome::Overlap, 200.0, 10, 5),
+        ];
+        let r = TraceReport::from_metrics(&metrics);
+        assert_eq!(r.queries, 3);
+        assert!((r.avg_response_ms - 200.0).abs() < 1e-9);
+        assert!((r.avg_cache_efficiency - 0.5).abs() < 1e-9);
+        assert_eq!(r.counts, [1, 0, 0, 1, 1]);
+        assert!((r.full_hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = TraceReport::from_metrics(&[]);
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.full_hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The origin-site abstraction.
+
+use fp_skyserver::result::QueryOutcome;
+use fp_skyserver::{SiteError, SkySite};
+use fp_sqlmini::Query;
+
+/// An error from the origin web site.
+#[derive(Debug)]
+pub enum OriginError {
+    /// The site rejected the query (parse/execution failure).
+    Rejected(String),
+    /// The site could not be reached.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for OriginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OriginError::Rejected(m) => write!(f, "origin rejected the query: {m}"),
+            OriginError::Unavailable(m) => write!(f, "origin unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OriginError {}
+
+/// What the proxy needs from the origin web site: execute a query of the
+/// supported class and report execution statistics.
+///
+/// `supports_remainder` mirrors the paper's observation that remainder
+/// queries need a server-side facility (SkyServer's free-form SQL page);
+/// against an origin without one, the proxy always sends the original
+/// query.
+pub trait Origin: Send + Sync {
+    /// Executes `query`, returning rows and statistics.
+    ///
+    /// # Errors
+    /// Returns [`OriginError`] when the query is rejected or the site is
+    /// unreachable.
+    fn execute(&self, query: &Query) -> Result<QueryOutcome, OriginError>;
+
+    /// Whether the site accepts synthesized remainder queries.
+    fn supports_remainder(&self) -> bool {
+        true
+    }
+}
+
+/// The in-process origin: a [`SkySite`] called directly. The simulation
+/// cost model accounts for the WAN the paper's testbed had.
+pub struct SiteOrigin {
+    site: SkySite,
+    remainder: bool,
+}
+
+impl SiteOrigin {
+    /// Wraps a site with full remainder support.
+    pub fn new(site: SkySite) -> Self {
+        SiteOrigin {
+            site,
+            remainder: true,
+        }
+    }
+
+    /// Wraps a site that refuses remainder queries (for the paper's
+    /// "web site does not support modified queries" discussion).
+    pub fn without_remainder(site: SkySite) -> Self {
+        SiteOrigin {
+            site,
+            remainder: false,
+        }
+    }
+
+    /// The wrapped site.
+    pub fn site(&self) -> &SkySite {
+        &self.site
+    }
+}
+
+impl Origin for SiteOrigin {
+    fn execute(&self, query: &Query) -> Result<QueryOutcome, OriginError> {
+        self.site.execute_query(query).map_err(|e| match e {
+            SiteError::Parse(p) => OriginError::Rejected(p.to_string()),
+            SiteError::Exec(x) => OriginError::Rejected(x.to_string()),
+        })
+    }
+
+    fn supports_remainder(&self) -> bool {
+        self.remainder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_skyserver::{Catalog, CatalogSpec};
+    use fp_sqlmini::parse_query;
+
+    #[test]
+    fn site_origin_executes_and_reports() {
+        let origin = SiteOrigin::new(SkySite::new(Catalog::generate(&CatalogSpec::small_test())));
+        let q = parse_query("SELECT TOP 2 * FROM fGetNearbyObjEq(185.0, 0.0, 20.0) n").unwrap();
+        let out = origin.execute(&q).unwrap();
+        assert!(out.result.len() <= 2);
+        assert!(origin.supports_remainder());
+
+        let bad = parse_query("SELECT * FROM Nope t").unwrap();
+        assert!(matches!(
+            origin.execute(&bad),
+            Err(OriginError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn remainder_support_flag() {
+        let origin = SiteOrigin::without_remainder(SkySite::new(Catalog::generate(
+            &CatalogSpec::small_test(),
+        )));
+        assert!(!origin.supports_remainder());
+    }
+}

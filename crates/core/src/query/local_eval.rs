@@ -1,0 +1,88 @@
+//! Local evaluation of subsumed queries over cached tuples.
+//!
+//! "In essence, the evaluation of a subsumed query becomes that of a
+//! spatial region selection query over cached results" (paper §3.2): the
+//! proxy selects the cached tuples whose point — read from the declared
+//! coordinate attributes — falls inside the new query's region. No other
+//! predicate needs re-evaluation, because queries are only related within
+//! one residual group (identical template, identical non-spatial
+//! parameters).
+
+use fp_geometry::Region;
+use fp_skyserver::ResultSet;
+
+/// Selects the rows of `result` whose coordinate-attribute point lies in
+/// `region`. `coord_idx` maps region dimensions to result columns.
+///
+/// Returns `None` when some coordinate cell is non-numeric (a malformed
+/// cached document — callers fall back to the origin site).
+pub fn eval_region_over(
+    result: &ResultSet,
+    coord_idx: &[usize],
+    region: &Region,
+) -> Option<ResultSet> {
+    debug_assert_eq!(coord_idx.len(), region.dims());
+    let mut out = ResultSet::empty(result.columns.clone());
+    let mut point = vec![0.0; coord_idx.len()];
+    for row in &result.rows {
+        for (d, &ci) in coord_idx.iter().enumerate() {
+            point[d] = row.get(ci)?.as_f64()?;
+        }
+        if region.contains_coords(&point) {
+            out.rows.push(row.clone());
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geometry::{HyperRect, HyperSphere, Point};
+    use fp_sqlmini::Value;
+
+    fn result() -> ResultSet {
+        ResultSet {
+            columns: vec!["objID".into(), "x".into(), "y".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Float(0.1), Value::Float(0.1)],
+                vec![Value::Int(2), Value::Float(0.9), Value::Float(0.9)],
+                vec![Value::Int(3), Value::Float(2.0), Value::Float(2.0)],
+                vec![Value::Int(4), Value::Int(0), Value::Int(0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn selects_points_inside_rect() {
+        let region = Region::Rect(HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap());
+        let out = eval_region_over(&result(), &[1, 2], &region).unwrap();
+        let ids: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+        assert_eq!(out.columns, result().columns);
+    }
+
+    #[test]
+    fn selects_points_inside_sphere() {
+        let region = Region::Sphere(HyperSphere::new(Point::from_slice(&[0.0, 0.0]), 0.5).unwrap());
+        let out = eval_region_over(&result(), &[1, 2], &region).unwrap();
+        let ids: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn non_numeric_coordinates_abort() {
+        let mut r = result();
+        r.rows[0][1] = Value::Str("oops".into());
+        let region = Region::Rect(HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap());
+        assert!(eval_region_over(&r, &[1, 2], &region).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let r = ResultSet::empty(vec!["objID".into(), "x".into(), "y".into()]);
+        let region = Region::Rect(HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap());
+        let out = eval_region_over(&r, &[1, 2], &region).unwrap();
+        assert!(out.is_empty());
+    }
+}

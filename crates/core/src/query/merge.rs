@@ -1,0 +1,90 @@
+//! Merging cached and remainder result parts.
+
+use fp_skyserver::ResultSet;
+use fp_sqlmini::Value;
+use std::collections::HashSet;
+
+/// Merges result parts into one set, deduplicating by `key_column`.
+///
+/// All parts must share the first part's column list (the proxy only
+/// merges results of one template, so this holds by construction); parts
+/// with a different column list are skipped defensively. Row order:
+/// parts in the given order, first occurrence of each key wins.
+pub fn merge_results(key_column: &str, parts: &[&ResultSet]) -> ResultSet {
+    let Some(first) = parts.first() else {
+        return ResultSet::empty(vec![]);
+    };
+    let mut out = ResultSet::empty(first.columns.clone());
+    let key_idx = first.column_index(key_column);
+    let mut seen: HashSet<String> = HashSet::new();
+
+    for part in parts {
+        if part.columns != out.columns {
+            debug_assert!(false, "merge of heterogeneous results");
+            continue;
+        }
+        for row in &part.rows {
+            match key_idx {
+                Some(k) => {
+                    let key = key_text(&row[k]);
+                    if seen.insert(key) {
+                        out.rows.push(row.clone());
+                    }
+                }
+                None => out.rows.push(row.clone()),
+            }
+        }
+    }
+    out
+}
+
+fn key_text(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{f}"),
+        Value::Str(s) => format!("s{s}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Null => "null".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(ids: &[i64]) -> ResultSet {
+        ResultSet {
+            columns: vec!["objID".into(), "v".into()],
+            rows: ids
+                .iter()
+                .map(|i| vec![Value::Int(*i), Value::Float(*i as f64)])
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dedups_across_parts() {
+        let a = rs(&[1, 2, 3]);
+        let b = rs(&[3, 4]);
+        let c = rs(&[4, 5, 1]);
+        let merged = merge_results("objID", &[&a, &b, &c]);
+        let ids: Vec<i64> = merged.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn missing_key_column_concatenates() {
+        let a = rs(&[1]);
+        let b = rs(&[1]);
+        let merged = merge_results("nope", &[&a, &b]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_results("objID", &[]).is_empty());
+        let empty = ResultSet::empty(vec!["objID".into(), "v".into()]);
+        let merged = merge_results("objID", &[&empty, &rs(&[7])]);
+        assert_eq!(merged.len(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Query processing: relationship classification, local evaluation,
+//! remainder-query synthesis, and result merging.
+
+mod local_eval;
+mod merge;
+mod relate;
+mod remainder;
+
+pub use local_eval::eval_region_over;
+pub use merge::merge_results;
+pub use relate::{classify, QueryStatus};
+pub use remainder::{region_inside_predicate, remainder_query};

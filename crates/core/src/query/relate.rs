@@ -1,0 +1,212 @@
+//! Classifying a new query against the cache.
+
+use crate::cache::CacheStore;
+use crate::template::BoundQuery;
+use fp_geometry::Relation;
+
+/// The status the paper's Section 3.2 assigns to a new query, with the
+/// cache entries that justify it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Case (a): an exact match — serve the cached result file.
+    ExactMatch(u64),
+    /// Case (b): subsumed by one cached query — evaluate locally.
+    ContainedBy(u64),
+    /// Special case of (c): the new query contains the listed cached
+    /// queries — fetch a remainder, merge, replace them (compaction).
+    RegionContainment(Vec<u64>),
+    /// Case (c): partial overlap with the listed cached queries.
+    Overlapping(Vec<u64>),
+    /// Case (d): disjoint from every cached query.
+    Disjoint,
+}
+
+impl QueryStatus {
+    /// Short label for metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryStatus::ExactMatch(_) => "exact",
+            QueryStatus::ContainedBy(_) => "contained",
+            QueryStatus::RegionContainment(_) => "region-containment",
+            QueryStatus::Overlapping(_) => "overlap",
+            QueryStatus::Disjoint => "disjoint",
+        }
+    }
+}
+
+/// Classifies `bound` against the cached queries of its residual group.
+///
+/// Uses the cache description for candidate pruning, then exact region
+/// relationship checks. Returns, in priority order: exact match, then
+/// containment, then region containment, then overlap, then disjoint.
+///
+/// Entries whose result was clipped by a `TOP` limit are only eligible
+/// for exact matches — a clipped result cannot prove completeness for any
+/// other relationship (see `CacheEntry::truncated`).
+pub fn classify(store: &CacheStore, bound: &BoundQuery) -> QueryStatus {
+    let mut contained_by: Option<u64> = None;
+    let mut contains: Vec<u64> = Vec::new();
+    let mut overlaps: Vec<u64> = Vec::new();
+
+    for id in store.candidates(&bound.residual_key, &bound.region) {
+        let Some(entry) = store.peek(id) else {
+            continue;
+        };
+        debug_assert_eq!(entry.residual_key, bound.residual_key);
+        match bound.region.relate(&entry.region) {
+            Relation::Equal => {
+                // Equal region within one residual group means the same
+                // query; a truncated equal entry was clipped the same way.
+                return QueryStatus::ExactMatch(id);
+            }
+            Relation::Inside if !entry.truncated => {
+                // Prefer the smallest containing entry: local evaluation
+                // scans fewer tuples.
+                match contained_by {
+                    Some(prev) => {
+                        let prev_len = store.peek(prev).map_or(usize::MAX, |e| e.result.len());
+                        if entry.result.len() < prev_len {
+                            contained_by = Some(id);
+                        }
+                    }
+                    None => contained_by = Some(id),
+                }
+            }
+            Relation::Contains if !entry.truncated => contains.push(id),
+            Relation::Inside | Relation::Contains | Relation::Overlaps => {
+                if !entry.truncated {
+                    overlaps.push(id);
+                }
+            }
+            Relation::Disjoint => {}
+        }
+    }
+
+    if let Some(id) = contained_by {
+        return QueryStatus::ContainedBy(id);
+    }
+    if !contains.is_empty() {
+        return QueryStatus::RegionContainment(contains);
+    }
+    if !overlaps.is_empty() {
+        return QueryStatus::Overlapping(overlaps);
+    }
+    QueryStatus::Disjoint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DescriptionKind;
+    use crate::template::TemplateManager;
+    use fp_skyserver::ResultSet;
+    use fp_sqlmini::Value;
+
+    fn bound(m: &TemplateManager, ra: f64, dec: f64, radius: f64) -> BoundQuery {
+        m.resolve_form(
+            "/search/radial",
+            &[
+                ("ra".to_string(), ra.to_string()),
+                ("dec".to_string(), dec.to_string()),
+                ("radius".to_string(), radius.to_string()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn rs(n: usize) -> ResultSet {
+        ResultSet {
+            columns: vec!["objID".into()],
+            rows: (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        }
+    }
+
+    fn seed(store: &mut CacheStore, b: &BoundQuery, n: usize, truncated: bool) -> u64 {
+        store
+            .insert(&b.residual_key, b.region.clone(), rs(n), truncated, &b.sql)
+            .unwrap()
+    }
+
+    #[test]
+    fn classification_priorities() {
+        let m = TemplateManager::with_sky_defaults();
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+
+        let big = bound(&m, 185.0, 0.0, 30.0);
+        let big_id = seed(&mut store, &big, 100, false);
+
+        // Exact.
+        assert_eq!(classify(&store, &big), QueryStatus::ExactMatch(big_id));
+        // Contained.
+        let small = bound(&m, 185.0, 0.0, 10.0);
+        assert_eq!(classify(&store, &small), QueryStatus::ContainedBy(big_id));
+        // Region containment.
+        let huge = bound(&m, 185.0, 0.0, 90.0);
+        assert_eq!(
+            classify(&store, &huge),
+            QueryStatus::RegionContainment(vec![big_id])
+        );
+        // Overlap (centers 40' apart, radii 30' and 15').
+        let side = bound(&m, 185.0 + 40.0 / 60.0, 0.0, 15.0);
+        assert_eq!(
+            classify(&store, &side),
+            QueryStatus::Overlapping(vec![big_id])
+        );
+        // Disjoint.
+        let far = bound(&m, 100.0, 0.0, 10.0);
+        assert_eq!(classify(&store, &far), QueryStatus::Disjoint);
+    }
+
+    #[test]
+    fn smallest_containing_entry_wins() {
+        let m = TemplateManager::with_sky_defaults();
+        let mut store = CacheStore::new(DescriptionKind::RTree, None);
+        let big = bound(&m, 185.0, 0.0, 30.0);
+        let _big_id = seed(&mut store, &big, 500, false);
+        let mid = bound(&m, 185.0, 0.0, 20.0);
+        let mid_id = seed(&mut store, &mid, 100, false);
+
+        let small = bound(&m, 185.0, 0.0, 5.0);
+        assert_eq!(classify(&store, &small), QueryStatus::ContainedBy(mid_id));
+    }
+
+    #[test]
+    fn truncated_entries_only_serve_exact_matches() {
+        let m = TemplateManager::with_sky_defaults();
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+        let big = bound(&m, 185.0, 0.0, 30.0);
+        let big_id = seed(&mut store, &big, 100, true);
+
+        // Exact still works.
+        assert_eq!(classify(&store, &big), QueryStatus::ExactMatch(big_id));
+        // Containment must NOT be answered from a truncated entry.
+        let small = bound(&m, 185.0, 0.0, 10.0);
+        assert_eq!(classify(&store, &small), QueryStatus::Disjoint);
+        // Nor overlap probing / region containment.
+        let huge = bound(&m, 185.0, 0.0, 60.0);
+        assert_eq!(classify(&store, &huge), QueryStatus::Disjoint);
+    }
+
+    #[test]
+    fn residual_groups_do_not_mix() {
+        let m = TemplateManager::with_sky_defaults();
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+        let radial = bound(&m, 185.0, 0.0, 30.0);
+        seed(&mut store, &radial, 10, false);
+
+        // A rect query over the same sky area lives in another group
+        // (different template) — no relationship.
+        let rect = m
+            .resolve_form(
+                "/search/rect",
+                &[
+                    ("min_ra".to_string(), "184.0".to_string()),
+                    ("max_ra".to_string(), "186.0".to_string()),
+                    ("min_dec".to_string(), "-1.0".to_string()),
+                    ("max_dec".to_string(), "1.0".to_string()),
+                ],
+            )
+            .unwrap();
+        assert_eq!(classify(&store, &rect), QueryStatus::Disjoint);
+    }
+}

@@ -1,0 +1,208 @@
+//! Remainder-query synthesis.
+//!
+//! When a new query overlaps cached queries, the proxy can answer the
+//! cached part locally and fetch only the rest — the **remainder query**
+//! [Dar et al., VLDB 1996] — from the origin site. The paper uses
+//! SkyServer's free-form SQL search page as the remainder facility; here
+//! the remainder is the new query's SQL with one extra conjunct per
+//! excluded cached region, phrased over the template's coordinate
+//! attributes so the origin's ordinary executor can evaluate it:
+//!
+//! ```sql
+//! ... WHERE <original predicates>
+//!     AND NOT ((p.cx - x0)*(p.cx - x0) + … <= r*r)   -- cached ball
+//! ```
+
+use crate::template::BoundQuery;
+use fp_geometry::Region;
+use fp_sqlmini::{BinOp, Expr, Literal, Query, UnOp};
+
+/// Builds the SQL predicate "the tuple's point lies inside `region`",
+/// over `alias.columns` (closed inequalities, matching the proxy's closed
+/// region tests so cached-part ∪ remainder-part covers everything).
+pub fn region_inside_predicate(region: &Region, alias: &str, columns: &[String]) -> Expr {
+    debug_assert_eq!(columns.len(), region.dims());
+    let col = |d: usize| Expr::col(Some(alias), &columns[d]);
+    let num = |v: f64| Expr::Literal(Literal::Float(v));
+
+    match region {
+        Region::Sphere(s) => {
+            // sum_d (x_d - c_d)^2 <= r^2
+            let mut sum: Option<Expr> = None;
+            for (d, c) in s.center().coords().iter().enumerate() {
+                let diff = Expr::binary(BinOp::Sub, col(d), num(*c));
+                let sq = Expr::binary(BinOp::Mul, diff.clone(), diff);
+                sum = Some(match sum {
+                    Some(acc) => Expr::binary(BinOp::Add, acc, sq),
+                    None => sq,
+                });
+            }
+            Expr::binary(
+                BinOp::Le,
+                sum.expect("regions have at least one dimension"),
+                num(s.radius() * s.radius()),
+            )
+        }
+        Region::Rect(r) => {
+            let mut conj: Option<Expr> = None;
+            for d in 0..r.dims() {
+                let between = Expr::Between {
+                    expr: Box::new(col(d)),
+                    low: Box::new(num(r.lo()[d])),
+                    high: Box::new(num(r.hi()[d])),
+                    negated: false,
+                };
+                conj = Some(match conj {
+                    Some(acc) => Expr::binary(BinOp::And, acc, between),
+                    None => between,
+                });
+            }
+            conj.expect("regions have at least one dimension")
+        }
+        Region::Polytope(p) => {
+            // bbox conjunct first, then one conjunct per face.
+            let mut conj = region_inside_predicate(&Region::Rect(p.bbox().clone()), alias, columns);
+            for face in p.faces() {
+                let mut dot: Option<Expr> = None;
+                for (d, n) in face.normal().iter().enumerate() {
+                    let term = Expr::binary(BinOp::Mul, num(*n), col(d));
+                    dot = Some(match dot {
+                        Some(acc) => Expr::binary(BinOp::Add, acc, term),
+                        None => term,
+                    });
+                }
+                let face_pred = Expr::binary(
+                    BinOp::Le,
+                    dot.expect("non-degenerate normals"),
+                    num(face.offset()),
+                );
+                conj = Expr::binary(BinOp::And, conj, face_pred);
+            }
+            conj
+        }
+    }
+}
+
+/// Synthesizes the remainder query: `bound`'s SQL with each region in
+/// `exclude` subtracted.
+///
+/// Returns `None` when the query carries a `TOP` limit — clipping makes
+/// probe/remainder decomposition unsound, so the proxy forwards the
+/// original query instead (documented simplification; the paper's trace
+/// templates fetch full result sets).
+pub fn remainder_query(bound: &BoundQuery, exclude: &[&Region]) -> Option<Query> {
+    if bound.query.top.is_some() || exclude.is_empty() {
+        return None;
+    }
+    let alias = &bound.reg.coord_alias;
+    let columns = &bound.reg.coord_columns;
+
+    let mut query = bound.query.clone();
+    let mut pred = query.where_clause.take();
+    for region in exclude {
+        let not_inside = Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(region_inside_predicate(region, alias, columns)),
+        };
+        pred = Some(match pred {
+            Some(acc) => Expr::binary(BinOp::And, acc, not_inside),
+            None => not_inside,
+        });
+    }
+    query.where_clause = pred;
+    Some(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::TemplateManager;
+    use fp_geometry::{HyperRect, HyperSphere, Point};
+    use fp_skyserver::{Catalog, CatalogSpec, SkySite};
+
+    fn bound(m: &TemplateManager, ra: f64, dec: f64, radius: f64) -> BoundQuery {
+        m.resolve_form(
+            "/search/radial",
+            &[
+                ("ra".to_string(), ra.to_string()),
+                ("dec".to_string(), dec.to_string()),
+                ("radius".to_string(), radius.to_string()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sphere_predicate_prints_and_parses() {
+        let ball = Region::Sphere(HyperSphere::new(Point::from_slice(&[0.1, 0.2]), 0.5).unwrap());
+        let pred = region_inside_predicate(&ball, "p", &["x".into(), "y".into()]);
+        let sql = pred.to_sql();
+        assert!(sql.contains("(p.x - 0.1) * (p.x - 0.1)"));
+        assert!(sql.contains("<= 0.25"));
+        fp_sqlmini::parser::parse_expr(&sql).expect("predicate parses back");
+    }
+
+    #[test]
+    fn rect_predicate_uses_between() {
+        let rect = Region::Rect(HyperRect::new(vec![1.0, 2.0], vec![3.0, 4.0]).unwrap());
+        let pred = region_inside_predicate(&rect, "p", &["ra".into(), "dec".into()]);
+        let sql = pred.to_sql();
+        assert!(sql.contains("p.ra BETWEEN 1.0 AND 3.0"));
+        assert!(sql.contains("p.dec BETWEEN 2.0 AND 4.0"));
+    }
+
+    #[test]
+    fn remainder_respects_top_guard() {
+        let m = TemplateManager::with_sky_defaults();
+        let b = bound(&m, 185.0, 0.0, 20.0);
+        let cached = bound(&m, 185.0, 0.0, 10.0);
+        assert!(remainder_query(&b, &[]).is_none());
+        assert!(remainder_query(&b, &[&cached.region]).is_some());
+
+        let mut top_query = b.clone();
+        top_query.query.top = Some(10);
+        assert!(remainder_query(&top_query, &[&cached.region]).is_none());
+    }
+
+    /// The defining property: cached part + remainder part = full answer,
+    /// verified against the real origin executor.
+    #[test]
+    fn remainder_plus_probe_equals_original() {
+        let m = TemplateManager::with_sky_defaults();
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+
+        let new = bound(&m, 185.0, 0.0, 25.0);
+        let cached = bound(&m, 185.0 + 20.0 / 60.0, 0.0, 15.0); // overlaps
+
+        // Full answer.
+        let full = site.execute_query(&new.query).unwrap().result;
+
+        // Cached part: run the cached query, select its tuples inside the
+        // new region (what the proxy's probe does).
+        let cached_result = site.execute_query(&cached.query).unwrap().result;
+        let coord_idx: Vec<usize> = ["cx", "cy", "cz"]
+            .iter()
+            .map(|c| cached_result.column_index(c).unwrap())
+            .collect();
+        let probe =
+            crate::query::eval_region_over(&cached_result, &coord_idx, &new.region).unwrap();
+
+        // Remainder part from the origin.
+        let rq = remainder_query(&new, &[&cached.region]).unwrap();
+        let remainder = site.execute_query(&rq).unwrap().result;
+
+        // Merge and compare id sets.
+        let merged = crate::query::merge_results("objID", &[&probe, &remainder]);
+        let mut got: Vec<i64> = merged.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want: Vec<i64> = full.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(
+            !probe.is_empty() && !remainder.is_empty(),
+            "test should exercise both parts (probe {} rows, remainder {} rows)",
+            probe.len(),
+            remainder.len()
+        );
+    }
+}

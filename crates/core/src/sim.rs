@@ -1,0 +1,177 @@
+//! The WAN/server cost model.
+//!
+//! The paper's response times were measured against the real SkyServer
+//! over a Hong Kong ↔ US path in 2003: a no-cache average above 2 s. The
+//! origin here is an in-process library call, so the experiment harness
+//! charges each origin interaction with a simulated cost computed from the
+//! *actual* execution statistics (rows scanned, rows and bytes returned):
+//!
+//! ```text
+//! origin_ms = rtt + server_base
+//!           + rows_scanned · scan_us / 1000
+//!           + rows_returned · result_us / 1000
+//!           + result_bytes / bytes_per_ms
+//!           (+ remainder_overhead when the query carries remainder
+//!              predicates — "a remainder query is usually more
+//!              complicated than the original query", §3.2)
+//! ```
+//!
+//! Proxy-side work (cache checking, local evaluation, merging) is measured
+//! in real time and added on top, so the *relative* behaviour the paper
+//! reports — where each scheme spends its time — emerges from the same
+//! mechanisms rather than from hard-coded constants.
+
+use fp_skyserver::ExecStats;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model parameters (milliseconds/microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Round-trip latency proxy ↔ origin (the 2003 HK↔US WAN).
+    pub rtt_ms: f64,
+    /// Fixed server overhead per query (connection, parse, plan).
+    pub server_base_ms: f64,
+    /// Server cost per candidate row scanned, microseconds.
+    pub scan_us: f64,
+    /// Server cost per result row produced, microseconds.
+    pub result_us: f64,
+    /// WAN throughput, bytes per millisecond (XML results are verbose and
+    /// the 2003 transpacific path was slow).
+    pub bytes_per_ms: f64,
+    /// Extra planning/execution cost charged to remainder queries.
+    pub remainder_overhead_ms: f64,
+    /// Fixed cost of touching the proxy cache store for one entry
+    /// (the paper's proxy opened an XML result file per hit).
+    pub cache_hit_base_ms: f64,
+    /// Throughput of reading + parsing cached XML result data, bytes per
+    /// millisecond. The paper's servlet parsed 2003-era XML from disk; this
+    /// is what made its cache hits cost hundreds of milliseconds and its
+    /// probe/merge-heavy full semantic caching the *slowest* active scheme
+    /// (Figure 6) despite the best cache efficiency.
+    pub cache_read_bytes_per_ms: f64,
+}
+
+impl Default for CostModel {
+    /// Calibrated so the Radial trace reproduces the paper's magnitudes:
+    /// no-cache averages land above two seconds, passive around 1.4 s.
+    fn default() -> Self {
+        CostModel {
+            rtt_ms: 600.0,
+            server_base_ms: 250.0,
+            scan_us: 40.0,
+            result_us: 120.0,
+            bytes_per_ms: 12.0,
+            remainder_overhead_ms: 150.0,
+            cache_hit_base_ms: 60.0,
+            cache_read_bytes_per_ms: 60.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A near-zero cost model for tests that only check plumbing.
+    pub fn free() -> Self {
+        CostModel {
+            rtt_ms: 0.0,
+            server_base_ms: 0.0,
+            scan_us: 0.0,
+            result_us: 0.0,
+            bytes_per_ms: f64::INFINITY,
+            remainder_overhead_ms: 0.0,
+            cache_hit_base_ms: 0.0,
+            cache_read_bytes_per_ms: f64::INFINITY,
+        }
+    }
+
+    /// Simulated milliseconds for reading `bytes` of cached result data
+    /// (one entry access: open + parse).
+    pub fn cache_read_ms(&self, bytes: usize) -> f64 {
+        let parse = if self.cache_read_bytes_per_ms.is_finite() {
+            bytes as f64 / self.cache_read_bytes_per_ms
+        } else {
+            0.0
+        };
+        self.cache_hit_base_ms + parse
+    }
+
+    /// Simulated milliseconds for one origin interaction.
+    pub fn origin_ms(&self, stats: &ExecStats, is_remainder: bool) -> f64 {
+        let transfer = if self.bytes_per_ms.is_finite() {
+            stats.result_bytes as f64 / self.bytes_per_ms
+        } else {
+            0.0
+        };
+        self.rtt_ms
+            + self.server_base_ms
+            + stats.rows_scanned as f64 * self.scan_us / 1000.0
+            + stats.rows_returned as f64 * self.result_us / 1000.0
+            + transfer
+            + if is_remainder {
+                self.remainder_overhead_ms
+            } else {
+                0.0
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_magnitudes() {
+        // A typical Radial result: ~2000 candidates scanned, 400 rows,
+        // ~40 KB of XML → on the order of the paper's 2-second no-cache
+        // average.
+        let stats = ExecStats {
+            rows_scanned: 2000,
+            rows_returned: 400,
+            result_bytes: 40_000,
+        };
+        let ms = CostModel::default().origin_ms(&stats, false);
+        assert!((1000.0..6000.0).contains(&ms), "got {ms}");
+        // Remainder costs strictly more for the same stats.
+        let rem = CostModel::default().origin_ms(&stats, true);
+        assert!(rem > ms);
+    }
+
+    #[test]
+    fn cost_grows_with_result_size() {
+        let m = CostModel::default();
+        let small = ExecStats {
+            rows_scanned: 100,
+            rows_returned: 10,
+            result_bytes: 1000,
+        };
+        let large = ExecStats {
+            rows_scanned: 100,
+            rows_returned: 1000,
+            result_bytes: 100_000,
+        };
+        assert!(m.origin_ms(&large, false) > m.origin_ms(&small, false));
+    }
+
+    #[test]
+    fn cache_reads_cost_time_by_size() {
+        let m = CostModel::default();
+        let small = m.cache_read_ms(1_000);
+        let large = m.cache_read_ms(30_000);
+        assert!(small >= m.cache_hit_base_ms);
+        assert!(large > small);
+        // A ~25 KB XML result file lands in the paper's few-hundred-ms
+        // cache-hit regime.
+        let typical = m.cache_read_ms(25_000);
+        assert!((100.0..1000.0).contains(&typical), "got {typical}");
+        assert_eq!(CostModel::free().cache_read_ms(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let stats = ExecStats {
+            rows_scanned: 1_000_000,
+            rows_returned: 1_000_000,
+            result_bytes: usize::MAX / 2,
+        };
+        assert_eq!(CostModel::free().origin_ms(&stats, true), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Information files: form-path → query-template bindings.
+
+use crate::ProxyError;
+use fp_xmlite::Element;
+
+/// The paper's third artifact: "we use information files to associate an
+/// HTML search form with a function-embedded query template."
+///
+/// Form fields are mapped to template parameters; a field may carry a
+/// default so optional form inputs (like a fixed magnitude limit) still
+/// bind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoFile {
+    /// Request path of the form handler, e.g. `/search/radial`.
+    pub form_path: String,
+    /// Name of the query template the form instantiates.
+    pub query_template: String,
+    /// `(form field, template parameter)` pairs.
+    pub field_map: Vec<(String, String)>,
+    /// `(template parameter, default text)` for absent fields.
+    pub defaults: Vec<(String, String)>,
+}
+
+impl InfoFile {
+    /// An info file whose form fields are named exactly like the template
+    /// parameters.
+    pub fn identity(
+        form_path: impl Into<String>,
+        query_template: impl Into<String>,
+        params: &[&str],
+    ) -> InfoFile {
+        InfoFile {
+            form_path: form_path.into(),
+            query_template: query_template.into(),
+            field_map: params
+                .iter()
+                .map(|p| (p.to_string(), p.to_string()))
+                .collect(),
+            defaults: Vec::new(),
+        }
+    }
+
+    /// Parses the XML artifact form.
+    ///
+    /// # Errors
+    /// Returns [`ProxyError::Template`] on structural problems.
+    pub fn from_xml(doc: &Element) -> Result<InfoFile, ProxyError> {
+        let err = |m: &str| ProxyError::Template(m.to_string());
+        if doc.name() != "InfoFile" {
+            return Err(err("expected <InfoFile>"));
+        }
+        let form_path = doc
+            .child_text("FormPath")
+            .ok_or_else(|| err("missing <FormPath>"))?
+            .to_string();
+        let query_template = doc
+            .child_text("QueryTemplate")
+            .ok_or_else(|| err("missing <QueryTemplate>"))?
+            .to_string();
+        let mut field_map = Vec::new();
+        for f in doc.children_named("Field") {
+            let name = f
+                .attr("name")
+                .ok_or_else(|| err("field missing name attribute"))?;
+            let param = f.attr("param").unwrap_or(name);
+            field_map.push((name.to_string(), param.to_string()));
+        }
+        let mut defaults = Vec::new();
+        for d in doc.children_named("Default") {
+            let param = d
+                .attr("param")
+                .ok_or_else(|| err("default missing param attribute"))?;
+            defaults.push((param.to_string(), d.text()));
+        }
+        Ok(InfoFile {
+            form_path,
+            query_template,
+            field_map,
+            defaults,
+        })
+    }
+
+    /// Serializes back to XML.
+    pub fn to_xml(&self) -> Element {
+        let mut doc = Element::new("InfoFile")
+            .with_child(Element::new("FormPath").with_text(self.form_path.clone()))
+            .with_child(Element::new("QueryTemplate").with_text(self.query_template.clone()));
+        for (name, param) in &self.field_map {
+            doc.push_child(
+                Element::new("Field")
+                    .with_attr("name", name.clone())
+                    .with_attr("param", param.clone()),
+            );
+        }
+        for (param, value) in &self.defaults {
+            doc.push_child(
+                Element::new("Default")
+                    .with_attr("param", param.clone())
+                    .with_text(value.clone()),
+            );
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_fields() {
+        let info = InfoFile::identity("/search/radial", "radial", &["ra", "dec", "radius"]);
+        assert_eq!(info.field_map.len(), 3);
+        assert_eq!(info.field_map[0], ("ra".into(), "ra".into()));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let mut info = InfoFile::identity("/search/radial", "radial", &["ra", "dec"]);
+        info.defaults.push(("maxmag".into(), "22.5".into()));
+        let back = InfoFile::from_xml(&info.to_xml()).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(InfoFile::from_xml(&Element::new("Nope")).is_err());
+        assert!(InfoFile::from_xml(&Element::new("InfoFile")).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Multidimensional region algebra for the function proxy.
+//!
+//! The function proxy (Luo & Xue, "Template-Based Proxy Caching for
+//! Table-Valued Functions") reduces the question *"can this new
+//! function-embedded query be answered from previously cached queries?"* to a
+//! question about **spatial regions**: every table-valued function in the
+//! supported query class returns the set of points falling inside a
+//! multidimensional region — a hypersphere, a hyperrectangle, or (in the most
+//! general case the paper mentions) a convex polytope.
+//!
+//! This crate provides those region types and the relationship checks the
+//! proxy needs:
+//!
+//! * [`Point`] — a point in d-dimensional Euclidean space.
+//! * [`HyperRect`] — an axis-aligned box (the region of `fGetObjFromRect`).
+//! * [`HyperSphere`] — a ball (the region of `fGetNearbyObjEq`).
+//! * [`Polytope`] — an intersection of half-spaces with an explicit bounding
+//!   box (regions of more complex functions).
+//! * [`Region`] — the closed union of the three, with
+//!   [`Region::relate`] classifying a pair of regions as
+//!   [`Relation::Equal`], [`Relation::Contains`], [`Relation::Inside`],
+//!   [`Relation::Overlaps`], or [`Relation::Disjoint`].
+//!
+//! # Soundness contract
+//!
+//! Cache correctness hinges on one direction of these checks being exact:
+//! when [`Region::relate`] returns `Contains`/`Inside`/`Equal`, containment
+//! **really holds** (every point of the inner region lies in the outer one),
+//! and when it returns `Disjoint` the regions really share no point. For
+//! pairs involving a [`Polytope`] the check is *conservative*: if containment
+//! or disjointness cannot be proven, the pair is reported as `Overlaps`,
+//! which the proxy always handles correctly (it falls back to the origin web
+//! site). Sphere/sphere, rect/rect, and sphere/rect pairs are decided
+//! exactly.
+//!
+//! # Celestial helpers
+//!
+//! [`celestial`] maps SkyServer's `(ra, dec, radius-arcmin)` Radial-search
+//! parameters onto a 3-D [`HyperSphere`] over unit-vector coordinates
+//! `(cx, cy, cz)`, exactly as the paper's function template for
+//! `fGetNearbyObjEq` does (Figure 3 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod celestial;
+pub mod point;
+pub mod polytope;
+pub mod rect;
+pub mod region;
+pub mod relate;
+pub mod sampling;
+pub mod sphere;
+pub mod volume;
+
+pub use point::Point;
+pub use polytope::{HalfSpace, Polytope};
+pub use rect::HyperRect;
+pub use region::Region;
+pub use relate::Relation;
+pub use sphere::HyperSphere;
+
+/// Absolute tolerance used by all geometric comparisons.
+///
+/// The proxy compares query parameters that originate from decimal text in
+/// HTTP requests (e.g. `ra=185.0`), so values are exactly representable far
+/// more often than in general numeric code; the epsilon only has to absorb
+/// rounding in derived quantities such as chord lengths and norms.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within [`EPS`] (absolute).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Returns `true` when `a <= b` within [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// Returns `true` when `a >= b` within [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// Errors produced by region construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Two operands had different dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A region was constructed with zero dimensions.
+    ZeroDimensions,
+    /// A length, radius, or coordinate was not a finite number.
+    NotFinite {
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
+    /// A radius or extent was negative.
+    Negative {
+        /// Which quantity was negative.
+        what: &'static str,
+    },
+    /// Rectangle bounds were inverted (`lo > hi` in some dimension).
+    InvertedBounds {
+        /// The dimension with inverted bounds.
+        dim: usize,
+    },
+    /// A half-space had a (near-)zero normal vector.
+    DegenerateHalfSpace,
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeometryError::ZeroDimensions => write!(f, "region must have at least one dimension"),
+            GeometryError::NotFinite { what } => write!(f, "{what} must be finite"),
+            GeometryError::Negative { what } => write!(f, "{what} must be non-negative"),
+            GeometryError::InvertedBounds { dim } => {
+                write!(f, "inverted bounds in dimension {dim}")
+            }
+            GeometryError::DegenerateHalfSpace => {
+                write!(f, "half-space normal must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, GeometryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_helpers_behave() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0, 1.0 + 1e-12));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(!approx_le(1.0 + 1e-6, 1.0));
+        assert!(approx_ge(1.0, 1.0 - 1e-12));
+        assert!(!approx_ge(1.0 - 1e-6, 1.0));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GeometryError::DimensionMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+        assert!(GeometryError::ZeroDimensions
+            .to_string()
+            .contains("one dimension"));
+        assert!(GeometryError::NotFinite { what: "radius" }
+            .to_string()
+            .contains("radius"));
+        assert!(GeometryError::InvertedBounds { dim: 1 }
+            .to_string()
+            .contains("dimension 1"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Points in d-dimensional Euclidean space.
+
+use crate::{GeometryError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A point in d-dimensional Euclidean space.
+///
+/// Cached result tuples carry the Cartesian coordinates of the point they
+/// represent (the paper's *result attribute availability* property), and the
+/// proxy evaluates subsumed queries by testing those points against the new
+/// query's region, so `Point` is the type the local evaluation loop runs on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Errors
+    /// Returns an error when `coords` is empty or contains a non-finite value.
+    pub fn new(coords: Vec<f64>) -> Result<Self> {
+        if coords.is_empty() {
+            return Err(GeometryError::ZeroDimensions);
+        }
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(GeometryError::NotFinite { what: "coordinate" });
+        }
+        Ok(Point { coords })
+    }
+
+    /// Creates a point without validation; intended for trusted, hot paths
+    /// such as the local evaluation loop over cached tuples.
+    #[inline]
+    pub fn from_slice(coords: &[f64]) -> Self {
+        debug_assert!(!coords.is_empty());
+        debug_assert!(coords.iter().all(|c| c.is_finite()));
+        Point {
+            coords: coords.to_vec(),
+        }
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Coordinate in dimension `i`. Panics when out of range.
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Errors
+    /// Returns an error when dimensions differ.
+    pub fn dist2(&self, other: &Point) -> Result<f64> {
+        if self.dims() != other.dims() {
+            return Err(GeometryError::DimensionMismatch {
+                left: self.dims(),
+                right: other.dims(),
+            });
+        }
+        Ok(dist2_slices(&self.coords, &other.coords))
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Errors
+    /// Returns an error when dimensions differ.
+    pub fn dist(&self, other: &Point) -> Result<f64> {
+        Ok(self.dist2(other)?.sqrt())
+    }
+
+    /// Euclidean norm of the point treated as a vector.
+    pub fn norm(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+}
+
+/// Squared Euclidean distance between two coordinate slices of equal length.
+#[inline]
+pub fn dist2_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Dot product of two coordinate slices of equal length.
+#[inline]
+pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Point::new(vec![]).is_err());
+        assert!(Point::new(vec![f64::NAN]).is_err());
+        assert!(Point::new(vec![f64::INFINITY, 0.0]).is_err());
+        let p = Point::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.coord(1), 2.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(vec![0.0, 0.0]).unwrap();
+        let b = Point::new(vec![3.0, 4.0]).unwrap();
+        assert_eq!(a.dist2(&b).unwrap(), 25.0);
+        assert_eq!(a.dist(&b).unwrap(), 5.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Point::new(vec![0.0]).unwrap();
+        let b = Point::new(vec![0.0, 0.0]).unwrap();
+        assert!(matches!(
+            a.dist2(&b),
+            Err(GeometryError::DimensionMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn display_formats_tuple() {
+        let p = Point::new(vec![1.5, -2.0]).unwrap();
+        assert_eq!(p.to_string(), "(1.5, -2)");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(dist2_slices(&[0.0, 0.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(dot_slices(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Convex polytopes as intersections of half-spaces.
+
+use crate::point::{dot_slices, Point};
+use crate::rect::HyperRect;
+use crate::sphere::HyperSphere;
+use crate::{approx_le, GeometryError, Result, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A closed half-space `{x : normal · x <= offset}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalfSpace {
+    normal: Vec<f64>,
+    offset: f64,
+}
+
+impl HalfSpace {
+    /// Creates a half-space from a non-zero normal and an offset.
+    ///
+    /// # Errors
+    /// Returns an error when the normal is empty, (near-)zero, or any
+    /// component is non-finite.
+    pub fn new(normal: Vec<f64>, offset: f64) -> Result<Self> {
+        if normal.is_empty() {
+            return Err(GeometryError::ZeroDimensions);
+        }
+        if normal.iter().any(|c| !c.is_finite()) || !offset.is_finite() {
+            return Err(GeometryError::NotFinite {
+                what: "half-space coefficient",
+            });
+        }
+        let norm2: f64 = normal.iter().map(|c| c * c).sum();
+        if norm2 <= EPS * EPS {
+            return Err(GeometryError::DegenerateHalfSpace);
+        }
+        Ok(HalfSpace { normal, offset })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Normal vector.
+    #[inline]
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// Offset (right-hand side of `normal · x <= offset`).
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Euclidean norm of the normal vector.
+    pub fn normal_len(&self) -> f64 {
+        self.normal.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Whether `coords` satisfies the half-space constraint.
+    #[inline]
+    pub fn contains_coords(&self, coords: &[f64]) -> bool {
+        approx_le(dot_slices(&self.normal, coords), self.offset)
+    }
+}
+
+/// A convex polytope: the intersection of finitely many half-spaces,
+/// carried together with an explicit **bounding box**.
+///
+/// The paper notes that region shapes "can be a hypercube (most common), a
+/// hypersphere, or even a polytope (more complex)". Function templates that
+/// declare a polytope shape must also supply a bounding box (templates are
+/// authored by the web site, which knows its functions); the box makes
+/// conservative pairwise relationship checks cheap and *sound*:
+///
+/// * `polytope ⊆ X` is claimed only when `bbox ⊆ X` (bbox ⊇ polytope, so
+///   this is sufficient);
+/// * `polytope ∩ X = ∅` is claimed only when `bbox ∩ X = ∅`;
+/// * `X ⊆ polytope` for a box or ball `X` is decided **exactly** via
+///   convexity (all corners of the box satisfy every half-space / every
+///   half-space clears the ball by its radius).
+///
+/// When neither containment nor disjointness can be proven the relationship
+/// collapses to *overlaps*, which the proxy handles by consulting the origin
+/// site — conservative, never incorrect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polytope {
+    faces: Vec<HalfSpace>,
+    bbox: HyperRect,
+}
+
+impl Polytope {
+    /// Creates a polytope from half-spaces and a caller-supplied bounding box.
+    ///
+    /// # Errors
+    /// Returns an error when the face list is empty or dimensions disagree.
+    pub fn new(faces: Vec<HalfSpace>, bbox: HyperRect) -> Result<Self> {
+        if faces.is_empty() {
+            return Err(GeometryError::ZeroDimensions);
+        }
+        for f in &faces {
+            if f.dims() != bbox.dims() {
+                return Err(GeometryError::DimensionMismatch {
+                    left: f.dims(),
+                    right: bbox.dims(),
+                });
+            }
+        }
+        Ok(Polytope { faces, bbox })
+    }
+
+    /// Builds the polytope representation of an axis-aligned box
+    /// (2·d half-spaces); useful in tests and for template authors.
+    pub fn from_rect(rect: &HyperRect) -> Self {
+        let d = rect.dims();
+        let mut faces = Vec::with_capacity(2 * d);
+        for i in 0..d {
+            let mut n = vec![0.0; d];
+            n[i] = 1.0;
+            faces.push(HalfSpace::new(n, rect.hi()[i]).expect("unit normal"));
+            let mut n = vec![0.0; d];
+            n[i] = -1.0;
+            faces.push(HalfSpace::new(n, -rect.lo()[i]).expect("unit normal"));
+        }
+        Polytope {
+            faces,
+            bbox: rect.clone(),
+        }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.bbox.dims()
+    }
+
+    /// The half-space faces.
+    #[inline]
+    pub fn faces(&self) -> &[HalfSpace] {
+        &self.faces
+    }
+
+    /// The declared bounding box.
+    #[inline]
+    pub fn bbox(&self) -> &HyperRect {
+        &self.bbox
+    }
+
+    /// Whether `p` lies in the polytope (inside the box and all faces).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.contains_coords(p.coords())
+    }
+
+    /// [`Self::contains_point`] on a raw coordinate slice (hot path).
+    pub fn contains_coords(&self, coords: &[f64]) -> bool {
+        self.bbox.contains_coords(coords) && self.faces.iter().all(|f| f.contains_coords(coords))
+    }
+
+    /// Exact check that the polytope contains the whole box: by convexity it
+    /// suffices that every corner satisfies every face (and the bbox holds
+    /// the box, which the face set implies for well-formed templates — we
+    /// still check both to stay sound for loose bboxes).
+    pub fn contains_rect(&self, rect: &HyperRect) -> bool {
+        debug_assert_eq!(self.dims(), rect.dims());
+        self.bbox.contains_rect(rect)
+            && rect.corners().all(|corner| {
+                self.faces
+                    .iter()
+                    .all(|f| f.contains_coords(corner.coords()))
+            })
+    }
+
+    /// Exact check that the polytope contains the whole ball: each face must
+    /// clear the ball center by `radius · |normal|`, and the bbox must
+    /// contain the ball.
+    pub fn contains_sphere(&self, ball: &HyperSphere) -> bool {
+        debug_assert_eq!(self.dims(), ball.dims());
+        ball.inside_rect(&self.bbox)
+            && self.faces.iter().all(|f| {
+                let lhs =
+                    dot_slices(f.normal(), ball.center().coords()) + ball.radius() * f.normal_len();
+                approx_le(lhs, f.offset())
+            })
+    }
+
+    /// Sound (conservative) check that the polytope lies inside the box:
+    /// via the declared bounding box.
+    pub fn inside_rect_conservative(&self, rect: &HyperRect) -> bool {
+        rect.contains_rect(&self.bbox)
+    }
+
+    /// Sound (conservative) check that the polytope lies inside the ball:
+    /// via the declared bounding box.
+    pub fn inside_sphere_conservative(&self, ball: &HyperSphere) -> bool {
+        ball.contains_rect(&self.bbox)
+    }
+
+    /// Sound check that the polytope is disjoint from the box.
+    ///
+    /// Uses two independent proofs: bounding boxes do not meet, or some face
+    /// of the polytope excludes the entire box (every corner violates it).
+    pub fn disjoint_rect(&self, rect: &HyperRect) -> bool {
+        if !self.bbox.intersects_rect(rect) {
+            return true;
+        }
+        self.faces.iter().any(|f| {
+            rect.corners()
+                .all(|c| dot_slices(f.normal(), c.coords()) > f.offset() + EPS)
+        })
+    }
+
+    /// Sound check that the polytope is disjoint from the ball: bounding
+    /// boxes do not meet, or some face excludes the whole ball
+    /// (`normal · center - radius · |normal| > offset`).
+    pub fn disjoint_sphere(&self, ball: &HyperSphere) -> bool {
+        if !ball.intersects_rect(&self.bbox) {
+            return true;
+        }
+        self.faces.iter().any(|f| {
+            dot_slices(f.normal(), ball.center().coords()) - ball.radius() * f.normal_len()
+                > f.offset() + EPS
+        })
+    }
+}
+
+impl std::fmt::Display for Polytope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "polytope({} faces, bbox={})",
+            self.faces.len(),
+            self.bbox
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The triangle x >= 0, y >= 0, x + y <= 1 in 2-D.
+    fn triangle() -> Polytope {
+        let faces = vec![
+            HalfSpace::new(vec![-1.0, 0.0], 0.0).unwrap(),
+            HalfSpace::new(vec![0.0, -1.0], 0.0).unwrap(),
+            HalfSpace::new(vec![1.0, 1.0], 1.0).unwrap(),
+        ];
+        let bbox = HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        Polytope::new(faces, bbox).unwrap()
+    }
+
+    #[test]
+    fn halfspace_validation() {
+        assert!(HalfSpace::new(vec![], 0.0).is_err());
+        assert!(HalfSpace::new(vec![0.0, 0.0], 0.0).is_err());
+        assert!(HalfSpace::new(vec![f64::NAN], 0.0).is_err());
+        assert!(HalfSpace::new(vec![1.0], f64::INFINITY).is_err());
+        assert!(HalfSpace::new(vec![1.0, 0.0], 5.0).is_ok());
+    }
+
+    #[test]
+    fn point_membership() {
+        let t = triangle();
+        assert!(t.contains_coords(&[0.25, 0.25]));
+        assert!(t.contains_coords(&[0.0, 0.0]));
+        assert!(t.contains_coords(&[0.5, 0.5])); // on the hypotenuse
+        assert!(!t.contains_coords(&[0.75, 0.75]));
+        assert!(!t.contains_coords(&[-0.1, 0.1]));
+    }
+
+    #[test]
+    fn contains_rect_exact() {
+        let t = triangle();
+        let inside = HyperRect::new(vec![0.1, 0.1], vec![0.3, 0.3]).unwrap();
+        let crossing = HyperRect::new(vec![0.4, 0.4], vec![0.9, 0.9]).unwrap();
+        assert!(t.contains_rect(&inside));
+        assert!(!t.contains_rect(&crossing));
+    }
+
+    #[test]
+    fn contains_sphere_exact() {
+        let t = triangle();
+        let inside = HyperSphere::new(Point::from_slice(&[0.25, 0.25]), 0.1).unwrap();
+        // center inside but ball pokes through hypotenuse
+        let poking = HyperSphere::new(Point::from_slice(&[0.45, 0.45]), 0.2).unwrap();
+        assert!(t.contains_sphere(&inside));
+        assert!(!t.contains_sphere(&poking));
+    }
+
+    #[test]
+    fn disjointness_proofs() {
+        let t = triangle();
+        let far_rect = HyperRect::new(vec![5.0, 5.0], vec![6.0, 6.0]).unwrap();
+        assert!(t.disjoint_rect(&far_rect));
+        // inside the bbox but beyond the hypotenuse face
+        let cut_rect = HyperRect::new(vec![0.8, 0.8], vec![0.95, 0.95]).unwrap();
+        assert!(t.disjoint_rect(&cut_rect));
+        let meet_rect = HyperRect::new(vec![0.0, 0.0], vec![0.2, 0.2]).unwrap();
+        assert!(!t.disjoint_rect(&meet_rect));
+
+        let far_ball = HyperSphere::new(Point::from_slice(&[5.0, 5.0]), 0.5).unwrap();
+        assert!(t.disjoint_sphere(&far_ball));
+        let cut_ball = HyperSphere::new(Point::from_slice(&[0.9, 0.9]), 0.1).unwrap();
+        assert!(t.disjoint_sphere(&cut_ball));
+        let meet_ball = HyperSphere::new(Point::from_slice(&[0.5, 0.5]), 0.2).unwrap();
+        assert!(!t.disjoint_sphere(&meet_ball));
+    }
+
+    #[test]
+    fn conservative_inside_checks() {
+        let t = triangle();
+        let big_rect = HyperRect::new(vec![-1.0, -1.0], vec![2.0, 2.0]).unwrap();
+        assert!(t.inside_rect_conservative(&big_rect));
+        let small_rect = HyperRect::new(vec![0.0, 0.0], vec![0.5, 0.5]).unwrap();
+        // the triangle actually pokes out of [0,0.5]^2, and even if it did
+        // not, the bbox test must say "cannot prove"
+        assert!(!t.inside_rect_conservative(&small_rect));
+
+        let big_ball = HyperSphere::new(Point::from_slice(&[0.5, 0.5]), 2.0).unwrap();
+        assert!(t.inside_sphere_conservative(&big_ball));
+        let tight_ball = HyperSphere::new(Point::from_slice(&[0.5, 0.5]), 0.71).unwrap();
+        // covers the bbox corners at distance sqrt(0.5)≈0.707
+        assert!(t.inside_sphere_conservative(&tight_ball));
+    }
+
+    #[test]
+    fn from_rect_roundtrips_membership() {
+        let r = HyperRect::new(vec![1.0, 2.0], vec![3.0, 4.0]).unwrap();
+        let p = Polytope::from_rect(&r);
+        assert_eq!(p.faces().len(), 4);
+        assert!(p.contains_coords(&[2.0, 3.0]));
+        assert!(p.contains_coords(&[1.0, 2.0]));
+        assert!(!p.contains_coords(&[0.9, 3.0]));
+        assert!(!p.contains_coords(&[2.0, 4.1]));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f = HalfSpace::new(vec![1.0, 0.0, 0.0], 1.0).unwrap();
+        let bbox = HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        assert!(Polytope::new(vec![f], bbox).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! Pairwise region relationship classification.
+//!
+//! This is the geometric core of the paper's Section 3: "we can transform
+//! the problem of checking the relationship between two queries (query exact
+//! match, containment, overlapping, or disjoint) into that of checking the
+//! spatial relationship between the two corresponding regions."
+
+use crate::polytope::Polytope;
+use crate::rect::HyperRect;
+use crate::region::Region;
+use crate::sphere::HyperSphere;
+
+/// Relationship of a *new* region `a` to a *cached* region `b`.
+///
+/// # Soundness contract
+///
+/// * `Equal`, `Inside`, `Contains`, `Disjoint` are only returned when the
+///   relation **provably holds** (point-set semantics, closed regions).
+/// * `Overlaps` is the safe default: it is returned both for genuine partial
+///   overlap and whenever a polytope is involved and neither containment nor
+///   disjointness could be proven. The proxy treats `Overlaps`
+///   conservatively (consults the origin site), so an imprecise `Overlaps`
+///   can cost performance but never correctness.
+///
+/// Sphere/sphere, rect/rect, and sphere/rect pairs are decided exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// The regions cover the same point set (within tolerance).
+    Equal,
+    /// `a ⊆ b`: the new query is subsumed by the cached query.
+    Inside,
+    /// `a ⊇ b`: the new query contains the cached query (region containment).
+    Contains,
+    /// The regions share some, but provably not all, points — or the
+    /// relationship could not be proven more precisely.
+    Overlaps,
+    /// The regions provably share no point.
+    Disjoint,
+}
+
+impl Relation {
+    /// The same relation seen from the other operand.
+    pub fn flip(self) -> Relation {
+        match self {
+            Relation::Inside => Relation::Contains,
+            Relation::Contains => Relation::Inside,
+            other => other,
+        }
+    }
+
+    /// Whether the new query can be fully answered from the cached one.
+    pub fn answerable_from_cache(self) -> bool {
+        matches!(self, Relation::Equal | Relation::Inside)
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Relation::Equal => "equal",
+            Relation::Inside => "inside",
+            Relation::Contains => "contains",
+            Relation::Overlaps => "overlaps",
+            Relation::Disjoint => "disjoint",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies `a` against `b`. Exposed as [`Region::relate`].
+pub(crate) fn relate_regions(a: &Region, b: &Region) -> Relation {
+    debug_assert_eq!(a.dims(), b.dims(), "regions must share dimensionality");
+    match (a, b) {
+        (Region::Rect(ra), Region::Rect(rb)) => relate_rect_rect(ra, rb),
+        (Region::Sphere(sa), Region::Sphere(sb)) => relate_sphere_sphere(sa, sb),
+        (Region::Sphere(s), Region::Rect(r)) => relate_sphere_rect(s, r),
+        (Region::Rect(r), Region::Sphere(s)) => relate_sphere_rect(s, r).flip(),
+        (Region::Polytope(p), Region::Rect(r)) => relate_polytope_rect(p, r),
+        (Region::Rect(r), Region::Polytope(p)) => relate_polytope_rect(p, r).flip(),
+        (Region::Polytope(p), Region::Sphere(s)) => relate_polytope_sphere(p, s),
+        (Region::Sphere(s), Region::Polytope(p)) => relate_polytope_sphere(p, s).flip(),
+        (Region::Polytope(pa), Region::Polytope(pb)) => relate_polytope_polytope(pa, pb),
+    }
+}
+
+fn relate_rect_rect(a: &HyperRect, b: &HyperRect) -> Relation {
+    if a.approx_eq(b) {
+        return Relation::Equal;
+    }
+    if b.contains_rect(a) {
+        return Relation::Inside;
+    }
+    if a.contains_rect(b) {
+        return Relation::Contains;
+    }
+    if a.intersects_rect(b) {
+        Relation::Overlaps
+    } else {
+        Relation::Disjoint
+    }
+}
+
+fn relate_sphere_sphere(a: &HyperSphere, b: &HyperSphere) -> Relation {
+    if a.approx_eq(b) {
+        return Relation::Equal;
+    }
+    if b.contains_sphere(a) {
+        return Relation::Inside;
+    }
+    if a.contains_sphere(b) {
+        return Relation::Contains;
+    }
+    if a.intersects_sphere(b) {
+        Relation::Overlaps
+    } else {
+        Relation::Disjoint
+    }
+}
+
+/// Relation of the sphere `s` to the rect `r` (exact in every case).
+fn relate_sphere_rect(s: &HyperSphere, r: &HyperRect) -> Relation {
+    // A ball and a box can only be Equal when the ball is degenerate and the
+    // box is the same single point.
+    let inside = s.inside_rect(r);
+    let contains = s.contains_rect(r);
+    if inside && contains {
+        return Relation::Equal;
+    }
+    if inside {
+        return Relation::Inside;
+    }
+    if contains {
+        return Relation::Contains;
+    }
+    if s.intersects_rect(r) {
+        Relation::Overlaps
+    } else {
+        Relation::Disjoint
+    }
+}
+
+/// Relation of the polytope `p` to the rect `r`; sound, conservative.
+fn relate_polytope_rect(p: &Polytope, r: &HyperRect) -> Relation {
+    let inside = p.inside_rect_conservative(r);
+    let contains = p.contains_rect(r);
+    if inside && contains {
+        return Relation::Equal;
+    }
+    if inside {
+        return Relation::Inside;
+    }
+    if contains {
+        return Relation::Contains;
+    }
+    if p.disjoint_rect(r) {
+        Relation::Disjoint
+    } else {
+        Relation::Overlaps
+    }
+}
+
+/// Relation of the polytope `p` to the sphere `s`; sound, conservative.
+fn relate_polytope_sphere(p: &Polytope, s: &HyperSphere) -> Relation {
+    let inside = p.inside_sphere_conservative(s);
+    let contains = p.contains_sphere(s);
+    if inside && contains {
+        return Relation::Equal;
+    }
+    if inside {
+        return Relation::Inside;
+    }
+    if contains {
+        return Relation::Contains;
+    }
+    if p.disjoint_sphere(s) {
+        Relation::Disjoint
+    } else {
+        Relation::Overlaps
+    }
+}
+
+/// Relation of two polytopes; sound, conservative.
+///
+/// Containment either way is proven through one bounding box: `a ⊆ b` when
+/// `b.contains_rect(a.bbox())` (exact test of box-in-polytope, and bbox ⊇ a).
+fn relate_polytope_polytope(a: &Polytope, b: &Polytope) -> Relation {
+    let inside = b.contains_rect(a.bbox());
+    let contains = a.contains_rect(b.bbox());
+    if inside && contains {
+        return Relation::Equal;
+    }
+    if inside {
+        return Relation::Inside;
+    }
+    if contains {
+        return Relation::Contains;
+    }
+    if a.disjoint_rect(b.bbox()) || b.disjoint_rect(a.bbox()) {
+        return Relation::Disjoint;
+    }
+    Relation::Overlaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn rect(lo: &[f64], hi: &[f64]) -> Region {
+        HyperRect::new(lo.to_vec(), hi.to_vec()).unwrap().into()
+    }
+
+    fn ball(c: &[f64], r: f64) -> Region {
+        HyperSphere::new(Point::from_slice(c), r).unwrap().into()
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for r in [
+            Relation::Equal,
+            Relation::Inside,
+            Relation::Contains,
+            Relation::Overlaps,
+            Relation::Disjoint,
+        ] {
+            assert_eq!(r.flip().flip(), r);
+        }
+        assert_eq!(Relation::Inside.flip(), Relation::Contains);
+    }
+
+    #[test]
+    fn answerable_only_for_equal_and_inside() {
+        assert!(Relation::Equal.answerable_from_cache());
+        assert!(Relation::Inside.answerable_from_cache());
+        assert!(!Relation::Contains.answerable_from_cache());
+        assert!(!Relation::Overlaps.answerable_from_cache());
+        assert!(!Relation::Disjoint.answerable_from_cache());
+    }
+
+    #[test]
+    fn rect_rect_all_cases() {
+        let a = rect(&[0.0, 0.0], &[4.0, 4.0]);
+        assert_eq!(a.relate(&rect(&[0.0, 0.0], &[4.0, 4.0])), Relation::Equal);
+        assert_eq!(
+            a.relate(&rect(&[-1.0, -1.0], &[5.0, 5.0])),
+            Relation::Inside
+        );
+        assert_eq!(
+            a.relate(&rect(&[1.0, 1.0], &[2.0, 2.0])),
+            Relation::Contains
+        );
+        assert_eq!(
+            a.relate(&rect(&[3.0, 3.0], &[6.0, 6.0])),
+            Relation::Overlaps
+        );
+        assert_eq!(
+            a.relate(&rect(&[9.0, 9.0], &[10.0, 10.0])),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn sphere_sphere_all_cases() {
+        let a = ball(&[0.0, 0.0], 2.0);
+        assert_eq!(a.relate(&ball(&[0.0, 0.0], 2.0)), Relation::Equal);
+        assert_eq!(a.relate(&ball(&[0.5, 0.0], 5.0)), Relation::Inside);
+        assert_eq!(a.relate(&ball(&[0.5, 0.0], 0.5)), Relation::Contains);
+        assert_eq!(a.relate(&ball(&[3.0, 0.0], 2.0)), Relation::Overlaps);
+        assert_eq!(a.relate(&ball(&[10.0, 0.0], 2.0)), Relation::Disjoint);
+    }
+
+    #[test]
+    fn sphere_rect_all_cases() {
+        let s = ball(&[0.0, 0.0], 2.0);
+        assert_eq!(
+            s.relate(&rect(&[-5.0, -5.0], &[5.0, 5.0])),
+            Relation::Inside
+        );
+        assert_eq!(
+            s.relate(&rect(&[-1.0, -1.0], &[1.0, 1.0])),
+            Relation::Contains
+        );
+        assert_eq!(
+            s.relate(&rect(&[1.0, 1.0], &[5.0, 5.0])),
+            Relation::Overlaps
+        );
+        assert_eq!(
+            s.relate(&rect(&[10.0, 10.0], &[11.0, 11.0])),
+            Relation::Disjoint
+        );
+        // and from the rect's point of view the relation flips
+        let r = rect(&[-5.0, -5.0], &[5.0, 5.0]);
+        assert_eq!(r.relate(&s), Relation::Contains);
+    }
+
+    #[test]
+    fn degenerate_sphere_rect_equality() {
+        let s = ball(&[1.0, 1.0], 0.0);
+        let r = rect(&[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(s.relate(&r), Relation::Equal);
+        assert_eq!(r.relate(&s), Relation::Equal);
+    }
+
+    #[test]
+    fn polytope_relations_are_sound() {
+        // The triangle x>=0, y>=0, x+y<=1.
+        let t: Region = {
+            use crate::polytope::HalfSpace;
+            let faces = vec![
+                HalfSpace::new(vec![-1.0, 0.0], 0.0).unwrap(),
+                HalfSpace::new(vec![0.0, -1.0], 0.0).unwrap(),
+                HalfSpace::new(vec![1.0, 1.0], 1.0).unwrap(),
+            ];
+            let bbox = HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+            Polytope::new(faces, bbox).unwrap().into()
+        };
+        // contains a small rect near the origin
+        assert_eq!(
+            t.relate(&rect(&[0.1, 0.1], &[0.2, 0.2])),
+            Relation::Contains
+        );
+        // inside a big rect
+        assert_eq!(
+            t.relate(&rect(&[-1.0, -1.0], &[2.0, 2.0])),
+            Relation::Inside
+        );
+        // disjoint from a far rect
+        assert_eq!(
+            t.relate(&rect(&[5.0, 5.0], &[6.0, 6.0])),
+            Relation::Disjoint
+        );
+        // disjoint via a face proof (inside bbox, beyond hypotenuse)
+        assert_eq!(
+            t.relate(&rect(&[0.8, 0.8], &[0.9, 0.9])),
+            Relation::Disjoint
+        );
+        // genuinely crossing the hypotenuse -> overlaps
+        assert_eq!(
+            t.relate(&rect(&[0.4, 0.4], &[0.9, 0.9])),
+            Relation::Overlaps
+        );
+        // ball containment both ways
+        assert_eq!(t.relate(&ball(&[0.25, 0.25], 0.05)), Relation::Contains);
+        assert_eq!(t.relate(&ball(&[0.5, 0.5], 2.0)), Relation::Inside);
+        // conservative: rect containing the triangle's true extent but not
+        // the declared bbox still gets a sound answer (Overlaps, not wrong)
+        let near = t.relate(&rect(&[0.0, 0.0], &[0.99, 0.99]));
+        assert!(matches!(near, Relation::Overlaps | Relation::Contains));
+    }
+
+    #[test]
+    fn polytope_polytope_via_bboxes() {
+        let small = Region::Polytope(Polytope::from_rect(
+            &HyperRect::new(vec![0.2, 0.2], vec![0.4, 0.4]).unwrap(),
+        ));
+        let big = Region::Polytope(Polytope::from_rect(
+            &HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap(),
+        ));
+        let far = Region::Polytope(Polytope::from_rect(
+            &HyperRect::new(vec![5.0, 5.0], vec![6.0, 6.0]).unwrap(),
+        ));
+        assert_eq!(small.relate(&big), Relation::Inside);
+        assert_eq!(big.relate(&small), Relation::Contains);
+        assert_eq!(big.relate(&far), Relation::Disjoint);
+        assert_eq!(big.relate(&big.clone()), Relation::Equal);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Relation::Equal.to_string(), "equal");
+        assert_eq!(Relation::Overlaps.to_string(), "overlaps");
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic low-discrepancy point sampling.
+//!
+//! Monte-Carlo volume estimation and the property-test oracles need point
+//! samples inside boxes. A Halton sequence gives reproducible, well-spread
+//! samples without any RNG dependency in the library crate.
+
+use crate::rect::HyperRect;
+
+/// The first 16 primes, used as Halton bases (one per dimension).
+const PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// A d-dimensional Halton low-discrepancy sequence over `[0, 1)^d`.
+#[derive(Debug, Clone)]
+pub struct Halton {
+    dims: usize,
+    index: u64,
+}
+
+impl Halton {
+    /// Creates a sequence for `dims` dimensions (at most 16).
+    ///
+    /// # Panics
+    /// Panics when `dims` is zero or exceeds the available prime bases.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(
+            dims <= PRIMES.len(),
+            "at most {} dimensions supported",
+            PRIMES.len()
+        );
+        // Skip index 0 (the all-zero point) for better uniformity.
+        Halton { dims, index: 1 }
+    }
+
+    /// Radical inverse of `n` in base `b` — the core of the Halton sequence.
+    fn radical_inverse(mut n: u64, b: u64) -> f64 {
+        let mut inv = 0.0;
+        let mut denom = 1.0;
+        while n > 0 {
+            denom *= b as f64;
+            inv += (n % b) as f64 / denom;
+            n /= b;
+        }
+        inv
+    }
+
+    /// Writes the next point of the sequence (in `[0,1)^d`) into `out`.
+    pub fn next_unit(&mut self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dims);
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot = Self::radical_inverse(self.index, PRIMES[d]);
+        }
+        self.index += 1;
+    }
+
+    /// Writes the next point scaled into `rect` into `out`.
+    pub fn next_in_rect(&mut self, rect: &HyperRect, out: &mut [f64]) {
+        self.next_unit(out);
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot = rect.lo()[d] + *slot * (rect.hi()[d] - rect.lo()[d]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base2_sequence_is_van_der_corput() {
+        let mut h = Halton::new(1);
+        let mut out = [0.0];
+        let expected = [0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875];
+        for &e in &expected {
+            h.next_unit(&mut out);
+            assert!((out[0] - e).abs() < 1e-12, "got {} want {e}", out[0]);
+        }
+    }
+
+    #[test]
+    fn points_stay_in_rect() {
+        let rect = HyperRect::new(vec![-2.0, 5.0], vec![-1.0, 7.0]).unwrap();
+        let mut h = Halton::new(2);
+        let mut out = [0.0; 2];
+        for _ in 0..1000 {
+            h.next_in_rect(&rect, &mut out);
+            assert!(rect.contains_coords(&out));
+        }
+    }
+
+    #[test]
+    fn sequence_is_roughly_uniform() {
+        // Mean of a uniform [0,1) sample should approach 0.5.
+        let mut h = Halton::new(3);
+        let mut out = [0.0; 3];
+        let mut sums = [0.0; 3];
+        let n = 5000;
+        for _ in 0..n {
+            h.next_unit(&mut out);
+            for (sum, v) in sums.iter_mut().zip(&out) {
+                *sum += v;
+            }
+        }
+        for (d, sum) in sums.iter().enumerate() {
+            let mean = sum / n as f64;
+            assert!((mean - 0.5).abs() < 0.01, "dim {d} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_dims_panics() {
+        let _ = Halton::new(0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Volumes of regions, analytic where possible and Monte-Carlo otherwise.
+//!
+//! Volumes are not needed for cache correctness, but the proxy's replacement
+//! policy and the experiment harness use them to reason about how much of a
+//! new query's region the cache covers, and tests use Monte-Carlo volume as
+//! an independent oracle for the relationship checks.
+
+use crate::rect::HyperRect;
+use crate::region::Region;
+use crate::sampling::Halton;
+use crate::sphere::HyperSphere;
+
+/// Volume of the unit d-ball: `π^{d/2} / Γ(d/2 + 1)`.
+///
+/// Computed by the stable recurrence `V_d = V_{d-2} · 2π/d` with
+/// `V_0 = 1`, `V_1 = 2`.
+pub fn unit_ball_volume(dims: usize) -> f64 {
+    match dims {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(dims - 2) * 2.0 * std::f64::consts::PI / dims as f64,
+    }
+}
+
+/// Analytic volume of a ball.
+pub fn sphere_volume(s: &HyperSphere) -> f64 {
+    unit_ball_volume(s.dims()) * s.radius().powi(s.dims() as i32)
+}
+
+/// Analytic volume where the shape has a closed form, `None` for polytopes.
+pub fn analytic_volume(region: &Region) -> Option<f64> {
+    match region {
+        Region::Rect(r) => Some(r.volume()),
+        Region::Sphere(s) => Some(sphere_volume(s)),
+        Region::Polytope(_) => None,
+    }
+}
+
+/// Deterministic quasi-Monte-Carlo volume estimate of `region`, sampling
+/// `samples` Halton points inside its bounding box.
+pub fn monte_carlo_volume(region: &Region, samples: usize) -> f64 {
+    let bbox = region.bounding_rect();
+    monte_carlo_volume_in(region, &bbox, samples)
+}
+
+/// Quasi-Monte-Carlo estimate of `vol(region ∩ window)`.
+pub fn monte_carlo_volume_in(region: &Region, window: &HyperRect, samples: usize) -> f64 {
+    assert!(samples > 0, "samples must be positive");
+    let mut halton = Halton::new(window.dims());
+    let mut hits = 0usize;
+    let mut coords = vec![0.0; window.dims()];
+    for _ in 0..samples {
+        halton.next_in_rect(window, &mut coords);
+        if region.contains_coords(&coords) {
+            hits += 1;
+        }
+    }
+    window.volume() * hits as f64 / samples as f64
+}
+
+/// Quasi-Monte-Carlo estimate of the fraction of `target`'s volume covered
+/// by the union of `others` — what a semantic cache wants to know before
+/// deciding whether a remainder query is worth sending.
+///
+/// Returns a value in `[0, 1]`; `0.0` when no sampled point lands inside
+/// `target` at all (degenerate target).
+pub fn monte_carlo_union_coverage(target: &Region, others: &[&Region], samples: usize) -> f64 {
+    assert!(samples > 0, "samples must be positive");
+    let bbox = target.bounding_rect();
+    let mut halton = Halton::new(bbox.dims());
+    let mut coords = vec![0.0; bbox.dims()];
+    let mut inside = 0usize;
+    let mut covered = 0usize;
+    for _ in 0..samples {
+        halton.next_in_rect(&bbox, &mut coords);
+        if !target.contains_coords(&coords) {
+            continue;
+        }
+        inside += 1;
+        if others.iter().any(|r| r.contains_coords(&coords)) {
+            covered += 1;
+        }
+    }
+    if inside == 0 {
+        0.0
+    } else {
+        covered as f64 / inside as f64
+    }
+}
+
+/// Quasi-Monte-Carlo estimate of `vol(a ∩ b)`, sampling in the
+/// intersection of the bounding boxes (zero when the boxes are disjoint).
+pub fn monte_carlo_intersection_volume(a: &Region, b: &Region, samples: usize) -> f64 {
+    assert!(samples > 0, "samples must be positive");
+    let Some(window) = a.bounding_rect().intersection(&b.bounding_rect()) else {
+        return 0.0;
+    };
+    let mut halton = Halton::new(window.dims());
+    let mut hits = 0usize;
+    let mut coords = vec![0.0; window.dims()];
+    for _ in 0..samples {
+        halton.next_in_rect(&window, &mut coords);
+        if a.contains_coords(&coords) && b.contains_coords(&coords) {
+            hits += 1;
+        }
+    }
+    window.volume() * hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::polytope::{HalfSpace, Polytope};
+
+    #[test]
+    fn unit_ball_volumes_match_known_values() {
+        assert!((unit_ball_volume(1) - 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+        // V_4 = π²/2
+        assert!((unit_ball_volume(4) - std::f64::consts::PI.powi(2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sphere_volume_scales_with_radius() {
+        let s = HyperSphere::new(Point::from_slice(&[0.0, 0.0]), 2.0).unwrap();
+        assert!((sphere_volume(&s) - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic_for_disk() {
+        let s: Region = HyperSphere::new(Point::from_slice(&[0.0, 0.0]), 1.0)
+            .unwrap()
+            .into();
+        let mc = monte_carlo_volume(&s, 20_000);
+        let exact = analytic_volume(&s).unwrap();
+        assert!((mc - exact).abs() / exact < 0.02, "mc={mc} exact={exact}");
+    }
+
+    #[test]
+    fn monte_carlo_triangle_volume() {
+        // Triangle x>=0, y>=0, x+y<=1 has area 0.5.
+        let faces = vec![
+            HalfSpace::new(vec![-1.0, 0.0], 0.0).unwrap(),
+            HalfSpace::new(vec![0.0, -1.0], 0.0).unwrap(),
+            HalfSpace::new(vec![1.0, 1.0], 1.0).unwrap(),
+        ];
+        let bbox = HyperRect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let t: Region = Polytope::new(faces, bbox).unwrap().into();
+        assert!(analytic_volume(&t).is_none());
+        let mc = monte_carlo_volume(&t, 20_000);
+        assert!((mc - 0.5).abs() < 0.01, "mc={mc}");
+    }
+
+    #[test]
+    fn union_coverage_estimates() {
+        let target: Region = HyperRect::new(vec![0.0, 0.0], vec![2.0, 2.0])
+            .unwrap()
+            .into();
+        let left: Region = HyperRect::new(vec![0.0, 0.0], vec![1.0, 2.0])
+            .unwrap()
+            .into();
+        let right: Region = HyperRect::new(vec![1.0, 0.0], vec![2.0, 2.0])
+            .unwrap()
+            .into();
+        let far: Region = HyperRect::new(vec![10.0, 10.0], vec![11.0, 11.0])
+            .unwrap()
+            .into();
+
+        let full = monte_carlo_union_coverage(&target, &[&left, &right], 4000);
+        assert!(full > 0.99, "two halves cover everything: {full}");
+        let half = monte_carlo_union_coverage(&target, &[&left], 4000);
+        assert!((half - 0.5).abs() < 0.03, "left half covers half: {half}");
+        // Overlapping inputs must not double count.
+        let overlapped = monte_carlo_union_coverage(&target, &[&left, &left], 4000);
+        assert!(
+            (overlapped - 0.5).abs() < 0.03,
+            "duplicate cover: {overlapped}"
+        );
+        let none = monte_carlo_union_coverage(&target, &[&far], 1000);
+        assert_eq!(none, 0.0);
+        let empty = monte_carlo_union_coverage(&target, &[], 1000);
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn intersection_volume_of_half_overlapping_rects() {
+        let a: Region = HyperRect::new(vec![0.0, 0.0], vec![2.0, 2.0])
+            .unwrap()
+            .into();
+        let b: Region = HyperRect::new(vec![1.0, 0.0], vec![3.0, 2.0])
+            .unwrap()
+            .into();
+        let v = monte_carlo_intersection_volume(&a, &b, 10_000);
+        assert!((v - 2.0).abs() < 0.05, "v={v}");
+        let far: Region = HyperRect::new(vec![10.0, 10.0], vec![11.0, 11.0])
+            .unwrap()
+            .into();
+        assert_eq!(monte_carlo_intersection_volume(&a, &far, 100), 0.0);
+    }
+}

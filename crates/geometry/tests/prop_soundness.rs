@@ -1,0 +1,204 @@
+//! Property tests: the relationship classifier is *sound* with respect to
+//! point-set semantics. For arbitrary region pairs, any claim of
+//! Equal/Inside/Contains/Disjoint must never be contradicted by a sampled
+//! point. (`Overlaps` makes no claim, so nothing to check there.)
+
+use fp_geometry::sampling::Halton;
+use fp_geometry::{HyperRect, HyperSphere, Point, Polytope, Region, Relation};
+use proptest::prelude::*;
+
+const SAMPLES: usize = 256;
+
+fn arb_rect(dims: usize) -> impl Strategy<Value = Region> {
+    (
+        prop::collection::vec(-10.0f64..10.0, dims),
+        prop::collection::vec(0.01f64..8.0, dims),
+    )
+        .prop_map(|(lo, ext)| {
+            let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+            Region::Rect(HyperRect::new(lo, hi).expect("valid rect"))
+        })
+}
+
+fn arb_sphere(dims: usize) -> impl Strategy<Value = Region> {
+    (prop::collection::vec(-10.0f64..10.0, dims), 0.01f64..6.0).prop_map(|(c, r)| {
+        Region::Sphere(
+            HyperSphere::new(Point::new(c).expect("valid point"), r).expect("valid ball"),
+        )
+    })
+}
+
+fn arb_polytope(dims: usize) -> impl Strategy<Value = Region> {
+    // A random box turned into half-spaces, optionally cut by one diagonal
+    // face; the declared bbox stays the box (a sound over-approximation).
+    (
+        prop::collection::vec(-10.0f64..10.0, dims),
+        prop::collection::vec(0.5f64..8.0, dims),
+        prop::bool::ANY,
+    )
+        .prop_map(move |(lo, ext, cut)| {
+            let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+            let rect = HyperRect::new(lo, hi).expect("valid rect");
+            let mut p = Polytope::from_rect(&rect);
+            if cut {
+                //
+
+                // Keep the half of the box below the diagonal through its
+                // center: sum(x) <= sum(center).
+                let center = rect.center();
+                let offset: f64 = center.coords().iter().sum();
+                let faces = {
+                    let mut f = p.faces().to_vec();
+                    f.push(
+                        fp_geometry::HalfSpace::new(vec![1.0; rect.dims()], offset)
+                            .expect("valid half-space"),
+                    );
+                    f
+                };
+                p = Polytope::new(faces, rect).expect("valid polytope");
+            }
+            Region::Polytope(p)
+        })
+}
+
+fn arb_region(dims: usize) -> impl Strategy<Value = Region> {
+    prop_oneof![arb_rect(dims), arb_sphere(dims), arb_polytope(dims)]
+}
+
+/// Samples points in and around both regions and checks the claimed
+/// relation against observed membership.
+fn check_soundness(a: &Region, b: &Region) {
+    let rel = a.relate(b);
+    let window = a
+        .bounding_rect()
+        .union(&b.bounding_rect())
+        .expect("same dims");
+    let mut halton = Halton::new(window.dims());
+    let mut coords = vec![0.0; window.dims()];
+    for _ in 0..SAMPLES {
+        halton.next_in_rect(&window, &mut coords);
+        let in_a = a.contains_coords(&coords);
+        let in_b = b.contains_coords(&coords);
+        match rel {
+            Relation::Equal => {
+                // No sampled point may distinguish the regions beyond
+                // boundary tolerance; use strict interior disagreement.
+                assert_eq!(in_a, in_b, "Equal violated at {coords:?} for {a} vs {b}");
+            }
+            Relation::Inside => {
+                assert!(
+                    !in_a || in_b,
+                    "Inside violated at {coords:?} for {a} vs {b}"
+                );
+            }
+            Relation::Contains => {
+                assert!(
+                    !in_b || in_a,
+                    "Contains violated at {coords:?} for {a} vs {b}"
+                );
+            }
+            Relation::Disjoint => {
+                assert!(
+                    !(in_a && in_b),
+                    "Disjoint violated at {coords:?} for {a} vs {b}"
+                );
+            }
+            Relation::Overlaps => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn relate_sound_2d(a in arb_region(2), b in arb_region(2)) {
+        check_soundness(&a, &b);
+    }
+
+    #[test]
+    fn relate_sound_3d(a in arb_region(3), b in arb_region(3)) {
+        check_soundness(&a, &b);
+    }
+
+    #[test]
+    fn relate_antisymmetric(a in arb_region(2), b in arb_region(2)) {
+        prop_assert_eq!(a.relate(&b), b.relate(&a).flip());
+    }
+
+    #[test]
+    fn relate_reflexive_equal_rect(a in arb_rect(3)) {
+        prop_assert_eq!(a.relate(&a.clone()), Relation::Equal);
+    }
+
+    #[test]
+    fn relate_reflexive_equal_sphere(a in arb_sphere(3)) {
+        prop_assert_eq!(a.relate(&a.clone()), Relation::Equal);
+    }
+
+    #[test]
+    fn exact_pairs_never_imprecise_when_disjoint_boxes(
+        a in arb_sphere(2), b in arb_rect(2)
+    ) {
+        // For exact pairs (sphere/rect), bounding boxes strictly apart in
+        // some dimension must yield Disjoint, never Overlaps.
+        let (ba, bb) = (a.bounding_rect(), b.bounding_rect());
+        let strictly_apart = (0..2).any(|d| {
+            ba.hi()[d] + 1e-6 < bb.lo()[d] || bb.hi()[d] + 1e-6 < ba.lo()[d]
+        });
+        if strictly_apart {
+            prop_assert_eq!(a.relate(&b), Relation::Disjoint);
+        }
+    }
+
+    /// Containment is transitive for the exactly-decided shapes: if A is
+    /// inside B and B is inside C, A must relate to C as Inside or Equal.
+    #[test]
+    fn containment_transitivity_spheres(
+        c in arb_sphere(3),
+        f1 in 0.1f64..0.9,
+        f2 in 0.1f64..0.9,
+        dir in prop::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let Region::Sphere(outer) = &c else { unreachable!() };
+        // B: concentric shrink of C; A: shrink of B shifted within slack.
+        let b = HyperSphere::new(outer.center().clone(), outer.radius() * f1).expect("valid");
+        let slack = b.radius() * (1.0 - f2);
+        let norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt().max(1e-9);
+        let a_center: Vec<f64> = b
+            .center()
+            .coords()
+            .iter()
+            .zip(&dir)
+            .map(|(c, d)| c + d / norm * slack * 0.9)
+            .collect();
+        let a = HyperSphere::new(Point::new(a_center).expect("valid"), b.radius() * f2)
+            .expect("valid");
+
+        let ab = Region::Sphere(a.clone()).relate(&Region::Sphere(b.clone()));
+        let bc = Region::Sphere(b.clone()).relate(&c);
+        let ac = Region::Sphere(a).relate(&c);
+        prop_assert!(matches!(ab, Relation::Inside | Relation::Equal), "ab={ab:?}");
+        prop_assert!(matches!(bc, Relation::Inside | Relation::Equal), "bc={bc:?}");
+        prop_assert!(matches!(ac, Relation::Inside | Relation::Equal), "ac={ac:?}");
+    }
+
+    #[test]
+    fn shrunken_rect_is_inside(a in arb_rect(3), f in 0.05f64..0.45) {
+        let Region::Rect(r) = &a else { unreachable!() };
+        let lo: Vec<f64> = r.lo().iter().zip(r.hi()).map(|(l, h)| l + f * (h - l)).collect();
+        let hi: Vec<f64> = r.lo().iter().zip(r.hi()).map(|(l, h)| h - f * (h - l)).collect();
+        let small = Region::Rect(HyperRect::new(lo, hi).expect("still valid"));
+        prop_assert_eq!(small.relate(&a), Relation::Inside);
+        prop_assert_eq!(a.relate(&small), Relation::Contains);
+    }
+
+    #[test]
+    fn shrunken_sphere_is_inside(a in arb_sphere(3), f in 0.05f64..0.9) {
+        let Region::Sphere(s) = &a else { unreachable!() };
+        let small = Region::Sphere(
+            HyperSphere::new(s.center().clone(), s.radius() * (1.0 - f)).expect("valid")
+        );
+        prop_assert_eq!(small.relate(&a), Relation::Inside);
+    }
+}

@@ -1,0 +1,76 @@
+//! A blocking HTTP client with per-request connections.
+
+use crate::message::{Request, Response};
+use crate::parse::read_response;
+use crate::HttpError;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client bound to one server address. Opens a fresh connection per
+/// request (`Connection: close`), which keeps failure handling simple; the
+/// RBE replayer measures whole-request latency anyway.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` with a 30 s default timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends `request` and reads the response.
+    ///
+    /// # Errors
+    /// Returns [`HttpError`] on connection failure, timeout, or malformed
+    /// response framing.
+    pub fn send(&self, request: &Request) -> Result<Response, HttpError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+
+        let mut req = request.clone();
+        req.headers.set("Connection", "close");
+        req.headers.set("Host", self.addr.to_string());
+
+        let mut writer = stream.try_clone()?;
+        writer.write_all(&req.to_bytes())?;
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader)
+    }
+
+    /// Convenience GET.
+    ///
+    /// # Errors
+    /// See [`HttpClient::send`].
+    pub fn get(&self, path_and_query: &str) -> Result<Response, HttpError> {
+        self.send(&Request::get(path_and_query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        // A port from the ephemeral range with nothing listening.
+        let client = HttpClient::new("127.0.0.1:1".parse().unwrap())
+            .with_timeout(Duration::from_millis(200));
+        assert!(matches!(client.get("/"), Err(HttpError::Io(_))));
+    }
+}

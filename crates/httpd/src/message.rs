@@ -1,0 +1,318 @@
+//! HTTP message types.
+
+/// Request methods the proxy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// `HEAD`
+    Head,
+}
+
+impl Method {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parses the wire spelling (case-sensitive, per RFC 9110).
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "HEAD" => Method::Head,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes the stack emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200
+    pub const OK: Status = Status(200);
+    /// 400
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 404
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500
+    pub const INTERNAL: Status = Status(500);
+    /// 502
+    pub const BAD_GATEWAY: Status = Status(502);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An ordered, case-insensitive header map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header set.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Appends a header (duplicates allowed, order preserved).
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets `name` to `value`, replacing any existing occurrences.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(k, _)| !k.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path component of the target (no query string).
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A GET request for `path_and_query` (e.g. `/search?ra=185`).
+    pub fn get(path_and_query: &str) -> Request {
+        let (path, query) = split_target(path_and_query);
+        Request {
+            method: Method::Get,
+            path,
+            query,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request with a form-encoded body.
+    pub fn post_form(path: &str, body: impl Into<Vec<u8>>) -> Request {
+        let (path, query) = split_target(path);
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "application/x-www-form-urlencoded");
+        Request {
+            method: Method::Post,
+            path,
+            query,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    /// The request target (`path?query`).
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        }
+    }
+
+    /// Decoded query parameters, in order of appearance.
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        crate::urlenc::parse_query(&self.query)
+    }
+
+    /// Serializes the request head + body to wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target().as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        let mut has_len = false;
+        for (k, v) in self.headers.iter() {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_len = true;
+            }
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if !has_len && !self.body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Headers.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a body and content type.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response {
+            status: Status::OK,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: Status, message: &str) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "text/plain; charset=utf-8");
+        Response {
+            status,
+            headers,
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serializes the response to wire form (always sets Content-Length).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason()).as_bytes(),
+        );
+        for (k, v) in self.headers.iter() {
+            if k.eq_ignore_ascii_case("content-length") {
+                continue; // recomputed below
+            }
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn split_target(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_are_case_insensitive_ordered() {
+        let mut h = Headers::new();
+        h.push("Content-Type", "text/xml");
+        h.push("X-A", "1");
+        h.push("X-A", "2");
+        assert_eq!(h.get("content-type"), Some("text/xml"));
+        assert_eq!(h.get("x-a"), Some("1"));
+        h.set("x-a", "3");
+        assert_eq!(h.get("X-A"), Some("3"));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn request_target_roundtrip() {
+        let r = Request::get("/search/radial?ra=185.0&dec=1.5");
+        assert_eq!(r.path, "/search/radial");
+        assert_eq!(r.query, "ra=185.0&dec=1.5");
+        assert_eq!(r.target(), "/search/radial?ra=185.0&dec=1.5");
+        let params = r.query_params();
+        assert_eq!(params[0], ("ra".to_string(), "185.0".to_string()));
+    }
+
+    #[test]
+    fn request_wire_form_has_length() {
+        let r = Request::post_form("/sql", "cmd=SELECT");
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("POST /sql HTTP/1.1\r\n"));
+        assert!(text.contains("Content-Length: 10\r\n"));
+        assert!(text.ends_with("\r\ncmd=SELECT"));
+    }
+
+    #[test]
+    fn response_wire_form() {
+        let r = Response::ok("text/plain", "hi");
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn method_parse_is_strict() {
+        assert_eq!(Method::parse("GET"), Some(Method::Get));
+        assert_eq!(Method::parse("get"), None);
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Exact-path request routing.
+
+use crate::message::{Request, Response, Status};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A boxed request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Routes requests to handlers by exact path match, with a fallback.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: HashMap<String, Handler>,
+    fallback: Option<Handler>,
+}
+
+impl Router {
+    /// An empty router (unmatched requests get 404).
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a handler for an exact path; returns `self` for chaining.
+    pub fn route<F>(mut self, path: &str, handler: F) -> Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.routes.insert(path.to_string(), Arc::new(handler));
+        self
+    }
+
+    /// Registers the handler for any unmatched path.
+    pub fn fallback<F>(mut self, handler: F) -> Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.fallback = Some(Arc::new(handler));
+        self
+    }
+
+    /// Dispatches a request.
+    pub fn handle(&self, request: &Request) -> Response {
+        if let Some(h) = self.routes.get(&request.path) {
+            return h(request);
+        }
+        if let Some(h) = &self.fallback {
+            return h(request);
+        }
+        Response::error(Status::NOT_FOUND, &format!("no route for {}", request.path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_dispatch_and_fall_back() {
+        let r = Router::new()
+            .route("/a", |_| Response::ok("text/plain", "A"))
+            .route("/b", |_| Response::ok("text/plain", "B"));
+        assert_eq!(r.handle(&Request::get("/a")).body_text(), "A");
+        assert_eq!(r.handle(&Request::get("/b?x=1")).body_text(), "B");
+        assert_eq!(r.handle(&Request::get("/c")).status, Status::NOT_FOUND);
+
+        let r = r.fallback(|_| Response::ok("text/plain", "F"));
+        assert_eq!(r.handle(&Request::get("/zzz")).body_text(), "F");
+    }
+}

@@ -1,0 +1,194 @@
+//! A threaded TCP server with keep-alive connections.
+
+use crate::message::{Response, Status};
+use crate::parse::read_request;
+use crate::router::Router;
+use crate::HttpError;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running HTTP server. Dropping the handle (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `router` with one thread per connection.
+    ///
+    /// # Errors
+    /// Returns the bind error, e.g. when the port is taken.
+    pub fn bind(addr: &str, router: Router) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Wake the accept loop periodically to observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("httpd-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((socket, _)) => {
+                            let router = router.clone();
+                            let stop3 = Arc::clone(&stop2);
+                            workers.push(
+                                std::thread::Builder::new()
+                                    .name("httpd-conn".into())
+                                    .spawn(move || serve_connection(socket, router, stop3))
+                                    .expect("spawn connection thread"),
+                            );
+                            // Opportunistically reap finished workers.
+                            workers.retain(|w| !w.is_finished());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_connection(socket: TcpStream, router: Router, stop: Arc<AtomicBool>) {
+    // Bounded read timeout so idle keep-alive connections observe shutdown.
+    let _ = socket.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match socket.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(socket);
+
+    while !stop.load(Ordering::Relaxed) {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let close = request
+                    .headers
+                    .get("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let response = router.handle(&request);
+                if writer.write_all(&response.to_bytes()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+                if close {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle; re-check the stop flag
+            }
+            Err(HttpError::UnexpectedEof) => return,
+            Err(e) => {
+                let _ = writer
+                    .write_all(&Response::error(Status::BAD_REQUEST, &e.to_string()).to_bytes());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::message::Request;
+
+    #[test]
+    fn serves_requests_over_loopback() {
+        let router = Router::new()
+            .route("/ping", |_| Response::ok("text/plain", "pong"))
+            .route("/echo", |r: &Request| {
+                Response::ok("text/plain", r.query.clone().into_bytes())
+            });
+        let server = HttpServer::bind("127.0.0.1:0", router).unwrap();
+        let client = HttpClient::new(server.addr());
+
+        let r = client.send(&Request::get("/ping")).unwrap();
+        assert_eq!(r.status, Status::OK);
+        assert_eq!(r.body_text(), "pong");
+
+        let r = client.send(&Request::get("/echo?a=1&b=2")).unwrap();
+        assert_eq!(r.body_text(), "a=1&b=2");
+
+        let r = client.send(&Request::get("/missing")).unwrap();
+        assert_eq!(r.status, Status::NOT_FOUND);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let router = Router::new().route("/work", |r: &Request| {
+            // Tiny compute to overlap threads.
+            let n: u64 = r.query.parse().unwrap_or(0);
+            Response::ok("text/plain", format!("{}", n * 2))
+        });
+        let server = HttpServer::bind("127.0.0.1:0", router).unwrap();
+        let addr = server.addr();
+
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = HttpClient::new(addr);
+                    let r = client.send(&Request::get(&format!("/work?{i}"))).unwrap();
+                    assert_eq!(r.body_text(), format!("{}", i * 2));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,116 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+
+use crate::node::Node;
+use fp_geometry::HyperRect;
+
+/// Packs `entries` into a tree using STR and returns the root
+/// (`None` for an empty input).
+pub(crate) fn str_pack<T>(entries: Vec<(HyperRect, T)>, max: usize) -> Option<Node<T>> {
+    if entries.is_empty() {
+        return None;
+    }
+    let dims = entries[0].0.dims();
+
+    // Level 0: tile data entries into leaves.
+    let chunks = tile(entries, dims, 0, max, |(r, _)| r);
+    let mut level: Vec<Node<T>> = chunks.into_iter().map(Node::leaf_over).collect();
+
+    // Upper levels: tile nodes into parents until a single root remains.
+    while level.len() > 1 {
+        let chunks = tile(level, dims, 0, max, Node::mbr);
+        level = chunks.into_iter().map(Node::inner_over).collect();
+    }
+    level.pop()
+}
+
+/// Recursively tiles `items` into groups of at most `cap`, sorting by the
+/// MBR center of dimension `dim` and slicing into vertical slabs, then
+/// recursing on the next dimension within each slab.
+fn tile<E, F>(mut items: Vec<E>, dims: usize, dim: usize, cap: usize, mbr_of: F) -> Vec<Vec<E>>
+where
+    F: Fn(&E) -> &HyperRect + Copy,
+{
+    if items.len() <= cap {
+        return vec![items];
+    }
+    let center = |e: &E| {
+        let r = mbr_of(e);
+        0.5 * (r.lo()[dim] + r.hi()[dim])
+    };
+    items.sort_by(|a, b| center(a).total_cmp(&center(b)));
+
+    if dim + 1 == dims {
+        // Last dimension: final slicing into capacity-sized runs.
+        return chunk(items, cap);
+    }
+
+    // Number of leaf-level pages this subset needs, and the slab count for
+    // the remaining dimensions: S = ceil(P^(1/(dims - dim))).
+    let pages = items.len().div_ceil(cap);
+    let exp = 1.0 / (dims - dim) as f64;
+    let slabs = (pages as f64).powf(exp).ceil() as usize;
+    let slab_size = items.len().div_ceil(slabs.max(1));
+
+    let mut out = Vec::new();
+    for slab in chunk(items, slab_size.max(1)) {
+        out.extend(tile(slab, dims, dim + 1, cap, mbr_of));
+    }
+    out
+}
+
+/// Splits a vector into consecutive chunks of `size` (last may be smaller).
+fn chunk<E>(items: Vec<E>, size: usize) -> Vec<Vec<E>> {
+    debug_assert!(size > 0);
+    let mut out = Vec::with_capacity(items.len().div_ceil(size));
+    let mut cur = Vec::with_capacity(size);
+    for item in items {
+        cur.push(item);
+        if cur.len() == size {
+            out.push(std::mem::replace(&mut cur, Vec::with_capacity(size)));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_exact() {
+        let v: Vec<u32> = (0..10).collect();
+        let c = chunk(v, 3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], vec![0, 1, 2]);
+        assert_eq!(c[3], vec![9]);
+    }
+
+    #[test]
+    fn str_pack_handles_empty_and_single() {
+        assert!(str_pack::<u32>(vec![], 8).is_none());
+        let r = HyperRect::new(vec![0.0], vec![1.0]).unwrap();
+        let root = str_pack(vec![(r.clone(), 1u32)], 8).unwrap();
+        assert_eq!(root.fanout(), 1);
+    }
+
+    #[test]
+    fn str_pack_fills_leaves_well() {
+        let entries: Vec<(HyperRect, usize)> = (0..256)
+            .map(|i| {
+                let x = (i % 16) as f64;
+                let y = (i / 16) as f64;
+                (
+                    HyperRect::new(vec![x, y], vec![x + 0.5, y + 0.5]).unwrap(),
+                    i,
+                )
+            })
+            .collect();
+        let root = str_pack(entries, 8).unwrap();
+        let mut all = Vec::new();
+        root.collect_all(&mut all);
+        assert_eq!(all.len(), 256);
+    }
+}

@@ -1,0 +1,383 @@
+//! An in-memory R-tree over d-dimensional rectangles.
+//!
+//! The function proxy maintains a **cache description**: the set of regions
+//! of all currently cached queries. The paper evaluates two implementations
+//! — a flat array scanned linearly ("ACNR") and an R-tree ("ACR") — and
+//! finds that at realistic description sizes the R-tree does *not* help
+//! (Figure 5 discussion). To reproduce that comparison honestly this crate
+//! provides a real R-tree (Guttman's original design with quadratic node
+//! splits, plus STR bulk loading), not a toy.
+//!
+//! The tree maps [`HyperRect`] keys to arbitrary payloads `T`; the proxy
+//! stores cache-entry ids and uses bounding boxes of query regions as keys.
+//!
+//! ```
+//! use fp_rtree::RTree;
+//! use fp_geometry::HyperRect;
+//!
+//! let mut t: RTree<u32> = RTree::new(2);
+//! let r = |lo: [f64; 2], hi: [f64; 2]| HyperRect::new(lo.to_vec(), hi.to_vec()).unwrap();
+//! t.insert(r([0.0, 0.0], [1.0, 1.0]), 1);
+//! t.insert(r([5.0, 5.0], [6.0, 6.0]), 2);
+//! let hits = t.search_intersecting(&r([0.5, 0.5], [0.7, 0.7]));
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(*hits[0].1, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod node;
+mod split;
+mod stats;
+
+pub use stats::TreeStats;
+
+use fp_geometry::HyperRect;
+use node::Node;
+
+/// Default maximum number of entries per node.
+pub const DEFAULT_MAX_ENTRIES: usize = 8;
+
+/// An R-tree mapping rectangles to payloads.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    dims: usize,
+    max_entries: usize,
+    min_entries: usize,
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree for `dims`-dimensional keys with the default
+    /// node capacity.
+    ///
+    /// # Panics
+    /// Panics when `dims` is zero.
+    pub fn new(dims: usize) -> Self {
+        Self::with_capacity_params(dims, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty tree with an explicit maximum node fan-out
+    /// (minimum fill is `max / 2`, at least 2).
+    ///
+    /// # Panics
+    /// Panics when `dims` is zero or `max_entries < 4`.
+    pub fn with_capacity_params(dims: usize, max_entries: usize) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        RTree {
+            dims,
+            max_entries,
+            min_entries: (max_entries / 2).max(2),
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Dimensionality of the keys.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    /// Inserts a rectangle/payload pair. Duplicate rectangles are allowed.
+    ///
+    /// # Panics
+    /// Panics when the rectangle's dimensionality differs from the tree's.
+    pub fn insert(&mut self, rect: HyperRect, value: T) {
+        assert_eq!(rect.dims(), self.dims, "key dimensionality mismatch");
+        let max = self.max_entries;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::leaf_with(rect, value));
+            }
+            Some(mut root) => {
+                if let Some(sibling) = root.insert(rect, value, max) {
+                    // Root split: grow the tree by one level.
+                    self.root = Some(Node::parent_of(root, sibling));
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes the first entry whose rectangle equals `rect` (within
+    /// tolerance) and whose payload satisfies `pred`. Returns the payload
+    /// when an entry was removed.
+    pub fn remove_one<F: FnMut(&T) -> bool>(&mut self, rect: &HyperRect, mut pred: F) -> Option<T> {
+        assert_eq!(rect.dims(), self.dims, "key dimensionality mismatch");
+        let mut root = self.root.take()?;
+        let mut orphans = Vec::new();
+        let removed = root.remove_one(rect, &mut pred, self.min_entries, &mut orphans);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the root: an inner root with a single child is replaced by
+        // that child; an empty root is dropped.
+        self.root = root.into_shrunk_root();
+        // Reinsert entries from condensed (underflowing) nodes.
+        for (r, v) in orphans {
+            self.len -= 1; // insert() will count it again
+            self.insert(r, v);
+        }
+        removed
+    }
+
+    /// All entries whose rectangle intersects `window`, as
+    /// `(rect, payload)` pairs.
+    pub fn search_intersecting(&self, window: &HyperRect) -> Vec<(&HyperRect, &T)> {
+        assert_eq!(window.dims(), self.dims, "window dimensionality mismatch");
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            root.search_intersecting(window, &mut out);
+        }
+        out
+    }
+
+    /// Visits every entry whose rectangle intersects `window`; the visitor
+    /// returns `false` to stop early. Returns `true` when the walk ran to
+    /// completion.
+    pub fn visit_intersecting<F: FnMut(&HyperRect, &T) -> bool>(
+        &self,
+        window: &HyperRect,
+        mut visit: F,
+    ) -> bool {
+        assert_eq!(window.dims(), self.dims, "window dimensionality mismatch");
+        match &self.root {
+            Some(root) => root.visit_intersecting(window, &mut visit),
+            None => true,
+        }
+    }
+
+    /// All entries whose rectangle contains the point `coords`.
+    pub fn search_point(&self, coords: &[f64]) -> Vec<(&HyperRect, &T)> {
+        assert_eq!(coords.len(), self.dims, "point dimensionality mismatch");
+        let window = HyperRect::new(coords.to_vec(), coords.to_vec()).expect("degenerate box");
+        let mut out = self.search_intersecting(&window);
+        out.retain(|(r, _)| r.contains_coords(coords));
+        out
+    }
+
+    /// Iterates all `(rect, payload)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HyperRect, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = &self.root {
+            root.collect_all(&mut out);
+        }
+        out.into_iter()
+    }
+
+    /// Structural statistics (height, node count, fill).
+    pub fn stats(&self) -> TreeStats {
+        stats::compute(self)
+    }
+
+    pub(crate) fn root(&self) -> Option<&Node<T>> {
+        self.root.as_ref()
+    }
+
+    pub(crate) fn max_entries_internal(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Bulk-loads the tree from entries using Sort-Tile-Recursive packing.
+    /// Any existing contents are replaced.
+    ///
+    /// # Panics
+    /// Panics when any rectangle's dimensionality differs from the tree's.
+    pub fn bulk_load(&mut self, entries: Vec<(HyperRect, T)>) {
+        for (r, _) in &entries {
+            assert_eq!(r.dims(), self.dims, "key dimensionality mismatch");
+        }
+        self.len = entries.len();
+        self.root = bulk::str_pack(entries, self.max_entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: RTree<u32> = RTree::new(2);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.search_intersecting(&r([0.0, 0.0], [1.0, 1.0])).is_empty());
+        assert_eq!(t.stats().height, 0);
+    }
+
+    #[test]
+    fn insert_and_search_small() {
+        let mut t = RTree::new(2);
+        t.insert(r([0.0, 0.0], [1.0, 1.0]), "a");
+        t.insert(r([2.0, 2.0], [3.0, 3.0]), "b");
+        t.insert(r([0.5, 0.5], [2.5, 2.5]), "c");
+        assert_eq!(t.len(), 3);
+
+        let hits = t.search_intersecting(&r([0.9, 0.9], [1.1, 1.1]));
+        let mut names: Vec<&str> = hits.iter().map(|(_, v)| **v).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn grows_beyond_one_node_and_stays_correct() {
+        let mut t = RTree::new(2);
+        let n = 500;
+        for i in 0..n {
+            let x = (i % 25) as f64;
+            let y = (i / 25) as f64;
+            t.insert(r([x, y], [x + 0.5, y + 0.5]), i);
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.stats().height >= 2, "tree should have split");
+
+        // Every inserted entry must be findable by its own rectangle.
+        for i in 0..n {
+            let x = (i % 25) as f64;
+            let y = (i / 25) as f64;
+            let hits = t.search_intersecting(&r([x + 0.1, y + 0.1], [x + 0.2, y + 0.2]));
+            assert!(hits.iter().any(|(_, v)| **v == i), "entry {i} not found");
+        }
+    }
+
+    #[test]
+    fn remove_one_removes_exactly_one() {
+        let mut t = RTree::new(2);
+        for i in 0..100u32 {
+            let x = f64::from(i);
+            t.insert(r([x, 0.0], [x + 1.0, 1.0]), i);
+        }
+        assert_eq!(
+            t.remove_one(&r([10.0, 0.0], [11.0, 1.0]), |v| *v == 10),
+            Some(10)
+        );
+        assert_eq!(t.len(), 99);
+        // A second removal of the same key finds nothing.
+        assert_eq!(
+            t.remove_one(&r([10.0, 0.0], [11.0, 1.0]), |v| *v == 10),
+            None
+        );
+        // All other entries survive.
+        for i in (0..100u32).filter(|i| *i != 10) {
+            let x = f64::from(i);
+            let hits = t.search_point(&[x + 0.5, 0.5]);
+            assert!(hits.iter().any(|(_, v)| **v == i), "entry {i} lost");
+        }
+    }
+
+    #[test]
+    fn remove_down_to_empty_and_reuse() {
+        let mut t = RTree::new(1);
+        let key = |i: u32| HyperRect::new(vec![f64::from(i)], vec![f64::from(i) + 0.5]).unwrap();
+        for i in 0..64u32 {
+            t.insert(key(i), i);
+        }
+        for i in 0..64u32 {
+            assert_eq!(t.remove_one(&key(i), |v| *v == i), Some(i), "removing {i}");
+        }
+        assert!(t.is_empty());
+        t.insert(key(3), 3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search_point(&[3.25]).len(), 1);
+    }
+
+    #[test]
+    fn visit_can_stop_early() {
+        let mut t = RTree::new(2);
+        for i in 0..50 {
+            t.insert(r([0.0, 0.0], [10.0, 10.0]), i);
+        }
+        let mut seen = 0;
+        let completed = t.visit_intersecting(&r([1.0, 1.0], [2.0, 2.0]), |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(!completed);
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let mut t = RTree::new(2);
+        for i in 0..37u32 {
+            let x = f64::from(i);
+            t.insert(r([x, x], [x + 1.0, x + 1.0]), i);
+        }
+        let mut all: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_search() {
+        let entries: Vec<(HyperRect, u32)> = (0..300u32)
+            .map(|i| {
+                let x = f64::from(i % 20);
+                let y = f64::from(i / 20);
+                (r([x, y], [x + 0.9, y + 0.9]), i)
+            })
+            .collect();
+
+        let mut bulk = RTree::new(2);
+        bulk.bulk_load(entries.clone());
+        let mut incr = RTree::new(2);
+        for (k, v) in entries {
+            incr.insert(k, v);
+        }
+
+        assert_eq!(bulk.len(), incr.len());
+        for window in [
+            r([0.0, 0.0], [5.0, 5.0]),
+            r([10.0, 10.0], [15.0, 14.0]),
+            r([-5.0, -5.0], [-1.0, -1.0]),
+            r([0.0, 0.0], [25.0, 25.0]),
+        ] {
+            let mut a: Vec<u32> = bulk
+                .search_intersecting(&window)
+                .iter()
+                .map(|(_, v)| **v)
+                .collect();
+            let mut b: Vec<u32> = incr
+                .search_intersecting(&window)
+                .iter()
+                .map(|(_, v)| **v)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {window}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut t: RTree<u32> = RTree::new(2);
+        t.insert(HyperRect::new(vec![0.0], vec![1.0]).unwrap(), 1);
+    }
+}

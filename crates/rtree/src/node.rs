@@ -1,0 +1,356 @@
+//! The recursive node structure and the insert/delete/search algorithms.
+
+use crate::split::{min_for, quadratic_split};
+use fp_geometry::HyperRect;
+
+/// An R-tree node. Every node caches the minimum bounding rectangle (MBR)
+/// of its contents.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    /// A leaf holding data entries.
+    Leaf {
+        /// MBR of all entries.
+        mbr: HyperRect,
+        /// The `(key, payload)` entries.
+        entries: Vec<(HyperRect, T)>,
+    },
+    /// An internal node holding child nodes.
+    Inner {
+        /// MBR of all children.
+        mbr: HyperRect,
+        /// Child subtrees.
+        children: Vec<Node<T>>,
+    },
+}
+
+impl<T> Node<T> {
+    /// A new single-entry leaf.
+    pub(crate) fn leaf_with(rect: HyperRect, value: T) -> Self {
+        Node::Leaf {
+            mbr: rect.clone(),
+            entries: vec![(rect, value)],
+        }
+    }
+
+    /// A new inner node over exactly two children (used for root growth).
+    pub(crate) fn parent_of(a: Node<T>, b: Node<T>) -> Self {
+        let mbr = a
+            .mbr()
+            .union(b.mbr())
+            .expect("children share dimensionality");
+        Node::Inner {
+            mbr,
+            children: vec![a, b],
+        }
+    }
+
+    /// The node's cached MBR.
+    pub(crate) fn mbr(&self) -> &HyperRect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+
+    /// Number of entries (leaf) or children (inner) directly in this node.
+    pub(crate) fn fanout(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Inner { children, .. } => children.len(),
+        }
+    }
+
+    /// Recomputes the cached MBR from direct contents.
+    /// Must not be called on an empty node.
+    fn refresh_mbr(&mut self) {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                let mut it = entries.iter();
+                let first = it.next().expect("refresh_mbr on empty leaf").0.clone();
+                *mbr = it.fold(first, |acc, (r, _)| {
+                    acc.union(r).expect("entries share dimensionality")
+                });
+            }
+            Node::Inner { mbr, children } => {
+                let mut it = children.iter();
+                let first = it.next().expect("refresh_mbr on empty inner").mbr().clone();
+                *mbr = it.fold(first, |acc, c| {
+                    acc.union(c.mbr()).expect("children share dimensionality")
+                });
+            }
+        }
+    }
+
+    /// Inserts into the subtree. Returns a split-off sibling when this node
+    /// overflowed, in which case the caller must attach the sibling.
+    pub(crate) fn insert(&mut self, rect: HyperRect, value: T, max: usize) -> Option<Node<T>> {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                *mbr = mbr.union(&rect).expect("key dims checked at API boundary");
+                entries.push((rect, value));
+                if entries.len() <= max {
+                    return None;
+                }
+                let (keep, give) = quadratic_split(std::mem::take(entries), |e| &e.0, min_for(max));
+                *entries = keep;
+                self.refresh_mbr();
+                let mut sibling = Node::Leaf {
+                    mbr: give[0].0.clone(),
+                    entries: give,
+                };
+                sibling.refresh_mbr();
+                Some(sibling)
+            }
+            Node::Inner { mbr, children } => {
+                *mbr = mbr.union(&rect).expect("key dims checked at API boundary");
+                let idx = choose_subtree(children, &rect);
+                if let Some(new_child) = children[idx].insert(rect, value, max) {
+                    children.push(new_child);
+                    if children.len() > max {
+                        let (keep, give) =
+                            quadratic_split(std::mem::take(children), Node::mbr, min_for(max));
+                        *children = keep;
+                        self.refresh_mbr();
+                        let mut sibling = Node::Inner {
+                            mbr: give[0].mbr().clone(),
+                            children: give,
+                        };
+                        sibling.refresh_mbr();
+                        return Some(sibling);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Removes the first matching entry from the subtree; underflowing
+    /// descendants are dissolved and their data entries pushed to `orphans`
+    /// for reinsertion by the tree.
+    ///
+    /// Returns the removed payload, or `None` when no entry matched.
+    pub(crate) fn remove_one<F: FnMut(&T) -> bool>(
+        &mut self,
+        rect: &HyperRect,
+        pred: &mut F,
+        min: usize,
+        orphans: &mut Vec<(HyperRect, T)>,
+    ) -> Option<T> {
+        match self {
+            Node::Leaf { entries, .. } => {
+                let pos = entries
+                    .iter()
+                    .position(|(r, v)| r.approx_eq(rect) && pred(v))?;
+                let (_, value) = entries.swap_remove(pos);
+                if !entries.is_empty() {
+                    self.refresh_mbr();
+                }
+                Some(value)
+            }
+            Node::Inner { children, .. } => {
+                let mut removed = None;
+                for i in 0..children.len() {
+                    if !children[i].mbr().contains_rect(rect) {
+                        continue;
+                    }
+                    if let Some(v) = children[i].remove_one(rect, pred, min, orphans) {
+                        removed = Some(v);
+                        // Condense: dissolve an underflowing or empty child.
+                        if children[i].fanout() < min {
+                            let child = children.swap_remove(i);
+                            child.collect_all_owned(orphans);
+                        }
+                        break;
+                    }
+                }
+                if removed.is_some() && !children.is_empty() {
+                    self.refresh_mbr();
+                }
+                removed
+            }
+        }
+    }
+
+    /// Turns a possibly-degenerate root into a well-formed one:
+    /// empty → `None`, single-child inner chains collapse.
+    pub(crate) fn into_shrunk_root(self) -> Option<Node<T>> {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Leaf { ref entries, .. } => {
+                    return if entries.is_empty() { None } else { Some(node) };
+                }
+                Node::Inner { mut children, .. } => match children.len() {
+                    0 => return None,
+                    1 => node = children.pop().expect("len checked"),
+                    _ => {
+                        return Some(Node::Inner {
+                            mbr: {
+                                let mut it = children.iter();
+                                let first = it.next().expect("non-empty").mbr().clone();
+                                it.fold(first, |acc, c| acc.union(c.mbr()).expect("same dims"))
+                            },
+                            children,
+                        })
+                    }
+                },
+            }
+        }
+    }
+
+    /// Collects entries intersecting `window` into `out`.
+    pub(crate) fn search_intersecting<'a>(
+        &'a self,
+        window: &HyperRect,
+        out: &mut Vec<(&'a HyperRect, &'a T)>,
+    ) {
+        match self {
+            Node::Leaf { entries, .. } => {
+                for (r, v) in entries {
+                    if r.intersects_rect(window) {
+                        out.push((r, v));
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    if c.mbr().intersects_rect(window) {
+                        c.search_intersecting(window, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits entries intersecting `window`; `false` from the visitor stops
+    /// the walk. Returns whether the walk completed.
+    pub(crate) fn visit_intersecting<F: FnMut(&HyperRect, &T) -> bool>(
+        &self,
+        window: &HyperRect,
+        visit: &mut F,
+    ) -> bool {
+        match self {
+            Node::Leaf { entries, .. } => {
+                for (r, v) in entries {
+                    if r.intersects_rect(window) && !visit(r, v) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    if c.mbr().intersects_rect(window) && !c.visit_intersecting(window, visit) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Collects references to every entry in the subtree.
+    pub(crate) fn collect_all<'a>(&'a self, out: &mut Vec<(&'a HyperRect, &'a T)>) {
+        match self {
+            Node::Leaf { entries, .. } => out.extend(entries.iter().map(|(r, v)| (r, v))),
+            Node::Inner { children, .. } => {
+                for c in children {
+                    c.collect_all(out);
+                }
+            }
+        }
+    }
+
+    /// Consumes the subtree, moving every data entry into `out`.
+    pub(crate) fn collect_all_owned(self, out: &mut Vec<(HyperRect, T)>) {
+        match self {
+            Node::Leaf { entries, .. } => out.extend(entries),
+            Node::Inner { children, .. } => {
+                for c in children {
+                    c.collect_all_owned(out);
+                }
+            }
+        }
+    }
+
+    /// Builds an inner node over pre-built children (bulk loading).
+    pub(crate) fn inner_over(children: Vec<Node<T>>) -> Self {
+        debug_assert!(!children.is_empty());
+        let mut it = children.iter();
+        let first = it.next().expect("non-empty").mbr().clone();
+        let mbr = it.fold(first, |acc, c| acc.union(c.mbr()).expect("same dims"));
+        Node::Inner { mbr, children }
+    }
+
+    /// Builds a leaf over entries (bulk loading).
+    pub(crate) fn leaf_over(entries: Vec<(HyperRect, T)>) -> Self {
+        debug_assert!(!entries.is_empty());
+        let mut it = entries.iter();
+        let first = it.next().expect("non-empty").0.clone();
+        let mbr = it.fold(first, |acc, (r, _)| acc.union(r).expect("same dims"));
+        Node::Leaf { mbr, entries }
+    }
+}
+
+/// Guttman's ChooseLeaf criterion: least MBR enlargement, ties broken by
+/// smallest volume, then by lowest fan-out.
+fn choose_subtree<T>(children: &[Node<T>], rect: &HyperRect) -> usize {
+    let mut best = 0;
+    let mut best_enl = f64::INFINITY;
+    let mut best_vol = f64::INFINITY;
+    for (i, c) in children.iter().enumerate() {
+        let enl = c.mbr().enlargement(rect);
+        let vol = c.mbr().volume();
+        let better = enl < best_enl
+            || (enl == best_enl && vol < best_vol)
+            || (enl == best_enl && vol == best_vol && c.fanout() < children[best].fanout());
+        if better {
+            best = i;
+            best_enl = enl;
+            best_vol = vol;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r1(lo: f64, hi: f64) -> HyperRect {
+        HyperRect::new(vec![lo], vec![hi]).unwrap()
+    }
+
+    #[test]
+    fn choose_subtree_prefers_zero_enlargement() {
+        let a = Node::leaf_with(r1(0.0, 10.0), 0u8);
+        let b = Node::leaf_with(r1(20.0, 21.0), 1u8);
+        let children = vec![a, b];
+        // fits inside a: zero enlargement
+        assert_eq!(choose_subtree(&children, &r1(2.0, 3.0)), 0);
+        // next to b: tiny enlargement of b vs large of a
+        assert_eq!(choose_subtree(&children, &r1(21.0, 22.0)), 1);
+    }
+
+    #[test]
+    fn shrunk_root_collapses_chains() {
+        let leaf = Node::leaf_with(r1(0.0, 1.0), 7u8);
+        let chain = Node::Inner {
+            mbr: r1(0.0, 1.0),
+            children: vec![Node::Inner {
+                mbr: r1(0.0, 1.0),
+                children: vec![leaf],
+            }],
+        };
+        let shrunk = chain.into_shrunk_root().expect("non-empty");
+        assert!(matches!(shrunk, Node::Leaf { .. }));
+    }
+
+    #[test]
+    fn shrunk_root_drops_empty() {
+        let empty: Node<u8> = Node::Leaf {
+            mbr: r1(0.0, 1.0),
+            entries: vec![],
+        };
+        assert!(empty.into_shrunk_root().is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! Guttman's quadratic node-split algorithm.
+
+use fp_geometry::HyperRect;
+
+/// Minimum fill for a node of capacity `max` (Guttman's m = M/2).
+pub(crate) fn min_for(max: usize) -> usize {
+    (max / 2).max(2)
+}
+
+/// Splits an overflowing item list into two groups of at least `min` items
+/// each, minimizing total dead space, using the quadratic PickSeeds /
+/// PickNext heuristics.
+///
+/// `mbr_of` projects an item to its bounding rectangle. The first returned
+/// group stays in the original node; the second becomes the new sibling.
+pub(crate) fn quadratic_split<E, F>(items: Vec<E>, mbr_of: F, min: usize) -> (Vec<E>, Vec<E>)
+where
+    F: Fn(&E) -> &HyperRect,
+{
+    debug_assert!(items.len() >= 2 * min, "split needs enough items");
+
+    // PickSeeds: the pair wasting the most area if grouped together.
+    let (seed_a, seed_b) = pick_seeds(&items, &mbr_of);
+
+    let mut remaining: Vec<E> = items.into_iter().collect();
+    // Remove the higher index first so the lower stays valid.
+    let (hi, lo) = if seed_a > seed_b {
+        (seed_a, seed_b)
+    } else {
+        (seed_b, seed_a)
+    };
+    let item_hi = remaining.swap_remove(hi);
+    let item_lo = remaining.swap_remove(lo);
+
+    let mut group_a = vec![item_lo];
+    let mut group_b = vec![item_hi];
+    let mut mbr_a = mbr_of(&group_a[0]).clone();
+    let mut mbr_b = mbr_of(&group_b[0]).clone();
+
+    while let Some(next) = pick_next(&remaining, &mbr_a, &mbr_b, &mbr_of) {
+        let item = remaining.swap_remove(next);
+
+        // Force-assign when one group must absorb all leftovers to reach
+        // the minimum fill (counting the item just popped).
+        let left = remaining.len() + 1;
+        if group_a.len() + left <= min {
+            mbr_a = mbr_a.union(mbr_of(&item)).expect("same dims");
+            group_a.push(item);
+            continue;
+        }
+        if group_b.len() + left <= min {
+            mbr_b = mbr_b.union(mbr_of(&item)).expect("same dims");
+            group_b.push(item);
+            continue;
+        }
+
+        // Otherwise: least enlargement, ties by area, then by count.
+        let enl_a = mbr_a.enlargement(mbr_of(&item));
+        let enl_b = mbr_b.enlargement(mbr_of(&item));
+        let to_a = enl_a < enl_b
+            || (enl_a == enl_b && mbr_a.volume() < mbr_b.volume())
+            || (enl_a == enl_b
+                && mbr_a.volume() == mbr_b.volume()
+                && group_a.len() <= group_b.len());
+        if to_a {
+            mbr_a = mbr_a.union(mbr_of(&item)).expect("same dims");
+            group_a.push(item);
+        } else {
+            mbr_b = mbr_b.union(mbr_of(&item)).expect("same dims");
+            group_b.push(item);
+        }
+    }
+
+    (group_a, group_b)
+}
+
+/// PickSeeds: indices of the two items with maximal dead space
+/// `vol(union) - vol(a) - vol(b)`.
+fn pick_seeds<E, F: Fn(&E) -> &HyperRect>(items: &[E], mbr_of: &F) -> (usize, usize) {
+    let mut best = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let (a, b) = (mbr_of(&items[i]), mbr_of(&items[j]));
+            let waste = a.union(b).expect("same dims").volume() - a.volume() - b.volume();
+            if waste > worst_waste {
+                worst_waste = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// PickNext: the remaining item with the largest preference for one group
+/// (max |enlargement_a − enlargement_b|). Returns `None` when empty.
+fn pick_next<E, F: Fn(&E) -> &HyperRect>(
+    remaining: &[E],
+    mbr_a: &HyperRect,
+    mbr_b: &HyperRect,
+    mbr_of: &F,
+) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (i, item) in remaining.iter().enumerate() {
+        let r = mbr_of(item);
+        let diff = (mbr_a.enlargement(r) - mbr_b.enlargement(r)).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> HyperRect {
+        HyperRect::new(lo.to_vec(), hi.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clearly separated clusters of 5 rects each must be split
+        // cluster-by-cluster.
+        let mut items = Vec::new();
+        for i in 0..5 {
+            let x = i as f64 * 0.1;
+            items.push((r([x, 0.0], [x + 0.05, 0.05]), i));
+        }
+        for i in 0..5 {
+            let x = 100.0 + i as f64 * 0.1;
+            items.push((r([x, 100.0], [x + 0.05, 100.05]), 5 + i));
+        }
+        let (a, b) = quadratic_split(items, |e| &e.0, 2);
+        assert_eq!(a.len() + b.len(), 10);
+        let a_low = a.iter().all(|(_, v)| *v < 5) || a.iter().all(|(_, v)| *v >= 5);
+        let b_low = b.iter().all(|(_, v)| *v < 5) || b.iter().all(|(_, v)| *v >= 5);
+        assert!(a_low && b_low, "clusters were mixed: {a:?} {b:?}");
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        // Nine rects in a line; min fill 4 forces 4/5 or 5/4.
+        let items: Vec<(HyperRect, usize)> = (0..9)
+            .map(|i| {
+                let x = i as f64;
+                (r([x, 0.0], [x + 0.5, 1.0]), i)
+            })
+            .collect();
+        let (a, b) = quadratic_split(items, |e| &e.0, 4);
+        assert!(a.len() >= 4, "group a too small: {}", a.len());
+        assert!(b.len() >= 4, "group b too small: {}", b.len());
+        assert_eq!(a.len() + b.len(), 9);
+    }
+
+    #[test]
+    fn pick_seeds_finds_extremes() {
+        let items = vec![
+            r([0.0, 0.0], [1.0, 1.0]),
+            r([0.5, 0.5], [1.5, 1.5]),
+            r([50.0, 50.0], [51.0, 51.0]),
+        ];
+        let (i, j) = pick_seeds(&items, &|e: &HyperRect| e);
+        let pair = [i.min(j), i.max(j)];
+        // The far rect must be one seed; the other is one of the near pair.
+        assert_eq!(pair[1], 2);
+    }
+}

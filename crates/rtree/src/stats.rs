@@ -1,0 +1,81 @@
+//! Structural statistics of a tree, used by tests, ablation benches, and
+//! the experiment harness to report cache-description maintenance costs.
+
+use crate::node::Node;
+use crate::RTree;
+
+/// Shape summary of an [`RTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    /// Levels in the tree; 0 for an empty tree, 1 for a single leaf root.
+    pub height: usize,
+    /// Total node count (inner + leaf).
+    pub nodes: usize,
+    /// Leaf node count.
+    pub leaves: usize,
+    /// Data entry count.
+    pub entries: usize,
+    /// Mean leaf fill ratio relative to the configured maximum fan-out.
+    pub avg_leaf_fill: f64,
+}
+
+pub(crate) fn compute<T>(tree: &RTree<T>) -> TreeStats {
+    let mut stats = TreeStats {
+        height: 0,
+        nodes: 0,
+        leaves: 0,
+        entries: 0,
+        avg_leaf_fill: 0.0,
+    };
+    let Some(root) = tree.root() else {
+        return stats;
+    };
+    let mut leaf_fill_sum = 0usize;
+    walk(root, 1, &mut stats, &mut leaf_fill_sum);
+    if stats.leaves > 0 {
+        stats.avg_leaf_fill =
+            leaf_fill_sum as f64 / (stats.leaves * tree.max_entries_internal()) as f64;
+    }
+    stats
+}
+
+fn walk<T>(node: &Node<T>, depth: usize, stats: &mut TreeStats, leaf_fill_sum: &mut usize) {
+    stats.nodes += 1;
+    stats.height = stats.height.max(depth);
+    match node {
+        Node::Leaf { entries, .. } => {
+            stats.leaves += 1;
+            stats.entries += entries.len();
+            *leaf_fill_sum += entries.len();
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                walk(c, depth + 1, stats, leaf_fill_sum);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geometry::HyperRect;
+
+    #[test]
+    fn stats_of_populated_tree() {
+        let mut t = RTree::new(2);
+        for i in 0..200u32 {
+            let x = f64::from(i % 20);
+            let y = f64::from(i / 20);
+            t.insert(
+                HyperRect::new(vec![x, y], vec![x + 0.5, y + 0.5]).unwrap(),
+                i,
+            );
+        }
+        let s = t.stats();
+        assert_eq!(s.entries, 200);
+        assert!(s.height >= 2);
+        assert!(s.leaves >= 200 / crate::DEFAULT_MAX_ENTRIES);
+        assert!(s.avg_leaf_fill > 0.2 && s.avg_leaf_fill <= 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-based property tests: the R-tree must agree with a naive
+//! linear-scan implementation under arbitrary interleavings of inserts,
+//! removals, and window searches.
+
+use fp_geometry::HyperRect;
+use fp_rtree::RTree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lo: [f64; 2], ext: [f64; 2] },
+    RemoveNth(usize),
+    Search { lo: [f64; 2], ext: [f64; 2] },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let coord = -50.0f64..50.0;
+    let extent = 0.1f64..20.0;
+    prop_oneof![
+        4 => ([coord.clone(), coord.clone()], [extent.clone(), extent.clone()])
+            .prop_map(|(lo, ext)| Op::Insert { lo, ext }),
+        2 => (0usize..64).prop_map(Op::RemoveNth),
+        3 => ([coord.clone(), coord.clone()], [extent.clone(), extent.clone()])
+            .prop_map(|(lo, ext)| Op::Search { lo, ext }),
+    ]
+}
+
+fn rect(lo: [f64; 2], ext: [f64; 2]) -> HyperRect {
+    HyperRect::new(lo.to_vec(), vec![lo[0] + ext[0], lo[1] + ext[1]]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agrees_with_linear_scan(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut tree: RTree<u64> = RTree::with_capacity_params(2, 4);
+        let mut model: Vec<(HyperRect, u64)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { lo, ext } => {
+                    let r = rect(lo, ext);
+                    tree.insert(r.clone(), next_id);
+                    model.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::RemoveNth(n) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let idx = n % model.len();
+                    let (r, id) = model.swap_remove(idx);
+                    let removed = tree.remove_one(&r, |v| *v == id);
+                    prop_assert_eq!(removed, Some(id));
+                }
+                Op::Search { lo, ext } => {
+                    let w = rect(lo, ext);
+                    let mut got: Vec<u64> =
+                        tree.search_intersecting(&w).iter().map(|(_, v)| **v).collect();
+                    let mut want: Vec<u64> = model
+                        .iter()
+                        .filter(|(r, _)| r.intersects_rect(&w))
+                        .map(|(_, v)| *v)
+                        .collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+
+        // Final full-content agreement.
+        let mut got: Vec<u64> = tree.iter().map(|(_, v)| *v).collect();
+        let mut want: Vec<u64> = model.iter().map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_load_agrees_with_linear_scan(
+        entries in prop::collection::vec(
+            ([-50.0f64..50.0, -50.0f64..50.0], [0.1f64..20.0, 0.1f64..20.0]),
+            0..150
+        ),
+        window in ([-60.0f64..60.0, -60.0f64..60.0], [1.0f64..40.0, 1.0f64..40.0]),
+    ) {
+        let items: Vec<(HyperRect, u64)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, ext))| (rect(*lo, *ext), i as u64))
+            .collect();
+        let mut tree: RTree<u64> = RTree::with_capacity_params(2, 6);
+        tree.bulk_load(items.clone());
+        prop_assert_eq!(tree.len(), items.len());
+
+        let w = rect(window.0, window.1);
+        let mut got: Vec<u64> = tree.search_intersecting(&w).iter().map(|(_, v)| **v).collect();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|(r, _)| r.intersects_rect(&w))
+            .map(|(_, v)| *v)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

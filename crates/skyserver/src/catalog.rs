@@ -1,0 +1,287 @@
+//! The columnar `PhotoPrimary` catalog with id and spatial indexes.
+
+use crate::generate::{generate_objects, CatalogSpec};
+use fp_geometry::celestial::radec_to_unit;
+use fp_geometry::HyperRect;
+use fp_rtree::RTree;
+use fp_sqlmini::Value;
+use std::collections::HashMap;
+
+/// Column names of the `PhotoPrimary` table, in storage order.
+///
+/// A small but representative subset of the real SkyServer schema: identity,
+/// position in both equatorial (`ra`, `dec`) and Cartesian (`cx`, `cy`,
+/// `cz`) form — the latter being the *result attribute availability* the
+/// paper's property (4) requires — the five SDSS magnitudes, and two
+/// catalog attributes used by `other_predicates`.
+pub const PHOTO_PRIMARY_COLUMNS: [&str; 12] = [
+    "objID", "ra", "dec", "cx", "cy", "cz", "u", "g", "r", "i", "z", "type",
+];
+
+/// Column names of the `SpecObj` table (spectroscopic follow-up of a
+/// subset of `PhotoPrimary`), in storage order. `z` here is redshift —
+/// the qualifier disambiguates it from the photometric `z` band, just as
+/// on the real SkyServer.
+pub const SPEC_OBJ_COLUMNS: [&str; 4] = ["specObjID", "objID", "z", "class"];
+
+/// The synthetic `PhotoPrimary` catalog.
+///
+/// Stored column-wise: scans touch only the columns a query needs, which is
+/// what makes a few hundred thousand objects cheap enough to query in unit
+/// tests.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    obj_id: Vec<i64>,
+    ra: Vec<f64>,
+    dec: Vec<f64>,
+    cx: Vec<f64>,
+    cy: Vec<f64>,
+    cz: Vec<f64>,
+    mag: [Vec<f64>; 5],
+    obj_type: Vec<i64>,
+    flags: Vec<i64>,
+    /// The spectroscopic table, columnar.
+    spec_id: Vec<i64>,
+    spec_obj_id: Vec<i64>,
+    spec_z: Vec<f64>,
+    spec_class: Vec<i64>,
+    /// objID → row index.
+    id_index: HashMap<i64, usize>,
+    /// 3-D R-tree over unit-vector positions (degenerate boxes).
+    spatial: RTree<usize>,
+    spec: CatalogSpec,
+}
+
+impl Catalog {
+    /// Generates a catalog from `spec` (deterministic in the seed).
+    pub fn generate(spec: &CatalogSpec) -> Catalog {
+        let objs = generate_objects(spec);
+        let n = objs.len();
+        let mut cat = Catalog {
+            obj_id: Vec::with_capacity(n),
+            ra: Vec::with_capacity(n),
+            dec: Vec::with_capacity(n),
+            cx: Vec::with_capacity(n),
+            cy: Vec::with_capacity(n),
+            cz: Vec::with_capacity(n),
+            mag: std::array::from_fn(|_| Vec::with_capacity(n)),
+            obj_type: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            spec_id: Vec::new(),
+            spec_obj_id: Vec::new(),
+            spec_z: Vec::new(),
+            spec_class: Vec::new(),
+            id_index: HashMap::with_capacity(n),
+            spatial: RTree::with_capacity_params(3, 16),
+            spec: spec.clone(),
+        };
+
+        let mut spatial_entries = Vec::with_capacity(n);
+        for (row, o) in objs.into_iter().enumerate() {
+            let [ux, uy, uz] = radec_to_unit(o.ra, o.dec);
+            cat.obj_id.push(o.obj_id);
+            cat.ra.push(o.ra);
+            cat.dec.push(o.dec);
+            cat.cx.push(ux);
+            cat.cy.push(uy);
+            cat.cz.push(uz);
+            for b in 0..5 {
+                cat.mag[b].push(o.mag[b]);
+            }
+            cat.obj_type.push(o.obj_type);
+            cat.flags.push(o.flags);
+            if let Some(sp) = o.spec {
+                cat.spec_id.push(sp.spec_obj_id);
+                cat.spec_obj_id.push(o.obj_id);
+                cat.spec_z.push(sp.z);
+                cat.spec_class.push(sp.class);
+            }
+            cat.id_index.insert(o.obj_id, row);
+            let point =
+                HyperRect::new(vec![ux, uy, uz], vec![ux, uy, uz]).expect("unit vector is finite");
+            spatial_entries.push((point, row));
+        }
+        cat.spatial.bulk_load(spatial_entries);
+        cat
+    }
+
+    /// The spec this catalog was generated from.
+    pub fn spec(&self) -> &CatalogSpec {
+        &self.spec
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.obj_id.len()
+    }
+
+    /// Whether the catalog is empty (never true for generated catalogs).
+    pub fn is_empty(&self) -> bool {
+        self.obj_id.is_empty()
+    }
+
+    /// Row index of an object id.
+    pub fn row_of_id(&self, obj_id: i64) -> Option<usize> {
+        self.id_index.get(&obj_id).copied()
+    }
+
+    /// Row indexes whose unit-vector position falls inside `window`
+    /// (callers apply exact region tests on top). Also reports how many
+    /// index entries were touched, for the cost model.
+    pub fn spatial_candidates(&self, window: &HyperRect) -> Vec<usize> {
+        self.spatial
+            .search_intersecting(window)
+            .into_iter()
+            .map(|(_, row)| *row)
+            .collect()
+    }
+
+    /// Unit-vector coordinates of row `row`.
+    #[inline]
+    pub fn unit_coords(&self, row: usize) -> [f64; 3] {
+        [self.cx[row], self.cy[row], self.cz[row]]
+    }
+
+    /// Equatorial coordinates (degrees) of row `row`.
+    #[inline]
+    pub fn radec(&self, row: usize) -> (f64, f64) {
+        (self.ra[row], self.dec[row])
+    }
+
+    /// Object id of row `row`.
+    #[inline]
+    pub fn obj_id(&self, row: usize) -> i64 {
+        self.obj_id[row]
+    }
+
+    /// Value of `column` at `row`, or `None` for unknown columns.
+    pub fn value(&self, row: usize, column: &str) -> Option<Value> {
+        Some(match column {
+            "objID" => Value::Int(self.obj_id[row]),
+            "ra" => Value::Float(self.ra[row]),
+            "dec" => Value::Float(self.dec[row]),
+            "cx" => Value::Float(self.cx[row]),
+            "cy" => Value::Float(self.cy[row]),
+            "cz" => Value::Float(self.cz[row]),
+            "u" => Value::Float(self.mag[0][row]),
+            "g" => Value::Float(self.mag[1][row]),
+            "r" => Value::Float(self.mag[2][row]),
+            "i" => Value::Float(self.mag[3][row]),
+            "z" => Value::Float(self.mag[4][row]),
+            "type" => Value::Int(self.obj_type[row]),
+            "flags" => Value::Int(self.flags[row]),
+            _ => return None,
+        })
+    }
+
+    /// Whether `column` exists on `PhotoPrimary`.
+    pub fn has_column(column: &str) -> bool {
+        PHOTO_PRIMARY_COLUMNS.contains(&column) || column == "flags"
+    }
+
+    /// Number of `SpecObj` rows.
+    pub fn spec_len(&self) -> usize {
+        self.spec_id.len()
+    }
+
+    /// Value of `column` at `SpecObj` row `row`, or `None` for unknown
+    /// columns.
+    pub fn spec_value(&self, row: usize, column: &str) -> Option<Value> {
+        Some(match column {
+            "specObjID" => Value::Int(self.spec_id[row]),
+            "objID" => Value::Int(self.spec_obj_id[row]),
+            "z" => Value::Float(self.spec_z[row]),
+            "class" => Value::Int(self.spec_class[row]),
+            _ => return None,
+        })
+    }
+
+    /// Whether `column` exists on `SpecObj`.
+    pub fn spec_has_column(column: &str) -> bool {
+        SPEC_OBJ_COLUMNS.contains(&column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_geometry::celestial::{arcmin_to_rad, chord_of_angle, radial_query_sphere};
+
+    fn small() -> Catalog {
+        Catalog::generate(&CatalogSpec::small_test())
+    }
+
+    #[test]
+    fn id_index_agrees_with_columns() {
+        let c = small();
+        for row in [0usize, 7, c.len() - 1] {
+            let id = c.obj_id(row);
+            assert_eq!(c.row_of_id(id), Some(row));
+            assert_eq!(c.value(row, "objID"), Some(Value::Int(id)));
+        }
+        assert_eq!(c.row_of_id(-1), None);
+    }
+
+    #[test]
+    fn unit_vectors_are_unit_length() {
+        let c = small();
+        for row in (0..c.len()).step_by(997) {
+            let [x, y, z] = c.unit_coords(row);
+            let norm = (x * x + y * y + z * z).sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spatial_index_matches_full_scan() {
+        let c = small();
+        let ball = radial_query_sphere(185.0, 0.5, 20.0).unwrap();
+        let window = ball.bounding_rect();
+        let mut from_index: Vec<usize> = c
+            .spatial_candidates(&window)
+            .into_iter()
+            .filter(|row| ball.contains_coords(&c.unit_coords(*row)))
+            .collect();
+        let chord = chord_of_angle(arcmin_to_rad(20.0));
+        let mut from_scan: Vec<usize> = (0..c.len())
+            .filter(|row| {
+                let sep = fp_geometry::celestial::angular_separation(
+                    185.0,
+                    0.5,
+                    c.radec(*row).0,
+                    c.radec(*row).1,
+                );
+                chord_of_angle(sep) <= chord + 1e-12
+            })
+            .collect();
+        from_index.sort_unstable();
+        from_scan.sort_unstable();
+        assert_eq!(from_index, from_scan);
+        assert!(!from_index.is_empty(), "test region should be non-empty");
+    }
+
+    #[test]
+    fn spec_obj_table_is_consistent() {
+        let c = small();
+        assert!(c.spec_len() > 0);
+        assert!(c.spec_len() < c.len() / 3, "spectra are a subset");
+        for row in (0..c.spec_len()).step_by(97) {
+            // Every SpecObj row points at a real PhotoPrimary object.
+            let obj_id = c.spec_value(row, "objID").unwrap().as_i64().unwrap();
+            assert!(c.row_of_id(obj_id).is_some());
+            let z = c.spec_value(row, "z").unwrap().as_f64().unwrap();
+            assert!((0.0..0.8).contains(&z));
+        }
+        assert!(Catalog::spec_has_column("class"));
+        assert!(!Catalog::spec_has_column("ra"));
+        assert_eq!(c.spec_value(0, "nope"), None);
+    }
+
+    #[test]
+    fn unknown_column_is_none() {
+        let c = small();
+        assert_eq!(c.value(0, "htmID"), None);
+        assert!(Catalog::has_column("ra"));
+        assert!(!Catalog::has_column("htmID"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Deterministic synthetic sky generation.
+//!
+//! The real evaluation used SDSS imaging data; we substitute a seeded
+//! synthetic catalog whose two properties that matter to the proxy are
+//! preserved: (a) object positions are **clustered** (galaxies cluster, and
+//! web queries concentrate on interesting regions), so query result sizes
+//! vary realistically; (b) density is high enough that arcminute-scale
+//! radial queries return tens-to-thousands of tuples, like the paper's
+//! 300 MB-for-11k-queries trace implies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The patch of sky the catalog (and the query trace) lives on.
+///
+/// Default: a 10°×6° window around the SDSS equatorial stripe the paper's
+/// Radial-form examples point at (ra 180–190, dec −3…+3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkyWindow {
+    /// Minimum right ascension, degrees.
+    pub ra_min: f64,
+    /// Maximum right ascension, degrees.
+    pub ra_max: f64,
+    /// Minimum declination, degrees.
+    pub dec_min: f64,
+    /// Maximum declination, degrees.
+    pub dec_max: f64,
+}
+
+impl Default for SkyWindow {
+    fn default() -> Self {
+        SkyWindow {
+            ra_min: 180.0,
+            ra_max: 190.0,
+            dec_min: -3.0,
+            dec_max: 3.0,
+        }
+    }
+}
+
+impl SkyWindow {
+    /// Window width in RA degrees.
+    pub fn ra_span(&self) -> f64 {
+        self.ra_max - self.ra_min
+    }
+
+    /// Window height in Dec degrees.
+    pub fn dec_span(&self) -> f64 {
+        self.dec_max - self.dec_min
+    }
+
+    /// Whether the point lies inside the window.
+    pub fn contains(&self, ra: f64, dec: f64) -> bool {
+        ra >= self.ra_min && ra <= self.ra_max && dec >= self.dec_min && dec <= self.dec_max
+    }
+}
+
+/// Parameters of the synthetic catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogSpec {
+    /// RNG seed; identical specs generate identical catalogs.
+    pub seed: u64,
+    /// Total number of objects.
+    pub objects: usize,
+    /// Sky window the objects occupy.
+    pub window: SkyWindow,
+    /// Number of cluster centers ("galaxy clusters" / hot regions).
+    pub clusters: usize,
+    /// Fraction of objects drawn from clusters (rest uniform background).
+    pub cluster_fraction: f64,
+    /// Gaussian sigma of a cluster, in degrees.
+    pub cluster_sigma_deg: f64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec {
+            seed: 0x5D55,
+            objects: 200_000,
+            window: SkyWindow::default(),
+            clusters: 24,
+            cluster_fraction: 0.6,
+            cluster_sigma_deg: 0.25,
+        }
+    }
+}
+
+impl CatalogSpec {
+    /// A small catalog for unit tests (fast to generate, still clustered).
+    pub fn small_test() -> Self {
+        CatalogSpec {
+            seed: 42,
+            objects: 20_000,
+            ..CatalogSpec::default()
+        }
+    }
+}
+
+/// One generated object row, before columnar packing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenObject {
+    pub obj_id: i64,
+    pub ra: f64,
+    pub dec: f64,
+    /// Magnitudes in the five SDSS bands.
+    pub mag: [f64; 5],
+    /// Object type code (3 = galaxy, 6 = star, like SDSS `PhotoType`).
+    pub obj_type: i64,
+    /// Bitmask standing in for SDSS photo flags.
+    pub flags: i64,
+    /// Spectroscopic follow-up, for the subset of objects that have one.
+    pub spec: Option<GenSpec>,
+}
+
+/// One spectroscopic observation (the SDSS `SpecObj` row of an object).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenSpec {
+    pub spec_obj_id: i64,
+    /// Redshift.
+    pub z: f64,
+    /// Spectral class (1 = galaxy, 2 = QSO, 3 = star, SDSS-flavored).
+    pub class: i64,
+}
+
+/// Generates the object list for `spec` (deterministic).
+pub(crate) fn generate_objects(spec: &CatalogSpec) -> Vec<GenObject> {
+    assert!(spec.objects > 0, "catalog must have at least one object");
+    assert!(
+        (0.0..=1.0).contains(&spec.cluster_fraction),
+        "cluster_fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let w = &spec.window;
+
+    // Cluster centers themselves are uniform over the window.
+    let centers: Vec<(f64, f64)> = (0..spec.clusters.max(1))
+        .map(|_| {
+            (
+                rng.gen_range(w.ra_min..w.ra_max),
+                rng.gen_range(w.dec_min..w.dec_max),
+            )
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(spec.objects);
+    for i in 0..spec.objects {
+        let clustered = rng.gen_bool(spec.cluster_fraction) && !centers.is_empty();
+        let (ra, dec) = if clustered {
+            let (cra, cdec) = centers[rng.gen_range(0..centers.len())];
+            // Box-Muller Gaussian offsets, clamped into the window.
+            let (g1, g2) = gauss_pair(&mut rng);
+            (
+                (cra + g1 * spec.cluster_sigma_deg).clamp(w.ra_min, w.ra_max),
+                (cdec + g2 * spec.cluster_sigma_deg).clamp(w.dec_min, w.dec_max),
+            )
+        } else {
+            (
+                rng.gen_range(w.ra_min..w.ra_max),
+                rng.gen_range(w.dec_min..w.dec_max),
+            )
+        };
+
+        // Magnitudes: r in [14, 23], colors around plausible offsets.
+        let r = rng.gen_range(14.0..23.0);
+        let g = r + rng.gen_range(0.0..1.5);
+        let u = g + rng.gen_range(0.0..2.0);
+        let i_band = r - rng.gen_range(0.0..0.8);
+        let z = i_band - rng.gen_range(0.0..0.6);
+
+        let obj_id = 0x0875_0000_0000_0000_u64 as i64 + (i as i64) * 37 + 11;
+        // Roughly one object in seven has been observed spectroscopically,
+        // like SDSS's photometric/spectroscopic ratio at survey scale.
+        let spec = rng.gen_bool(0.15).then(|| GenSpec {
+            spec_obj_id: 0x0FAC_0000_0000_0000_u64 as i64 + (i as i64) * 13 + 5,
+            z: rng.gen_range(0.0..0.8f64),
+            class: *[1, 1, 1, 2, 3].get(rng.gen_range(0..5)).expect("in range"),
+        });
+        out.push(GenObject {
+            // SDSS-flavored ids: large, unique, non-consecutive.
+            obj_id,
+            ra,
+            dec,
+            mag: [u, g, r, i_band, z],
+            obj_type: if rng.gen_bool(0.7) { 3 } else { 6 },
+            flags: rng.gen::<u16>() as i64,
+            spec,
+        });
+    }
+    out
+}
+
+/// One pair of independent standard Gaussians via Box-Muller.
+fn gauss_pair(rng: &mut StdRng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CatalogSpec::small_test();
+        let a = generate_objects(&spec);
+        let b = generate_objects(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.obj_id, y.obj_id);
+            assert_eq!(x.ra, y.ra);
+            assert_eq!(x.dec, y.dec);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_objects(&CatalogSpec {
+            seed: 1,
+            objects: 100,
+            ..Default::default()
+        });
+        let b = generate_objects(&CatalogSpec {
+            seed: 2,
+            objects: 100,
+            ..Default::default()
+        });
+        assert!(a.iter().zip(&b).any(|(x, y)| x.ra != y.ra));
+    }
+
+    #[test]
+    fn objects_stay_in_window() {
+        let spec = CatalogSpec::small_test();
+        for o in generate_objects(&spec) {
+            assert!(spec.window.contains(o.ra, o.dec), "({}, {})", o.ra, o.dec);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let objs = generate_objects(&CatalogSpec {
+            objects: 5000,
+            ..CatalogSpec::small_test()
+        });
+        let mut ids: Vec<i64> = objs.iter().map(|o| o.obj_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), objs.len());
+    }
+
+    #[test]
+    fn clustering_raises_local_density() {
+        // With strong clustering, the densest 1°×1° cell should hold far
+        // more than the uniform expectation.
+        let spec = CatalogSpec {
+            seed: 7,
+            objects: 20_000,
+            clusters: 3,
+            cluster_fraction: 0.9,
+            cluster_sigma_deg: 0.15,
+            ..Default::default()
+        };
+        let objs = generate_objects(&spec);
+        let w = spec.window;
+        let (nx, ny) = (w.ra_span() as usize, w.dec_span() as usize);
+        let mut cells = vec![0usize; nx * ny];
+        for o in &objs {
+            let cx = (((o.ra - w.ra_min) / 1.0) as usize).min(nx - 1);
+            let cy = (((o.dec - w.dec_min) / 1.0) as usize).min(ny - 1);
+            cells[cy * nx + cx] += 1;
+        }
+        let max = *cells.iter().max().unwrap();
+        let uniform = objs.len() / cells.len();
+        assert!(max > uniform * 3, "max cell {max} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn a_plausible_fraction_has_spectra() {
+        let objs = generate_objects(&CatalogSpec {
+            objects: 10_000,
+            ..CatalogSpec::small_test()
+        });
+        let with_spec = objs.iter().filter(|o| o.spec.is_some()).count();
+        let frac = with_spec as f64 / objs.len() as f64;
+        assert!((frac - 0.15).abs() < 0.02, "spectroscopic fraction {frac}");
+        // Spec ids are unique and redshifts in range.
+        let mut ids: Vec<i64> = objs
+            .iter()
+            .filter_map(|o| o.spec.map(|s| s.spec_obj_id))
+            .collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        for o in &objs {
+            if let Some(sp) = o.spec {
+                assert!((0.0..0.8).contains(&sp.z));
+                assert!([1, 2, 3].contains(&sp.class));
+            }
+        }
+    }
+
+    #[test]
+    fn magnitudes_are_ordered_plausibly() {
+        for o in generate_objects(&CatalogSpec {
+            objects: 500,
+            ..CatalogSpec::small_test()
+        }) {
+            let [u, g, r, i, z] = o.mag;
+            assert!(u >= g && g >= r && r >= i && i >= z, "{:?}", o.mag);
+            assert!((14.0..25.5).contains(&r));
+        }
+    }
+}

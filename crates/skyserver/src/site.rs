@@ -1,0 +1,153 @@
+//! The origin-site façade the proxy talks to.
+
+use crate::catalog::Catalog;
+use crate::exec::{execute, ExecError};
+use crate::result::QueryOutcome;
+use fp_sqlmini::{parse_query, Query, SqlError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Errors the site reports to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteError {
+    /// The SQL text did not parse.
+    Parse(SqlError),
+    /// The query failed to execute.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SiteError::Parse(e) => write!(f, "{e}"),
+            SiteError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SiteError {}
+
+/// Cumulative load statistics of the origin site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteLoad {
+    /// Queries executed.
+    pub queries: usize,
+    /// Total rows returned.
+    pub rows_returned: usize,
+    /// Total result bytes shipped.
+    pub bytes_shipped: usize,
+    /// Total candidate rows scanned.
+    pub rows_scanned: usize,
+}
+
+/// The synthetic SkyServer web site.
+///
+/// Exposes exactly what the paper relied on:
+/// * form queries (any SQL of the supported class, as produced by the
+///   registered query templates), and
+/// * the free-form SQL search page — which doubles as the **remainder
+///   query facility**, since the proxy's remainder queries are plain SQL.
+///
+/// The site is cheap to clone ([`Arc`] inside) and thread-safe; the load
+/// counter is the only mutable state.
+#[derive(Clone)]
+pub struct SkySite {
+    catalog: Arc<Catalog>,
+    load: Arc<Mutex<SiteLoad>>,
+}
+
+impl SkySite {
+    /// Wraps a catalog as a servable site.
+    pub fn new(catalog: Catalog) -> Self {
+        SkySite {
+            catalog: Arc::new(catalog),
+            load: Arc::new(Mutex::new(SiteLoad::default())),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Executes SQL text (the free-form "SQL search" endpoint).
+    ///
+    /// # Errors
+    /// Returns [`SiteError`] on parse or execution failure.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryOutcome, SiteError> {
+        let query = parse_query(sql).map_err(SiteError::Parse)?;
+        self.execute_query(&query)
+    }
+
+    /// Executes an already-parsed query.
+    ///
+    /// # Errors
+    /// Returns [`SiteError::Exec`] on execution failure.
+    pub fn execute_query(&self, query: &Query) -> Result<QueryOutcome, SiteError> {
+        let outcome = execute(&self.catalog, query).map_err(SiteError::Exec)?;
+        let mut load = self.load.lock();
+        load.queries += 1;
+        load.rows_returned += outcome.stats.rows_returned;
+        load.bytes_shipped += outcome.stats.result_bytes;
+        load.rows_scanned += outcome.stats.rows_scanned;
+        Ok(outcome)
+    }
+
+    /// Cumulative load since construction (or the last reset).
+    pub fn load(&self) -> SiteLoad {
+        *self.load.lock()
+    }
+
+    /// Clears the load counters (used between experiment runs).
+    pub fn reset_load(&self) {
+        *self.load.lock() = SiteLoad::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::CatalogSpec;
+
+    fn site() -> SkySite {
+        SkySite::new(Catalog::generate(&CatalogSpec::small_test()))
+    }
+
+    #[test]
+    fn sql_endpoint_executes_and_counts() {
+        let s = site();
+        let out = s
+            .execute_sql("SELECT TOP 3 p.objID FROM fGetNearbyObjEq(185.0, 0.0, 30.0) n JOIN PhotoPrimary p ON n.objID = p.objID")
+            .unwrap();
+        assert!(out.result.len() <= 3);
+        let load = s.load();
+        assert_eq!(load.queries, 1);
+        assert_eq!(load.rows_returned, out.result.len());
+        s.reset_load();
+        assert_eq!(s.load(), SiteLoad::default());
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let s = site();
+        assert!(matches!(
+            s.execute_sql("SELEC oops"),
+            Err(SiteError::Parse(_))
+        ));
+        assert!(matches!(
+            s.execute_sql("SELECT * FROM NotATable t"),
+            Err(SiteError::Exec(_))
+        ));
+        // Failed queries do not count toward load.
+        assert_eq!(s.load().queries, 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = site();
+        let s2 = s.clone();
+        s.execute_sql("SELECT TOP 1 * FROM fGetNearbyObjEq(185.0, 0.0, 10.0) n")
+            .unwrap();
+        assert_eq!(s2.load().queries, 1);
+    }
+}

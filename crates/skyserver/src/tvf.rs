@@ -1,0 +1,550 @@
+//! The table-valued functions of the origin site.
+//!
+//! Each function returns `(objID, distance-related columns…)` rows computed
+//! against the catalog's spatial index, mirroring the SkyServer functions
+//! the paper's search forms call.
+
+use crate::catalog::Catalog;
+use fp_geometry::celestial::{angle_of_chord, arcmin_to_rad, rad_to_deg, radial_query_sphere};
+use fp_geometry::{HalfSpace, HyperRect, HyperSphere, Point, Polytope};
+use fp_sqlmini::Value;
+
+/// An error from evaluating a table-valued function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TvfError {
+    /// The function name is not registered.
+    UnknownFunction(String),
+    /// Wrong number of arguments.
+    Arity {
+        /// Function name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Received argument count.
+        got: usize,
+    },
+    /// An argument was not numeric or out of domain.
+    BadArgument {
+        /// Function name.
+        name: String,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TvfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TvfError::UnknownFunction(n) => write!(f, "unknown table-valued function `{n}`"),
+            TvfError::Arity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(f, "`{name}` expects {expected} arguments, got {got}")
+            }
+            TvfError::BadArgument { name, reason } => {
+                write!(f, "bad argument to `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TvfError {}
+
+/// Output of a TVF evaluation: column names, rows, and how many candidate
+/// rows the index produced (for the cost model).
+#[derive(Debug, Clone)]
+pub struct TvfOutput {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Candidate rows scanned (≥ rows.len()).
+    pub rows_scanned: usize,
+}
+
+/// Names of the registered table-valued functions.
+pub const TVF_NAMES: [&str; 6] = [
+    "fGetNearbyObjEq",
+    "fGetNearestObjEq",
+    "fGetNearbyObjXYZ",
+    "fGetObjFromRect",
+    "fGetObjFromRectEq",
+    "fGetObjFromTriangle",
+];
+
+/// Whether `name` is a registered table-valued function.
+pub fn is_tvf(name: &str) -> bool {
+    TVF_NAMES.iter().any(|n| n.eq_ignore_ascii_case(name))
+}
+
+/// Evaluates the table-valued function `name(args)` against `catalog`.
+///
+/// # Errors
+/// Returns [`TvfError`] for unknown names, arity mismatches, and
+/// non-numeric or out-of-domain arguments.
+pub fn eval_tvf(catalog: &Catalog, name: &str, args: &[Value]) -> Result<TvfOutput, TvfError> {
+    if name.eq_ignore_ascii_case("fGetNearbyObjEq") || name.eq_ignore_ascii_case("fGetNearestObjEq")
+    {
+        let [ra, dec, radius] = numeric_args::<3>(name, args)?;
+        if radius < 0.0 {
+            return Err(bad(name, "radius must be non-negative"));
+        }
+        let ball = radial_query_sphere(ra, dec, radius).map_err(|e| bad(name, &e.to_string()))?;
+        let mut out = nearby(catalog, &ball);
+        if name.eq_ignore_ascii_case("fGetNearestObjEq") {
+            // The real SkyServer variant returns only the closest object.
+            out.rows.truncate(1);
+        }
+        Ok(out)
+    } else if name.eq_ignore_ascii_case("fGetNearbyObjXYZ") {
+        let [cx, cy, cz, radius] = numeric_args::<4>(name, args)?;
+        if radius < 0.0 {
+            return Err(bad(name, "radius must be non-negative"));
+        }
+        let norm = (cx * cx + cy * cy + cz * cz).sqrt();
+        if norm < 1e-12 {
+            return Err(bad(name, "direction vector must be non-zero"));
+        }
+        let center = Point::from_slice(&[cx / norm, cy / norm, cz / norm]);
+        let chord = fp_geometry::celestial::chord_of_angle(arcmin_to_rad(radius));
+        let ball = HyperSphere::new(center, chord).map_err(|e| bad(name, &e.to_string()))?;
+        Ok(nearby(catalog, &ball))
+    } else if name.eq_ignore_ascii_case("fGetObjFromTriangle") {
+        let [ra1, dec1, ra2, dec2, ra3, dec3] = numeric_args::<6>(name, args)?;
+        let poly = triangle_polytope(ra1, dec1, ra2, dec2, ra3, dec3)
+            .ok_or_else(|| bad(name, "vertices are collinear or not counter-clockwise"))?;
+        Ok(from_triangle(catalog, &poly))
+    } else if name.eq_ignore_ascii_case("fGetObjFromRect")
+        || name.eq_ignore_ascii_case("fGetObjFromRectEq")
+    {
+        // fGetObjFromRect(min_ra, max_ra, min_dec, max_dec); the *Eq
+        // variant uses (ra1, dec1, ra2, dec2) ordering on the real site —
+        // both normalized here to a (ra, dec) box.
+        let [a, b, c, d] = numeric_args::<4>(name, args)?;
+        let (ra_lo, ra_hi, dec_lo, dec_hi) = if name.eq_ignore_ascii_case("fGetObjFromRect") {
+            (a.min(b), a.max(b), c.min(d), c.max(d))
+        } else {
+            (a.min(c), a.max(c), b.min(d), b.max(d))
+        };
+        Ok(from_rect(catalog, ra_lo, ra_hi, dec_lo, dec_hi))
+    } else {
+        Err(TvfError::UnknownFunction(name.to_string()))
+    }
+}
+
+fn bad(name: &str, reason: &str) -> TvfError {
+    TvfError::BadArgument {
+        name: name.to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+fn numeric_args<const N: usize>(name: &str, args: &[Value]) -> Result<[f64; N], TvfError> {
+    if args.len() != N {
+        return Err(TvfError::Arity {
+            name: name.to_string(),
+            expected: N,
+            got: args.len(),
+        });
+    }
+    let mut out = [0.0; N];
+    for (i, a) in args.iter().enumerate() {
+        out[i] = a
+            .as_f64()
+            .ok_or_else(|| bad(name, "arguments must be numeric"))?;
+        if !out[i].is_finite() {
+            return Err(bad(name, "arguments must be finite"));
+        }
+    }
+    Ok(out)
+}
+
+/// Shared implementation of the radial functions: all objects within the
+/// chord ball, with their angular distance in arc minutes.
+fn nearby(catalog: &Catalog, ball: &HyperSphere) -> TvfOutput {
+    let candidates = catalog.spatial_candidates(&ball.bounding_rect());
+    let rows_scanned = candidates.len();
+    let mut rows: Vec<Vec<Value>> = candidates
+        .into_iter()
+        .filter(|row| ball.contains_coords(&catalog.unit_coords(*row)))
+        .map(|row| {
+            let coords = catalog.unit_coords(row);
+            let chord = fp_geometry::point::dist2_slices(ball.center().coords(), &coords).sqrt();
+            let arcmin = rad_to_deg(angle_of_chord(chord)) * 60.0;
+            vec![Value::Int(catalog.obj_id(row)), Value::Float(arcmin)]
+        })
+        .collect();
+    // The real function returns nearest-first; keep that contract.
+    rows.sort_by(|a, b| a[1].total_cmp(&b[1]));
+    TvfOutput {
+        columns: vec!["objID".into(), "distance".into()],
+        rows,
+        rows_scanned,
+    }
+}
+
+/// Conservative 3-D candidate cover of a (ra, dec) box: the spatial index
+/// works on unit vectors, so the box is sampled and bounded in 3-D. For
+/// the ≤ few-degree boxes the search forms produce, corner sampling plus
+/// a small curvature margin is a safe cover.
+fn rect_candidates(
+    catalog: &Catalog,
+    ra_lo: f64,
+    ra_hi: f64,
+    dec_lo: f64,
+    dec_hi: f64,
+) -> Vec<usize> {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    let steps = 8;
+    for i in 0..=steps {
+        for j in 0..=steps {
+            let ra = ra_lo + (ra_hi - ra_lo) * i as f64 / steps as f64;
+            let dec = dec_lo + (dec_hi - dec_lo) * j as f64 / steps as f64;
+            let v = fp_geometry::celestial::radec_to_unit(ra, dec);
+            for d in 0..3 {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+    }
+    // Margin for curvature between sample points.
+    let margin = 1e-4 + 2e-2 * ((ra_hi - ra_lo).abs() + (dec_hi - dec_lo).abs()).to_radians();
+    let window = HyperRect::new(
+        lo.iter().map(|v| v - margin).collect(),
+        hi.iter().map(|v| v + margin).collect(),
+    )
+    .expect("finite bounds");
+    catalog.spatial_candidates(&window)
+}
+
+/// All objects inside a (ra, dec) box.
+fn from_rect(catalog: &Catalog, ra_lo: f64, ra_hi: f64, dec_lo: f64, dec_hi: f64) -> TvfOutput {
+    let candidates = rect_candidates(catalog, ra_lo, ra_hi, dec_lo, dec_hi);
+    let rows_scanned = candidates.len();
+    let mut rows: Vec<Vec<Value>> = candidates
+        .into_iter()
+        .filter(|row| {
+            let (ra, dec) = catalog.radec(*row);
+            ra >= ra_lo && ra <= ra_hi && dec >= dec_lo && dec <= dec_hi
+        })
+        .map(|row| vec![Value::Int(catalog.obj_id(row))])
+        .collect();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    TvfOutput {
+        columns: vec!["objID".into()],
+        rows,
+        rows_scanned,
+    }
+}
+
+/// Builds the closed 2-D triangle polytope over (ra, dec) for
+/// counter-clockwise vertices, with the same half-space arithmetic the
+/// proxy's function template uses — so proxy and origin agree on every
+/// boundary tuple. Returns `None` for degenerate (collinear) or
+/// clockwise input; a clockwise triangle has an empty face intersection,
+/// which both sides would agree on, but rejecting it loudly is kinder.
+pub fn triangle_polytope(
+    ra1: f64,
+    dec1: f64,
+    ra2: f64,
+    dec2: f64,
+    ra3: f64,
+    dec3: f64,
+) -> Option<Polytope> {
+    // Twice the signed area; positive = counter-clockwise.
+    let signed2 = (ra2 - ra1) * (dec3 - dec1) - (ra3 - ra1) * (dec2 - dec1);
+    if signed2 <= 0.0 {
+        return None;
+    }
+    let edges = [
+        ((ra1, dec1), (ra2, dec2)),
+        ((ra2, dec2), (ra3, dec3)),
+        ((ra3, dec3), (ra1, dec1)),
+    ];
+    let mut faces = Vec::with_capacity(3);
+    for ((xa, ya), (xb, yb)) in edges {
+        // Outward normal of a CCW edge: (dy, -dx); interior satisfies
+        // normal · p <= normal · a.
+        let normal = vec![yb - ya, -(xb - xa)];
+        let offset = (yb - ya) * xa - (xb - xa) * ya;
+        faces.push(HalfSpace::new(normal, offset).ok()?);
+    }
+    let bbox = HyperRect::new(
+        vec![ra1.min(ra2).min(ra3), dec1.min(dec2).min(dec3)],
+        vec![ra1.max(ra2).max(ra3), dec1.max(dec2).max(dec3)],
+    )
+    .ok()?;
+    Polytope::new(faces, bbox).ok()
+}
+
+/// All objects whose (ra, dec) lies inside the triangle.
+fn from_triangle(catalog: &Catalog, poly: &Polytope) -> TvfOutput {
+    let bbox = poly.bbox();
+    let (ra_lo, ra_hi) = (bbox.lo()[0], bbox.hi()[0]);
+    let (dec_lo, dec_hi) = (bbox.lo()[1], bbox.hi()[1]);
+    // Reuse the rectangle candidate cover for the bbox, then apply the
+    // exact polytope test in equatorial coordinates.
+    let cover = rect_candidates(catalog, ra_lo, ra_hi, dec_lo, dec_hi);
+    let rows_scanned = cover.len();
+    let mut rows: Vec<Vec<Value>> = cover
+        .into_iter()
+        .filter(|row| {
+            let (ra, dec) = catalog.radec(*row);
+            poly.contains_coords(&[ra, dec])
+        })
+        .map(|row| vec![Value::Int(catalog.obj_id(row))])
+        .collect();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    TvfOutput {
+        columns: vec!["objID".into()],
+        rows,
+        rows_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::CatalogSpec;
+
+    fn cat() -> Catalog {
+        Catalog::generate(&CatalogSpec::small_test())
+    }
+
+    #[test]
+    fn radial_matches_brute_force() {
+        let c = cat();
+        let out = eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Float(185.0), Value::Float(0.0), Value::Float(25.0)],
+        )
+        .unwrap();
+        let brute: usize = (0..c.len())
+            .filter(|row| {
+                let (ra, dec) = c.radec(*row);
+                fp_geometry::celestial::angular_separation(185.0, 0.0, ra, dec)
+                    <= arcmin_to_rad(25.0) + 1e-12
+            })
+            .count();
+        assert_eq!(out.rows.len(), brute);
+        assert!(out.rows_scanned >= out.rows.len());
+        // Distances are ascending and within the radius.
+        let mut prev = -1.0;
+        for row in &out.rows {
+            let d = row[1].as_f64().unwrap();
+            assert!(d >= prev);
+            assert!(d <= 25.0 + 1e-9);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn radial_is_case_insensitive_and_checked() {
+        let c = cat();
+        assert!(eval_tvf(
+            &c,
+            "fgetnearbyobjeq",
+            &[Value::Int(185), Value::Int(0), Value::Int(5)]
+        )
+        .is_ok());
+        assert!(matches!(
+            eval_tvf(&c, "fNope", &[]),
+            Err(TvfError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            eval_tvf(&c, "fGetNearbyObjEq", &[Value::Int(1)]),
+            Err(TvfError::Arity {
+                expected: 3,
+                got: 1,
+                ..
+            })
+        ));
+        assert!(eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Str("x".into()), Value::Int(0), Value::Int(5)]
+        )
+        .is_err());
+        assert!(eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Int(0), Value::Int(0), Value::Int(-5)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rect_matches_brute_force() {
+        let c = cat();
+        let (ra_lo, ra_hi, dec_lo, dec_hi) = (184.0, 186.0, -0.5, 0.5);
+        let out = eval_tvf(
+            &c,
+            "fGetObjFromRect",
+            &[
+                Value::Float(ra_lo),
+                Value::Float(ra_hi),
+                Value::Float(dec_lo),
+                Value::Float(dec_hi),
+            ],
+        )
+        .unwrap();
+        let brute: usize = (0..c.len())
+            .filter(|row| {
+                let (ra, dec) = c.radec(*row);
+                ra >= ra_lo && ra <= ra_hi && dec >= dec_lo && dec <= dec_hi
+            })
+            .count();
+        assert_eq!(out.rows.len(), brute);
+        assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn rect_eq_argument_order() {
+        let c = cat();
+        let a = eval_tvf(
+            &c,
+            "fGetObjFromRect",
+            &[
+                Value::Float(184.0),
+                Value::Float(185.0),
+                Value::Float(0.0),
+                Value::Float(1.0),
+            ],
+        )
+        .unwrap();
+        let b = eval_tvf(
+            &c,
+            "fGetObjFromRectEq",
+            &[
+                Value::Float(184.0),
+                Value::Float(0.0),
+                Value::Float(185.0),
+                Value::Float(1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn xyz_variant_agrees_with_eq_variant() {
+        let c = cat();
+        let v = fp_geometry::celestial::radec_to_unit(185.0, 0.5);
+        let eq = eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Float(185.0), Value::Float(0.5), Value::Float(10.0)],
+        )
+        .unwrap();
+        let xyz = eval_tvf(
+            &c,
+            "fGetNearbyObjXYZ",
+            &[
+                Value::Float(v[0]),
+                Value::Float(v[1]),
+                Value::Float(v[2]),
+                Value::Float(10.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(eq.rows.len(), xyz.rows.len());
+    }
+
+    #[test]
+    fn triangle_matches_brute_force() {
+        let c = cat();
+        // CCW triangle around the hotspot stripe.
+        let (v1, v2, v3) = ((184.0, -0.5), (186.5, -0.5), (185.2, 1.0));
+        let out = eval_tvf(
+            &c,
+            "fGetObjFromTriangle",
+            &[
+                Value::Float(v1.0),
+                Value::Float(v1.1),
+                Value::Float(v2.0),
+                Value::Float(v2.1),
+                Value::Float(v3.0),
+                Value::Float(v3.1),
+            ],
+        )
+        .unwrap();
+        let poly = triangle_polytope(v1.0, v1.1, v2.0, v2.1, v3.0, v3.1).unwrap();
+        let brute = (0..c.len())
+            .filter(|row| {
+                let (ra, dec) = c.radec(*row);
+                poly.contains_coords(&[ra, dec])
+            })
+            .count();
+        assert_eq!(out.rows.len(), brute);
+        assert!(!out.rows.is_empty(), "triangle covers the dense stripe");
+    }
+
+    #[test]
+    fn triangle_rejects_degenerate_and_clockwise() {
+        let c = cat();
+        // Clockwise winding.
+        let cw = eval_tvf(
+            &c,
+            "fGetObjFromTriangle",
+            &[
+                Value::Float(184.0),
+                Value::Float(-0.5),
+                Value::Float(185.2),
+                Value::Float(1.0),
+                Value::Float(186.5),
+                Value::Float(-0.5),
+            ],
+        );
+        assert!(matches!(cw, Err(TvfError::BadArgument { .. })));
+        // Collinear vertices.
+        let flat = eval_tvf(
+            &c,
+            "fGetObjFromTriangle",
+            &[
+                Value::Float(184.0),
+                Value::Float(0.0),
+                Value::Float(185.0),
+                Value::Float(0.0),
+                Value::Float(186.0),
+                Value::Float(0.0),
+            ],
+        );
+        assert!(matches!(flat, Err(TvfError::BadArgument { .. })));
+    }
+
+    #[test]
+    fn nearest_returns_the_closest_object_only() {
+        let c = cat();
+        let all = eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Float(185.0), Value::Float(0.0), Value::Float(20.0)],
+        )
+        .unwrap();
+        let nearest = eval_tvf(
+            &c,
+            "fGetNearestObjEq",
+            &[Value::Float(185.0), Value::Float(0.0), Value::Float(20.0)],
+        )
+        .unwrap();
+        assert_eq!(nearest.rows.len(), 1);
+        assert_eq!(nearest.rows[0], all.rows[0], "nearest = first of sorted");
+    }
+
+    #[test]
+    fn zero_radius_returns_nothing_or_exact_hits() {
+        let c = cat();
+        let out = eval_tvf(
+            &c,
+            "fGetNearbyObjEq",
+            &[Value::Float(185.0), Value::Float(0.0), Value::Float(0.0)],
+        )
+        .unwrap();
+        // Only objects exactly at the center (almost surely none).
+        assert!(out.rows.len() <= 1);
+    }
+}

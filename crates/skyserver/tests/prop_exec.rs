@@ -1,0 +1,111 @@
+//! Property tests for the SQL executor: query results must agree with a
+//! brute-force evaluation straight off the catalog columns, for arbitrary
+//! radial parameters, magnitude predicates, and TOP limits.
+
+use fp_geometry::celestial::{angular_separation, arcmin_to_rad};
+use fp_skyserver::{Catalog, CatalogSpec};
+use fp_sqlmini::parse_query;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn catalog() -> &'static Catalog {
+    static CAT: OnceLock<Catalog> = OnceLock::new();
+    CAT.get_or_init(|| {
+        Catalog::generate(&CatalogSpec {
+            seed: 3,
+            objects: 8_000,
+            ..CatalogSpec::default()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn radial_with_predicates_matches_brute_force(
+        ra in 181.0f64..189.0,
+        dec in -2.5f64..2.5,
+        radius in 1.0f64..40.0,
+        maxmag in 15.0f64..23.0,
+        use_between in any::<bool>(),
+    ) {
+        let c = catalog();
+        let predicate = if use_between {
+            format!("p.r BETWEEN 14.0 AND {maxmag}")
+        } else {
+            format!("p.r < {maxmag}")
+        };
+        let sql = format!(
+            "SELECT p.objID FROM fGetNearbyObjEq({ra}, {dec}, {radius}) n \
+             JOIN PhotoPrimary p ON n.objID = p.objID WHERE {predicate}"
+        );
+        let out = fp_skyserver::exec::execute(c, &parse_query(&sql).unwrap()).unwrap();
+        let mut got: Vec<i64> = out
+            .result
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        got.sort_unstable();
+
+        let limit = arcmin_to_rad(radius);
+        let mut want: Vec<i64> = (0..c.len())
+            .filter(|row| {
+                let (ora, odec) = c.radec(*row);
+                let mag = c.value(*row, "r").unwrap().as_f64().unwrap();
+                let in_region = angular_separation(ra, dec, ora, odec) <= limit + 1e-12;
+                let passes = if use_between {
+                    (14.0..=maxmag).contains(&mag)
+                } else {
+                    mag < maxmag
+                };
+                in_region && passes
+            })
+            .map(|row| c.obj_id(row))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn top_truncates_without_reordering(
+        ra in 182.0f64..188.0,
+        dec in -2.0f64..2.0,
+        radius in 5.0f64..40.0,
+        n in 1u64..50,
+    ) {
+        let c = catalog();
+        let full_sql = format!(
+            "SELECT n.objID, n.distance FROM fGetNearbyObjEq({ra}, {dec}, {radius}) n"
+        );
+        let top_sql = format!(
+            "SELECT TOP {n} n.objID, n.distance FROM fGetNearbyObjEq({ra}, {dec}, {radius}) n"
+        );
+        let full = fp_skyserver::exec::execute(c, &parse_query(&full_sql).unwrap()).unwrap();
+        let top = fp_skyserver::exec::execute(c, &parse_query(&top_sql).unwrap()).unwrap();
+        let expect = full.result.rows.iter().take(n as usize).cloned().collect::<Vec<_>>();
+        prop_assert_eq!(&top.result.rows, &expect);
+    }
+
+    #[test]
+    fn order_by_magnitude_is_sorted(
+        ra in 182.0f64..188.0,
+        dec in -2.0f64..2.0,
+        radius in 5.0f64..30.0,
+        asc in any::<bool>(),
+    ) {
+        let c = catalog();
+        let dir = if asc { "ASC" } else { "DESC" };
+        let sql = format!(
+            "SELECT p.r FROM fGetNearbyObjEq({ra}, {dec}, {radius}) n \
+             JOIN PhotoPrimary p ON n.objID = p.objID ORDER BY r {dir}"
+        );
+        let out = fp_skyserver::exec::execute(c, &parse_query(&sql).unwrap()).unwrap();
+        let mags: Vec<f64> = out.result.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        let sorted = mags
+            .windows(2)
+            .all(|w| if asc { w[0] <= w[1] } else { w[0] >= w[1] });
+        prop_assert!(sorted, "mags not sorted {dir}: {mags:?}");
+    }
+}

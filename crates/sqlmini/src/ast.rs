@@ -1,0 +1,425 @@
+//! The typed AST for the function-embedded query class.
+
+use serde::{Deserialize, Serialize};
+
+/// A literal constant in SQL text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Integer constant.
+    Int(i64),
+    /// Floating-point constant.
+    Float(f64),
+    /// String constant.
+    Str(String),
+    /// Boolean constant.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+impl Literal {
+    /// Numeric view of the literal, when it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Literal::Int(i) => Some(*i as f64),
+            Literal::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators, in SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Like,
+}
+
+impl BinOp {
+    /// SQL spelling of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Like => "LIKE",
+        }
+    }
+
+    /// Precedence for printing with minimal parentheses
+    /// (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq
+            | BinOp::Neq
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::Like => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Literal),
+    /// A `$name` template parameter.
+    Param(String),
+    /// A possibly-qualified column reference (`qualifier.name` or `name`).
+    Column {
+        /// Table alias or name qualifier, when present.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// A scalar function call such as `cos($ra)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// Whether the test is negated (`NOT BETWEEN`).
+        negated: bool,
+    },
+    /// `expr IN (e1, e2, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// The candidate list.
+        list: Vec<Expr>,
+        /// Whether the test is negated (`NOT IN`).
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Whether the test is negated (`IS NOT NULL`).
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a column reference.
+    pub fn col(qualifier: Option<&str>, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Walks the expression tree, invoking `f` on every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.walk(f),
+        }
+    }
+
+    /// Collects the names of all `$params` in the expression.
+    pub fn params(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Param(p) = e {
+                out.push(p.as_str());
+            }
+        });
+        out
+    }
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Output column alias, when given.
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM`-clause source: either a base table or a table-valued function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableSource {
+    /// A base table with an optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Alias, when given.
+        alias: Option<String>,
+    },
+    /// A table-valued function call with an optional alias — the defining
+    /// feature of the query class.
+    Function {
+        /// Function name, e.g. `fGetNearbyObjEq`.
+        name: String,
+        /// Argument expressions (literals or `$params` in templates).
+        args: Vec<Expr>,
+        /// Alias, when given.
+        alias: Option<String>,
+    },
+}
+
+impl TableSource {
+    /// The alias if present, otherwise the table/function name.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableSource::Table { name, alias } | TableSource::Function { name, alias, .. } => {
+                alias.as_deref().unwrap_or(name)
+            }
+        }
+    }
+}
+
+/// An `[INNER] JOIN source ON condition`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    /// The joined source.
+    pub source: TableSource,
+    /// The `ON` condition.
+    pub on: Expr,
+}
+
+/// A parsed query of the supported class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// `TOP n` limit, when present.
+    pub top: Option<u64>,
+    /// The `SELECT` list.
+    pub select: Vec<SelectItem>,
+    /// The primary `FROM` source.
+    pub from: TableSource,
+    /// Zero or more joins.
+    pub joins: Vec<Join>,
+    /// The `WHERE` condition, when present.
+    pub where_clause: Option<Expr>,
+    /// `ORDER BY column [ASC|DESC]`, when present
+    /// (`true` = ascending).
+    pub order_by: Option<(String, bool)>,
+}
+
+impl Query {
+    /// The embedded table-valued function call, when the primary source is
+    /// one: `(name, args, alias)`.
+    pub fn embedded_function(&self) -> Option<(&str, &[Expr], Option<&str>)> {
+        match &self.from {
+            TableSource::Function { name, args, alias } => {
+                Some((name.as_str(), args.as_slice(), alias.as_deref()))
+            }
+            TableSource::Table { .. } => None,
+        }
+    }
+
+    /// All `$param` names anywhere in the query, in first-appearance order
+    /// (duplicates removed).
+    pub fn params(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        let mut add = |p: &str| {
+            if !seen.iter().any(|s: &String| s == p) {
+                seen.push(p.to_string());
+            }
+        };
+        let visit_expr = |e: &Expr, add: &mut dyn FnMut(&str)| {
+            e.walk(&mut |n| {
+                if let Expr::Param(p) = n {
+                    add(p);
+                }
+            });
+        };
+        for item in &self.select {
+            if let SelectItem::Expr { expr, .. } = item {
+                visit_expr(expr, &mut add);
+            }
+        }
+        if let TableSource::Function { args, .. } = &self.from {
+            for a in args {
+                visit_expr(a, &mut add);
+            }
+        }
+        for j in &self.joins {
+            if let TableSource::Function { args, .. } = &j.source {
+                for a in args {
+                    visit_expr(a, &mut add);
+                }
+            }
+            visit_expr(&j.on, &mut add);
+        }
+        if let Some(w) = &self.where_clause {
+            visit_expr(w, &mut add);
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_dedup_in_order() {
+        let q = Query {
+            top: None,
+            select: vec![SelectItem::Wildcard],
+            from: TableSource::Function {
+                name: "f".into(),
+                args: vec![Expr::Param("ra".into()), Expr::Param("dec".into())],
+                alias: None,
+            },
+            joins: vec![],
+            where_clause: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::col(None, "r"),
+                Expr::Param("ra".into()),
+            )),
+            order_by: None,
+        };
+        assert_eq!(q.params(), vec!["ra".to_string(), "dec".to_string()]);
+    }
+
+    #[test]
+    fn embedded_function_accessor() {
+        let q = Query {
+            top: Some(5),
+            select: vec![SelectItem::Wildcard],
+            from: TableSource::Table {
+                name: "t".into(),
+                alias: None,
+            },
+            joins: vec![],
+            where_clause: None,
+            order_by: None,
+        };
+        assert!(q.embedded_function().is_none());
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableSource::Table {
+            name: "PhotoPrimary".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.binding_name(), "p");
+        let f = TableSource::Function {
+            name: "f".into(),
+            args: vec![],
+            alias: None,
+        };
+        assert_eq!(f.binding_name(), "f");
+    }
+
+    #[test]
+    fn walk_visits_every_node() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col(Some("p"), "r")),
+            low: Box::new(Expr::Literal(Literal::Int(0))),
+            high: Box::new(Expr::Param("hi".into())),
+            negated: false,
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+        assert_eq!(e.params(), vec!["hi"]);
+    }
+}

@@ -1,0 +1,326 @@
+//! The SQL tokenizer.
+
+use crate::token::{Keyword, Token, TokenKind};
+use crate::SqlError;
+
+/// Tokenizes `input`, appending a final [`TokenKind::Eof`].
+///
+/// # Errors
+/// Returns a positioned error on unterminated strings, malformed numbers,
+/// or unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => push1(&mut tokens, &mut i, start, TokenKind::LParen),
+            b')' => push1(&mut tokens, &mut i, start, TokenKind::RParen),
+            b',' => push1(&mut tokens, &mut i, start, TokenKind::Comma),
+            b'*' => push1(&mut tokens, &mut i, start, TokenKind::Star),
+            b'+' => push1(&mut tokens, &mut i, start, TokenKind::Plus),
+            b'-' => push1(&mut tokens, &mut i, start, TokenKind::Minus),
+            b'/' => push1(&mut tokens, &mut i, start, TokenKind::Slash),
+            b'%' => push1(&mut tokens, &mut i, start, TokenKind::Percent),
+            b'=' => push1(&mut tokens, &mut i, start, TokenKind::Eq),
+            b'.' if !matches!(bytes.get(i + 1), Some(d) if d.is_ascii_digit()) => {
+                push1(&mut tokens, &mut i, start, TokenKind::Dot)
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Le,
+                    });
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Neq,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Lt);
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ge,
+                    });
+                } else {
+                    push1(&mut tokens, &mut i, start, TokenKind::Gt);
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Neq,
+                    });
+                } else {
+                    return Err(SqlError::new(start, "unexpected `!`"));
+                }
+            }
+            b'\'' => {
+                // String literal with '' escaping.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            value.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_end = next_char_boundary(input, i);
+                            value.push_str(&input[i..ch_end]);
+                            i = ch_end;
+                        }
+                        None => return Err(SqlError::new(start, "unterminated string literal")),
+                    }
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Str(value),
+                });
+            }
+            b'[' => {
+                // Bracket-quoted identifier (SQL Server style, used by
+                // SkyServer docs).
+                let Some(close) = input[i..].find(']') else {
+                    return Err(SqlError::new(start, "unterminated `[identifier]`"));
+                };
+                let name = input[i + 1..i + close].to_string();
+                if name.is_empty() {
+                    return Err(SqlError::new(start, "empty `[]` identifier"));
+                }
+                i += close + 1;
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Ident(name),
+                });
+            }
+            b'$' => {
+                i += 1;
+                let word_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == word_start {
+                    return Err(SqlError::new(start, "`$` must be followed by a name"));
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Param(input[word_start..i].to_string()),
+                });
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len() && bytes[end] == b'.' {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+                    let mut exp = end + 1;
+                    if exp < bytes.len() && (bytes[exp] == b'+' || bytes[exp] == b'-') {
+                        exp += 1;
+                    }
+                    let digits_start = exp;
+                    while exp < bytes.len() && bytes[exp].is_ascii_digit() {
+                        exp += 1;
+                    }
+                    if exp > digits_start {
+                        is_float = true;
+                        end = exp;
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| SqlError::new(start, "malformed number"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>()
+                            .map_err(|_| SqlError::new(start, "integer out of range"))?,
+                    )
+                };
+                i = end;
+                tokens.push(Token {
+                    offset: start,
+                    kind,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                let word = &input[i..end];
+                i = end;
+                let kind = match Keyword::lookup(word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token {
+                    offset: start,
+                    kind,
+                });
+            }
+            other => {
+                return Err(SqlError::new(
+                    start,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        }
+    }
+
+    tokens.push(Token {
+        offset: input.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, i: &mut usize, offset: usize, kind: TokenKind) {
+    tokens.push(Token { offset, kind });
+    *i += 1;
+}
+
+fn next_char_boundary(s: &str, i: usize) -> usize {
+    let mut j = i + 1;
+    while j < s.len() && !s.is_char_boundary(j) {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_radial_template() {
+        let ks = kinds("SELECT TOP $n * FROM fGetNearbyObjEq($ra, $dec, $radius) n");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(ks[1], TokenKind::Keyword(Keyword::Top));
+        assert_eq!(ks[2], TokenKind::Param("n".into()));
+        assert_eq!(ks[3], TokenKind::Star);
+        assert_eq!(ks[5], TokenKind::Ident("fGetNearbyObjEq".into()));
+        assert!(ks.contains(&TokenKind::Param("radius".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("42.5")[0], TokenKind::Float(42.5));
+        assert_eq!(kinds(".5")[0], TokenKind::Float(0.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-2")[0], TokenKind::Float(0.025));
+    }
+
+    #[test]
+    fn dot_vs_decimal() {
+        // p.ra is Ident Dot Ident, not a float
+        let ks = kinds("p.ra");
+        assert_eq!(
+            ks[..3],
+            [
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("ra".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("a <= b >= c <> d != e < f > g = h");
+        let ops: Vec<&TokenKind> = ks
+            .iter()
+            .filter(|k| {
+                matches!(
+                    k,
+                    TokenKind::Le
+                        | TokenKind::Ge
+                        | TokenKind::Neq
+                        | TokenKind::Lt
+                        | TokenKind::Gt
+                        | TokenKind::Eq
+                )
+            })
+            .collect();
+        assert_eq!(ops.len(), 7);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- the columns\n a");
+        assert_eq!(ks.len(), 3); // SELECT, a, EOF
+    }
+
+    #[test]
+    fn bracketed_identifiers() {
+        assert_eq!(
+            kinds("[Photo Primary]")[0],
+            TokenKind::Ident("Photo Primary".into())
+        );
+        assert!(tokenize("[oops").is_err());
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let ts = tokenize("SELECT a").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 7);
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,645 @@
+//! Recursive-descent parser for the function-embedded query class.
+
+use crate::ast::{BinOp, Expr, Join, Literal, Query, SelectItem, TableSource, UnOp};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token, TokenKind};
+use crate::SqlError;
+
+/// Parses one `SELECT` statement of the supported class.
+///
+/// # Errors
+/// Returns a positioned [`SqlError`] on lexical or syntactic problems,
+/// including trailing garbage after the statement.
+pub fn parse_query(sql: &str) -> Result<Query, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses a standalone scalar expression (used by template files for the
+/// coordinate-mapping formulas like `cos($ra)*cos($dec)`).
+///
+/// # Errors
+/// Returns a positioned [`SqlError`] on malformed input.
+pub fn parse_expr(text: &str) -> Result<Expr, SqlError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Keyword(kw))
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::new(
+                self.offset(),
+                format!("expected `{}`", kw.as_str()),
+            ))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), SqlError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(SqlError::new(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SqlError> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(SqlError::new(self.offset(), "unexpected trailing input"))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(SqlError::new(self.offset(), format!("expected {what}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+
+        let top = if self.eat_kw(Keyword::Top) {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => {
+                    return Err(SqlError::new(
+                        self.offset(),
+                        "TOP requires a non-negative integer",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        let select = self.select_list()?;
+        self.expect_kw(Keyword::From)?;
+        let from = self.table_source()?;
+
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_kw(Keyword::Inner);
+            if self.eat_kw(Keyword::Join) {
+                let source = self.table_source()?;
+                self.expect_kw(Keyword::On)?;
+                let on = self.expr()?;
+                joins.push(Join { source, on });
+            } else if inner {
+                return Err(SqlError::new(
+                    self.offset(),
+                    "expected `JOIN` after `INNER`",
+                ));
+            } else {
+                break;
+            }
+        }
+
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let order_by = if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            let col = self.ident("column name after ORDER BY")?;
+            let asc = if self.eat_kw(Keyword::Desc) {
+                false
+            } else {
+                self.eat_kw(Keyword::Asc);
+                true
+            };
+            Some((col, asc))
+        } else {
+            None
+        };
+
+        Ok(Query {
+            top,
+            select,
+            from,
+            joins,
+            where_clause,
+            order_by,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (TokenKind::Ident(q), TokenKind::Dot) = (self.peek(), self.peek2()) {
+            let third = self.tokens.get(self.pos + 2).map(|t| &t.kind);
+            if third == Some(&TokenKind::Star) {
+                let q = q.clone();
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("alias after AS")?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            // Bare alias (`SELECT a b`): allowed only directly after a
+            // column/call, mirroring common SQL.
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_source(&mut self) -> Result<TableSource, SqlError> {
+        let name = self.ident("table or function name")?;
+        if self.eat(&TokenKind::LParen) {
+            let mut args = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if self.eat(&TokenKind::RParen) {
+                        break;
+                    }
+                    self.expect(TokenKind::Comma, "`,` or `)` in argument list")?;
+                }
+            }
+            let alias = self.opt_alias()?;
+            Ok(TableSource::Function { name, args, alias })
+        } else {
+            let alias = self.opt_alias()?;
+            Ok(TableSource::Table { name, alias })
+        }
+    }
+
+    fn opt_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw(Keyword::As) {
+            return Ok(Some(self.ident("alias after AS")?));
+        }
+        if let TokenKind::Ident(_) = self.peek() {
+            return Ok(Some(self.ident("alias")?));
+        }
+        Ok(None)
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.additive()?;
+
+        // Optional NOT before BETWEEN / IN / LIKE.
+        let negated = if matches!(self.peek(), TokenKind::Keyword(Keyword::Not))
+            && matches!(
+                self.peek2(),
+                TokenKind::Keyword(Keyword::Between | Keyword::In | Keyword::Like)
+            ) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+
+        if self.eat_kw(Keyword::Between) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(TokenKind::LParen, "`(` after IN")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma, "`,` or `)` in IN list")?;
+            }
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::Like) {
+            let pattern = self.additive()?;
+            let like = Expr::binary(BinOp::Like, left, pattern);
+            return Ok(if negated {
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(like),
+                }
+            } else {
+                like
+            });
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Neq => Some(BinOp::Neq),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Fold negation into numeric literals for cleaner ASTs.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
+                other => Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Param(p) => {
+                self.bump();
+                Ok(Expr::Param(p))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma, "`,` or `)` in call")?;
+                        }
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.ident("column after `.`")?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(SqlError::new(
+                self.offset(),
+                format!("unexpected token {other:?} in expression"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_radial_query() {
+        let q = parse_query(
+            "SELECT TOP 1000 p.objID, p.run, p.ra, p.dec, p.cx, p.cy, p.cz \
+             FROM fGetNearbyObjEq(185.0, 1.5, 30.0) n \
+             JOIN PhotoPrimary p ON n.objID = p.objID \
+             WHERE p.u BETWEEN 0.0 AND 22.5 AND p.r < 20.0",
+        )
+        .unwrap();
+        assert_eq!(q.top, Some(1000));
+        assert_eq!(q.select.len(), 7);
+        let (name, args, alias) = q.embedded_function().unwrap();
+        assert_eq!(name, "fGetNearbyObjEq");
+        assert_eq!(args.len(), 3);
+        assert_eq!(alias, Some("n"));
+        assert_eq!(q.joins.len(), 1);
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_template_with_params() {
+        let q =
+            parse_query("SELECT * FROM fGetObjFromRect($min_ra, $max_ra, $min_dec, $max_dec) r")
+                .unwrap();
+        assert_eq!(q.params(), vec!["min_ra", "max_ra", "min_dec", "max_dec"]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_query("SELECT * FROM t WHERE a + b * c = d OR e AND f < 1").unwrap();
+        let w = q.where_clause.unwrap();
+        // Top level must be OR.
+        let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } = &w
+        else {
+            panic!("expected OR at top: {w:?}");
+        };
+        // Left: a + b*c = d
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: add,
+            ..
+        } = left.as_ref()
+        else {
+            panic!("expected = on left");
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right: mul,
+            ..
+        } = add.as_ref()
+        else {
+            panic!("expected + inside =");
+        };
+        assert!(matches!(mul.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+        // Right: e AND f < 1
+        assert!(matches!(
+            right.as_ref(),
+            Expr::Binary { op: BinOp::And, .. }
+        ));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse_query("SELECT * FROM t WHERE a > -5 AND b < -2.5").unwrap();
+        let mut found = 0;
+        q.where_clause.unwrap().walk(&mut |e| match e {
+            Expr::Literal(Literal::Int(-5)) => found += 1,
+            Expr::Literal(Literal::Float(f)) if *f == -2.5 => found += 1,
+            _ => {}
+        });
+        assert_eq!(found, 2);
+    }
+
+    #[test]
+    fn between_in_like_is_null() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1, 2, 3) \
+             AND c LIKE 'x%' AND d IS NOT NULL AND e NOT BETWEEN 3 AND 4 \
+             AND f NOT IN (5) AND g IS NULL",
+        )
+        .unwrap();
+        let mut betweens = 0;
+        let mut ins = 0;
+        let mut likes = 0;
+        let mut nulls = 0;
+        q.where_clause.unwrap().walk(&mut |e| match e {
+            Expr::Between { negated, .. } => betweens += 1 + usize::from(*negated),
+            Expr::InList { negated, .. } => ins += 1 + usize::from(*negated),
+            Expr::Binary {
+                op: BinOp::Like, ..
+            } => likes += 1,
+            Expr::IsNull { .. } => nulls += 1,
+            _ => {}
+        });
+        assert_eq!(betweens, 3); // one plain + one negated (counted twice)
+        assert_eq!(ins, 3);
+        assert_eq!(likes, 1);
+        assert_eq!(nulls, 2);
+    }
+
+    #[test]
+    fn multiple_joins_and_aliases() {
+        let q = parse_query(
+            "SELECT a.*, b.x y FROM t AS a JOIN u b ON a.id = b.id \
+             INNER JOIN v ON b.id = v.id ORDER BY x DESC",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.order_by, Some(("x".into(), false)));
+        assert!(matches!(&q.select[0], SelectItem::QualifiedWildcard(a) if a == "a"));
+        assert!(matches!(&q.select[1], SelectItem::Expr { alias: Some(al), .. } if al == "y"));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT *",
+            "SELECT * FROM",
+            "SELECT * FROM f( WHERE",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t extra garbage (",
+            "SELECT TOP x * FROM t",
+            "SELECT * FROM t INNER t2 ON a = b",
+            "SELECT * FROM t JOIN u",
+            "SELECT * FROM t ORDER BY",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parse_expr_standalone() {
+        let e = parse_expr("cos($ra)*cos($dec)").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+        assert_eq!(e.params(), vec!["ra", "dec"]);
+        assert!(parse_expr("cos(").is_err());
+        assert!(parse_expr("1 2").is_err());
+    }
+
+    #[test]
+    fn nested_not() {
+        let q = parse_query("SELECT * FROM t WHERE NOT NOT a = 1").unwrap();
+        let w = q.where_clause.unwrap();
+        let Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } = &w
+        else {
+            panic!()
+        };
+        assert!(matches!(expr.as_ref(), Expr::Unary { op: UnOp::Not, .. }));
+    }
+}

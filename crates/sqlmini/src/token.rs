@@ -1,0 +1,171 @@
+//! Token definitions for the SQL lexer.
+
+/// A lexical token with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset where the token starts.
+    pub offset: usize,
+    /// The token itself.
+    pub kind: TokenKind,
+}
+
+/// The kinds of token the SQL subset uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (stored uppercase: `SELECT`, `FROM`, …).
+    Keyword(Keyword),
+    /// An identifier (case preserved; `[bracketed]` identifiers unwrapped).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A `$name` template parameter.
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// Recognized SQL keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Top,
+    From,
+    Where,
+    Join,
+    Inner,
+    On,
+    As,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Like,
+    Is,
+    Null,
+    Order,
+    By,
+    Asc,
+    Desc,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Looks a word up case-insensitively.
+    pub fn lookup(word: &str) -> Option<Keyword> {
+        let up = word.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "SELECT" => Keyword::Select,
+            "TOP" => Keyword::Top,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "ON" => Keyword::On,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "BETWEEN" => Keyword::Between,
+            "IN" => Keyword::In,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+
+    /// Canonical (uppercase) spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Top => "TOP",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::On => "ON",
+            Keyword::As => "AS",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::Between => "BETWEEN",
+            Keyword::In => "IN",
+            Keyword::Like => "LIKE",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Order => "ORDER",
+            Keyword::By => "BY",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("PhotoPrimary"), None);
+    }
+
+    #[test]
+    fn keyword_spelling_roundtrips() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Between,
+            Keyword::Desc,
+            Keyword::Null,
+        ] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+    }
+}

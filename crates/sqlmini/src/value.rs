@@ -1,0 +1,189 @@
+//! Runtime values: what literals evaluate to and what parameter bindings
+//! hold.
+
+use crate::ast::Literal;
+use serde::{Deserialize, Serialize};
+
+/// A runtime SQL value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view (ints widen to floats); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything but `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for anything but `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The literal that would evaluate to this value.
+    pub fn to_literal(&self) -> Literal {
+        match self {
+            Value::Null => Literal::Null,
+            Value::Int(i) => Literal::Int(*i),
+            Value::Float(f) => Literal::Float(*f),
+            Value::Str(s) => Literal::Str(s.clone()),
+            Value::Bool(b) => Literal::Bool(*b),
+        }
+    }
+
+    /// Parses a value from HTTP form text: tries integer, then float,
+    /// falling back to a string. (HTML forms deliver everything as text;
+    /// this mirrors how the paper's servlet would coerce form fields.)
+    pub fn from_form_text(text: &str) -> Value {
+        let t = text.trim();
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        Value::Str(t.to_string())
+    }
+
+    /// SQL ordering/equality comparison with numeric coercion between
+    /// `Int` and `Float`. NULL compares equal to NULL and less than
+    /// everything else (a total order convenient for sorting; SQL
+    /// three-valued logic is applied by the executor, not here).
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                // Heterogeneous, non-numeric: order by type tag.
+                _ => type_rank(a).cmp(&type_rank(b)),
+            },
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+impl From<Literal> for Value {
+    fn from(l: Literal) -> Self {
+        match l {
+            Literal::Null => Value::Null,
+            Literal::Int(i) => Value::Int(i),
+            Literal::Float(f) => Value::Float(f),
+            Literal::Str(s) => Value::Str(s),
+            Literal::Bool(b) => Value::Bool(b),
+        }
+    }
+}
+
+impl From<&Literal> for Value {
+    fn from(l: &Literal) -> Self {
+        Value::from(l.clone())
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            // Keep a decimal point so the text re-coerces to Float, making
+            // Display/`from_form_text` a lossless pair for finite values.
+            Value::Float(v) if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 => {
+                write!(f, "{v:.1}")
+            }
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn form_text_coercion() {
+        assert_eq!(Value::from_form_text("42"), Value::Int(42));
+        assert_eq!(Value::from_form_text(" 1.5 "), Value::Float(1.5));
+        assert_eq!(Value::from_form_text("-30"), Value::Int(-30));
+        assert_eq!(Value::from_form_text("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::from_form_text("inf"), Value::Str("inf".into()));
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn literal_value_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Str("x".into()),
+            Value::Bool(true),
+        ] {
+            assert_eq!(Value::from(v.to_literal()), v);
+        }
+    }
+}

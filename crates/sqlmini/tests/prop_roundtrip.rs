@@ -1,0 +1,183 @@
+//! Property tests: arbitrary ASTs of the supported query class survive
+//! print → parse (the printer emits canonical text; the parser must
+//! recover an equal AST), and template matching is consistent with
+//! instantiation for arbitrary bindings.
+
+use fp_sqlmini::{
+    parse_query, BinOp, Bindings, Expr, Join, Literal, Query, QueryTemplate, SelectItem,
+    TableSource, UnOp, Value,
+};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid keywords by prefixing.
+    "[a-z][a-zA-Z0-9_]{0,8}".prop_map(|s| format!("c_{s}"))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Literal::Int(i64::from(i))),
+        (-1.0e6f64..1.0e6).prop_map(Literal::Float),
+        "[ -~]{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(|n| Expr::Column {
+            qualifier: None,
+            name: n
+        }),
+        (arb_ident(), arb_ident()).prop_map(|(q, n)| Expr::Column {
+            qualifier: Some(q),
+            name: n
+        }),
+        arb_ident().prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Neq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, neg)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: neg,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, neg)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: neg,
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, neg)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: neg
+            }),
+            (arb_ident(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(name, args)| Expr::Call { name, args }),
+        ]
+    })
+}
+
+fn arb_source() -> impl Strategy<Value = TableSource> {
+    prop_oneof![
+        (arb_ident(), prop::option::of(arb_ident()))
+            .prop_map(|(name, alias)| TableSource::Table { name, alias }),
+        (
+            arb_ident(),
+            prop::collection::vec(arb_expr(), 0..4),
+            prop::option::of(arb_ident())
+        )
+            .prop_map(|(name, args, alias)| TableSource::Function { name, args, alias }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::option::of(0u64..10_000),
+        prop::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                arb_ident().prop_map(SelectItem::QualifiedWildcard),
+                (arb_expr(), prop::option::of(arb_ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..4,
+        ),
+        arb_source(),
+        prop::collection::vec((arb_source(), arb_expr()), 0..2),
+        prop::option::of(arb_expr()),
+        prop::option::of((arb_ident(), any::<bool>())),
+    )
+        .prop_map(|(top, select, from, joins, where_clause, order_by)| Query {
+            top,
+            select,
+            from,
+            joins: joins
+                .into_iter()
+                .map(|(source, on)| Join { source, on })
+                .collect(),
+            where_clause,
+            order_by,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core printer/parser contract.
+    #[test]
+    fn print_parse_roundtrip(q in arb_query()) {
+        let sql = q.to_sql();
+        let back = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {e}\nSQL: {sql}"));
+        prop_assert_eq!(back, q, "sql: {}", sql);
+    }
+
+    /// Canonical printing is a fixpoint: printing the reparse gives the
+    /// same text.
+    #[test]
+    fn printing_is_canonical(q in arb_query()) {
+        let sql = q.to_sql();
+        let back = parse_query(&sql).expect("roundtrips");
+        prop_assert_eq!(back.to_sql(), sql);
+    }
+
+    /// instantiate ∘ match = identity on bindings, for templates derived
+    /// from arbitrary numeric bindings.
+    #[test]
+    fn template_match_inverts_instantiate(
+        ra in -360.0f64..360.0,
+        dec in -90.0f64..90.0,
+        radius in 0.01f64..120.0,
+    ) {
+        let t = QueryTemplate::parse(
+            "radial",
+            "SELECT p.objID, p.cx FROM fGetNearbyObjEq($ra, $dec, $radius) n \
+             JOIN PhotoPrimary p ON n.objID = p.objID",
+        )
+        .expect("template parses");
+        let mut b = Bindings::new();
+        b.insert("ra".into(), Value::Float(ra));
+        b.insert("dec".into(), Value::Float(dec));
+        b.insert("radius".into(), Value::Float(radius));
+        let q = t.instantiate(&b).expect("instantiates");
+        let recovered = t.match_query(&q).expect("matches");
+        prop_assert_eq!(recovered, b);
+        // And the instantiated query round-trips through text.
+        let reparsed = parse_query(&q.to_sql()).expect("parses");
+        prop_assert_eq!(t.match_query(&reparsed).expect("still matches").len(), 3);
+    }
+}

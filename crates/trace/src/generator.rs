@@ -1,0 +1,430 @@
+//! Constructive trace generation calibrated to the paper's mix.
+//!
+//! Strategy: for each query, draw the *intended* relationship (exact /
+//! contained / overlap / disjoint) from the target distribution, then
+//! construct parameters that realize it against the queries generated so
+//! far — verifying the realized relationship with the same region algebra
+//! the proxy uses, so intended and realized mixes agree. An R-tree over
+//! the emitted regions keeps the all-pairs checks fast.
+
+use crate::trace::{RadialQuery, Trace};
+use fp_geometry::celestial::radial_query_sphere;
+use fp_geometry::{HyperRect, Region, Relation};
+use fp_rtree::RTree;
+use fp_skyserver::SkyWindow;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Relationship categories the generator targets (the §4.1 census).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// Same parameters as an earlier query.
+    Exact,
+    /// Contained in an earlier query.
+    Contained,
+    /// Overlaps an earlier query without containment either way.
+    Overlap,
+    /// Contains one or more earlier queries (the paper's *region
+    /// containment*, "a special case of query overlapping").
+    Covering,
+    /// Disjoint from all earlier queries.
+    Disjoint,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// RNG seed (identical specs generate identical traces).
+    pub seed: u64,
+    /// Number of queries.
+    pub queries: usize,
+    /// Sky window queries are drawn from (should match the catalog's).
+    pub window: SkyWindow,
+    /// Target fraction of exact matches (paper: 0.17).
+    pub exact: f64,
+    /// Target fraction of contained queries (paper: 0.34).
+    pub contained: f64,
+    /// Target fraction of (partially) overlapping queries. Together with
+    /// `covering` this forms the paper's ~9 % overlap census.
+    pub overlap: f64,
+    /// Target fraction of covering queries (region containment — the
+    /// paper folds these into its 9 % overlap figure).
+    pub covering: f64,
+    /// Radius range in arc minutes (log-uniform).
+    pub radius_arcmin: (f64, f64),
+    /// Number of query hot spots (web users revisit popular regions).
+    pub hotspots: usize,
+    /// Fraction of fresh queries aimed at a hot spot.
+    pub hotspot_fraction: f64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            seed: 0x7ACE,
+            queries: 2000,
+            window: SkyWindow::default(),
+            exact: 0.17,
+            contained: 0.34,
+            overlap: 0.06,
+            covering: 0.03,
+            radius_arcmin: (2.0, 20.0),
+            hotspots: 16,
+            hotspot_fraction: 0.7,
+        }
+    }
+}
+
+impl TraceSpec {
+    /// A small spec for unit tests.
+    pub fn small_test() -> Self {
+        TraceSpec {
+            seed: 7,
+            queries: 300,
+            ..TraceSpec::default()
+        }
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    /// Panics when the fractions are malformed (negative or summing past
+    /// 1) or the window/radius ranges are empty.
+    pub fn generate(&self) -> Trace {
+        assert!(self.queries > 0);
+        assert!(
+            self.exact >= 0.0
+                && self.contained >= 0.0
+                && self.overlap >= 0.0
+                && self.covering >= 0.0
+        );
+        assert!(
+            self.exact + self.contained + self.overlap + self.covering <= 1.0 + 1e-9,
+            "fractions must leave room for disjoint queries"
+        );
+        assert!(self.radius_arcmin.0 > 0.0 && self.radius_arcmin.1 >= self.radius_arcmin.0);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let hotspots: Vec<(f64, f64)> = (0..self.hotspots.max(1))
+            .map(|_| {
+                (
+                    rng.gen_range(self.window.ra_min..self.window.ra_max),
+                    rng.gen_range(self.window.dec_min..self.window.dec_max),
+                )
+            })
+            .collect();
+
+        let mut gen = Generator {
+            spec: self,
+            rng,
+            hotspots,
+            emitted: Vec::new(),
+            index: RTree::with_capacity_params(3, 16),
+        };
+        let mut queries = Vec::with_capacity(self.queries);
+        for i in 0..self.queries {
+            queries.push(gen.next_query(i));
+        }
+        Trace { queries }
+    }
+}
+
+struct Generator<'a> {
+    spec: &'a TraceSpec,
+    rng: StdRng,
+    hotspots: Vec<(f64, f64)>,
+    emitted: Vec<(RadialQuery, Region)>,
+    /// Bounding boxes of emitted regions → index into `emitted`.
+    index: RTree<usize>,
+}
+
+impl Generator<'_> {
+    fn next_query(&mut self, i: usize) -> RadialQuery {
+        // Nothing to relate to yet: the first queries are fresh.
+        let kind = if self.emitted.is_empty() {
+            RelationKind::Disjoint
+        } else {
+            self.draw_kind()
+        };
+
+        let q = match kind {
+            RelationKind::Exact => self.make_exact(),
+            RelationKind::Contained => self.make_contained(),
+            RelationKind::Overlap => self.make_overlap(),
+            RelationKind::Covering => self.make_covering(),
+            RelationKind::Disjoint => self.make_disjoint(),
+        }
+        // Construction can fail on a saturated sky; fall back to a fresh
+        // draw, accepting whatever relationship it lands in.
+        .unwrap_or_else(|| self.fresh_draw());
+
+        let region = Region::Sphere(
+            radial_query_sphere(q.ra, q.dec, q.radius).expect("generated query is valid"),
+        );
+        self.index.insert(region.bounding_rect(), i);
+        self.emitted.push((q, region));
+        q
+    }
+
+    fn draw_kind(&mut self) -> RelationKind {
+        let x: f64 = self.rng.gen();
+        let s = self.spec;
+        if x < s.exact {
+            RelationKind::Exact
+        } else if x < s.exact + s.contained {
+            RelationKind::Contained
+        } else if x < s.exact + s.contained + s.overlap {
+            RelationKind::Overlap
+        } else if x < s.exact + s.contained + s.overlap + s.covering {
+            RelationKind::Covering
+        } else {
+            RelationKind::Disjoint
+        }
+    }
+
+    /// Log-uniform radius (web radii are heavy-tailed toward small).
+    fn draw_radius(&mut self) -> f64 {
+        let (lo, hi) = self.spec.radius_arcmin;
+        (self.rng.gen_range(lo.ln()..=hi.ln())).exp()
+    }
+
+    fn fresh_draw(&mut self) -> RadialQuery {
+        let (ra, dec) = if self.rng.gen_bool(self.spec.hotspot_fraction) {
+            let (hra, hdec) = self.hotspots[self.rng.gen_range(0..self.hotspots.len())];
+            // Jitter around the hot spot by up to ±0.5°.
+            (
+                (hra + self.rng.gen_range(-0.5..0.5))
+                    .clamp(self.spec.window.ra_min, self.spec.window.ra_max),
+                (hdec + self.rng.gen_range(-0.5..0.5))
+                    .clamp(self.spec.window.dec_min, self.spec.window.dec_max),
+            )
+        } else {
+            (
+                self.rng
+                    .gen_range(self.spec.window.ra_min..self.spec.window.ra_max),
+                self.rng
+                    .gen_range(self.spec.window.dec_min..self.spec.window.dec_max),
+            )
+        };
+        RadialQuery {
+            ra,
+            dec,
+            radius: self.draw_radius(),
+        }
+    }
+
+    /// Classifies a candidate against everything emitted so far, using the
+    /// same priorities the proxy's classifier uses.
+    fn classify(&self, region: &Region) -> RelationKind {
+        let mut contained = false;
+        let mut covers = false;
+        let mut overlapping = false;
+        for (_, &idx) in self.index.search_intersecting(&region.bounding_rect()) {
+            match region.relate(&self.emitted[idx].1) {
+                Relation::Equal => return RelationKind::Exact,
+                Relation::Inside => contained = true,
+                Relation::Contains => covers = true,
+                Relation::Overlaps => overlapping = true,
+                Relation::Disjoint => {}
+            }
+        }
+        if contained {
+            RelationKind::Contained
+        } else if covers {
+            RelationKind::Covering
+        } else if overlapping {
+            RelationKind::Overlap
+        } else {
+            RelationKind::Disjoint
+        }
+    }
+
+    fn region_of(q: &RadialQuery) -> Option<Region> {
+        radial_query_sphere(q.ra, q.dec, q.radius)
+            .ok()
+            .map(Region::Sphere)
+    }
+
+    fn make_exact(&mut self) -> Option<RadialQuery> {
+        let idx = self.rng.gen_range(0..self.emitted.len());
+        Some(self.emitted[idx].0)
+    }
+
+    fn make_contained(&mut self) -> Option<RadialQuery> {
+        for _ in 0..32 {
+            let (base, _) = &self.emitted[self.rng.gen_range(0..self.emitted.len())];
+            let base = *base;
+            // Sub-query: smaller radius (floored at half the configured
+            // minimum so chains of containment cannot shrink unboundedly),
+            // center offset keeping angular containment with margin.
+            let radius =
+                (base.radius * self.rng.gen_range(0.2..0.8)).max(self.spec.radius_arcmin.0 * 0.5);
+            if radius >= base.radius * 0.95 {
+                continue;
+            }
+            let slack_arcmin = (base.radius - radius) * 0.8;
+            let angle = self.rng.gen_range(0.0..std::f64::consts::TAU);
+            let off_deg = slack_arcmin / 60.0 * self.rng.gen::<f64>();
+            let q = RadialQuery {
+                ra: base.ra + off_deg * angle.cos() / base.dec.to_radians().cos().max(0.2),
+                dec: (base.dec + off_deg * angle.sin()).clamp(-89.9, 89.9),
+                radius,
+            };
+            let region = Self::region_of(&q)?;
+            if self.classify(&region) == RelationKind::Contained {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn make_overlap(&mut self) -> Option<RadialQuery> {
+        for _ in 0..32 {
+            let (base, _) = &self.emitted[self.rng.gen_range(0..self.emitted.len())];
+            let base = *base;
+            // Radius stays inside the configured range so overlap chains
+            // cannot drift arbitrarily large or small.
+            let radius = (base.radius * self.rng.gen_range(0.5..1.2))
+                .clamp(self.spec.radius_arcmin.0, self.spec.radius_arcmin.1);
+            // Center distance strictly between |r1-r2| and r1+r2.
+            let lo = (base.radius - radius).abs() * 1.1 + 0.05 * radius.min(base.radius);
+            let hi = (base.radius + radius) * 0.9;
+            if lo >= hi {
+                continue;
+            }
+            let dist_arcmin = self.rng.gen_range(lo..hi);
+            let angle = self.rng.gen_range(0.0..std::f64::consts::TAU);
+            let off_deg = dist_arcmin / 60.0;
+            let q = RadialQuery {
+                ra: base.ra + off_deg * angle.cos() / base.dec.to_radians().cos().max(0.2),
+                dec: (base.dec + off_deg * angle.sin()).clamp(-89.9, 89.9),
+                radius,
+            };
+            let region = Self::region_of(&q)?;
+            if self.classify(&region) == RelationKind::Overlap {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn make_covering(&mut self) -> Option<RadialQuery> {
+        for _ in 0..32 {
+            let (base, _) = &self.emitted[self.rng.gen_range(0..self.emitted.len())];
+            let base = *base;
+            // A wider query around an earlier one; radius capped so the
+            // trace's result sizes stay in range.
+            let radius =
+                (base.radius * self.rng.gen_range(1.6..2.5)).min(self.spec.radius_arcmin.1 * 1.5);
+            if radius <= base.radius * 1.2 {
+                continue;
+            }
+            let slack_arcmin = (radius - base.radius) * 0.5;
+            let angle = self.rng.gen_range(0.0..std::f64::consts::TAU);
+            let off_deg = slack_arcmin / 60.0 * self.rng.gen::<f64>();
+            let q = RadialQuery {
+                ra: base.ra + off_deg * angle.cos() / base.dec.to_radians().cos().max(0.2),
+                dec: (base.dec + off_deg * angle.sin()).clamp(-89.9, 89.9),
+                radius,
+            };
+            let region = Self::region_of(&q)?;
+            if self.classify(&region) == RelationKind::Covering {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    fn make_disjoint(&mut self) -> Option<RadialQuery> {
+        for _ in 0..64 {
+            let q = self.fresh_draw();
+            let region = Self::region_of(&q)?;
+            if self.classify(&region) == RelationKind::Disjoint {
+                return Some(q);
+            }
+        }
+        None
+    }
+}
+
+/// Probes how much of the window's bounding volume the emitted regions
+/// cover — exposed for diagnosing saturated generator settings in tests.
+pub fn window_bbox(window: &SkyWindow) -> HyperRect {
+    // Conservative unit-vector bounding box of the sky window.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for i in 0..=16 {
+        for j in 0..=16 {
+            let ra = window.ra_min + window.ra_span() * i as f64 / 16.0;
+            let dec = window.dec_min + window.dec_span() * j as f64 / 16.0;
+            let v = fp_geometry::celestial::radec_to_unit(ra, dec);
+            for d in 0..3 {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+    }
+    HyperRect::new(lo.to_vec(), hi.to_vec()).expect("window is finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::classify_trace;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TraceSpec::small_test();
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn queries_lie_in_window() {
+        let spec = TraceSpec::small_test();
+        let t = spec.generate();
+        assert_eq!(t.len(), spec.queries);
+        for q in &t.queries {
+            // Constructed sub/overlap queries may shift slightly past the
+            // window edge; bounded by the maximum offset construction uses.
+            assert!(q.ra >= spec.window.ra_min - 1.0 && q.ra <= spec.window.ra_max + 1.0);
+            assert!(q.radius >= spec.radius_arcmin.0 * 0.5 * 0.99);
+            // Covering queries may reach 1.5× the configured maximum.
+            assert!(q.radius <= spec.radius_arcmin.1 * 1.5 * 1.01);
+        }
+    }
+
+    #[test]
+    fn realized_mix_tracks_target() {
+        let spec = TraceSpec {
+            seed: 21,
+            queries: 1500,
+            ..TraceSpec::default()
+        };
+        let t = spec.generate();
+        let mix = classify_trace(&t);
+        let n = t.len() as f64;
+        let exact = mix.counts[0] as f64 / n;
+        let contained = mix.counts[1] as f64 / n;
+        let overlap = mix.counts[2] as f64 / n;
+        assert!((exact - spec.exact).abs() < 0.04, "exact {exact}");
+        assert!(
+            (contained - spec.contained).abs() < 0.05,
+            "contained {contained}"
+        );
+        // The census folds covering into overlap, as the paper does.
+        let overlap_target = spec.overlap + spec.covering;
+        assert!((overlap - overlap_target).abs() < 0.04, "overlap {overlap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn rejects_overfull_fractions() {
+        TraceSpec {
+            exact: 0.9,
+            contained: 0.9,
+            ..TraceSpec::default()
+        }
+        .generate();
+    }
+}

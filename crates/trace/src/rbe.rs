@@ -1,0 +1,153 @@
+//! The Remote Browser Emulator: replays traces through a proxy.
+
+use crate::trace::Trace;
+use funcproxy::metrics::{QueryMetrics, TraceReport};
+use funcproxy::{FunctionProxy, ProxyError};
+
+/// The paper's RBE ("the program we write for emulating a web browser
+/// client"): issues each trace query as a Radial form request and records
+/// the per-query metrics.
+pub struct Rbe {
+    /// Path of the Radial form on the proxy.
+    pub form_path: String,
+}
+
+impl Default for Rbe {
+    fn default() -> Self {
+        Rbe {
+            form_path: "/search/radial".to_string(),
+        }
+    }
+}
+
+impl Rbe {
+    /// Replays `trace` through `proxy`, returning per-query metrics.
+    ///
+    /// # Errors
+    /// Stops at the first proxy error (misconfigured templates or a dead
+    /// origin make the whole run meaningless).
+    pub fn replay(
+        &self,
+        proxy: &mut FunctionProxy,
+        trace: &Trace,
+    ) -> Result<Vec<QueryMetrics>, ProxyError> {
+        let mut out = Vec::with_capacity(trace.len());
+        for q in &trace.queries {
+            let response = proxy.handle_form(&self.form_path, &q.form_fields())?;
+            out.push(response.metrics);
+        }
+        Ok(out)
+    }
+
+    /// Replays and aggregates in one step.
+    ///
+    /// # Errors
+    /// See [`Rbe::replay`].
+    pub fn run(&self, proxy: &mut FunctionProxy, trace: &Trace) -> Result<TraceReport, ProxyError> {
+        Ok(TraceReport::from_metrics(&self.replay(proxy, trace)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceSpec;
+    use fp_skyserver::{Catalog, CatalogSpec, SkySite};
+    use funcproxy::cache::DescriptionKind;
+    use funcproxy::template::TemplateManager;
+    use funcproxy::{CostModel, ProxyConfig, Scheme, SiteOrigin};
+    use std::sync::Arc;
+
+    fn proxy(scheme: Scheme) -> FunctionProxy {
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        FunctionProxy::new(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default().with_scheme(scheme),
+        )
+    }
+
+    #[test]
+    fn replay_produces_one_metric_per_query() {
+        let trace = TraceSpec {
+            queries: 60,
+            ..TraceSpec::small_test()
+        }
+        .generate();
+        let mut p = proxy(Scheme::FullSemantic);
+        let metrics = Rbe::default().replay(&mut p, &trace).unwrap();
+        assert_eq!(metrics.len(), trace.len());
+        let report = TraceReport::from_metrics(&metrics);
+        assert_eq!(report.queries, 60);
+        assert!(report.avg_response_ms > 0.0);
+    }
+
+    #[test]
+    fn active_beats_passive_beats_nothing_on_efficiency() {
+        let trace = TraceSpec {
+            queries: 250,
+            seed: 3,
+            ..TraceSpec::small_test()
+        }
+        .generate();
+        let rbe = Rbe::default();
+
+        let mut nc = proxy(Scheme::NoCache);
+        let mut pc = proxy(Scheme::Passive);
+        let mut ac = proxy(Scheme::FullSemantic);
+        let r_nc = rbe.run(&mut nc, &trace).unwrap();
+        let r_pc = rbe.run(&mut pc, &trace).unwrap();
+        let r_ac = rbe.run(&mut ac, &trace).unwrap();
+
+        assert_eq!(r_nc.avg_cache_efficiency, 0.0);
+        assert!(
+            r_ac.avg_cache_efficiency > r_pc.avg_cache_efficiency,
+            "active {} should beat passive {}",
+            r_ac.avg_cache_efficiency,
+            r_pc.avg_cache_efficiency
+        );
+        assert!(
+            r_ac.avg_response_ms < r_nc.avg_response_ms,
+            "active {} should beat no-cache {}",
+            r_ac.avg_response_ms,
+            r_nc.avg_response_ms
+        );
+    }
+
+    #[test]
+    fn description_kinds_agree_on_results() {
+        let trace = TraceSpec {
+            queries: 120,
+            seed: 5,
+            ..TraceSpec::small_test()
+        }
+        .generate();
+        let rbe = Rbe::default();
+
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        let mut with_array = FunctionProxy::new(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site.clone())),
+            ProxyConfig::default()
+                .with_scheme(Scheme::FullSemantic)
+                .with_description(DescriptionKind::Array)
+                .with_cost(CostModel::free()),
+        );
+        let mut with_rtree = FunctionProxy::new(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default()
+                .with_scheme(Scheme::FullSemantic)
+                .with_description(DescriptionKind::RTree)
+                .with_cost(CostModel::free()),
+        );
+        let a = rbe.replay(&mut with_array, &trace).unwrap();
+        let b = rbe.replay(&mut with_rtree, &trace).unwrap();
+        // Identical outcomes and identical tuple counts, query by query.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.rows_total, y.rows_total);
+            assert_eq!(x.rows_from_cache, y.rows_from_cache);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Trace census: the paper's §4.1 relationship statistics.
+
+use crate::trace::Trace;
+use fp_geometry::celestial::radial_query_sphere;
+use fp_geometry::{Region, Relation};
+use fp_rtree::RTree;
+use serde::{Deserialize, Serialize};
+
+/// Relationship mix of a trace against an unbounded cache:
+/// `counts = [exact, contained, overlap, disjoint]` in replay order,
+/// using the same priority the proxy uses (exact > contained > overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceMix {
+    /// `[exact, contained, overlap, disjoint]`.
+    pub counts: [usize; 4],
+}
+
+impl TraceMix {
+    /// Total queries.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fractions in the same order as `counts`.
+    pub fn fractions(&self) -> [f64; 4] {
+        let n = self.total().max(1) as f64;
+        [
+            self.counts[0] as f64 / n,
+            self.counts[1] as f64 / n,
+            self.counts[2] as f64 / n,
+            self.counts[3] as f64 / n,
+        ]
+    }
+
+    /// Fraction completely answerable from cache (paper: "nearly 51%").
+    pub fn fully_answerable(&self) -> f64 {
+        let n = self.total().max(1) as f64;
+        (self.counts[0] + self.counts[1]) as f64 / n
+    }
+}
+
+impl std::fmt::Display for TraceMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [e, c, o, d] = self.fractions();
+        write!(
+            f,
+            "exact {:.1}% | contained {:.1}% | overlap {:.1}% | disjoint {:.1}% (n={})",
+            e * 100.0,
+            c * 100.0,
+            o * 100.0,
+            d * 100.0,
+            self.total()
+        )
+    }
+}
+
+/// Classifies every query against all *earlier* queries (unbounded cache),
+/// replicating the census of the paper's Section 4.1.
+pub fn classify_trace(trace: &Trace) -> TraceMix {
+    let mut mix = TraceMix::default();
+    let mut regions: Vec<Region> = Vec::with_capacity(trace.len());
+    let mut index: RTree<usize> = RTree::with_capacity_params(3, 16);
+
+    for q in &trace.queries {
+        let region = Region::Sphere(
+            radial_query_sphere(q.ra, q.dec, q.radius).expect("trace queries are valid"),
+        );
+        let mut contained = false;
+        let mut overlapping = false;
+        let mut exact = false;
+        for (_, &idx) in index.search_intersecting(&region.bounding_rect()) {
+            match region.relate(&regions[idx]) {
+                Relation::Equal => {
+                    exact = true;
+                    break;
+                }
+                Relation::Inside => contained = true,
+                Relation::Contains | Relation::Overlaps => overlapping = true,
+                Relation::Disjoint => {}
+            }
+        }
+        let slot = if exact {
+            0
+        } else if contained {
+            1
+        } else if overlapping {
+            2
+        } else {
+            3
+        };
+        mix.counts[slot] += 1;
+        index.insert(region.bounding_rect(), regions.len());
+        regions.push(region);
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RadialQuery;
+
+    #[test]
+    fn census_on_a_hand_built_trace() {
+        let t = Trace {
+            queries: vec![
+                RadialQuery {
+                    ra: 185.0,
+                    dec: 0.0,
+                    radius: 30.0,
+                }, // disjoint (first)
+                RadialQuery {
+                    ra: 185.0,
+                    dec: 0.0,
+                    radius: 30.0,
+                }, // exact
+                RadialQuery {
+                    ra: 185.0,
+                    dec: 0.0,
+                    radius: 10.0,
+                }, // contained
+                RadialQuery {
+                    ra: 185.5,
+                    dec: 0.0,
+                    radius: 15.0,
+                }, // overlap
+                RadialQuery {
+                    ra: 100.0,
+                    dec: 0.0,
+                    radius: 5.0,
+                }, // disjoint
+            ],
+        };
+        let mix = classify_trace(&t);
+        assert_eq!(mix.counts, [1, 1, 1, 2]);
+        assert_eq!(mix.total(), 5);
+        assert!((mix.fully_answerable() - 0.4).abs() < 1e-9);
+        let text = mix.to_string();
+        assert!(text.contains("exact 20.0%"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let mix = classify_trace(&Trace::default());
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.fully_answerable(), 0.0);
+    }
+}

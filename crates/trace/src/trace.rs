@@ -1,0 +1,119 @@
+//! Trace data types and (de)serialization.
+
+use serde::{Deserialize, Serialize};
+
+/// One Radial-form query: the three form fields of the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadialQuery {
+    /// Right ascension, degrees.
+    pub ra: f64,
+    /// Declination, degrees.
+    pub dec: f64,
+    /// Search radius, arc minutes.
+    pub radius: f64,
+}
+
+impl RadialQuery {
+    /// The decoded form fields the proxy's `/search/radial` handler takes.
+    pub fn form_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("ra".to_string(), format!("{:.6}", self.ra)),
+            ("dec".to_string(), format!("{:.6}", self.dec)),
+            ("radius".to_string(), format!("{:.4}", self.radius)),
+        ]
+    }
+
+    /// The form request's query string.
+    pub fn query_string(&self) -> String {
+        format!(
+            "ra={:.6}&dec={:.6}&radius={:.4}",
+            self.ra, self.dec, self.radius
+        )
+    }
+}
+
+/// An ordered query trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// The queries, in replay order.
+    pub queries: Vec<RadialQuery>,
+}
+
+impl Trace {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Serializes to JSON (one stable interchange format for traces and
+    /// experiment outputs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serializes")
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    /// Returns the underlying JSON error message.
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// A prefix of the trace (the paper replays "the first 10,000 queries"
+    /// in Figure 5).
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace {
+            queries: self.queries.iter().take(n).copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace {
+            queries: vec![
+                RadialQuery {
+                    ra: 185.0,
+                    dec: 1.5,
+                    radius: 30.0,
+                },
+                RadialQuery {
+                    ra: 200.25,
+                    dec: -2.0,
+                    radius: 5.5,
+                },
+            ],
+        };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert!(Trace::from_json("nonsense").is_err());
+    }
+
+    #[test]
+    fn form_fields_and_prefix() {
+        let q = RadialQuery {
+            ra: 185.0,
+            dec: 1.5,
+            radius: 30.0,
+        };
+        let fields = q.form_fields();
+        assert_eq!(fields[0].0, "ra");
+        assert!(q.query_string().starts_with("ra=185.000000&dec=1.500000"));
+
+        let t = Trace {
+            queries: vec![q; 5],
+        };
+        assert_eq!(t.prefix(3).len(), 3);
+        assert_eq!(t.prefix(99).len(), 5);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! A hand-written recursive-descent XML parser.
+
+use crate::escape::unescape_text;
+use crate::{Element, XmlError, XmlNode};
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+/// Parses a document: optional declaration/comments, one root element,
+/// optional trailing whitespace/comments.
+pub(crate) fn parse_document(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.input.len() {
+        return Err(p.error("unexpected content after root element"));
+    }
+    Ok(root)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        let line = self.input[..self.pos]
+            .bytes()
+            .filter(|b| *b == b'\n')
+            .count()
+            + 1;
+        XmlError {
+            offset: self.pos,
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips XML declaration, processing instructions, comments, DOCTYPE.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips trailing whitespace and comments after the root element.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), XmlError> {
+        match self.rest().find(end) {
+            Some(idx) => {
+                self.pos += idx + end.len();
+                Ok(())
+            }
+            None => Err(self.error(format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?.to_string();
+        let mut element = Element::new(name.clone());
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(element); // self-closing
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?.to_string();
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.error("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    let Some(end_rel) = self.rest().find(quote as char) else {
+                        return Err(self.error("unterminated attribute value"));
+                    };
+                    let raw = &self.input[start..start + end_rel];
+                    self.pos = start + end_rel + 1;
+                    let value = unescape_text(raw).map_err(|off| XmlError {
+                        offset: start + off,
+                        line: self.input[..start + off]
+                            .bytes()
+                            .filter(|b| *b == b'\n')
+                            .count()
+                            + 1,
+                        message: "invalid entity in attribute value".into(),
+                    })?;
+                    element = element.with_attr(attr_name, value);
+                }
+                None => return Err(self.error("unexpected end of input in tag")),
+            }
+        }
+
+        // Children until the matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != name {
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected `</{name}>`, found `</{end_name}>`"
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(element);
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.push_child(child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    let end_rel = self.rest().find('<').unwrap_or(self.rest().len());
+                    let raw = &self.input[start..start + end_rel];
+                    self.pos = start + end_rel;
+                    let text = unescape_text(raw).map_err(|off| XmlError {
+                        offset: start + off,
+                        line: self.input[..start + off]
+                            .bytes()
+                            .filter(|b| *b == b'\n')
+                            .count()
+                            + 1,
+                        message: "invalid entity in text".into(),
+                    })?;
+                    if !text.trim().is_empty() {
+                        element.children.push(XmlNode::Text(text));
+                    }
+                }
+                None => return Err(self.error(format!("unterminated element `{name}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure3_template() {
+        let doc = Element::parse(
+            r#"<FunctionTemplate>
+    <Name>fGetNearByObjEq</Name>
+    <Params>
+        <P1>$ra</P1>
+        <P2>$dec</P2>
+        <P3>$radius</P3>
+    </Params>
+    <Shape>hypersphere</Shape>
+    <NumDimensions>3</NumDimensions>
+    <CenterCoordinate>
+        <C1>cos($ra)*cos($dec)</C1>
+        <C2>sin($ra)*cos($dec)</C2>
+        <C3>sin($dec)</C3>
+    </CenterCoordinate>
+    <Radius>$radius</Radius>
+</FunctionTemplate>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name(), "FunctionTemplate");
+        assert_eq!(doc.child_text("Shape"), Some("hypersphere"));
+        assert_eq!(doc.child_text("NumDimensions"), Some("3"));
+        let params = doc.child("Params").unwrap();
+        assert_eq!(params.child_elements().count(), 3);
+        assert_eq!(
+            doc.child("CenterCoordinate").unwrap().child_text("C2"),
+            Some("sin($ra)*cos($dec)")
+        );
+    }
+
+    #[test]
+    fn parses_declaration_comments_doctype() {
+        let doc = Element::parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE r>\n<!-- hi --><r a=\"1\"/>\n<!-- bye -->",
+        )
+        .unwrap();
+        assert_eq!(doc.name(), "r");
+        assert_eq!(doc.attr("a"), Some("1"));
+    }
+
+    #[test]
+    fn attributes_with_both_quotes_and_entities() {
+        let doc = Element::parse("<r a='x' b=\"a&amp;b &lt;c&gt;\"/>").unwrap();
+        assert_eq!(doc.attr("a"), Some("x"));
+        assert_eq!(doc.attr("b"), Some("a&b <c>"));
+    }
+
+    #[test]
+    fn comments_inside_elements_are_skipped() {
+        let doc = Element::parse("<r><!-- note --><a>1</a></r>").unwrap();
+        assert_eq!(doc.child_text("a"), Some("1"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = Element::parse("<r>\n<a>\n</b>\n</r>").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Element::parse("").is_err());
+        assert!(Element::parse("just text").is_err());
+        assert!(Element::parse("<a>").is_err());
+        assert!(Element::parse("<a></a><b></b>").is_err());
+        assert!(Element::parse("<a x=5></a>").is_err());
+        assert!(Element::parse("<a x=\"5></a>").is_err());
+    }
+
+    #[test]
+    fn text_entities_unescape() {
+        let doc = Element::parse("<t>1 &lt; 2 &amp;&amp; 3 &gt; 2</t>").unwrap();
+        assert_eq!(doc.text(), "1 < 2 && 3 > 2");
+    }
+}

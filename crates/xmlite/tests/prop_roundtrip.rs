@@ -1,0 +1,68 @@
+//! Property tests: arbitrary element trees survive serialize → parse for
+//! both the compact and pretty writers (up to insignificant whitespace,
+//! which the test generator avoids emitting in text).
+
+use fp_xmlite::{escape_text, unescape_text, Element};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,10}"
+}
+
+/// Text without leading/trailing whitespace and at least one non-space
+/// character, so compact and pretty writers preserve it identically.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[!-~ ]{1,30}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), prop::option::of(arb_text())).prop_map(|(n, t)| {
+        let e = Element::new(n);
+        match t {
+            Some(t) => e.with_text(t),
+            None => e,
+        }
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e = e.with_attr(k, v);
+                }
+                for c in children {
+                    e = e.with_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compact_roundtrip(e in arb_element()) {
+        let xml = e.to_xml();
+        let back = Element::parse(&xml).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn pretty_roundtrip(e in arb_element()) {
+        let xml = e.to_xml_pretty();
+        let back = Element::parse(&xml).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip(s in "[ -~]{0,60}") {
+        prop_assert_eq!(unescape_text(&escape_text(&s)).unwrap(), s);
+    }
+}

@@ -1,0 +1,176 @@
+//! The full deployment picture over real sockets: a browser-like client →
+//! the function proxy (an HTTP server) → the origin web site (another HTTP
+//! server exposing its search form and the free-form SQL page), all on
+//! loopback TCP using the workspace's own HTTP stack.
+//!
+//! ```sh
+//! cargo run --example http_proxy
+//! ```
+
+use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
+use fp_suite::proxy::template::TemplateManager;
+use fp_suite::proxy::{CostModel, FunctionProxy, Origin, OriginError, ProxyConfig, Scheme};
+use fp_suite::skyserver::result::QueryOutcome;
+use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
+use fp_suite::sqlmini::Query;
+use fp_suite::xmlite::Element;
+use parking_lot_stub::Mutex;
+use std::sync::Arc;
+
+/// std Mutex shim so the example has no extra dependencies.
+mod parking_lot_stub {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().expect("example mutex is never poisoned")
+        }
+    }
+}
+
+/// The origin web site's HTTP face: the free-form SQL page
+/// (`GET /sql?cmd=<urlencoded sql>`), returning the XML result document
+/// plus execution statistics in response headers.
+fn origin_router(site: SkySite) -> Router {
+    Router::new().route("/sql", move |req: &Request| {
+        let Some((_, sql)) = req.query_params().into_iter().find(|(k, _)| k == "cmd") else {
+            return Response::error(Status::BAD_REQUEST, "missing cmd parameter");
+        };
+        match site.execute_sql(&sql) {
+            Ok(outcome) => {
+                let mut resp = Response::ok("text/xml", outcome.result.to_xml().to_xml());
+                resp.headers
+                    .set("X-Rows-Scanned", outcome.stats.rows_scanned.to_string());
+                resp.headers
+                    .set("X-Rows-Returned", outcome.stats.rows_returned.to_string());
+                resp
+            }
+            Err(e) => Response::error(Status::BAD_REQUEST, &e.to_string()),
+        }
+    })
+}
+
+/// An [`Origin`] that reaches the origin site over HTTP — what the proxy
+/// would use in a real deployment (the in-process `SiteOrigin` is the
+/// simulation shortcut).
+struct HttpOrigin {
+    client: HttpClient,
+}
+
+impl Origin for HttpOrigin {
+    fn execute(&self, query: &Query) -> Result<QueryOutcome, OriginError> {
+        let url = format!(
+            "/sql?cmd={}",
+            fp_suite::httpd::urlenc::encode_component(&query.to_sql())
+        );
+        let response = self
+            .client
+            .get(&url)
+            .map_err(|e| OriginError::Unavailable(e.to_string()))?;
+        if !response.status.is_success() {
+            return Err(OriginError::Rejected(response.body_text()));
+        }
+        let doc = Element::parse(&response.body_text())
+            .map_err(|e| OriginError::Rejected(format!("bad XML from origin: {e}")))?;
+        let result = ResultSet::from_xml(&doc)
+            .ok_or_else(|| OriginError::Rejected("malformed result document".into()))?;
+        let header_num = |name: &str| {
+            response
+                .headers
+                .get(name)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        let stats = ExecStats {
+            rows_scanned: header_num("X-Rows-Scanned"),
+            rows_returned: header_num("X-Rows-Returned"),
+            result_bytes: response.body.len(),
+        };
+        Ok(QueryOutcome { result, stats })
+    }
+}
+
+/// The proxy's HTTP face: the Radial search form plus a pass-through SQL
+/// page, exactly the two entry points the paper's SkyServer deployment
+/// had.
+fn proxy_router(proxy: Arc<Mutex<FunctionProxy>>) -> Router {
+    let form_proxy = Arc::clone(&proxy);
+    Router::new()
+        .route("/search/radial", move |req: &Request| {
+            let fields = req.query_params();
+            match form_proxy.lock().handle_form("/search/radial", &fields) {
+                Ok(r) => {
+                    let mut resp = Response::ok("text/xml", r.result.to_xml().to_xml());
+                    resp.headers
+                        .set("X-Cache-Outcome", r.metrics.outcome.label());
+                    resp.headers
+                        .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
+                    resp
+                }
+                Err(e) => Response::error(Status::BAD_REQUEST, &e.to_string()),
+            }
+        })
+        .route("/sql", move |req: &Request| {
+            let Some((_, sql)) = req.query_params().into_iter().find(|(k, _)| k == "cmd") else {
+                return Response::error(Status::BAD_REQUEST, "missing cmd parameter");
+            };
+            match proxy.lock().handle_sql(&sql) {
+                Ok(r) => Response::ok("text/xml", r.result.to_xml().to_xml()),
+                Err(e) => Response::error(Status::BAD_GATEWAY, &e.to_string()),
+            }
+        })
+}
+
+fn main() {
+    // 1. The origin web site.
+    println!("starting the origin site…");
+    let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+    let origin_server = HttpServer::bind("127.0.0.1:0", origin_router(site)).expect("origin binds");
+    println!("origin listening on http://{}", origin_server.addr());
+
+    // 2. The function proxy, talking to the origin over HTTP.
+    let origin = HttpOrigin {
+        client: HttpClient::new(origin_server.addr()),
+    };
+    let proxy = Arc::new(Mutex::new(FunctionProxy::new(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(origin),
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free()),
+    )));
+    let proxy_server =
+        HttpServer::bind("127.0.0.1:0", proxy_router(Arc::clone(&proxy))).expect("proxy binds");
+    println!("proxy  listening on http://{}\n", proxy_server.addr());
+
+    // 3. A browser-like client issues Radial form requests to the proxy.
+    let browser = HttpClient::new(proxy_server.addr());
+    for (label, url) in [
+        ("miss   ", "/search/radial?ra=185.0&dec=0.5&radius=20"),
+        ("hit    ", "/search/radial?ra=185.0&dec=0.5&radius=20"),
+        ("subsume", "/search/radial?ra=185.0&dec=0.5&radius=8"),
+        ("sql    ", "/sql?cmd=SELECT+TOP+3+p.objID+FROM+fGetNearbyObjEq(185.0,+0.5,+20.0)+n+JOIN+PhotoPrimary+p+ON+n.objID+%3D+p.objID"),
+    ] {
+        let response = browser.get(url).expect("request succeeds");
+        let doc = Element::parse(&response.body_text()).expect("XML body");
+        let rows = ResultSet::from_xml(&doc).expect("result document").len();
+        println!(
+            "{label} {url}\n        -> {} rows, outcome: {}",
+            rows,
+            response.headers.get("X-Cache-Outcome").unwrap_or("n/a"),
+        );
+    }
+
+    let stats = proxy.lock().cache_stats();
+    println!(
+        "\nproxy cache: {} entries, {:.1} KB",
+        stats.entries,
+        stats.bytes as f64 / 1024.0
+    );
+
+    proxy_server.shutdown();
+    origin_server.shutdown();
+    println!("servers stopped.");
+}

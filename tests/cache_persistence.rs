@@ -1,0 +1,97 @@
+//! Warm restart: a proxy persists its cache as XML result files (the
+//! paper's Figure 4 "Query Result Files"), a fresh proxy loads them, and
+//! previously cached knowledge keeps answering queries with zero origin
+//! traffic.
+
+use fp_suite::proxy::template::TemplateManager;
+use fp_suite::proxy::{CostModel, FunctionProxy, ProxyConfig, Scheme, SiteOrigin};
+use fp_suite::skyserver::{Catalog, CatalogSpec, SkySite};
+use std::sync::Arc;
+
+fn proxy(site: &SkySite) -> FunctionProxy {
+    FunctionProxy::new(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(SiteOrigin::new(site.clone())),
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free()),
+    )
+}
+
+fn radial_fields(ra: f64, dec: f64, radius: f64) -> Vec<(String, String)> {
+    vec![
+        ("ra".to_string(), ra.to_string()),
+        ("dec".to_string(), dec.to_string()),
+        ("radius".to_string(), radius.to_string()),
+    ]
+}
+
+#[test]
+fn warm_restart_preserves_active_caching() {
+    let dir = std::env::temp_dir().join(format!("fp_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+
+    // Session 1: populate and persist.
+    let (big_ids, written) = {
+        let mut p = proxy(&site);
+        let big = p
+            .handle_form("/search/radial", &radial_fields(185.0, 0.5, 25.0))
+            .expect("first query");
+        // A rect query too, so the snapshot holds two templates.
+        p.handle_form(
+            "/search/rect",
+            &[
+                ("min_ra".to_string(), "184.0".to_string()),
+                ("max_ra".to_string(), "186.0".to_string()),
+                ("min_dec".to_string(), "0.0".to_string()),
+                ("max_dec".to_string(), "1.0".to_string()),
+            ],
+        )
+        .expect("rect query");
+        let written = p.save_cache(&dir).expect("snapshot saves");
+        let k = big.result.column_index("objID").unwrap();
+        let ids: Vec<i64> = big
+            .result
+            .rows
+            .iter()
+            .map(|r| r[k].as_i64().unwrap())
+            .collect();
+        (ids, written)
+    };
+    assert_eq!(written, 2);
+
+    // Session 2: fresh proxy, warm cache.
+    site.reset_load();
+    let mut p2 = proxy(&site);
+    let load = p2.load_cache(&dir).expect("snapshot loads");
+    assert_eq!(load.loaded, 2);
+    assert_eq!(p2.cache_stats().entries, 2);
+
+    // Exact repeat: served from the restored file, zero origin queries.
+    let repeat = p2
+        .handle_form("/search/radial", &radial_fields(185.0, 0.5, 25.0))
+        .expect("repeat");
+    assert_eq!(repeat.metrics.outcome.label(), "exact");
+    let k = repeat.result.column_index("objID").unwrap();
+    let ids: Vec<i64> = repeat
+        .result
+        .rows
+        .iter()
+        .map(|r| r[k].as_i64().unwrap())
+        .collect();
+    assert_eq!(ids, big_ids);
+
+    // Subsumed query: answered locally from the restored entry.
+    let contained = p2
+        .handle_form("/search/radial", &radial_fields(185.0, 0.5, 10.0))
+        .expect("contained");
+    assert_eq!(contained.metrics.outcome.label(), "contained");
+    assert_eq!(
+        site.load().queries,
+        0,
+        "warm cache answered everything locally"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,60 @@
+//! The §4.1 trace census at the default experiment spec: the generated
+//! trace must match the paper's published mix (17 % exact, 34 % contained,
+//! ~9 % overlap, ~51 % fully answerable) within tolerance.
+
+use fp_suite::trace::{classify_trace, TraceSpec};
+
+#[test]
+fn default_trace_matches_the_papers_census() {
+    let spec = TraceSpec::default();
+    let trace = spec.generate();
+    let mix = classify_trace(&trace);
+    let [exact, contained, overlap, disjoint] = mix.fractions();
+
+    assert!((exact - 0.17).abs() < 0.03, "exact {exact:.3} (paper 0.17)");
+    assert!(
+        (contained - 0.34).abs() < 0.04,
+        "contained {contained:.3} (paper 0.34)"
+    );
+    assert!(
+        (overlap - 0.09).abs() < 0.03,
+        "overlap {overlap:.3} (paper ~0.09)"
+    );
+    assert!(
+        (mix.fully_answerable() - 0.51).abs() < 0.05,
+        "fully answerable {:.3} (paper ~0.51)",
+        mix.fully_answerable()
+    );
+    assert!(disjoint > 0.25, "disjoint {disjoint:.3}");
+}
+
+#[test]
+fn census_is_stable_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let trace = TraceSpec {
+            seed,
+            queries: 1000,
+            ..TraceSpec::default()
+        }
+        .generate();
+        let mix = classify_trace(&trace);
+        let [exact, contained, ..] = mix.fractions();
+        assert!((exact - 0.17).abs() < 0.05, "seed {seed}: exact {exact:.3}");
+        assert!(
+            (contained - 0.34).abs() < 0.06,
+            "seed {seed}: contained {contained:.3}"
+        );
+    }
+}
+
+#[test]
+fn trace_serialization_roundtrips_at_scale() {
+    let trace = TraceSpec {
+        queries: 500,
+        ..TraceSpec::small_test()
+    }
+    .generate();
+    let json = trace.to_json();
+    let back = fp_suite::trace::Trace::from_json(&json).expect("parses");
+    assert_eq!(back, trace);
+}
