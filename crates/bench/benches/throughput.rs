@@ -1,0 +1,25 @@
+//! Concurrent-runtime companion bench: wall-clock cost of replaying one
+//! trace through a shared `ProxyHandle` at increasing client counts. With
+//! zero origin delay this isolates the runtime's own overhead (sharded
+//! locking + single-flight bookkeeping); `repro throughput` adds the
+//! simulated WAN delay and prints qps / latency percentiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fp_bench::{Experiment, Scale};
+use std::time::Duration;
+
+fn bench_throughput(c: &mut Criterion) {
+    let exp = Experiment::prepare(Scale::small());
+
+    let mut group = c.benchmark_group("shared_handle_replay");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("clients", threads), |b| {
+            b.iter(|| exp.throughput(&[threads], Duration::ZERO));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--objects N] [--queries N] [--seed S] [--json] <experiment>...
+//! repro [--objects N] [--queries N] [--seed S] [--threads K] [--json] <experiment>...
 //!
 //! experiments:
 //!   trace-stats   §4.1 relationship census of the Radial trace
@@ -12,14 +12,18 @@
 //!   replacement   extension: replacement-policy ablation at 1/6 cache size
 //!   coverage      extension: overlap coverage-threshold ablation
 //!   checktime     §4.2 cache-checking time, array vs R-tree
+//!   throughput    extension: multi-client qps/latency over the concurrent
+//!                 runtime, sweeping client counts up to --threads (default 8)
 //!   all           everything above
 //! ```
 
-use fp_bench::{Experiment, Scale};
+use fp_bench::{thread_sweep, Experiment, Scale};
+use std::time::Duration;
 
 fn main() {
     let mut scale = Scale::default();
     let mut json = false;
+    let mut threads = 8usize;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -28,6 +32,7 @@ fn main() {
             "--objects" => scale.objects = parse_num(args.next(), "--objects"),
             "--queries" => scale.queries = parse_num(args.next(), "--queries"),
             "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
+            "--threads" => threads = parse_num(args.next(), "--threads"),
             "--json" => json = true,
             "--help" | "-h" => {
                 print_usage();
@@ -100,6 +105,10 @@ fn main() {
         let t = exp.checktime();
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
     }
+    if want("throughput") {
+        let t = exp.throughput(&thread_sweep(threads), Duration::from_millis(5));
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
 }
 
 fn print_block(json: bool, table: &dyn std::fmt::Display, json_text: &str) {
@@ -119,7 +128,7 @@ fn parse_num(v: Option<String>, flag: &str) -> usize {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--objects N] [--queries N] [--seed S] [--json] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|all]..."
+        "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--json] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|all]..."
     );
 }

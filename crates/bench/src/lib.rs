@@ -12,9 +12,15 @@
 //! * [`Experiment::figure6`] — response time of the three active schemes
 //!   with an unlimited cache and the array description.
 //! * [`Experiment::compaction`] — region-containment compaction ablation.
+//! * [`Experiment::throughput`] — extension: multi-client throughput over
+//!   the concurrent runtime (see [`throughput`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod throughput;
+
+pub use throughput::{thread_sweep, Throughput, ThroughputRow, THROUGHPUT_SHARDS};
 
 use fp_skyserver::{Catalog, CatalogSpec, SkySite};
 use fp_trace::{classify_trace, Rbe, Trace, TraceMix, TraceSpec};

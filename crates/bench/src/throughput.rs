@@ -1,0 +1,220 @@
+//! Multi-client throughput harness over the concurrent runtime.
+//!
+//! The paper evaluates the proxy with one emulated browser at a time; a
+//! deployed proxy fronts many. This harness replays the calibrated Radial
+//! trace through one shared [`ProxyHandle`] from `K` client threads
+//! (round-robin deal, see `Rbe::replay_shared`) and measures what the
+//! single-threaded replay cannot: queries per second, the wall-clock
+//! latency distribution at the proxy, and how many origin round trips the
+//! single-flight coalescer eliminated.
+//!
+//! The origin is wrapped in a [`CountingOrigin`] that both counts fetches
+//! and sleeps a configurable per-fetch delay standing in for the WAN +
+//! origin-server time the simulation's cost model normally only *accounts*
+//! for. The delay makes concurrency observable on any machine: client
+//! threads overlap their origin waits, so throughput scales with the
+//! client count until the origin-bound work is fully pipelined — even on
+//! a single core.
+
+use crate::Experiment;
+use fp_skyserver::SkySite;
+use fp_trace::{Rbe, Trace};
+use funcproxy::origin::CountingOrigin;
+use funcproxy::runtime::RuntimeSnapshot;
+use funcproxy::template::TemplateManager;
+use funcproxy::{CostModel, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cache shards used by throughput runs (fixed so results are comparable
+/// across machines instead of following `available_parallelism`).
+pub const THROUGHPUT_SHARDS: usize = 8;
+
+/// One measured client-count configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputRow {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Wall-clock time for the whole replay, ms.
+    pub elapsed_ms: f64,
+    /// Queries per second over the replay.
+    pub qps: f64,
+    /// Median measured per-request latency at the proxy, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile measured per-request latency at the proxy, ms.
+    pub p99_ms: f64,
+    /// Origin fetches actually issued.
+    pub origin_fetches: usize,
+    /// Requests answered by piggybacking on another request's flight.
+    pub coalesced: usize,
+    /// Origin round trips the single-flight coalescer eliminated.
+    pub duplicate_fetches_avoided: usize,
+    /// Total time spent waiting on cache-shard locks, ms.
+    pub lock_wait_ms: f64,
+    /// Peak number of simultaneous origin flights.
+    pub in_flight_peak: usize,
+}
+
+/// The throughput experiment: one row per client count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Throughput {
+    /// Simulated per-fetch origin delay, ms.
+    pub origin_delay_ms: u64,
+    /// Rows, ordered by client count.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl std::fmt::Display for Throughput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Throughput scaling ({} cache shards, {} ms simulated origin delay per fetch)",
+            THROUGHPUT_SHARDS, self.origin_delay_ms
+        )?;
+        writeln!(
+            f,
+            "  clients |     qps | p50 ms | p99 ms | fetches | coalesced | dup avoided | lock wait ms | peak flights"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12}",
+                r.threads,
+                r.qps,
+                r.p50_ms,
+                r.p99_ms,
+                r.origin_fetches,
+                r.coalesced,
+                r.duplicate_fetches_avoided,
+                r.lock_wait_ms,
+                r.in_flight_peak
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Experiment {
+    /// Replays the trace at each client count in `thread_counts` through
+    /// a fresh shared handle, with `origin_delay` of simulated WAN +
+    /// origin time per fetch.
+    pub fn throughput(&self, thread_counts: &[usize], origin_delay: Duration) -> Throughput {
+        let rows = thread_counts
+            .iter()
+            .map(|&threads| run_once(&self.site, &self.trace, threads, origin_delay))
+            .collect();
+        Throughput {
+            origin_delay_ms: origin_delay.as_millis() as u64,
+            rows,
+        }
+    }
+}
+
+/// Client counts for a `--threads K` sweep: powers of two up to `max`,
+/// plus `max` itself (`8 → 1, 2, 4, 8`; `6 → 1, 2, 4, 6`).
+pub fn thread_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts: Vec<usize> = std::iter::successors(Some(1usize), |n| n.checked_mul(2))
+        .take_while(|&n| n < max)
+        .collect();
+    counts.push(max);
+    counts
+}
+
+fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> ThroughputRow {
+    let counting = Arc::new(CountingOrigin::with_delay(
+        Arc::new(SiteOrigin::new(site.clone())),
+        delay,
+    ));
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::clone(&counting) as Arc<dyn funcproxy::Origin>,
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free()),
+        THROUGHPUT_SHARDS,
+    );
+
+    let start = Instant::now();
+    let metrics = Rbe::default()
+        .replay_shared(&handle, trace, threads)
+        .expect("trace replays");
+    let elapsed = start.elapsed();
+
+    // Real wall-clock time each request spent inside the proxy, including
+    // flight waits, lock waits and (for leaders) the origin round trip.
+    let mut latencies: Vec<f64> = metrics.iter().map(|m| m.proxy_ms).collect();
+    latencies.sort_by(f64::total_cmp);
+
+    let snapshot: RuntimeSnapshot = handle.runtime_stats();
+    ThroughputRow {
+        threads,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: trace.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        origin_fetches: counting.fetches(),
+        coalesced: snapshot.coalesced_exact + snapshot.coalesced_contained,
+        duplicate_fetches_avoided: snapshot.duplicate_fetches_avoided,
+        lock_wait_ms: snapshot.lock_wait_ms,
+        in_flight_peak: snapshot.in_flight_peak,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn sweep_is_powers_of_two_capped_at_max() {
+        assert_eq!(thread_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_sweep(1), vec![1]);
+        assert_eq!(thread_sweep(0), vec![1]);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// The acceptance bar for the concurrent runtime: with origin latency
+    /// in the loop, eight clients must outrun one — their origin waits
+    /// overlap — and the replay must stay correct (checked separately in
+    /// the fp-trace oracle test).
+    #[test]
+    fn eight_clients_beat_one() {
+        let exp = Experiment::prepare(Scale {
+            objects: 10_000,
+            queries: 120,
+            seed: 21,
+        });
+        let t = exp.throughput(&[1, 8], Duration::from_millis(5));
+        let (one, eight) = (&t.rows[0], &t.rows[1]);
+        assert!(
+            eight.qps > one.qps,
+            "8 clients ({:.1} qps) must beat 1 client ({:.1} qps)",
+            eight.qps,
+            one.qps
+        );
+        // Both replays answer every query.
+        assert_eq!(one.coalesced, 0, "no coalescing with a single client");
+        assert!(eight.in_flight_peak >= 1);
+        // The coalescer never multiplies origin work.
+        assert!(eight.origin_fetches <= one.origin_fetches + eight.duplicate_fetches_avoided);
+    }
+}

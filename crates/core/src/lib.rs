@@ -37,6 +37,9 @@
 //! * [`sim`] — the WAN/server cost model that converts execution
 //!   statistics into simulated milliseconds.
 //! * [`proxy`] — the proxy itself, plus per-query [`metrics`].
+//! * [`runtime`] — the concurrent front: sharded cache locks,
+//!   single-flight origin coalescing, and the `Arc`-cloneable
+//!   [`runtime::ProxyHandle`] served by the threaded HTTP server.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,13 +50,15 @@ pub mod metrics;
 pub mod origin;
 pub mod proxy;
 pub mod query;
+pub mod runtime;
 pub mod schemes;
 pub mod sim;
 pub mod template;
 
 pub use config::ProxyConfig;
-pub use origin::{Origin, OriginError, SiteOrigin};
+pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};
 pub use proxy::FunctionProxy;
+pub use runtime::ProxyHandle;
 pub use schemes::Scheme;
 pub use sim::CostModel;
 

@@ -58,6 +58,12 @@ pub struct QueryMetrics {
     pub rows_total: usize,
     /// Of those, tuples served from the proxy cache.
     pub rows_from_cache: usize,
+    /// Whether this response piggybacked on another request's in-flight
+    /// origin fetch (always `false` on the single-threaded proxy).
+    pub coalesced: bool,
+    /// Time spent waiting to acquire cache-shard locks, ms (always `0.0`
+    /// on the single-threaded proxy).
+    pub lock_wait_ms: f64,
 }
 
 impl QueryMetrics {
@@ -89,6 +95,9 @@ pub struct TraceReport {
     /// Outcome counts: (exact, contained, region containment, overlap,
     /// forwarded).
     pub counts: [usize; 5],
+    /// Queries answered by coalescing onto another request's origin
+    /// flight (zero on single-threaded replays).
+    pub coalesced: usize,
 }
 
 impl TraceReport {
@@ -106,6 +115,7 @@ impl TraceReport {
             report.avg_response_ms += m.response_ms;
             report.avg_cache_efficiency += m.cache_efficiency();
             report.avg_check_ms += m.check_ms;
+            report.coalesced += usize::from(m.coalesced);
             let slot = match m.outcome {
                 Outcome::Exact => 0,
                 Outcome::Contained => 1,
@@ -145,6 +155,8 @@ mod tests {
             local_ms: 0.0,
             rows_total: total,
             rows_from_cache: cached,
+            coalesced: false,
+            lock_wait_ms: 0.0,
         }
     }
 

@@ -3,6 +3,9 @@
 use fp_skyserver::result::QueryOutcome;
 use fp_skyserver::{SiteError, SkySite};
 use fp_sqlmini::Query;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// An error from the origin web site.
 #[derive(Debug)]
@@ -89,6 +92,72 @@ impl Origin for SiteOrigin {
     }
 }
 
+/// An origin wrapper that counts executions per query text and can
+/// slow each fetch down — the measuring device for single-flight
+/// coalescing tests and the throughput harness's duplicate-fetch
+/// accounting.
+pub struct CountingOrigin {
+    inner: Arc<dyn Origin>,
+    delay: Option<Duration>,
+    counts: Mutex<HashMap<String, usize>>,
+}
+
+impl CountingOrigin {
+    /// Wraps `inner`, counting every `execute` call.
+    pub fn new(inner: Arc<dyn Origin>) -> Self {
+        CountingOrigin {
+            inner,
+            delay: None,
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Like [`CountingOrigin::new`], but each fetch additionally sleeps
+    /// for `delay` first — a stand-in for WAN latency that widens race
+    /// windows in concurrency tests.
+    pub fn with_delay(inner: Arc<dyn Origin>, delay: Duration) -> Self {
+        CountingOrigin {
+            inner,
+            delay: Some(delay),
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn counts(&self) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
+        self.counts.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Total `execute` calls so far.
+    pub fn fetches(&self) -> usize {
+        self.counts().values().sum()
+    }
+
+    /// `execute` calls for one exact query text.
+    pub fn fetch_count(&self, sql: &str) -> usize {
+        self.counts().get(sql).copied().unwrap_or(0)
+    }
+
+    /// Fetches beyond the first per distinct query text — the number a
+    /// perfect request coalescer would have avoided.
+    pub fn duplicate_fetches(&self) -> usize {
+        self.counts().values().map(|&c| c.saturating_sub(1)).sum()
+    }
+}
+
+impl Origin for CountingOrigin {
+    fn execute(&self, query: &Query) -> Result<QueryOutcome, OriginError> {
+        *self.counts().entry(query.to_sql()).or_insert(0) += 1;
+        if let Some(delay) = self.delay {
+            std::thread::sleep(delay);
+        }
+        self.inner.execute(query)
+    }
+
+    fn supports_remainder(&self) -> bool {
+        self.inner.supports_remainder()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +177,20 @@ mod tests {
             origin.execute(&bad),
             Err(OriginError::Rejected(_))
         ));
+    }
+
+    #[test]
+    fn counting_origin_tracks_per_query_counts() {
+        let site = SiteOrigin::new(SkySite::new(Catalog::generate(&CatalogSpec::small_test())));
+        let counting = CountingOrigin::new(Arc::new(site));
+        let q = parse_query("SELECT TOP 2 * FROM fGetNearbyObjEq(185.0, 0.0, 20.0) n").unwrap();
+        counting.execute(&q).unwrap();
+        counting.execute(&q).unwrap();
+        assert_eq!(counting.fetches(), 2);
+        assert_eq!(counting.fetch_count(&q.to_sql()), 2);
+        assert_eq!(counting.duplicate_fetches(), 1);
+        assert_eq!(counting.fetch_count("SELECT nothing"), 0);
+        assert!(counting.supports_remainder());
     }
 
     #[test]

@@ -419,6 +419,8 @@ impl FunctionProxy {
             local_ms,
             rows_total: result.len(),
             rows_from_cache,
+            coalesced: false,
+            lock_wait_ms: 0.0,
         };
         ProxyResponse { result, metrics }
     }

@@ -1,0 +1,728 @@
+//! [`ProxyHandle`]: the shared, thread-safe proxy front.
+//!
+//! The handle serves the same decision procedure as
+//! [`crate::proxy::FunctionProxy`], restructured into phases so no lock
+//! is ever held across an origin fetch:
+//!
+//! 1. **Cache phase** (one shard lock): exact lookup, relationship
+//!    classification, and — when possible — the complete answer (exact
+//!    hit or local evaluation over a containing entry). Misses leave
+//!    the phase with an origin plan: which query to send and what
+//!    cached contribution to merge in.
+//! 2. **Flight phase** (flight-table lock only): the request joins or
+//!    leads the single flight for its canonical SQL. A leader re-runs
+//!    the cache phase after registering its flight; together with
+//!    leaders inserting results *before* resolving, that closes the
+//!    race where a fetch lands between a miss and the join, so
+//!    concurrent identical queries issue exactly one origin fetch.
+//! 3. **Origin phase** (no locks): the leader executes its plan, takes
+//!    the shard lock once more to insert/compact, resolves the flight.
+//!
+//! Followers either adopt the leader's response (exact) or retry the
+//! cache phase once the flight lands (contained); a failed leader
+//! wakes its followers to retry, bounded by
+//! [`MAX_COALESCE_ATTEMPTS`], after which a request serves itself
+//! without coalescing.
+
+use crate::cache::{CacheStats, CacheStore};
+use crate::config::ProxyConfig;
+use crate::metrics::{Outcome, QueryMetrics};
+use crate::origin::Origin;
+use crate::proxy::ProxyResponse;
+use crate::query::{classify, eval_region_over, merge_results, remainder_query, QueryStatus};
+use crate::runtime::shard::ShardedStore;
+use crate::runtime::singleflight::{Coalesce, Joined, SingleFlight};
+use crate::runtime::{RuntimeSnapshot, RuntimeStats};
+use crate::schemes::Scheme;
+use crate::template::{BoundQuery, TemplateManager};
+use crate::ProxyError;
+use fp_skyserver::ResultSet;
+use fp_sqlmini::Query;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many times a request retries after following a flight that
+/// landed without helping it (failed leader, evicted entry) before it
+/// serves itself without coalescing.
+pub const MAX_COALESCE_ATTEMPTS: usize = 3;
+
+/// A cheaply cloneable, thread-safe handle to one shared proxy.
+///
+/// All methods take `&self`; clones share the cache shards, the flight
+/// table, and the runtime counters. This is the front the HTTP router
+/// and the multi-client replayer use.
+pub struct ProxyHandle {
+    inner: Arc<Runtime>,
+}
+
+impl Clone for ProxyHandle {
+    fn clone(&self) -> Self {
+        ProxyHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+struct Runtime {
+    manager: TemplateManager,
+    store: ShardedStore,
+    flights: SingleFlight,
+    stats: RuntimeStats,
+    config: ProxyConfig,
+    origin: Arc<dyn Origin>,
+}
+
+/// Wall-clock bookkeeping for one request, accumulated across phases.
+struct Timing {
+    start: Instant,
+    check_ms: f64,
+    local_ms: f64,
+    lock_wait_ms: f64,
+}
+
+impl Timing {
+    fn begin() -> Self {
+        Timing {
+            start: Instant::now(),
+            check_ms: 0.0,
+            local_ms: 0.0,
+            lock_wait_ms: 0.0,
+        }
+    }
+}
+
+/// What the cache phase decided.
+enum Phase {
+    /// Fully answered from the cache.
+    Served(ProxyResponse),
+    /// Origin work is needed; here is the plan.
+    Origin(Box<OriginPlan>),
+}
+
+/// Everything a leader needs to finish a request off-lock: the query to
+/// send, the cached contribution extracted while the shard lock was
+/// held, and the entries to compact afterwards.
+struct OriginPlan {
+    query: Query,
+    is_remainder: bool,
+    /// Merged probe rows (region containment / overlap paths).
+    cached_part: Option<ResultSet>,
+    /// Simulated cost of reading the probed entries.
+    probe_sim_ms: f64,
+    /// Entries subsumed by the merged result (compacted after insert).
+    compact_ids: Vec<u64>,
+    outcome: Outcome,
+}
+
+impl OriginPlan {
+    fn forward(bound: &BoundQuery, compact_ids: Vec<u64>) -> Box<Self> {
+        Box::new(OriginPlan {
+            query: bound.query.clone(),
+            is_remainder: false,
+            cached_part: None,
+            probe_sim_ms: 0.0,
+            compact_ids,
+            outcome: Outcome::Forwarded,
+        })
+    }
+}
+
+impl ProxyHandle {
+    /// Builds a handle with one cache shard per available CPU (clamped
+    /// to 64).
+    pub fn new(manager: TemplateManager, origin: Arc<dyn Origin>, config: ProxyConfig) -> Self {
+        let shards = std::thread::available_parallelism().map_or(8, |n| n.get().min(64));
+        Self::with_shards(manager, origin, config, shards)
+    }
+
+    /// Builds a handle with an explicit shard count (at least one).
+    pub fn with_shards(
+        manager: TemplateManager,
+        origin: Arc<dyn Origin>,
+        config: ProxyConfig,
+        shards: usize,
+    ) -> Self {
+        let store = ShardedStore::new(&config, shards);
+        ProxyHandle {
+            inner: Arc::new(Runtime {
+                manager,
+                store,
+                flights: SingleFlight::new(),
+                stats: RuntimeStats::default(),
+                config,
+                origin,
+            }),
+        }
+    }
+
+    /// The template registry.
+    pub fn manager(&self) -> &TemplateManager {
+        &self.inner.manager
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProxyConfig {
+        &self.inner.config
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.store.shard_count()
+    }
+
+    /// Cache statistics aggregated across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.store.stats()
+    }
+
+    /// A snapshot of the runtime's concurrency counters.
+    pub fn runtime_stats(&self) -> RuntimeSnapshot {
+        self.inner.stats.snapshot(
+            self.inner.flights.in_flight_peak(),
+            self.inner.store.shard_count(),
+        )
+    }
+
+    /// Serves an HTML-form request; see
+    /// [`crate::proxy::FunctionProxy::handle_form`].
+    ///
+    /// # Errors
+    /// Propagates resolution failures and origin errors.
+    pub fn handle_form(
+        &self,
+        path: &str,
+        fields: &[(String, String)],
+    ) -> Result<ProxyResponse, ProxyError> {
+        let bound = self.inner.manager.resolve_form(path, fields)?;
+        self.handle_bound(bound)
+    }
+
+    /// Serves a raw SQL request; see
+    /// [`crate::proxy::FunctionProxy::handle_sql`].
+    ///
+    /// # Errors
+    /// Propagates resolution failures and origin errors.
+    pub fn handle_sql(&self, sql: &str) -> Result<ProxyResponse, ProxyError> {
+        match self.inner.manager.resolve_sql(sql) {
+            Some(bound) => self.handle_bound(bound?),
+            None => {
+                self.inner.stats.note_request();
+                let query = fp_sqlmini::parse_query(sql)
+                    .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
+                let timing = Timing::begin();
+                let (result, sim_ms) = self.fetch(&query, false)?;
+                Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, &timing, false))
+            }
+        }
+    }
+
+    /// Serves an already-resolved query from any thread.
+    ///
+    /// # Errors
+    /// Propagates origin errors; cache-side failures fall back to
+    /// forwarding instead of erroring.
+    pub fn handle_bound(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+        self.inner.stats.note_request();
+        match self.inner.config.scheme {
+            Scheme::NoCache => {
+                let timing = Timing::begin();
+                let (result, sim_ms) = self.fetch(&bound.query, false)?;
+                Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, &timing, false))
+            }
+            _ => self.serve_caching(bound),
+        }
+    }
+
+    /// The caching schemes' request loop: cache phase, then flight
+    /// phase, retried while coalescing fails to help.
+    fn serve_caching(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+        let mut timing = Timing::begin();
+        // Passive caching cannot answer a query from a containing
+        // entry, so it must not wait on a merely containing flight.
+        let allow_contained = self.inner.config.scheme != Scheme::Passive;
+
+        // Fast path: a cache hit needs no flight-table traffic.
+        if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, false) {
+            return Ok(response);
+        }
+
+        for _ in 0..MAX_COALESCE_ATTEMPTS {
+            match self.inner.flights.join(
+                &bound.sql,
+                &bound.residual_key,
+                &bound.region,
+                allow_contained,
+            ) {
+                Joined::Lead(lease) => {
+                    self.inner.stats.note_flight_led();
+                    // Re-check under the registered flight: a fetch that
+                    // landed between our miss and this join is visible
+                    // now, because leaders insert before resolving.
+                    let response = match self.cache_phase(&bound, &mut timing, false) {
+                        Phase::Served(response) => response,
+                        Phase::Origin(plan) => self.execute_plan(&bound, *plan, &mut timing)?,
+                    };
+                    lease.resolve(response.clone());
+                    return Ok(response);
+                }
+                Joined::Follow(Coalesce::Exact, ticket) => {
+                    if let Some(leader) = ticket.wait() {
+                        self.inner.stats.note_coalesced_exact();
+                        return Ok(self.adopt(leader, &timing));
+                    }
+                    // Leader failed: retry, maybe leading this time.
+                }
+                Joined::Follow(Coalesce::Contained, ticket) => {
+                    let landed = ticket.wait().is_some();
+                    if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, landed) {
+                        if landed {
+                            self.inner.stats.note_coalesced_contained();
+                        }
+                        return Ok(response);
+                    }
+                    // The flight didn't leave a usable entry (failed
+                    // leader, truncated or evicted result): retry.
+                }
+            }
+        }
+
+        // Coalescing kept failing; serve uncoalesced rather than loop.
+        match self.cache_phase(&bound, &mut timing, false) {
+            Phase::Served(response) => Ok(response),
+            Phase::Origin(plan) => self.execute_plan(&bound, *plan, &mut timing),
+        }
+    }
+
+    /// One pass over the shard: classify and either answer from the
+    /// cache or plan the origin work. Holds the shard lock throughout;
+    /// never fetches.
+    fn cache_phase(&self, bound: &BoundQuery, timing: &mut Timing, coalesced: bool) -> Phase {
+        let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
+        self.note_lock_wait(timing, wait);
+        let config = &self.inner.config;
+
+        let check_start = Instant::now();
+        let status = match store.lookup_exact(&bound.sql) {
+            Some(id) => QueryStatus::ExactMatch(id),
+            // Passive caching only ever matches exact text.
+            None if config.scheme == Scheme::Passive => QueryStatus::Disjoint,
+            None => classify(&store, bound),
+        };
+        timing.check_ms += ms_since(check_start);
+
+        match status {
+            QueryStatus::ExactMatch(id) => {
+                let entry = store.get(id).expect("exact map is consistent");
+                let sim_ms = config.cost.cache_read_ms(entry.bytes);
+                let result = entry.result.clone();
+                let cached = result.len();
+                Phase::Served(self.respond(
+                    result,
+                    Outcome::Exact,
+                    cached,
+                    sim_ms,
+                    timing,
+                    coalesced,
+                ))
+            }
+
+            QueryStatus::ContainedBy(id) => {
+                let local_start = Instant::now();
+                let entry = store.get(id).expect("classify returned a live id");
+                let sim_ms = config.cost.cache_read_ms(entry.bytes);
+                let filtered = entry
+                    .coord_indexes(&bound.reg.coord_columns)
+                    .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region));
+                timing.local_ms += ms_since(local_start);
+                match filtered {
+                    Some(mut result) => {
+                        if let Some(n) = bound.query.top {
+                            result.rows.truncate(n as usize);
+                        }
+                        let cached = result.len();
+                        Phase::Served(self.respond(
+                            result,
+                            Outcome::Contained,
+                            cached,
+                            sim_ms,
+                            timing,
+                            coalesced,
+                        ))
+                    }
+                    // Malformed cached document: fall back to the origin.
+                    None => Phase::Origin(OriginPlan::forward(bound, Vec::new())),
+                }
+            }
+
+            QueryStatus::RegionContainment(ids) if config.scheme.handles_region_containment() => {
+                self.merge_plan(
+                    &mut store, bound, ids, /*probe_filters=*/ false, timing,
+                )
+            }
+
+            QueryStatus::Overlapping(ids)
+                if config.scheme.handles_overlap()
+                    && coverage_worthwhile(config, &store, bound, &ids) =>
+            {
+                self.merge_plan(&mut store, bound, ids, /*probe_filters=*/ true, timing)
+            }
+
+            QueryStatus::RegionContainment(_)
+            | QueryStatus::Overlapping(_)
+            | QueryStatus::Disjoint => Phase::Origin(OriginPlan::forward(bound, Vec::new())),
+        }
+    }
+
+    /// Plans the merge paths (region containment / overlap): extracts
+    /// the cached contribution under the held lock so the fetch can run
+    /// lock-free. Mirrors [`crate::proxy::FunctionProxy`]'s merge
+    /// procedure.
+    fn merge_plan(
+        &self,
+        store: &mut CacheStore,
+        bound: &BoundQuery,
+        mut ids: Vec<u64>,
+        probe_filters: bool,
+        timing: &mut Timing,
+    ) -> Phase {
+        let config = &self.inner.config;
+        // Remainder queries need server support and a TOP-free query.
+        if !self.inner.origin.supports_remainder() || bound.query.top.is_some() {
+            // Region containment: the forwarded result still covers the
+            // subsumed entries, so compaction remains valid.
+            let compact_ids = if probe_filters { Vec::new() } else { ids };
+            return Phase::Origin(OriginPlan::forward(bound, compact_ids));
+        }
+
+        // Bound the fan-in; prefer the largest cached parts.
+        ids.sort_by_key(|id| std::cmp::Reverse(store.peek(*id).map_or(0, |e| e.bytes)));
+        ids.truncate(config.max_merge_entries);
+
+        // Probe phase: collect the cached contribution.
+        let local_start = Instant::now();
+        let mut probe_sim_ms = 0.0;
+        let mut probes: Vec<ResultSet> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let entry = store.peek(id).expect("classify returned live ids");
+            probe_sim_ms += config.cost.cache_read_ms(entry.bytes);
+            let part = if probe_filters {
+                match entry
+                    .coord_indexes(&bound.reg.coord_columns)
+                    .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region))
+                {
+                    Some(p) => p,
+                    None => return Phase::Origin(OriginPlan::forward(bound, Vec::new())),
+                }
+            } else {
+                entry.result.clone()
+            };
+            probes.push(part);
+        }
+        let probe_refs: Vec<&ResultSet> = probes.iter().collect();
+        let cached_part = merge_results(&bound.reg.key_column, &probe_refs);
+
+        // Remainder phase setup (the fetch itself happens off-lock).
+        let exclude: Vec<fp_geometry::Region> = ids
+            .iter()
+            .map(|id| store.peek(*id).expect("live id").region.clone())
+            .collect();
+        let exclude_refs: Vec<&fp_geometry::Region> = exclude.iter().collect();
+        timing.local_ms += ms_since(local_start);
+        let Some(rq) = remainder_query(bound, &exclude_refs) else {
+            return Phase::Origin(OriginPlan::forward(bound, Vec::new()));
+        };
+
+        let (compact_ids, outcome) = if probe_filters {
+            (Vec::new(), Outcome::Overlap)
+        } else {
+            (ids, Outcome::RegionContainment)
+        };
+        Phase::Origin(Box::new(OriginPlan {
+            query: rq,
+            is_remainder: true,
+            cached_part: Some(cached_part),
+            probe_sim_ms,
+            compact_ids,
+            outcome,
+        }))
+    }
+
+    /// The leader's origin phase: fetch (no locks), merge, then one
+    /// more shard-lock window to insert and compact.
+    fn execute_plan(
+        &self,
+        bound: &BoundQuery,
+        plan: OriginPlan,
+        timing: &mut Timing,
+    ) -> Result<ProxyResponse, ProxyError> {
+        let (fetched, origin_sim_ms) = self.fetch(&plan.query, plan.is_remainder)?;
+
+        let (result, rows_from_cache, truncated) = match plan.cached_part {
+            Some(part) => {
+                let merge_start = Instant::now();
+                let merged = merge_results(&bound.reg.key_column, &[&part, &fetched]);
+                timing.local_ms += ms_since(merge_start);
+                (merged, part.len(), false)
+            }
+            None => {
+                let truncated = bound.query.top.is_some_and(|n| fetched.len() as u64 >= n);
+                (fetched, 0, truncated)
+            }
+        };
+
+        {
+            let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
+            self.note_lock_wait(timing, wait);
+            if self.inner.config.scheme.caches() {
+                store.insert(
+                    &bound.residual_key,
+                    bound.region.clone(),
+                    result.clone(),
+                    truncated,
+                    &bound.sql,
+                );
+            }
+            // Some ids may have been evicted while we fetched; compact
+            // skips missing entries, and ids are never reused.
+            store.compact(&plan.compact_ids);
+        }
+
+        Ok(self.respond(
+            result,
+            plan.outcome,
+            rows_from_cache,
+            origin_sim_ms + plan.probe_sim_ms,
+            timing,
+            false,
+        ))
+    }
+
+    /// Builds an exact follower's response from the leader's. The
+    /// simulated cost stays the leader's (the follower really did wait
+    /// out that fetch); the measured time is the follower's own.
+    fn adopt(&self, leader: ProxyResponse, timing: &Timing) -> ProxyResponse {
+        let mut metrics = leader.metrics;
+        metrics.outcome = Outcome::Exact;
+        metrics.rows_from_cache = metrics.rows_total;
+        metrics.coalesced = true;
+        metrics.check_ms = timing.check_ms;
+        metrics.local_ms = 0.0;
+        metrics.lock_wait_ms = timing.lock_wait_ms;
+        metrics.proxy_ms = ms_since(timing.start);
+        metrics.response_ms = metrics.sim_ms + metrics.proxy_ms;
+        ProxyResponse {
+            result: leader.result,
+            metrics,
+        }
+    }
+
+    /// One origin interaction: execute + charge the cost model.
+    fn fetch(&self, query: &Query, is_remainder: bool) -> Result<(ResultSet, f64), ProxyError> {
+        let outcome = self.inner.origin.execute(query)?;
+        let sim_ms = self
+            .inner
+            .config
+            .cost
+            .origin_ms(&outcome.stats, is_remainder);
+        Ok((outcome.result, sim_ms))
+    }
+
+    fn note_lock_wait(&self, timing: &mut Timing, wait: std::time::Duration) {
+        self.inner
+            .stats
+            .note_lock_wait(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+        timing.lock_wait_ms += wait.as_secs_f64() * 1000.0;
+    }
+
+    fn respond(
+        &self,
+        result: ResultSet,
+        outcome: Outcome,
+        rows_from_cache: usize,
+        sim_ms: f64,
+        timing: &Timing,
+        coalesced: bool,
+    ) -> ProxyResponse {
+        let proxy_ms = ms_since(timing.start);
+        let metrics = QueryMetrics {
+            outcome,
+            response_ms: sim_ms + proxy_ms,
+            sim_ms,
+            proxy_ms,
+            check_ms: timing.check_ms,
+            local_ms: timing.local_ms,
+            rows_total: result.len(),
+            rows_from_cache,
+            coalesced,
+            lock_wait_ms: timing.lock_wait_ms,
+        };
+        ProxyResponse { result, metrics }
+    }
+}
+
+/// The §3.2 tradeoff gate against a single shard (see
+/// [`crate::proxy::FunctionProxy`]).
+fn coverage_worthwhile(
+    config: &ProxyConfig,
+    store: &CacheStore,
+    bound: &BoundQuery,
+    ids: &[u64],
+) -> bool {
+    let threshold = config.min_overlap_coverage;
+    if threshold <= 0.0 {
+        return true;
+    }
+    let regions: Vec<&fp_geometry::Region> = ids
+        .iter()
+        .filter_map(|id| store.peek(*id).map(|e| &e.region))
+        .collect();
+    if regions.is_empty() {
+        return false;
+    }
+    let coverage = fp_geometry::volume::monte_carlo_union_coverage(&bound.region, &regions, 512);
+    coverage >= threshold
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::SiteOrigin;
+    use crate::sim::CostModel;
+    use fp_skyserver::{Catalog, CatalogSpec, SkySite};
+
+    fn handle(scheme: Scheme) -> ProxyHandle {
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default()
+                .with_scheme(scheme)
+                .with_cost(CostModel::free()),
+            4,
+        )
+    }
+
+    fn radial(h: &ProxyHandle, ra: f64, dec: f64, radius: f64) -> ProxyResponse {
+        h.handle_form(
+            "/search/radial",
+            &[
+                ("ra".to_string(), ra.to_string()),
+                ("dec".to_string(), dec.to_string()),
+                ("radius".to_string(), radius.to_string()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ids_of(r: &ProxyResponse) -> Vec<i64> {
+        let k = r.result.column_index("objID").unwrap();
+        let mut ids: Vec<i64> = r
+            .result
+            .rows
+            .iter()
+            .map(|row| row[k].as_i64().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn handle_serves_exact_and_contained_like_the_proxy() {
+        let h = handle(Scheme::FullSemantic);
+        let big = radial(&h, 185.0, 0.0, 25.0);
+        assert_eq!(big.metrics.outcome, Outcome::Forwarded);
+        let again = radial(&h, 185.0, 0.0, 25.0);
+        assert_eq!(again.metrics.outcome, Outcome::Exact);
+        let small = radial(&h, 185.0, 0.0, 10.0);
+        assert_eq!(small.metrics.outcome, Outcome::Contained);
+
+        let oracle = handle(Scheme::NoCache);
+        let truth = radial(&oracle, 185.0, 0.0, 10.0);
+        assert_eq!(ids_of(&small), ids_of(&truth));
+    }
+
+    #[test]
+    fn handle_merges_overlap_and_region_containment() {
+        let h = handle(Scheme::FullSemantic);
+        radial(&h, 185.0, 0.0, 20.0);
+        let o = radial(&h, 185.0 + 25.0 / 60.0, 0.0, 15.0);
+        assert_eq!(o.metrics.outcome, Outcome::Overlap);
+        assert!(o.metrics.rows_from_cache > 0);
+
+        let oracle = handle(Scheme::NoCache);
+        let truth = radial(&oracle, 185.0 + 25.0 / 60.0, 0.0, 15.0);
+        assert_eq!(ids_of(&o), ids_of(&truth));
+
+        let rc = handle(Scheme::RegionContainment);
+        radial(&rc, 185.0 - 10.0 / 60.0, 0.0, 8.0);
+        radial(&rc, 185.0 + 10.0 / 60.0, 0.0, 8.0);
+        let big = radial(&rc, 185.0, 0.0, 40.0);
+        assert_eq!(big.metrics.outcome, Outcome::RegionContainment);
+        assert_eq!(rc.cache_stats().entries, 1);
+        assert_eq!(rc.cache_stats().compactions, 2);
+        let truth = radial(&oracle, 185.0, 0.0, 40.0);
+        assert_eq!(ids_of(&big), ids_of(&truth));
+    }
+
+    #[test]
+    fn passive_handle_hits_only_exact_text() {
+        let h = handle(Scheme::Passive);
+        assert_eq!(
+            radial(&h, 185.0, 0.0, 20.0).metrics.outcome,
+            Outcome::Forwarded
+        );
+        assert_eq!(radial(&h, 185.0, 0.0, 20.0).metrics.outcome, Outcome::Exact);
+        assert_eq!(
+            radial(&h, 185.0, 0.0, 10.0).metrics.outcome,
+            Outcome::Forwarded
+        );
+    }
+
+    #[test]
+    fn no_cache_handle_always_forwards() {
+        let h = handle(Scheme::NoCache);
+        radial(&h, 185.0, 0.0, 20.0);
+        radial(&h, 185.0, 0.0, 20.0);
+        assert_eq!(h.cache_stats().entries, 0);
+        assert_eq!(h.runtime_stats().requests, 2);
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let h = handle(Scheme::FullSemantic);
+        let clone = h.clone();
+        radial(&h, 185.0, 0.0, 20.0);
+        let hit = radial(&clone, 185.0, 0.0, 20.0);
+        assert_eq!(hit.metrics.outcome, Outcome::Exact);
+        assert_eq!(clone.runtime_stats().requests, 2);
+    }
+
+    #[test]
+    fn raw_sql_paths_match_the_proxy() {
+        let h = handle(Scheme::FullSemantic);
+        let sql = "SELECT p.objID, p.ra, p.dec, p.cx, p.cy, p.cz, p.u, p.g, p.r, p.i, p.z \
+                   FROM fGetNearbyObjEq(185.0, 0.0, 20.0) n \
+                   JOIN PhotoPrimary p ON n.objID = p.objID";
+        assert_eq!(
+            h.handle_sql(sql).unwrap().metrics.outcome,
+            Outcome::Forwarded
+        );
+        assert_eq!(h.handle_sql(sql).unwrap().metrics.outcome, Outcome::Exact);
+
+        // Non-template SQL is forwarded uncached.
+        let raw = "SELECT TOP 3 p.objID FROM fGetNearbyObjEq(185.0, 0.0, 20.0) n \
+                   JOIN PhotoPrimary p ON n.objID = p.objID WHERE p.r < 19.0";
+        assert_eq!(
+            h.handle_sql(raw).unwrap().metrics.outcome,
+            Outcome::Forwarded
+        );
+        assert_eq!(
+            h.handle_sql(raw).unwrap().metrics.outcome,
+            Outcome::Forwarded
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The concurrent proxy runtime: a shared, thread-safe front over the
+//! single-threaded pipeline.
+//!
+//! [`crate::proxy::FunctionProxy`] takes `&mut self` everywhere, which
+//! makes the whole cache one critical section — fine for replaying the
+//! paper's trace one query at a time, useless behind a threaded HTTP
+//! server. This module adds the concurrency layer:
+//!
+//! * [`shard`] — the cache split into `N` independently locked
+//!   [`crate::cache::CacheStore`] shards, keyed by the bound query's
+//!   residual key. Queries against different templates or predicate
+//!   groups never touch the same lock; statistics and replacement
+//!   accounting aggregate across shards.
+//! * [`singleflight`] — coalescing of origin fetches. Concurrent
+//!   requests whose regions are exact-equal to an in-flight query's
+//!   region block on that flight and share its result; requests
+//!   *contained* in an in-flight region wait for the flight to land and
+//!   then take the normal local-evaluation path against the freshly
+//!   cached entry. Either way, only one WAN fetch is issued.
+//! * [`handle`] — [`ProxyHandle`], the cheap `Arc`-cloneable front the
+//!   HTTP router and the trace replayer both use: `handle_sql(&self)`,
+//!   `handle_form(&self)` from any thread.
+//!
+//! Lock discipline: the flight table lock and a shard lock are never
+//! held at the same time, condition-variable waits never hold either,
+//! and every request touches exactly one shard (a residual group lives
+//! wholly inside one shard, so region-containment compaction never
+//! crosses shards). That ordering is what makes the runtime
+//! deadlock-free by construction.
+
+pub mod handle;
+pub mod shard;
+pub mod singleflight;
+
+pub use handle::ProxyHandle;
+pub use shard::ShardedStore;
+pub use singleflight::SingleFlight;
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cumulative counters of the concurrent runtime, updated lock-free by
+/// every request.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    requests: AtomicUsize,
+    coalesced_exact: AtomicUsize,
+    coalesced_contained: AtomicUsize,
+    flights_led: AtomicUsize,
+    lock_waits: AtomicUsize,
+    lock_wait_ns: AtomicU64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_coalesced_exact(&self) {
+        self.coalesced_exact.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_coalesced_contained(&self) {
+        self.coalesced_contained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_flight_led(&self) {
+        self.flights_led.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_lock_wait(&self, nanos: u64) {
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the runtime counters, for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RuntimeSnapshot {
+    /// Requests served through the runtime.
+    pub requests: usize,
+    /// Requests served by piggybacking on an in-flight identical query.
+    pub coalesced_exact: usize,
+    /// Requests that waited for a containing in-flight query and were
+    /// then answered from the freshly cached entry.
+    pub coalesced_contained: usize,
+    /// Origin-bound flights actually led (each is at most one WAN fetch).
+    pub flights_led: usize,
+    /// Duplicate origin fetches avoided by coalescing
+    /// (`coalesced_exact + coalesced_contained`).
+    pub duplicate_fetches_avoided: usize,
+    /// Peak number of simultaneously in-flight origin fetches.
+    pub in_flight_peak: usize,
+    /// Shard lock acquisitions.
+    pub lock_acquisitions: usize,
+    /// Total time spent waiting on shard locks, milliseconds.
+    pub lock_wait_ms: f64,
+    /// Number of cache shards.
+    pub shards: usize,
+}
+
+impl RuntimeStats {
+    /// Snapshot the counters (relaxed reads; exact totals once the
+    /// producing threads have quiesced).
+    pub fn snapshot(&self, in_flight_peak: usize, shards: usize) -> RuntimeSnapshot {
+        let coalesced_exact = self.coalesced_exact.load(Ordering::Relaxed);
+        let coalesced_contained = self.coalesced_contained.load(Ordering::Relaxed);
+        RuntimeSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            coalesced_exact,
+            coalesced_contained,
+            flights_led: self.flights_led.load(Ordering::Relaxed),
+            duplicate_fetches_avoided: coalesced_exact + coalesced_contained,
+            in_flight_peak,
+            lock_acquisitions: self.lock_waits.load(Ordering::Relaxed),
+            lock_wait_ms: self.lock_wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            shards,
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Single-flight coalescing of origin fetches.
+//!
+//! When many clients ask the same (or a subsumed) question at once, a
+//! cold cache would send every one of them across the WAN. The flight
+//! table makes the first such request the **leader**; everyone else
+//! becomes a **follower** of its flight:
+//!
+//! * an *exact* follower (same canonical SQL) blocks until the flight
+//!   lands and adopts the leader's response;
+//! * a *contained* follower (region inside the in-flight region, same
+//!   residual group) blocks until the flight lands, then retries the
+//!   cache — the leader inserts its result **before** resolving the
+//!   flight, so the retry finds a containing entry and takes the normal
+//!   local-evaluation path.
+//!
+//! Either way at most one WAN fetch is issued. A leader that fails (or
+//! panics) resolves its flight empty; followers wake and retry, bounded
+//! by the caller.
+//!
+//! Lock discipline: the flight-table lock is never held while a flight's
+//! state lock is held, and neither is ever held across a wait or an
+//! origin fetch.
+
+use crate::proxy::ProxyResponse;
+use fp_geometry::{Region, Relation};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// How a follower's query relates to the flight it joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coalesce {
+    /// Same canonical SQL: the leader's response answers this request.
+    Exact,
+    /// Region contained in the in-flight region: once the leader has
+    /// cached its result, a cache retry answers this request locally.
+    Contained,
+}
+
+enum FlightState {
+    Pending,
+    Done(Option<ProxyResponse>),
+}
+
+struct Flight {
+    sql: String,
+    residual_key: String,
+    region: Region,
+    state: Mutex<FlightState>,
+    landed: Condvar,
+}
+
+impl Flight {
+    fn state(&self) -> MutexGuard<'_, FlightState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+struct Table {
+    flights: HashMap<String, Arc<Flight>>,
+    in_flight_peak: usize,
+}
+
+/// The flight table: at most one origin-bound flight per canonical SQL.
+pub struct SingleFlight {
+    table: Mutex<Table>,
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> Self {
+        SingleFlight {
+            table: Mutex::new(Table {
+                flights: HashMap::new(),
+                in_flight_peak: 0,
+            }),
+        }
+    }
+
+    fn table(&self) -> MutexGuard<'_, Table> {
+        self.table.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Joins the flight covering this query, or registers a new one.
+    ///
+    /// `allow_contained` joins flights whose region contains `region`
+    /// within the same residual group; pass `false` for schemes that
+    /// cannot answer a query from a containing entry (passive caching).
+    pub fn join(
+        &self,
+        sql: &str,
+        residual_key: &str,
+        region: &Region,
+        allow_contained: bool,
+    ) -> Joined<'_> {
+        let mut table = self.table();
+        if let Some(flight) = table.flights.get(sql) {
+            return Joined::Follow(Coalesce::Exact, FlightTicket(Arc::clone(flight)));
+        }
+        if allow_contained {
+            for flight in table.flights.values() {
+                if flight.residual_key == residual_key
+                    && matches!(
+                        region.relate(&flight.region),
+                        Relation::Equal | Relation::Inside
+                    )
+                {
+                    return Joined::Follow(Coalesce::Contained, FlightTicket(Arc::clone(flight)));
+                }
+            }
+        }
+        let flight = Arc::new(Flight {
+            sql: sql.to_string(),
+            residual_key: residual_key.to_string(),
+            region: region.clone(),
+            state: Mutex::new(FlightState::Pending),
+            landed: Condvar::new(),
+        });
+        table.flights.insert(sql.to_string(), Arc::clone(&flight));
+        table.in_flight_peak = table.in_flight_peak.max(table.flights.len());
+        Joined::Lead(FlightLease {
+            table: self,
+            flight,
+            resolved: false,
+        })
+    }
+
+    /// Peak number of simultaneously in-flight fetches so far.
+    pub fn in_flight_peak(&self) -> usize {
+        self.table().in_flight_peak
+    }
+
+    /// Flights currently pending (for tests and diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.table().flights.len()
+    }
+}
+
+/// The result of [`SingleFlight::join`].
+pub enum Joined<'a> {
+    /// This request leads: fetch from the origin, then
+    /// [`FlightLease::resolve`].
+    Lead(FlightLease<'a>),
+    /// This request follows an in-flight fetch: [`FlightTicket::wait`].
+    Follow(Coalesce, FlightTicket),
+}
+
+/// The leader's obligation to land its flight.
+///
+/// Dropping the lease without [`FlightLease::resolve`] (error return or
+/// panic on the origin path) resolves the flight empty so followers
+/// wake and retry instead of hanging.
+pub struct FlightLease<'a> {
+    table: &'a SingleFlight,
+    flight: Arc<Flight>,
+    resolved: bool,
+}
+
+impl FlightLease<'_> {
+    /// Lands the flight with the leader's response, waking every
+    /// follower. Call only after the result has been inserted into the
+    /// cache, so contained followers find it on retry.
+    pub fn resolve(mut self, response: ProxyResponse) {
+        self.finish(Some(response));
+    }
+
+    fn finish(&mut self, response: Option<ProxyResponse>) {
+        self.resolved = true;
+        // Deregister first (new arrivals start a fresh flight), then
+        // publish the state; the two locks are never held together.
+        self.table.table().flights.remove(&self.flight.sql);
+        *self.flight.state() = FlightState::Done(response);
+        self.flight.landed.notify_all();
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.finish(None);
+        }
+    }
+}
+
+/// A follower's claim on an in-flight fetch.
+pub struct FlightTicket(Arc<Flight>);
+
+impl FlightTicket {
+    /// Blocks until the flight lands. `None` means the leader failed;
+    /// the caller should retry (itself becoming a leader candidate).
+    pub fn wait(self) -> Option<ProxyResponse> {
+        let mut state = self.0.state();
+        loop {
+            match &*state {
+                FlightState::Done(response) => return response.clone(),
+                FlightState::Pending => {
+                    state = self.0.landed.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Outcome, QueryMetrics};
+    use fp_geometry::HyperRect;
+    use fp_skyserver::ResultSet;
+
+    fn region(lo: f64, hi: f64) -> Region {
+        Region::Rect(HyperRect::new(vec![lo, lo], vec![hi, hi]).unwrap())
+    }
+
+    fn response(rows: usize) -> ProxyResponse {
+        ProxyResponse {
+            result: ResultSet {
+                columns: vec!["objID".into()],
+                rows: (0..rows)
+                    .map(|i| vec![fp_sqlmini::Value::Int(i as i64)])
+                    .collect(),
+            },
+            metrics: QueryMetrics {
+                outcome: Outcome::Forwarded,
+                response_ms: 1.0,
+                sim_ms: 1.0,
+                proxy_ms: 0.0,
+                check_ms: 0.0,
+                local_ms: 0.0,
+                rows_total: rows,
+                rows_from_cache: 0,
+                coalesced: false,
+                lock_wait_ms: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn exact_follower_adopts_leader_response() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 10.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let ticket = match sf.join("SQL", "k", &region(0.0, 10.0), true) {
+            Joined::Follow(Coalesce::Exact, ticket) => ticket,
+            _ => panic!("identical SQL must follow exactly"),
+        };
+        assert_eq!(sf.in_flight(), 1);
+        lease.resolve(response(3));
+        let adopted = ticket.wait().expect("resolved flight");
+        assert_eq!(adopted.result.len(), 3);
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.in_flight_peak(), 1);
+    }
+
+    #[test]
+    fn contained_region_follows_only_when_allowed() {
+        let sf = SingleFlight::new();
+        let _lease = match sf.join("BIG", "k", &region(0.0, 10.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        // Subsumed region, same group: follows the big flight.
+        match sf.join("SMALL", "k", &region(2.0, 4.0), true) {
+            Joined::Follow(Coalesce::Contained, _) => {}
+            _ => panic!("contained region must follow"),
+        }
+        // Same geometry but containment joining disabled: leads its own.
+        match sf.join("SMALL", "k", &region(2.0, 4.0), false) {
+            Joined::Lead(_) => {}
+            Joined::Follow(..) => panic!("allow_contained=false must not coalesce"),
+        }
+        // Different residual group never coalesces by containment.
+        match sf.join("OTHER", "other-group", &region(2.0, 4.0), true) {
+            Joined::Lead(_) => {}
+            Joined::Follow(..) => panic!("groups must stay isolated"),
+        };
+    }
+
+    #[test]
+    fn dropped_lease_wakes_followers_empty() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let ticket = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, ticket) => ticket,
+            Joined::Lead(_) => panic!("second join must follow"),
+        };
+        drop(lease);
+        assert!(ticket.wait().is_none(), "failed flight resolves empty");
+        // The failed flight no longer blocks new leaders.
+        assert!(matches!(
+            sf.join("SQL", "k", &region(0.0, 1.0), true),
+            Joined::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn peak_tracks_simultaneous_flights() {
+        let sf = SingleFlight::new();
+        let a = match sf.join("A", "k", &region(0.0, 1.0), false) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => unreachable!(),
+        };
+        let b = match sf.join("B", "k", &region(5.0, 6.0), false) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => unreachable!(),
+        };
+        a.resolve(response(1));
+        b.resolve(response(1));
+        assert_eq!(sf.in_flight_peak(), 2);
+        assert_eq!(sf.in_flight(), 0);
+    }
+}

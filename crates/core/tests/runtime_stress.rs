@@ -1,0 +1,264 @@
+//! Concurrency stress tests for the runtime: correctness against the
+//! single-threaded proxy, single-flight coalescing, and absence of
+//! deadlock under contention (the test harness timeout is the watchdog).
+
+use fp_skyserver::{Catalog, CatalogSpec, SkySite};
+use funcproxy::origin::CountingOrigin;
+use funcproxy::proxy::ProxyResponse;
+use funcproxy::template::TemplateManager;
+use funcproxy::{CostModel, FunctionProxy, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const THREADS: usize = 8;
+
+fn site() -> SkySite {
+    SkySite::new(Catalog::generate(&CatalogSpec::small_test()))
+}
+
+fn config() -> ProxyConfig {
+    ProxyConfig::default()
+        .with_scheme(Scheme::FullSemantic)
+        .with_cost(CostModel::free())
+}
+
+/// A handle over a fetch-counting origin that sleeps `delay_ms` per
+/// fetch to widen race windows, plus the counter itself.
+fn counting_handle(site: SkySite, delay_ms: u64) -> (ProxyHandle, Arc<CountingOrigin>) {
+    let counting = Arc::new(CountingOrigin::with_delay(
+        Arc::new(SiteOrigin::new(site)),
+        Duration::from_millis(delay_ms),
+    ));
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::clone(&counting) as Arc<dyn funcproxy::Origin>,
+        config(),
+        4,
+    );
+    (handle, counting)
+}
+
+fn radial_fields(ra: f64, dec: f64, radius: f64) -> Vec<(String, String)> {
+    vec![
+        ("ra".to_string(), ra.to_string()),
+        ("dec".to_string(), dec.to_string()),
+        ("radius".to_string(), radius.to_string()),
+    ]
+}
+
+fn ids_of(r: &ProxyResponse) -> Vec<i64> {
+    let k = r.result.column_index("objID").unwrap();
+    let mut ids: Vec<i64> = r
+        .result
+        .rows
+        .iter()
+        .map(|row| row[k].as_i64().unwrap())
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Ground truth from a single-threaded no-cache proxy on the same
+/// catalog.
+fn oracle_ids(site: SkySite, ra: f64, dec: f64, radius: f64) -> Vec<i64> {
+    let mut oracle = FunctionProxy::new(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(SiteOrigin::new(site)),
+        config().with_scheme(Scheme::NoCache),
+    );
+    let response = oracle
+        .handle_form("/search/radial", &radial_fields(ra, dec, radius))
+        .unwrap();
+    ids_of(&response)
+}
+
+#[test]
+fn identical_concurrent_queries_fetch_the_origin_once() {
+    let site = site();
+    let (handle, counting) = counting_handle(site.clone(), 50);
+    let barrier = Barrier::new(THREADS);
+
+    let responses: Vec<ProxyResponse> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let handle = handle.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    handle
+                        .handle_form("/search/radial", &radial_fields(185.0, 0.0, 20.0))
+                        .unwrap()
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    // The acceptance bar: one WAN fetch total, zero duplicates.
+    assert_eq!(counting.fetches(), 1, "identical queries must coalesce");
+    assert_eq!(counting.duplicate_fetches(), 0);
+
+    let truth = oracle_ids(site, 185.0, 0.0, 20.0);
+    assert!(!truth.is_empty(), "hotspot region should be populated");
+    for response in &responses {
+        assert_eq!(ids_of(response), truth);
+    }
+
+    let stats = handle.runtime_stats();
+    assert_eq!(stats.requests, THREADS);
+    assert_eq!(stats.flights_led, 1);
+    // Every non-leader was answered without its own fetch: either it
+    // piggybacked on the flight or it hit the freshly cached entry.
+    let served_without_fetch = responses
+        .iter()
+        .filter(|r| r.metrics.rows_from_cache == r.metrics.rows_total)
+        .count();
+    assert_eq!(served_without_fetch, THREADS - 1);
+    assert_eq!(
+        stats.duplicate_fetches_avoided,
+        responses.iter().filter(|r| r.metrics.coalesced).count()
+    );
+}
+
+#[test]
+fn contained_concurrent_queries_wait_for_the_covering_flight() {
+    let site = site();
+    let (handle, counting) = counting_handle(site.clone(), 100);
+
+    let responses: Vec<(f64, ProxyResponse)> = std::thread::scope(|scope| {
+        let leader = {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                handle
+                    .handle_form("/search/radial", &radial_fields(185.0, 0.0, 25.0))
+                    .unwrap()
+            })
+        };
+        // Give the big query time to take off, then pile on subsumed
+        // queries while its fetch is still in flight.
+        std::thread::sleep(Duration::from_millis(20));
+        let followers: Vec<_> = (0..THREADS - 1)
+            .map(|i| {
+                let handle = handle.clone();
+                let radius = 5.0 + i as f64;
+                scope.spawn(move || {
+                    let response = handle
+                        .handle_form("/search/radial", &radial_fields(185.0, 0.0, radius))
+                        .unwrap();
+                    (radius, response)
+                })
+            })
+            .collect();
+        let mut all = vec![(25.0, leader.join().unwrap())];
+        all.extend(followers.into_iter().map(|t| t.join().unwrap()));
+        all
+    });
+
+    // Only the covering query ever reached the origin.
+    assert_eq!(counting.fetches(), 1, "contained queries must coalesce");
+    for (radius, response) in &responses {
+        assert_eq!(
+            ids_of(response),
+            oracle_ids(site.clone(), 185.0, 0.0, *radius),
+            "radius {radius} answer must match the origin's"
+        );
+    }
+}
+
+#[test]
+fn disjoint_concurrent_queries_proceed_independently() {
+    let site = site();
+    let (handle, counting) = counting_handle(site.clone(), 20);
+    let barrier = Barrier::new(THREADS);
+
+    // Disjoint 6'-radius circles spread 30' apart: same template (same
+    // residual group, same shard), no spatial relationship.
+    let centers: Vec<f64> = (0..THREADS).map(|i| 183.0 + i as f64 * 0.5).collect();
+    let responses: Vec<(f64, ProxyResponse)> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = centers
+            .iter()
+            .map(|&ra| {
+                let handle = handle.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let response = handle
+                        .handle_form("/search/radial", &radial_fields(ra, 0.0, 6.0))
+                        .unwrap();
+                    (ra, response)
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        counting.fetches(),
+        THREADS,
+        "disjoint queries cannot coalesce"
+    );
+    assert_eq!(counting.duplicate_fetches(), 0);
+    assert_eq!(handle.cache_stats().entries, THREADS);
+    for (ra, response) in &responses {
+        assert_eq!(ids_of(response), oracle_ids(site.clone(), *ra, 0.0, 6.0));
+    }
+}
+
+#[test]
+fn mixed_concurrent_workload_matches_the_single_threaded_proxy() {
+    let site = site();
+    let (handle, counting) = counting_handle(site.clone(), 5);
+    let barrier = Barrier::new(THREADS);
+
+    // Each thread interleaves identical, contained, overlapping and
+    // disjoint queries against the shared handle.
+    let queries: Vec<(f64, f64, f64)> = vec![
+        (185.0, 0.0, 20.0),               // repeated hot query
+        (185.0, 0.0, 8.0),                // contained in it
+        (185.0 + 25.0 / 60.0, 0.0, 15.0), // overlaps it
+        (183.0, 1.0, 6.0),                // disjoint
+    ];
+
+    let all: Vec<(f64, f64, f64, ProxyResponse)> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let handle = handle.clone();
+                let queries = queries.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut out = Vec::new();
+                    for i in 0..queries.len() {
+                        // Stagger the starting point per thread.
+                        let (ra, dec, radius) = queries[(i + t) % queries.len()];
+                        let response = handle
+                            .handle_form("/search/radial", &radial_fields(ra, dec, radius))
+                            .unwrap();
+                        out.push((ra, dec, radius, response));
+                    }
+                    out
+                })
+            })
+            .collect();
+        tasks.into_iter().flat_map(|t| t.join().unwrap()).collect()
+    });
+
+    for (ra, dec, radius, response) in &all {
+        assert_eq!(
+            ids_of(response),
+            oracle_ids(site.clone(), *ra, *dec, *radius),
+            "query ({ra}, {dec}, {radius}) must match the origin's answer"
+        );
+    }
+    // Far fewer fetches than requests: the cache and the coalescer
+    // absorbed the repeats (at most one fetch per distinct query plus
+    // the overlap remainder).
+    let requests = handle.runtime_stats().requests;
+    assert_eq!(requests, THREADS * queries.len());
+    assert!(
+        counting.fetches() <= queries.len() + 1,
+        "expected at most {} fetches, saw {}",
+        queries.len() + 1,
+        counting.fetches()
+    );
+}

@@ -1,19 +1,39 @@
-//! A blocking HTTP client with per-request connections.
+//! A blocking HTTP client with a keep-alive connection.
 
 use crate::message::{Request, Response};
 use crate::parse::read_response;
 use crate::HttpError;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// A client bound to one server address. Opens a fresh connection per
-/// request (`Connection: close`), which keeps failure handling simple; the
-/// RBE replayer measures whole-request latency anyway.
-#[derive(Debug, Clone)]
+/// A client bound to one server address, reusing a single HTTP/1.1
+/// keep-alive connection across requests. A connection the server has
+/// meanwhile closed is detected on the next request and replaced
+/// transparently (one reconnect, then the error propagates). Cloning
+/// yields an independent client with its own connection.
+#[derive(Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
     timeout: Duration,
+    conn: Mutex<Option<Conn>>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Clone for HttpClient {
+    fn clone(&self) -> Self {
+        HttpClient {
+            addr: self.addr,
+            timeout: self.timeout,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl HttpClient {
@@ -22,35 +42,47 @@ impl HttpClient {
         HttpClient {
             addr,
             timeout: Duration::from_secs(30),
+            conn: Mutex::new(None),
         }
     }
 
-    /// Overrides the connect/read/write timeout.
+    /// Overrides the connect/read/write timeout. Drops any pooled
+    /// connection so the new timeout applies from the next request.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self.conn = Mutex::new(None);
         self
     }
 
-    /// Sends `request` and reads the response.
+    /// Sends `request` and reads the response, reusing the pooled
+    /// connection when one is alive.
     ///
     /// # Errors
-    /// Returns [`HttpError`] on connection failure, timeout, or malformed
-    /// response framing.
+    /// Returns [`HttpError`] on connection failure, timeout, or
+    /// malformed response framing.
     pub fn send(&self, request: &Request) -> Result<Response, HttpError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-
         let mut req = request.clone();
-        req.headers.set("Connection", "close");
+        req.headers.set("Connection", "keep-alive");
         req.headers.set("Host", self.addr.to_string());
+        let bytes = req.to_bytes();
 
-        let mut writer = stream.try_clone()?;
-        writer.write_all(&req.to_bytes())?;
-        writer.flush()?;
-
-        let mut reader = BufReader::new(stream);
-        read_response(&mut reader)
+        let mut slot = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(mut conn) = slot.take() {
+            match roundtrip(&mut conn, &bytes) {
+                Ok(response) => {
+                    park(&mut slot, conn, &response);
+                    return Ok(response);
+                }
+                // The server closed the pooled connection between
+                // requests: fall through and retry on a fresh one.
+                Err(HttpError::Io(_) | HttpError::UnexpectedEof) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut conn = self.connect()?;
+        let response = roundtrip(&mut conn, &bytes)?;
+        park(&mut slot, conn, &response);
+        Ok(response)
     }
 
     /// Convenience GET.
@@ -60,11 +92,43 @@ impl HttpClient {
     pub fn get(&self, path_and_query: &str) -> Result<Response, HttpError> {
         self.send(&Request::get(path_and_query))
     }
+
+    fn connect(&self) -> Result<Conn, HttpError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+fn roundtrip(conn: &mut Conn, request_bytes: &[u8]) -> Result<Response, HttpError> {
+    conn.writer.write_all(request_bytes)?;
+    conn.writer.flush()?;
+    read_response(&mut conn.reader)
+}
+
+/// Returns the connection to the pool unless the server asked to close.
+fn park(slot: &mut Option<Conn>, conn: Conn, response: &Response) {
+    let close = response
+        .headers
+        .get("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    if !close {
+        *slot = Some(conn);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::read_request;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn connect_failure_is_io_error() {
@@ -72,5 +136,65 @@ mod tests {
         let client = HttpClient::new("127.0.0.1:1".parse().unwrap())
             .with_timeout(Duration::from_millis(200));
         assert!(matches!(client.get("/"), Err(HttpError::Io(_))));
+    }
+
+    /// A hand-rolled server that counts accepted connections and serves
+    /// `responses_per_conn` responses on each before hanging up.
+    fn counting_server(responses_per_conn: usize) -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let accepts2 = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            while let Ok((socket, _)) = listener.accept() {
+                accepts2.fetch_add(1, Ordering::SeqCst);
+                let mut writer = socket.try_clone().unwrap();
+                let mut reader = BufReader::new(socket);
+                for _ in 0..responses_per_conn {
+                    match read_request(&mut reader) {
+                        Ok(Some(request)) => {
+                            let body = format!("echo:{}", request.path);
+                            let response = Response::ok("text/plain", body);
+                            writer.write_all(&response.to_bytes()).unwrap();
+                            writer.flush().unwrap();
+                        }
+                        _ => break,
+                    }
+                }
+                // Dropping the socket closes the connection.
+            }
+        });
+        (addr, accepts)
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let (addr, accepts) = counting_server(100);
+        let client = HttpClient::new(addr).with_timeout(Duration::from_secs(5));
+        for i in 0..5 {
+            let r = client.get(&format!("/q{i}")).unwrap();
+            assert_eq!(r.body_text(), format!("echo:/q{i}"));
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            1,
+            "five requests must share one connection"
+        );
+    }
+
+    #[test]
+    fn reconnects_after_server_closes_the_connection() {
+        // The server hangs up after every single response.
+        let (addr, accepts) = counting_server(1);
+        let client = HttpClient::new(addr).with_timeout(Duration::from_secs(5));
+        for i in 0..3 {
+            let r = client.get(&format!("/r{i}")).unwrap();
+            assert_eq!(r.body_text(), format!("echo:/r{i}"));
+        }
+        assert_eq!(
+            accepts.load(Ordering::SeqCst),
+            3,
+            "each request needed a fresh connection"
+        );
     }
 }

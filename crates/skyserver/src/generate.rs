@@ -174,7 +174,9 @@ pub(crate) fn generate_objects(spec: &CatalogSpec) -> Vec<GenObject> {
         let spec = rng.gen_bool(0.15).then(|| GenSpec {
             spec_obj_id: 0x0FAC_0000_0000_0000_u64 as i64 + (i as i64) * 13 + 5,
             z: rng.gen_range(0.0..0.8f64),
-            class: *[1, 1, 1, 2, 3].get(rng.gen_range(0..5)).expect("in range"),
+            class: *[1, 1, 1, 2, 3]
+                .get(rng.gen_range(0..5usize))
+                .expect("in range"),
         });
         out.push(GenObject {
             // SDSS-flavored ids: large, unique, non-consecutive.

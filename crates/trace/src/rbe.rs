@@ -2,7 +2,7 @@
 
 use crate::trace::Trace;
 use funcproxy::metrics::{QueryMetrics, TraceReport};
-use funcproxy::{FunctionProxy, ProxyError};
+use funcproxy::{FunctionProxy, ProxyError, ProxyHandle};
 
 /// The paper's RBE ("the program we write for emulating a web browser
 /// client"): issues each trace query as a Radial form request and records
@@ -45,6 +45,72 @@ impl Rbe {
     /// See [`Rbe::replay`].
     pub fn run(&self, proxy: &mut FunctionProxy, trace: &Trace) -> Result<TraceReport, ProxyError> {
         Ok(TraceReport::from_metrics(&self.replay(proxy, trace)?))
+    }
+
+    /// Replays `trace` through a shared [`ProxyHandle`] from `threads`
+    /// concurrent client threads. Queries are dealt round-robin: client
+    /// `t` issues queries `t, t+threads, t+2*threads, ...` in order, so
+    /// each query runs exactly once and every client sees an in-order
+    /// subsequence of the trace. Returned metrics are in trace order.
+    ///
+    /// # Errors
+    /// Returns the first proxy error any client hit (the run is
+    /// meaningless after one, same as [`Rbe::replay`]).
+    pub fn replay_shared(
+        &self,
+        handle: &ProxyHandle,
+        trace: &Trace,
+        threads: usize,
+    ) -> Result<Vec<QueryMetrics>, ProxyError> {
+        let threads = threads.clamp(1, trace.len().max(1));
+        let form_path = &self.form_path;
+        let per_thread: Vec<Result<Vec<(usize, QueryMetrics)>, ProxyError>> =
+            std::thread::scope(|scope| {
+                let clients: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for (i, q) in trace.queries.iter().enumerate().skip(t).step_by(threads)
+                            {
+                                let response = handle.handle_form(form_path, &q.form_fields())?;
+                                out.push((i, response.metrics));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                clients
+                    .into_iter()
+                    .map(|c| c.join().expect("client thread panicked"))
+                    .collect()
+            });
+
+        let mut metrics: Vec<Option<QueryMetrics>> = vec![None; trace.len()];
+        for client in per_thread {
+            for (i, m) in client? {
+                metrics[i] = Some(m);
+            }
+        }
+        Ok(metrics
+            .into_iter()
+            .map(|m| m.expect("round-robin deal covers every query"))
+            .collect())
+    }
+
+    /// [`Rbe::replay_shared`] plus aggregation.
+    ///
+    /// # Errors
+    /// See [`Rbe::replay_shared`].
+    pub fn run_shared(
+        &self,
+        handle: &ProxyHandle,
+        trace: &Trace,
+        threads: usize,
+    ) -> Result<TraceReport, ProxyError> {
+        Ok(TraceReport::from_metrics(
+            &self.replay_shared(handle, trace, threads)?,
+        ))
     }
 }
 
@@ -112,6 +178,42 @@ mod tests {
             r_ac.avg_response_ms,
             r_nc.avg_response_ms
         );
+    }
+
+    #[test]
+    fn shared_replay_covers_the_trace_and_agrees_with_the_oracle() {
+        let trace = TraceSpec {
+            queries: 80,
+            seed: 9,
+            ..TraceSpec::small_test()
+        }
+        .generate();
+        let rbe = Rbe::default();
+
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        let handle = funcproxy::ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site.clone())),
+            ProxyConfig::default()
+                .with_scheme(Scheme::FullSemantic)
+                .with_cost(CostModel::free()),
+            4,
+        );
+        let metrics = rbe.replay_shared(&handle, &trace, 8).unwrap();
+        assert_eq!(metrics.len(), trace.len());
+
+        // Row counts per query must match a no-cache oracle replay.
+        let mut oracle = FunctionProxy::new(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default()
+                .with_scheme(Scheme::NoCache)
+                .with_cost(CostModel::free()),
+        );
+        let truth = rbe.replay(&mut oracle, &trace).unwrap();
+        for (i, (m, t)) in metrics.iter().zip(&truth).enumerate() {
+            assert_eq!(m.rows_total, t.rows_total, "query {i} row count");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! The full deployment picture over real sockets: a browser-like client →
-//! the function proxy (an HTTP server) → the origin web site (another HTTP
-//! server exposing its search form and the free-form SQL page), all on
-//! loopback TCP using the workspace's own HTTP stack.
+//! The full deployment picture over real sockets: browser-like clients →
+//! the function proxy (a threaded HTTP server sharing one [`ProxyHandle`])
+//! → the origin web site (another HTTP server exposing its search form and
+//! the free-form SQL page), all on loopback TCP using the workspace's own
+//! HTTP stack.
 //!
 //! ```sh
 //! cargo run --example http_proxy
@@ -9,26 +10,12 @@
 
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
-use fp_suite::proxy::{CostModel, FunctionProxy, Origin, OriginError, ProxyConfig, Scheme};
+use fp_suite::proxy::{CostModel, Origin, OriginError, ProxyConfig, ProxyHandle, Scheme};
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
 use fp_suite::sqlmini::Query;
 use fp_suite::xmlite::Element;
-use parking_lot_stub::Mutex;
 use std::sync::Arc;
-
-/// std Mutex shim so the example has no extra dependencies.
-mod parking_lot_stub {
-    pub struct Mutex<T>(std::sync::Mutex<T>);
-    impl<T> Mutex<T> {
-        pub fn new(v: T) -> Self {
-            Mutex(std::sync::Mutex::new(v))
-        }
-        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-            self.0.lock().expect("example mutex is never poisoned")
-        }
-    }
-}
 
 /// The origin web site's HTTP face: the free-form SQL page
 /// (`GET /sql?cmd=<urlencoded sql>`), returning the XML result document
@@ -54,7 +41,8 @@ fn origin_router(site: SkySite) -> Router {
 
 /// An [`Origin`] that reaches the origin site over HTTP — what the proxy
 /// would use in a real deployment (the in-process `SiteOrigin` is the
-/// simulation shortcut).
+/// simulation shortcut). The keep-alive [`HttpClient`] reuses one origin
+/// connection across fetches.
 struct HttpOrigin {
     client: HttpClient,
 }
@@ -94,19 +82,22 @@ impl Origin for HttpOrigin {
 
 /// The proxy's HTTP face: the Radial search form plus a pass-through SQL
 /// page, exactly the two entry points the paper's SkyServer deployment
-/// had.
-fn proxy_router(proxy: Arc<Mutex<FunctionProxy>>) -> Router {
-    let form_proxy = Arc::clone(&proxy);
+/// had. Each connection thread serves through its own clone of the
+/// shared [`ProxyHandle`] — no global lock around the proxy.
+fn proxy_router(handle: ProxyHandle) -> Router {
+    let form_handle = handle.clone();
     Router::new()
         .route("/search/radial", move |req: &Request| {
             let fields = req.query_params();
-            match form_proxy.lock().handle_form("/search/radial", &fields) {
+            match form_handle.handle_form("/search/radial", &fields) {
                 Ok(r) => {
                     let mut resp = Response::ok("text/xml", r.result.to_xml().to_xml());
                     resp.headers
                         .set("X-Cache-Outcome", r.metrics.outcome.label());
                     resp.headers
                         .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
+                    resp.headers
+                        .set("X-Coalesced", r.metrics.coalesced.to_string());
                     resp
                 }
                 Err(e) => Response::error(Status::BAD_REQUEST, &e.to_string()),
@@ -116,7 +107,7 @@ fn proxy_router(proxy: Arc<Mutex<FunctionProxy>>) -> Router {
             let Some((_, sql)) = req.query_params().into_iter().find(|(k, _)| k == "cmd") else {
                 return Response::error(Status::BAD_REQUEST, "missing cmd parameter");
             };
-            match proxy.lock().handle_sql(&sql) {
+            match handle.handle_sql(&sql) {
                 Ok(r) => Response::ok("text/xml", r.result.to_xml().to_xml()),
                 Err(e) => Response::error(Status::BAD_GATEWAY, &e.to_string()),
             }
@@ -130,22 +121,28 @@ fn main() {
     let origin_server = HttpServer::bind("127.0.0.1:0", origin_router(site)).expect("origin binds");
     println!("origin listening on http://{}", origin_server.addr());
 
-    // 2. The function proxy, talking to the origin over HTTP.
+    // 2. The function proxy, talking to the origin over HTTP and serving
+    //    all connection threads through one shared handle.
     let origin = HttpOrigin {
         client: HttpClient::new(origin_server.addr()),
     };
-    let proxy = Arc::new(Mutex::new(FunctionProxy::new(
+    let handle = ProxyHandle::new(
         TemplateManager::with_sky_defaults(),
         Arc::new(origin),
         ProxyConfig::default()
             .with_scheme(Scheme::FullSemantic)
             .with_cost(CostModel::free()),
-    )));
+    );
     let proxy_server =
-        HttpServer::bind("127.0.0.1:0", proxy_router(Arc::clone(&proxy))).expect("proxy binds");
-    println!("proxy  listening on http://{}\n", proxy_server.addr());
+        HttpServer::bind("127.0.0.1:0", proxy_router(handle.clone())).expect("proxy binds");
+    println!(
+        "proxy  listening on http://{} ({} cache shards)\n",
+        proxy_server.addr(),
+        handle.shard_count()
+    );
 
-    // 3. A browser-like client issues Radial form requests to the proxy.
+    // 3. A browser-like client issues Radial form requests to the proxy
+    //    over one keep-alive connection.
     let browser = HttpClient::new(proxy_server.addr());
     for (label, url) in [
         ("miss   ", "/search/radial?ra=185.0&dec=0.5&radius=20"),
@@ -163,11 +160,32 @@ fn main() {
         );
     }
 
-    let stats = proxy.lock().cache_stats();
+    // 4. Eight concurrent browsers ask the same cold question at once;
+    //    the single-flight runtime answers all of them with one origin
+    //    fetch.
+    println!("\n8 concurrent clients, identical cold query:");
+    let burst_url = "/search/radial?ra=186.5&dec=-0.5&radius=15";
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let addr = proxy_server.addr();
+            scope.spawn(move || {
+                let client = HttpClient::new(addr);
+                client.get(burst_url).expect("burst request succeeds");
+            });
+        }
+    });
+    let runtime = handle.runtime_stats();
     println!(
-        "\nproxy cache: {} entries, {:.1} KB",
+        "   requests: {}, flights led: {}, duplicate fetches avoided: {}",
+        runtime.requests, runtime.flights_led, runtime.duplicate_fetches_avoided
+    );
+
+    let stats = handle.cache_stats();
+    println!(
+        "\nproxy cache: {} entries, {:.1} KB across {} shards",
         stats.entries,
-        stats.bytes as f64 / 1024.0
+        stats.bytes as f64 / 1024.0,
+        handle.shard_count()
     );
 
     proxy_server.shutdown();

@@ -1,0 +1,304 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate keeps
+//! the workspace's benches compiling and runnable: `cargo bench` times
+//! each closure over a short adaptive loop and prints a one-line
+//! mean — no statistics, no HTML reports, no comparison to baselines.
+//! The numbers are indicative only; the APIs (`benchmark_group`,
+//! `bench_with_input`, `Throughput`, `black_box`, ...) mirror upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation that produced `value`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How much work one iteration of a benchmark represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    mean: Option<Duration>,
+    iters_hint: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until ~20 ms or the hint cap.
+        black_box(routine());
+        let calibration = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration.elapsed() < Duration::from_millis(20)
+            && calibration_iters < self.iters_hint
+        {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let timed_iters = calibration_iters.max(1);
+        let start = Instant::now();
+        for _ in 0..timed_iters {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / u32::try_from(timed_iters).unwrap_or(u32::MAX));
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample size for subsequent groups.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(None, id.into_benchmark_id(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of calibration iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work each iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            id.into_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            id,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        mean: None,
+        iters_hint: sample_size as u64,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(group) => format!("{group}/{}", id.id),
+        None => id.id,
+    };
+    match bencher.mean {
+        Some(mean) => {
+            let per_iter = mean.as_secs_f64();
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                    format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                    format!("  {:>10.0} elem/s", n as f64 / per_iter)
+                }
+                _ => String::new(),
+            };
+            println!("{label:<50} time: {}{rate}", format_duration(mean));
+        }
+        None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn benches_run_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

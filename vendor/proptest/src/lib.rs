@@ -1,0 +1,844 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the API subset the workspace's property tests use: the
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, and `prop_assert_eq!`
+//! macros, `Strategy` with `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, ranges and regex-like string literals as
+//! strategies, `any::<T>()`, and the `prop::collection` /
+//! `prop::option` / `prop::bool` modules.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no `PROPTEST_*` environment handling, no persisted
+//! failure files), and failing inputs are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+/// Core strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `map` to every generated value.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+
+        /// Discards generated values failing `accept`, retrying with
+        /// fresh draws (panics if `accept` virtually never passes).
+        fn prop_filter<F>(self, whence: impl Into<String>, accept: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                accept,
+            }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for the previous depth and wraps it one level deeper, up to
+        /// `depth` levels. The extra upstream tuning parameters are
+        /// accepted but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                // Mix leaves back in so generated sizes vary.
+                strat = Union::new(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        accept: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let candidate = self.source.generate(rng);
+                if (self.accept)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+        }
+    }
+
+    /// A weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics if `arms` is empty or zero-weighted.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| *w).sum::<u32>() > 0,
+                "prop_oneof! needs at least one arm with positive weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick is below the total weight")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a whole type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // A spread of magnitudes and signs, not just unit floats.
+            let unit: f64 = rng.gen();
+            let scale = 10f64.powi(rng.gen_range(-3..9i32));
+            let sign = if rng.gen() { 1.0 } else { -1.0 };
+            sign * unit * scale
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mostly ASCII with a sprinkle of wider code points.
+            if rng.gen_bool(0.9) {
+                char::from(rng.gen_range(0x20u8..0x7f))
+            } else {
+                ['é', 'ß', 'λ', '中', '☃', '😀'][rng.gen_range(0..6usize)]
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A number of elements: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `None` a quarter of the time, `Some(inner)` otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy for `Option<S::Value>`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Either boolean.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+/// Regex-like string generation for `&str` strategies.
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates a string matching `pattern` — a concatenation of
+    /// character classes (`[a-z_.-]`), `\PC` (any non-control
+    /// character), or literal characters, each optionally followed by
+    /// `{n}`, `{m,n}`, `?`, `*`, or `+`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                    let class = &chars[i + 1..i + close];
+                    i += close + 1;
+                    expand_class(class, pattern)
+                }
+                '\\' => {
+                    let escaped = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("trailing `\\` in pattern {pattern:?}"));
+                    i += 2;
+                    match escaped {
+                        // \PC — anything outside Unicode category C
+                        // (control); a printable sample suffices here.
+                        'P' if chars.get(i) == Some(&'C') => {
+                            i += 1;
+                            let mut printable: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+                            printable.extend(['é', 'ß', 'λ', '中', '☃', '€']);
+                            printable
+                        }
+                        'n' => vec!['\n'],
+                        't' => vec!['\t'],
+                        'r' => vec!['\r'],
+                        other => vec![other],
+                    }
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                let body: String = chars[*i + 1..*i + close].iter().collect();
+                *i += close + 1;
+                let parse_num = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse_num(lo), parse_num(hi)),
+                    None => {
+                        let n = parse_num(&body);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(!class.is_empty(), "empty character class in {pattern:?}");
+        let mut choices = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            // `a-z` is a range unless the `-` starts or ends the class.
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                assert!(lo <= hi, "inverted range in character class {pattern:?}");
+                for code in lo as u32..=hi as u32 {
+                    if let Some(c) = char::from_u32(code) {
+                        choices.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                choices.push(class[i]);
+                i += 1;
+            }
+        }
+        choices
+    }
+}
+
+/// Configuration, case errors, and the execution loop.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies (deterministic per test and case).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property failed (`prop_assert!` and friends).
+        Fail(String),
+        /// The input was rejected; the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected input with a reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Runs `test` against `config.cases` generated inputs, panicking
+    /// on the first failure. Deterministic: the seed of each case
+    /// depends only on the test name and the case index.
+    pub fn run<S: Strategy>(
+        config: &ProptestConfig,
+        strategy: S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        name: &str,
+    ) {
+        for case in 0..config.cases {
+            let seed = fnv1a(name) ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("property `{name}` failed at case {case} (seed {seed:#x}):\n{message}")
+                }
+            }
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{bool, collection, option, string};
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(
+                &__config,
+                ($($strategy,)+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+                stringify!($name),
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Weighted choice between strategies: `prop_oneof![a, 2 => b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($tokens:tt)*) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut __arms = ::std::vec::Vec::new();
+            $crate::__prop_oneof_arms!(__arms; $($tokens)*);
+            $crate::strategy::Union::new(__arms)
+        }
+    }};
+}
+
+/// Implementation detail of [`prop_oneof!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_oneof_arms {
+    ($arms:ident;) => {};
+    ($arms:ident; $weight:literal => $strategy:expr, $($rest:tt)*) => {
+        $arms.push(($weight as u32, $crate::strategy::Strategy::boxed($strategy)));
+        $crate::__prop_oneof_arms!($arms; $($rest)*);
+    };
+    ($arms:ident; $weight:literal => $strategy:expr) => {
+        $arms.push(($weight as u32, $crate::strategy::Strategy::boxed($strategy)));
+    };
+    ($arms:ident; $strategy:expr, $($rest:tt)*) => {
+        $arms.push((1u32, $crate::strategy::Strategy::boxed($strategy)));
+        $crate::__prop_oneof_arms!($arms; $($rest)*);
+    };
+    ($arms:ident; $strategy:expr) => {
+        $arms.push((1u32, $crate::strategy::Strategy::boxed($strategy)));
+    };
+}
+
+/// Like `assert!`, but fails the property instead of panicking, so the
+/// runner can report the offending case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __left,
+            __right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tree_depth() -> impl Strategy<Value = u32> {
+        Just(0u32).prop_recursive(3, 8, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn regex_patterns_match_shape(s in "[a-z][a-zA-Z0-9_]{0,8}", t in "[ -~]{2,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            prop_assert!(s.chars().next().expect("non-empty").is_ascii_lowercase());
+            prop_assert!(t.len() >= 2 && t.len() <= 4);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn collections_and_options(
+            items in prop::collection::vec(any::<u8>(), 2..5),
+            opt in prop::option::of(Just(7u8)),
+            _flag in prop::bool::ANY,
+        ) {
+            prop_assert!(items.len() >= 2 && items.len() < 5);
+            prop_assert!(opt.is_none() || opt == Some(7));
+        }
+
+        #[test]
+        fn oneof_respects_arms(v in prop_oneof![Just(1u8), 2 => Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn filter_and_map_compose(s in "[a-z ]{1,10}".prop_filter("non-blank", |s| !s.trim().is_empty())) {
+            prop_assert!(!s.trim().is_empty());
+        }
+
+        #[test]
+        fn recursion_is_bounded(d in tree_depth()) {
+            prop_assert!(d <= 3, "depth {d} exceeds bound");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_info() {
+        let config = ProptestConfig::with_cases(10);
+        crate::test_runner::run(
+            &config,
+            (0u32..100,),
+            |(x,)| {
+                prop_assert!(x < 1, "x was {x}");
+                Ok(())
+            },
+            "failures_panic_with_case_info",
+        );
+    }
+}

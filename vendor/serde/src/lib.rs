@@ -1,0 +1,481 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and externally-tagged enums (no
+//! `#[serde(...)]` attributes), consumed by the vendored `serde_json`.
+//!
+//! Instead of upstream's visitor architecture, values serialize into a
+//! self-describing [`Content`] tree that data formats then walk. The
+//! representation matches upstream's JSON encoding: structs and struct
+//! variants as objects, unit enum variants as strings, newtype/tuple
+//! variants as single-entry objects, `Option` as the value or null.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the intermediate tree between [`Serialize`]
+/// implementations and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / `None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, arrays, tuples, tuple variants).
+    Seq(Vec<Content>),
+    /// A map with ordered string keys (structs, struct variants, maps).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrows the entries of a map, or reports what was found instead.
+    pub fn as_map(&self, expecting: &str) -> Result<&[(String, Content)], DeError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError::unexpected(expecting, other)),
+        }
+    }
+
+    /// Borrows the elements of a sequence, or reports what was found.
+    pub fn as_seq(&self, expecting: &str) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(DeError::unexpected(expecting, other)),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+}
+
+/// An error produced while reconstructing a value from [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a caller-provided message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError(message.to_string())
+    }
+
+    /// "expected X, found Y".
+    pub fn unexpected(expecting: &str, found: &Content) -> Self {
+        DeError(format!("expected {expecting}, found {}", found.kind()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` of {ty}"))
+    }
+
+    /// An enum tag matched no variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` of {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can serialize itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the serialized form of `self`.
+    fn serialize(&self) -> Content;
+}
+
+/// A value that can reconstruct itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value, or explains why the content cannot be one.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+
+    /// Called when a struct field of this type is absent from the map.
+    /// `Option` treats absence as `None`; everything else errors.
+    fn missing_field(ty: &str, field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(ty, field))
+    }
+}
+
+/// Looks up a struct field by name (derive-generated code calls this).
+pub fn get_field<T: Deserialize>(
+    entries: &[(String, Content)],
+    ty: &str,
+    field: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::deserialize(v),
+        None => T::missing_field(ty, field),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    other => return Err(DeError::unexpected("an integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let wide = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    other => return Err(DeError::unexpected("an integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        i64::deserialize(content)
+            .and_then(|v| isize::try_from(v).map_err(|_| DeError::custom("integer out of range")))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::unexpected("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::unexpected("a single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::unexpected("null", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn missing_field(_ty: &str, _field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq("a sequence")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let items = content.as_seq("a sequence")?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected an array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let values: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        values
+            .try_into()
+            .map_err(|_| DeError::custom("array length changed during collection"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($len:literal => ($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let items = content.as_seq("a tuple")?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of length {}, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    1 => (A.0)
+    2 => (A.0, B.1)
+    3 => (A.0, B.1, C.2)
+    4 => (A.0, B.1, C.2, D.3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map("a map")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map("a map")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i32::deserialize(&(-7i32).serialize()), Ok(-7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        let got: Option<u32> = get_field(&[], "T", "absent").expect("defaults to None");
+        assert_eq!(got, None);
+        let err: Result<u32, _> = get_field(&[], "T", "absent");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let content = vec![1u64, 2, 3].serialize();
+        assert_eq!(<[u64; 3]>::deserialize(&content), Ok([1, 2, 3]));
+        assert!(<[u64; 4]>::deserialize(&content).is_err());
+    }
+
+    #[test]
+    fn numeric_cross_width() {
+        // JSON parsing yields U64 for small positive integers; signed
+        // targets must still accept them (and vice versa).
+        assert_eq!(i64::deserialize(&Content::U64(9)), Ok(9));
+        assert_eq!(u64::deserialize(&Content::I64(9)), Ok(9));
+        assert!(u64::deserialize(&Content::I64(-9)).is_err());
+        assert_eq!(f64::deserialize(&Content::I64(-2)), Ok(-2.0));
+    }
+}

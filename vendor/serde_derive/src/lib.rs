@@ -1,0 +1,444 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Derives the vendored `serde` crate's `Serialize` / `Deserialize`
+//! traits for the shapes this workspace actually declares: structs with
+//! named fields, tuple structs, and enums with unit, tuple, and struct
+//! variants — always in serde's default externally-tagged
+//! representation, with no support for `#[serde(...)]` attributes or
+//! generic types. The input item is parsed directly from its token
+//! stream (no `syn`/`quote`, which are unavailable offline) and the
+//! generated impl is emitted as parsed source text.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` (vendored subset; see the crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored subset; see the crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("derive emitted syntactically valid Rust"),
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! is valid Rust"),
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let keyword = next_ident(&mut it, "`struct` or `enum`")?;
+    let name = next_ident(&mut it, "a type name")?;
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive for generic type `{name}`: the vendored serde_derive supports only non-generic items"
+        ));
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected token after `struct {name}`: {other:?}")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected token after `enum {name}`: {other:?}")),
+        },
+        other => {
+            return Err(format!(
+                "can only derive for structs and enums, found `{other}`"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn next_ident(it: &mut Tokens, expecting: &str) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("expected {expecting}, found {other:?}")),
+    }
+}
+
+/// Consumes any leading `#[...]` attributes (including doc comments)
+/// and a `pub` / `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                it.next();
+                if matches!(
+                    it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, found {other:?}")),
+                }
+                skip_past_comma(&mut it);
+            }
+            other => return Err(format!("expected a field name, found {other:?}")),
+        }
+    }
+}
+
+/// Consumes tokens through the next top-level `,` (or to the end),
+/// treating `<`/`>` pairs as nesting so generic arguments don't split.
+fn skip_past_comma(it: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    for token in it.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant: the number of
+/// non-empty, top-level comma-separated token runs.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if in_field {
+                    arity += 1;
+                }
+                in_field = false;
+            }
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+                in_field = true;
+            }
+            _ => in_field = true,
+        }
+    }
+    if in_field {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => {
+                let name = i.to_string();
+                let kind = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        it.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        it.next();
+                        VariantKind::Struct(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                skip_past_comma(&mut it); // also skips `= discriminant`
+                variants.push(Variant { name, kind });
+            }
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        }
+    }
+}
+
+fn impl_header(trait_name: &str, ty: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\nimpl serde::{trait_name} for {ty} "
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let ty = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            body.push_str("serde::Content::Map(::std::vec![\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "(::std::string::String::from({f:?}), serde::Serialize::serialize(&self.{f})),"
+                );
+            }
+            body.push_str("])");
+        }
+        Shape::Tuple(1) => body.push_str("serde::Serialize::serialize(&self.0)"),
+        Shape::Tuple(n) => {
+            body.push_str("serde::Content::Seq(::std::vec![\n");
+            for i in 0..*n {
+                let _ = writeln!(body, "serde::Serialize::serialize(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        Shape::Unit => body.push_str("serde::Content::Null"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{ty}::{vname} => serde::Content::Str(::std::string::String::from({vname:?})),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{ty}::{vname}(__f0) => serde::Content::Map(::std::vec![(::std::string::String::from({vname:?}), serde::Serialize::serialize(__f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{ty}::{vname}({}) => serde::Content::Map(::std::vec![(::std::string::String::from({vname:?}), serde::Content::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{ty}::{vname} {{ {} }} => serde::Content::Map(::std::vec![(::std::string::String::from({vname:?}), serde::Content::Map(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "{}{{\n fn serialize(&self) -> serde::Content {{\n {body}\n }}\n}}",
+        impl_header("Serialize", ty)
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut b = format!("let __entries = content.as_map(\"struct {ty}\")?;\n");
+            b.push_str("::std::result::Result::Ok(");
+            b.push_str(ty);
+            b.push_str(" {\n");
+            for f in fields {
+                let _ = writeln!(b, "{f}: serde::get_field(__entries, {ty:?}, {f:?})?,");
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({ty}(serde::Deserialize::deserialize(content)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut b = format!(
+                "let __items = content.as_seq(\"tuple struct {ty}\")?;\n\
+                 if __items.len() != {n} {{\n\
+                   return ::std::result::Result::Err(serde::DeError::custom(\
+                     ::std::format!(\"expected {n} elements for {ty}, found {{}}\", __items.len())));\n\
+                 }}\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            let _ = write!(b, "::std::result::Result::Ok({ty}({}))", elems.join(", "));
+            b
+        }
+        Shape::Unit => format!("let _ = content;\n::std::result::Result::Ok({ty})"),
+        Shape::Enum(variants) => gen_deserialize_enum(ty, variants),
+    };
+    format!(
+        "{}{{\n fn deserialize(content: &serde::Content) -> ::std::result::Result<Self, serde::DeError> {{\n {body}\n }}\n}}",
+        impl_header("Deserialize", ty)
+    )
+}
+
+fn gen_deserialize_enum(ty: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut b = String::from("match content {\n");
+    if !unit.is_empty() {
+        b.push_str("serde::Content::Str(__tag) => match __tag.as_str() {\n");
+        for v in &unit {
+            let _ = writeln!(
+                b,
+                "{:?} => ::std::result::Result::Ok({ty}::{}),",
+                v.name, v.name
+            );
+        }
+        let _ = writeln!(
+            b,
+            "__other => ::std::result::Result::Err(serde::DeError::unknown_variant({ty:?}, __other)),"
+        );
+        b.push_str("},\n");
+    }
+    if !data.is_empty() {
+        b.push_str(
+            "serde::Content::Map(__entries) if __entries.len() == 1 => {\n\
+             let (__tag, __value) = &__entries[0];\n\
+             match __tag.as_str() {\n",
+        );
+        for v in &data {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!("unit variants handled above"),
+                VariantKind::Tuple(1) => {
+                    let _ = writeln!(
+                        b,
+                        "{vname:?} => ::std::result::Result::Ok({ty}::{vname}(serde::Deserialize::deserialize(__value)?)),"
+                    );
+                }
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                        .collect();
+                    let _ = writeln!(
+                        b,
+                        "{vname:?} => {{\n\
+                         let __items = __value.as_seq(\"tuple variant {ty}::{vname}\")?;\n\
+                         if __items.len() != {n} {{\n\
+                           return ::std::result::Result::Err(serde::DeError::custom(\
+                             ::std::format!(\"expected {n} elements for {ty}::{vname}, found {{}}\", __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({ty}::{vname}({}))\n\
+                         }}",
+                        elems.join(", ")
+                    );
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::get_field(__fields, \"{ty}::{vname}\", {f:?})?")
+                        })
+                        .collect();
+                    let _ = writeln!(
+                        b,
+                        "{vname:?} => {{\n\
+                         let __fields = __value.as_map(\"struct variant {ty}::{vname}\")?;\n\
+                         ::std::result::Result::Ok({ty}::{vname} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            b,
+            "__other => ::std::result::Result::Err(serde::DeError::unknown_variant({ty:?}, __other)),"
+        );
+        b.push_str("}\n},\n");
+    }
+    let _ = writeln!(
+        b,
+        "__other => ::std::result::Result::Err(serde::DeError::unexpected(\"enum {ty}\", __other)),"
+    );
+    b.push('}');
+    b
+}
