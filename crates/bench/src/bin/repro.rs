@@ -108,6 +108,14 @@ fn main() {
     if want("throughput") {
         let t = exp.throughput(&thread_sweep(threads), Duration::from_millis(5));
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist the hit-path trajectory so successive changes to the
+        // columnar serve path can be compared on fixed axes.
+        let report = t.hit_latency();
+        let path = "BENCH_hit_latency.json";
+        match std::fs::write(path, serde_json::to_string(&report).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
     }
 }
 

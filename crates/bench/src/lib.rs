@@ -20,7 +20,9 @@
 
 pub mod throughput;
 
-pub use throughput::{thread_sweep, Throughput, ThroughputRow, THROUGHPUT_SHARDS};
+pub use throughput::{
+    thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,
+};
 
 use fp_skyserver::{Catalog, CatalogSpec, SkySite};
 use fp_trace::{classify_trace, Rbe, Trace, TraceMix, TraceSpec};

@@ -19,6 +19,7 @@
 use crate::Experiment;
 use fp_skyserver::SkySite;
 use fp_trace::{Rbe, Trace};
+use funcproxy::metrics::Outcome;
 use funcproxy::origin::CountingOrigin;
 use funcproxy::runtime::RuntimeSnapshot;
 use funcproxy::template::TemplateManager;
@@ -54,6 +55,16 @@ pub struct ThroughputRow {
     pub lock_wait_ms: f64,
     /// Peak number of simultaneous origin flights.
     pub in_flight_peak: usize,
+    /// Requests answered wholly from cache (exact + contained hits).
+    pub hits: usize,
+    /// Median measured latency over those cache hits, ms.
+    pub hit_p50_ms: f64,
+    /// 99th-percentile measured latency over those cache hits, ms.
+    pub hit_p99_ms: f64,
+    /// Cached rows the local evaluator tested after micro-index pruning.
+    pub rows_scanned: usize,
+    /// Cached rows the per-entry micro-index skipped without testing.
+    pub rows_pruned: usize,
 }
 
 /// The throughput experiment: one row per client count.
@@ -65,6 +76,56 @@ pub struct Throughput {
     pub rows: Vec<ThroughputRow>,
 }
 
+/// The `BENCH_hit_latency.json` artifact: the cache-hit serve path's
+/// latency and pruning trajectory, persisted so successive PRs can be
+/// compared on the same axes.
+#[derive(Debug, Clone, Serialize)]
+pub struct HitLatencyReport {
+    /// Simulated per-fetch origin delay, ms (context for the misses the
+    /// hit latencies are measured alongside).
+    pub origin_delay_ms: u64,
+    /// One entry per swept client count.
+    pub rows: Vec<HitLatencyRow>,
+}
+
+/// Per-client-count hit-path numbers extracted from a [`ThroughputRow`].
+#[derive(Debug, Clone, Serialize)]
+pub struct HitLatencyRow {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Exact + contained hits observed during the replay.
+    pub hits: usize,
+    /// Median measured hit latency at the proxy, ms.
+    pub hit_p50_ms: f64,
+    /// 99th-percentile measured hit latency at the proxy, ms.
+    pub hit_p99_ms: f64,
+    /// Cached rows tested by the local evaluator after pruning.
+    pub rows_scanned: usize,
+    /// Cached rows the per-entry micro-index skipped without testing.
+    pub rows_pruned: usize,
+}
+
+impl Throughput {
+    /// Projects the hit-path columns into the perf-trajectory artifact.
+    pub fn hit_latency(&self) -> HitLatencyReport {
+        HitLatencyReport {
+            origin_delay_ms: self.origin_delay_ms,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| HitLatencyRow {
+                    threads: r.threads,
+                    hits: r.hits,
+                    hit_p50_ms: r.hit_p50_ms,
+                    hit_p99_ms: r.hit_p99_ms,
+                    rows_scanned: r.rows_scanned,
+                    rows_pruned: r.rows_pruned,
+                })
+                .collect(),
+        }
+    }
+}
+
 impl std::fmt::Display for Throughput {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -74,16 +135,20 @@ impl std::fmt::Display for Throughput {
         )?;
         writeln!(
             f,
-            "  clients |     qps | p50 ms | p99 ms | fetches | coalesced | dup avoided | lock wait ms | peak flights"
+            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12}",
+                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12}",
                 r.threads,
                 r.qps,
                 r.p50_ms,
                 r.p99_ms,
+                r.hit_p50_ms,
+                r.hit_p99_ms,
+                r.rows_scanned,
+                r.rows_pruned,
                 r.origin_fetches,
                 r.coalesced,
                 r.duplicate_fetches_avoided,
@@ -147,6 +212,15 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
     let mut latencies: Vec<f64> = metrics.iter().map(|m| m.proxy_ms).collect();
     latencies.sort_by(f64::total_cmp);
 
+    // Cache hits in isolation: the latencies the columnar serve path
+    // controls (no origin round trip hidden inside).
+    let mut hit_latencies: Vec<f64> = metrics
+        .iter()
+        .filter(|m| matches!(m.outcome, Outcome::Exact | Outcome::Contained))
+        .map(|m| m.proxy_ms)
+        .collect();
+    hit_latencies.sort_by(f64::total_cmp);
+
     let snapshot: RuntimeSnapshot = handle.runtime_stats();
     ThroughputRow {
         threads,
@@ -159,6 +233,11 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
         duplicate_fetches_avoided: snapshot.duplicate_fetches_avoided,
         lock_wait_ms: snapshot.lock_wait_ms,
         in_flight_peak: snapshot.in_flight_peak,
+        hits: hit_latencies.len(),
+        hit_p50_ms: percentile(&hit_latencies, 0.50),
+        hit_p99_ms: percentile(&hit_latencies, 0.99),
+        rows_scanned: metrics.iter().map(|m| m.rows_scanned).sum(),
+        rows_pruned: metrics.iter().map(|m| m.rows_pruned).sum(),
     }
 }
 
@@ -216,5 +295,12 @@ mod tests {
         assert!(eight.in_flight_peak >= 1);
         // The coalescer never multiplies origin work.
         assert!(eight.origin_fetches <= one.origin_fetches + eight.duplicate_fetches_avoided);
+        // Hit-latency accounting: the trace repeats queries, so both
+        // replays serve cache hits, and the percentiles are ordered.
+        for r in [one, eight] {
+            assert!(r.hits > 0, "replay must produce cache hits");
+            assert!(r.hit_p99_ms >= r.hit_p50_ms);
+            assert!(r.rows_scanned > 0, "hits evaluate cached rows");
+        }
     }
 }

@@ -1,26 +1,38 @@
 //! Cache entries: one cached query and its result.
 
-use fp_geometry::Region;
-use fp_skyserver::ResultSet;
+use fp_geometry::{HyperRect, Region};
+use fp_skyserver::{ColumnarRows, ResultSet};
+use std::sync::Arc;
 
 /// One cached query result.
 ///
 /// Entries are immutable once stored; replacement bookkeeping
-/// (`last_used`) lives in the store.
+/// (`last_used`) lives in the store. The heavy parts — the result tuples,
+/// the columnar form, the key strings — sit behind `Arc`s so the runtime
+/// can lift them out of the store's lock window and serve hits without
+/// deep copies.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
     /// Store-assigned id (stable for the entry's lifetime).
     pub id: u64,
     /// Residual group key: only queries with an equal key may be answered
     /// from this entry (same template, same non-spatial parameters, same
-    /// `TOP`).
-    pub residual_key: String,
+    /// `TOP`). Shared with the store's group and exact maps.
+    pub residual_key: Arc<str>,
     /// The query's spatial region.
     pub region: Region,
+    /// `region.bounding_rect()`, computed once at insert and reused by
+    /// the description index on insert and remove.
+    pub bbox: HyperRect,
     /// The cached result tuples.
-    pub result: ResultSet,
-    /// Size charged against the cache capacity (serialized XML bytes, the
-    /// unit the paper's cache-size fractions are defined in).
+    pub result: Arc<ResultSet>,
+    /// The columnar hot-path form: SoA coordinate columns, spatial
+    /// micro-index, and the pre-serialized row slab. `None` when the
+    /// entry has no declared coordinate columns or a coordinate cell is
+    /// non-numeric (such entries fall back to row-major evaluation).
+    pub columnar: Option<Arc<ColumnarRows>>,
+    /// Serialized XML size — the unit the paper's cache-size fractions
+    /// and the simulation's transfer cost model are defined in.
     pub bytes: usize,
     /// Whether the result may have been clipped by a `TOP` limit. A
     /// truncated entry can serve exact matches but must not answer
@@ -28,10 +40,16 @@ pub struct CacheEntry {
     /// among those clipped away.
     pub truncated: bool,
     /// Canonical SQL text that produced the entry (exact-match key).
-    pub exact_sql: String,
+    pub exact_sql: Arc<str>,
 }
 
 impl CacheEntry {
+    /// Bytes charged against the cache capacity: the XML size plus the
+    /// columnar form's heap (SoA columns, micro-index, row slab).
+    pub fn footprint(&self) -> usize {
+        self.bytes + self.columnar.as_ref().map_or(0, |c| c.heap_bytes())
+    }
+
     /// Indexes of the coordinate columns inside the result, in region
     /// dimension order.
     ///
@@ -48,16 +66,17 @@ impl CacheEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fp_geometry::HyperRect;
     use fp_sqlmini::Value;
 
     #[test]
     fn coord_indexes_resolve_in_order() {
+        let region = Region::Rect(HyperRect::new(vec![0.0], vec![1.0]).unwrap());
         let entry = CacheEntry {
             id: 1,
             residual_key: "k".into(),
-            region: Region::Rect(HyperRect::new(vec![0.0], vec![1.0]).unwrap()),
-            result: ResultSet {
+            bbox: region.bounding_rect(),
+            region,
+            result: Arc::new(ResultSet {
                 columns: vec!["objID".into(), "cz".into(), "cx".into(), "cy".into()],
                 rows: vec![vec![
                     Value::Int(1),
@@ -65,7 +84,8 @@ mod tests {
                     Value::Float(1.0),
                     Value::Float(2.0),
                 ]],
-            },
+            }),
+            columnar: None,
             bytes: 10,
             truncated: false,
             exact_sql: "SELECT".into(),
@@ -75,5 +95,6 @@ mod tests {
             Some(vec![2, 3, 1])
         );
         assert_eq!(entry.coord_indexes(&["missing".into()]), None);
+        assert_eq!(entry.footprint(), 10);
     }
 }

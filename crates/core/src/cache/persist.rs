@@ -71,8 +71,8 @@ impl CacheStore {
                 .and_then(|text| Element::parse(&text).ok())
                 .and_then(|doc| entry_from_xml(&doc));
             match parsed {
-                Some((residual_key, region, result, truncated, sql)) => {
-                    self.insert(&residual_key, region, result, truncated, &sql);
+                Some((residual_key, region, result, truncated, sql, coord_idx)) => {
+                    self.insert_indexed(&residual_key, region, result, truncated, &sql, &coord_idx);
                     load.loaded += 1;
                 }
                 None => load.skipped += 1,
@@ -92,15 +92,25 @@ pub struct SnapshotLoad {
 }
 
 fn entry_to_xml(entry: &CacheEntry) -> Element {
-    Element::new("CacheEntry")
+    let mut doc = Element::new("CacheEntry")
         .with_attr("truncated", if entry.truncated { "1" } else { "0" })
-        .with_child(Element::new("ResidualKey").with_text(entry.residual_key.clone()))
-        .with_child(Element::new("Sql").with_text(entry.exact_sql.clone()))
-        .with_child(region_to_xml(&entry.region))
-        .with_child(entry.result.to_xml())
+        .with_child(Element::new("ResidualKey").with_text(&*entry.residual_key))
+        .with_child(Element::new("Sql").with_text(&*entry.exact_sql))
+        .with_child(region_to_xml(&entry.region));
+    // Persist the coordinate column indexes so a reload rebuilds the
+    // columnar hot-path form without knowing the template registry.
+    if let Some(col) = &entry.columnar {
+        let mut ci = Element::new("CoordIdx");
+        for &i in col.coord_idx() {
+            ci.push_child(Element::new("I").with_text(i.to_string()));
+        }
+        doc.push_child(ci);
+    }
+    doc.push_child(entry.result.to_xml());
+    doc
 }
 
-type ParsedEntry = (String, Region, ResultSet, bool, String);
+type ParsedEntry = (String, Region, ResultSet, bool, String, Vec<usize>);
 
 fn entry_from_xml(doc: &Element) -> Option<ParsedEntry> {
     if doc.name() != "CacheEntry" {
@@ -111,7 +121,16 @@ fn entry_from_xml(doc: &Element) -> Option<ParsedEntry> {
     let truncated = doc.attr("truncated") == Some("1");
     let region = region_from_xml(doc.child("Region")?)?;
     let result = ResultSet::from_xml(doc.child("ResultSet")?)?;
-    Some((residual_key, region, result, truncated, sql))
+    // Absent in pre-columnar snapshots: entries load without the
+    // columnar form, exactly as a non-coordinate entry would.
+    let coord_idx: Vec<usize> = match doc.child("CoordIdx") {
+        Some(ci) => ci
+            .children_named("I")
+            .map(|i| i.text().parse::<usize>().ok())
+            .collect::<Option<Vec<usize>>>()?,
+        None => Vec::new(),
+    };
+    Some((residual_key, region, result, truncated, sql, coord_idx))
 }
 
 /// Shortest-roundtrip float text.
@@ -252,6 +271,7 @@ mod tests {
                 rs.clone(),
                 i == 1,
                 &format!("SELECT {i}"),
+                &[],
             );
         }
         let written = store.save_snapshot(&dir).unwrap();
@@ -267,8 +287,8 @@ mod tests {
         let id = restored.lookup_exact("SELECT 1").unwrap();
         let entry = restored.peek(id).unwrap();
         assert!(entry.truncated);
-        assert_eq!(entry.result, rs);
-        assert_eq!(entry.residual_key, "group1");
+        assert_eq!(*entry.result, rs);
+        assert_eq!(&*entry.residual_key, "group1");
         // Candidates work after reload (descriptions rebuilt).
         let probe = sample_regions()[1].clone();
         assert_eq!(restored.candidates("group1", &probe).len(), 1);
@@ -284,6 +304,42 @@ mod tests {
     }
 
     #[test]
+    fn columnar_form_survives_reload() {
+        let dir = std::env::temp_dir().join(format!("fp_snap3_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CacheStore::new(DescriptionKind::Array, None);
+        let rs = ResultSet {
+            columns: vec!["objID".into(), "cx".into(), "cy".into()],
+            rows: (0..6)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Float(i as f64 * 0.1),
+                        Value::Float(i as f64 * 0.2),
+                    ]
+                })
+                .collect(),
+        };
+        let coords = ["cx".to_string(), "cy".to_string()];
+        let id = store
+            .insert("g", sample_regions()[1].clone(), rs, false, "Q", &coords)
+            .unwrap();
+        let before = store.peek(id).unwrap();
+        assert!(before.columnar.is_some());
+        let footprint = before.footprint();
+        store.save_snapshot(&dir).unwrap();
+
+        let mut restored = CacheStore::new(DescriptionKind::Array, None);
+        assert_eq!(restored.load_snapshot(&dir).unwrap().loaded, 1);
+        let rid = restored.lookup_exact("Q").unwrap();
+        let entry = restored.peek(rid).unwrap();
+        let col = entry.columnar.as_ref().expect("columnar rebuilt on load");
+        assert_eq!(col.coord_idx(), &[1, 2]);
+        assert_eq!(entry.footprint(), footprint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn save_replaces_stale_entry_files() {
         let dir = std::env::temp_dir().join(format!("fp_snap2_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -292,11 +348,18 @@ mod tests {
             columns: vec!["objID".into()],
             rows: vec![vec![Value::Int(1)]],
         };
-        store.insert("g", sample_regions()[0].clone(), rs.clone(), false, "A");
+        store.insert(
+            "g",
+            sample_regions()[0].clone(),
+            rs.clone(),
+            false,
+            "A",
+            &[],
+        );
         store.save_snapshot(&dir).unwrap();
         // Second snapshot with different contents must not leak the first.
         let mut store2 = CacheStore::new(DescriptionKind::Array, None);
-        store2.insert("g", sample_regions()[1].clone(), rs, false, "B");
+        store2.insert("g", sample_regions()[1].clone(), rs, false, "B", &[]);
         let written = store2.save_snapshot(&dir).unwrap();
         assert_eq!(written, 1);
         let mut restored = CacheStore::new(DescriptionKind::Array, None);

@@ -50,6 +50,10 @@ impl std::fmt::Display for Replacement {
 
 /// Selects the victim among `(id, created_seq, last_used_seq, bytes)`
 /// tuples. Returns `None` for an empty iterator.
+///
+/// This is the O(n) reference scan; the store keeps an incremental
+/// [`policy_key`]-ordered set instead and only cross-checks against this
+/// in debug builds.
 pub(crate) fn select_victim(
     policy: Replacement,
     candidates: impl Iterator<Item = (u64, u64, u64, usize)>,
@@ -61,6 +65,19 @@ pub(crate) fn select_victim(
         Replacement::SmallestFirst => candidates.min_by_key(|(_, _, _, bytes)| *bytes),
     }
     .map(|(id, _, _, _)| id)
+}
+
+/// Ordering key for the store's incremental victim set: the entry with
+/// the *smallest* key is the next victim. `created`/`used` are unique
+/// monotone sequence numbers, so ties arise only under the size policies
+/// and break deterministically by entry id in the set.
+pub(crate) fn policy_key(policy: Replacement, created: u64, used: u64, bytes: usize) -> u64 {
+    match policy {
+        Replacement::Lru => used,
+        Replacement::Fifo => created,
+        Replacement::LargestFirst => u64::MAX - bytes as u64,
+        Replacement::SmallestFirst => bytes as u64,
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +108,19 @@ mod tests {
             Some(2)
         );
         assert_eq!(select_victim(Replacement::Lru, std::iter::empty()), None);
+    }
+
+    #[test]
+    fn policy_key_agrees_with_reference_scan() {
+        for policy in Replacement::all() {
+            let victim = select_victim(policy, candidates().into_iter()).unwrap();
+            let by_key = candidates()
+                .into_iter()
+                .min_by_key(|(id, c, u, b)| (policy_key(policy, *c, *u, *b), *id))
+                .unwrap()
+                .0;
+            assert_eq!(by_key, victim, "{policy}");
+        }
     }
 
     #[test]

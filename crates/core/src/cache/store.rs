@@ -2,17 +2,18 @@
 
 use crate::cache::description::{CacheDescription, DescriptionKind};
 use crate::cache::entry::CacheEntry;
-use crate::cache::replace::{select_victim, Replacement};
+use crate::cache::replace::{policy_key, select_victim, Replacement};
 use fp_geometry::Region;
-use fp_skyserver::ResultSet;
-use std::collections::HashMap;
+use fp_skyserver::{ColumnarRows, ResultSet};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Aggregate statistics of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Entries currently cached.
     pub entries: usize,
-    /// Bytes currently charged.
+    /// Bytes currently charged (XML size plus columnar heap).
     pub bytes: usize,
     /// Entries evicted so far (replacement policy victims).
     pub evictions: usize,
@@ -31,9 +32,13 @@ pub struct CacheStore {
     /// Replacement bookkeeping: `(created_seq, last_used_seq)` per id,
     /// monotone sequence numbers.
     last_used: HashMap<u64, (u64, u64)>,
+    /// `(policy_key, id)` pairs ordered so the first element is the next
+    /// victim — maintained on insert/remove/touch, making victim
+    /// selection O(log n) instead of a full-entry scan per eviction.
+    victim_order: BTreeSet<(u64, u64)>,
     clock: u64,
-    groups: HashMap<String, Box<dyn CacheDescription>>,
-    exact: HashMap<String, u64>,
+    groups: HashMap<Arc<str>, Box<dyn CacheDescription>>,
+    exact: HashMap<Arc<str>, u64>,
     total_bytes: usize,
     next_id: u64,
     evictions: usize,
@@ -59,6 +64,7 @@ impl CacheStore {
             replacement,
             entries: HashMap::new(),
             last_used: HashMap::new(),
+            victim_order: BTreeSet::new(),
             clock: 0,
             groups: HashMap::new(),
             exact: HashMap::new(),
@@ -87,19 +93,58 @@ impl CacheStore {
     /// Inserts a result; returns the new entry's id, or `None` when the
     /// entry alone exceeds the capacity (too large to ever cache).
     ///
+    /// `coord_columns` names the result's coordinate attributes in region
+    /// dimension order; when they resolve and every coordinate cell is
+    /// numeric, the entry gets its columnar hot-path form (SoA columns,
+    /// micro-index, row slab) built here, once, off the serve path.
+    ///
     /// Replaces any previous entry with the same canonical SQL. Evicts
-    /// least-recently-used entries until the new entry fits.
+    /// policy victims until the new entry fits. The key strings are
+    /// allocated once and shared (`Arc<str>`) between the entry and the
+    /// group/exact maps; the region's bounding box is computed once and
+    /// cached on the entry for index insert and removal.
     pub fn insert(
         &mut self,
         residual_key: &str,
         region: Region,
-        result: ResultSet,
+        result: impl Into<Arc<ResultSet>>,
         truncated: bool,
         exact_sql: &str,
+        coord_columns: &[String],
     ) -> Option<u64> {
+        let result: Arc<ResultSet> = result.into();
+        let coord_idx: Option<Vec<usize>> = coord_columns
+            .iter()
+            .map(|c| result.column_index(c))
+            .collect();
+        self.insert_indexed(
+            residual_key,
+            region,
+            result,
+            truncated,
+            exact_sql,
+            coord_idx.as_deref().unwrap_or(&[]),
+        )
+    }
+
+    /// [`Self::insert`] with pre-resolved coordinate column indexes
+    /// (snapshot reload stores indexes, not names). An empty `coord_idx`
+    /// means "no columnar form".
+    pub(crate) fn insert_indexed(
+        &mut self,
+        residual_key: &str,
+        region: Region,
+        result: impl Into<Arc<ResultSet>>,
+        truncated: bool,
+        exact_sql: &str,
+        coord_idx: &[usize],
+    ) -> Option<u64> {
+        let result: Arc<ResultSet> = result.into();
         let bytes = result.xml_bytes();
+        let columnar = ColumnarRows::build(&result, coord_idx).map(Arc::new);
+        let footprint = bytes + columnar.as_ref().map_or(0, |c| c.heap_bytes());
         if let Some(cap) = self.capacity {
-            if bytes > cap {
+            if footprint > cap {
                 return None;
             }
         }
@@ -107,7 +152,7 @@ impl CacheStore {
             self.remove(old);
         }
         if let Some(cap) = self.capacity {
-            while self.total_bytes + bytes > cap {
+            while self.total_bytes + footprint > cap {
                 let Some(victim) = self.lru_victim() else {
                     break;
                 };
@@ -118,47 +163,74 @@ impl CacheStore {
 
         let id = self.next_id;
         self.next_id += 1;
+        let residual_key: Arc<str> = Arc::from(residual_key);
+        let exact_sql: Arc<str> = Arc::from(exact_sql);
+        let bbox = region.bounding_rect();
         let entry = CacheEntry {
             id,
-            residual_key: residual_key.to_string(),
-            region: region.clone(),
+            residual_key: Arc::clone(&residual_key),
+            region,
+            bbox: bbox.clone(),
             result,
+            columnar,
             bytes,
             truncated,
-            exact_sql: exact_sql.to_string(),
+            exact_sql: Arc::clone(&exact_sql),
         };
-        let bbox = region.bounding_rect();
         self.groups
-            .entry(residual_key.to_string())
+            .entry(residual_key)
             .or_insert_with(|| self.kind.make(bbox.dims()))
             .insert(id, bbox);
-        self.exact.insert(exact_sql.to_string(), id);
-        self.total_bytes += bytes;
+        self.exact.insert(exact_sql, id);
+        self.total_bytes += footprint;
         self.clock += 1;
         self.last_used.insert(id, (self.clock, self.clock));
+        self.victim_order
+            .insert((self.entry_key(self.clock, self.clock, footprint), id));
         self.entries.insert(id, entry);
         Some(id)
     }
 
-    /// The next victim under the configured replacement policy, if any.
+    fn entry_key(&self, created: u64, used: u64, footprint: usize) -> u64 {
+        policy_key(self.replacement, created, used, footprint)
+    }
+
+    /// The next victim under the configured replacement policy, if any:
+    /// the head of the incrementally-maintained order, O(log n).
     fn lru_victim(&self) -> Option<u64> {
-        select_victim(
-            self.replacement,
-            self.last_used.iter().map(|(id, (created, used))| {
-                let bytes = self.entries.get(id).map_or(0, |e| e.bytes);
-                (*id, *created, *used, bytes)
+        let victim = self.victim_order.first().map(|&(_, id)| id);
+        debug_assert_eq!(
+            victim.map(|id| {
+                let (c, u) = self.last_used[&id];
+                self.entry_key(c, u, self.entries[&id].footprint())
             }),
-        )
+            select_victim(
+                self.replacement,
+                self.last_used.iter().map(|(id, (created, used))| {
+                    let fp = self.entries.get(id).map_or(0, |e| e.footprint());
+                    (*id, *created, *used, fp)
+                }),
+            )
+            .map(|id| {
+                let (c, u) = self.last_used[&id];
+                self.entry_key(c, u, self.entries[&id].footprint())
+            }),
+            "incremental victim order diverged from reference scan"
+        );
+        victim
     }
 
     /// Removes an entry by id; returns it when present.
     pub fn remove(&mut self, id: u64) -> Option<CacheEntry> {
         let entry = self.entries.remove(&id)?;
-        self.total_bytes -= entry.bytes;
-        self.last_used.remove(&id);
-        self.exact.remove(&entry.exact_sql);
-        if let Some(g) = self.groups.get_mut(&entry.residual_key) {
-            g.remove(id, &entry.region.bounding_rect());
+        self.total_bytes -= entry.footprint();
+        if let Some((created, used)) = self.last_used.remove(&id) {
+            self.victim_order
+                .remove(&(self.entry_key(created, used, entry.footprint()), id));
+        }
+        self.exact.remove(&*entry.exact_sql);
+        if let Some(g) = self.groups.get_mut(&*entry.residual_key) {
+            g.remove(id, &entry.bbox);
         }
         Some(entry)
     }
@@ -175,11 +247,15 @@ impl CacheStore {
 
     /// Reads an entry and marks it used.
     pub fn get(&mut self, id: u64) -> Option<&CacheEntry> {
-        if self.entries.contains_key(&id) {
+        if let Some(footprint) = self.entries.get(&id).map(|e| e.footprint()) {
             self.clock += 1;
             let clock = self.clock;
-            if let Some((_, used)) = self.last_used.get_mut(&id) {
+            if let Some((created, used)) = self.last_used.get_mut(&id) {
+                self.victim_order
+                    .remove(&(policy_key(self.replacement, *created, *used, footprint), id));
                 *used = clock;
+                self.victim_order
+                    .insert((policy_key(self.replacement, *created, *used, footprint), id));
             }
         }
         self.entries.get(&id)
@@ -230,15 +306,33 @@ mod tests {
         }
     }
 
+    /// A result with 2-D coordinate columns, for columnar-form tests.
+    fn rs_coords(n: usize) -> ResultSet {
+        ResultSet {
+            columns: vec!["objID".into(), "cx".into(), "cy".into()],
+            rows: (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Float(i as f64),
+                        Value::Float(-(i as f64)),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
     fn region(lo: f64, hi: f64) -> Region {
         Region::Rect(HyperRect::new(vec![lo, lo], vec![hi, hi]).unwrap())
     }
+
+    const NO_COORDS: &[String] = &[];
 
     #[test]
     fn insert_lookup_remove() {
         let mut s = CacheStore::new(DescriptionKind::Array, None);
         let id = s
-            .insert("k", region(0.0, 1.0), rs(3), false, "SQL A")
+            .insert("k", region(0.0, 1.0), rs(3), false, "SQL A", NO_COORDS)
             .unwrap();
         assert_eq!(s.lookup_exact("SQL A"), Some(id));
         assert_eq!(s.get(id).unwrap().result.len(), 3);
@@ -256,10 +350,10 @@ mod tests {
     fn same_sql_replaces() {
         let mut s = CacheStore::new(DescriptionKind::Array, None);
         let a = s
-            .insert("k", region(0.0, 1.0), rs(3), false, "SQL")
+            .insert("k", region(0.0, 1.0), rs(3), false, "SQL", NO_COORDS)
             .unwrap();
         let b = s
-            .insert("k", region(0.0, 1.0), rs(5), false, "SQL")
+            .insert("k", region(0.0, 1.0), rs(5), false, "SQL", NO_COORDS)
             .unwrap();
         assert_ne!(a, b);
         assert_eq!(s.stats().entries, 1);
@@ -270,12 +364,20 @@ mod tests {
     fn capacity_evicts_lru() {
         let one_bytes = rs(10).xml_bytes();
         let mut s = CacheStore::new(DescriptionKind::Array, Some(one_bytes * 3));
-        let a = s.insert("k", region(0.0, 1.0), rs(10), false, "A").unwrap();
-        let b = s.insert("k", region(2.0, 3.0), rs(10), false, "B").unwrap();
-        let c = s.insert("k", region(4.0, 5.0), rs(10), false, "C").unwrap();
+        let a = s
+            .insert("k", region(0.0, 1.0), rs(10), false, "A", NO_COORDS)
+            .unwrap();
+        let b = s
+            .insert("k", region(2.0, 3.0), rs(10), false, "B", NO_COORDS)
+            .unwrap();
+        let c = s
+            .insert("k", region(4.0, 5.0), rs(10), false, "C", NO_COORDS)
+            .unwrap();
         // Touch A so B is the LRU.
         s.get(a);
-        let d = s.insert("k", region(6.0, 7.0), rs(10), false, "D").unwrap();
+        let d = s
+            .insert("k", region(6.0, 7.0), rs(10), false, "D", NO_COORDS)
+            .unwrap();
         assert!(s.peek(b).is_none(), "B should have been evicted");
         for id in [a, c, d] {
             assert!(s.peek(id).is_some());
@@ -301,6 +403,7 @@ mod tests {
                         rs(*n),
                         false,
                         &format!("Q{i}"),
+                        NO_COORDS,
                     )
                     .unwrap()
                 })
@@ -308,7 +411,7 @@ mod tests {
             // Touch entry 0 so FIFO and LRU would differ if sizes allowed.
             s.get(ids[0]);
             // Force an eviction with a fourth entry.
-            s.insert("k", region(100.0, 101.0), rs(3), false, "Q3")
+            s.insert("k", region(100.0, 101.0), rs(3), false, "Q3", NO_COORDS)
                 .unwrap();
             let survivors: Vec<bool> = ids.iter().map(|id| s.peek(*id).is_some()).collect();
             (survivors, s.stats().evictions)
@@ -331,10 +434,85 @@ mod tests {
     }
 
     #[test]
+    fn eviction_storm_keeps_victim_order_consistent() {
+        // Heavy churn across policies: the debug_assert in lru_victim
+        // cross-checks the incremental order against the O(n) scan on
+        // every eviction.
+        for policy in Replacement::all() {
+            let cap = rs(8).xml_bytes() * 4;
+            let mut s = CacheStore::with_replacement(DescriptionKind::Array, Some(cap), policy);
+            for i in 0..100u64 {
+                let n = 4 + (i % 7) as usize;
+                let id = s.insert(
+                    "k",
+                    region(i as f64, i as f64 + 0.5),
+                    rs(n),
+                    false,
+                    &format!("Q{i}"),
+                    NO_COORDS,
+                );
+                assert!(id.is_some(), "{policy}: insert {i} rejected");
+                // Touch a surviving entry now and then to churn LRU order.
+                if i % 3 == 0 {
+                    let live: Vec<u64> = s.iter_entries().map(|e| e.id).take(2).collect();
+                    for id in live {
+                        s.get(id);
+                    }
+                }
+            }
+            assert!(s.stats().evictions > 0, "{policy}: no evictions");
+            assert!(s.stats().bytes <= cap, "{policy}: over capacity");
+        }
+    }
+
+    #[test]
+    fn coord_columns_build_columnar_form() {
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        let coords = ["cx".to_string(), "cy".to_string()];
+        let id = s
+            .insert("k", region(0.0, 10.0), rs_coords(20), false, "A", &coords)
+            .unwrap();
+        let e = s.peek(id).unwrap();
+        let col = e.columnar.as_ref().expect("columnar form built");
+        assert_eq!(col.len(), 20);
+        assert_eq!(col.coord_idx(), &[1, 2]);
+        assert!(e.footprint() > e.bytes, "columnar heap is charged");
+        assert_eq!(s.stats().bytes, e.footprint());
+
+        // Unknown coordinate column: entry still stored, no columnar.
+        let missing = ["nope".to_string()];
+        let id2 = s
+            .insert("k", region(20.0, 30.0), rs_coords(5), false, "B", &missing)
+            .unwrap();
+        assert!(s.peek(id2).unwrap().columnar.is_none());
+
+        // Non-numeric coordinate cell: row-major fallback, no columnar.
+        let mut bad = rs_coords(5);
+        bad.rows[3][1] = Value::Str("corrupt".into());
+        let id3 = s
+            .insert("k", region(40.0, 50.0), bad, false, "C", &coords)
+            .unwrap();
+        assert!(s.peek(id3).unwrap().columnar.is_none());
+    }
+
+    #[test]
+    fn key_strings_are_shared_not_cloned() {
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        let id = s
+            .insert("k", region(0.0, 1.0), rs(3), false, "SQL A", NO_COORDS)
+            .unwrap();
+        let e = s.peek(id).unwrap();
+        // Entry and maps hold the same allocation: 1 entry ref + 1 map
+        // key ref each.
+        assert_eq!(Arc::strong_count(&e.residual_key), 2);
+        assert_eq!(Arc::strong_count(&e.exact_sql), 2);
+    }
+
+    #[test]
     fn oversized_entry_is_rejected() {
         let mut s = CacheStore::new(DescriptionKind::Array, Some(10));
         assert!(s
-            .insert("k", region(0.0, 1.0), rs(100), false, "A")
+            .insert("k", region(0.0, 1.0), rs(100), false, "A", NO_COORDS)
             .is_none());
         assert_eq!(s.stats().entries, 0);
     }
@@ -342,8 +520,12 @@ mod tests {
     #[test]
     fn compaction_counts_separately() {
         let mut s = CacheStore::new(DescriptionKind::RTree, None);
-        let a = s.insert("k", region(0.0, 1.0), rs(1), false, "A").unwrap();
-        let b = s.insert("k", region(2.0, 3.0), rs(1), false, "B").unwrap();
+        let a = s
+            .insert("k", region(0.0, 1.0), rs(1), false, "A", NO_COORDS)
+            .unwrap();
+        let b = s
+            .insert("k", region(2.0, 3.0), rs(1), false, "B", NO_COORDS)
+            .unwrap();
         s.compact(&[a, b, 999]);
         let st = s.stats();
         assert_eq!(st.compactions, 2);
@@ -355,9 +537,11 @@ mod tests {
     fn groups_are_isolated_and_dimension_safe() {
         let mut s = CacheStore::new(DescriptionKind::RTree, None);
         // 2-D group and 3-D group coexist.
-        s.insert("g2", region(0.0, 1.0), rs(1), false, "A").unwrap();
+        s.insert("g2", region(0.0, 1.0), rs(1), false, "A", NO_COORDS)
+            .unwrap();
         let r3 = Region::Rect(HyperRect::new(vec![0.0; 3], vec![1.0; 3]).unwrap());
-        s.insert("g3", r3.clone(), rs(1), false, "B").unwrap();
+        s.insert("g3", r3.clone(), rs(1), false, "B", NO_COORDS)
+            .unwrap();
         assert_eq!(s.group_len("g2"), 1);
         assert_eq!(s.group_len("g3"), 1);
         assert_eq!(s.candidates("g3", &r3).len(), 1);

@@ -58,7 +58,7 @@ pub mod template;
 pub use config::ProxyConfig;
 pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};
 pub use proxy::FunctionProxy;
-pub use runtime::ProxyHandle;
+pub use runtime::{ProxyHandle, XmlResponse};
 pub use schemes::Scheme;
 pub use sim::CostModel;
 

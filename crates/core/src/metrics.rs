@@ -64,6 +64,16 @@ pub struct QueryMetrics {
     /// Time spent waiting to acquire cache-shard locks, ms (always `0.0`
     /// on the single-threaded proxy).
     pub lock_wait_ms: f64,
+    /// Cached rows the local evaluator tested against the query region
+    /// (after micro-index pruning; zero for non-hit outcomes).
+    pub rows_scanned: usize,
+    /// Cached rows the per-entry micro-index skipped without testing
+    /// (entry rows minus `rows_scanned`; zero for non-hit outcomes).
+    pub rows_pruned: usize,
+    /// Whether a cached entry that *should* have been locally evaluable
+    /// was malformed (non-numeric coordinate cell) and the query fell
+    /// back to the origin.
+    pub local_fallback: bool,
 }
 
 impl QueryMetrics {
@@ -98,6 +108,14 @@ pub struct TraceReport {
     /// Queries answered by coalescing onto another request's origin
     /// flight (zero on single-threaded replays).
     pub coalesced: usize,
+    /// Queries that hit a malformed cached entry (non-numeric coordinate
+    /// cell) and fell back to the origin instead of local evaluation.
+    pub local_fallbacks: usize,
+    /// Total cached rows tested by local evaluation across the trace
+    /// (after micro-index pruning).
+    pub rows_scanned: usize,
+    /// Total cached rows the micro-index pruned without testing.
+    pub rows_pruned: usize,
 }
 
 impl TraceReport {
@@ -116,6 +134,9 @@ impl TraceReport {
             report.avg_cache_efficiency += m.cache_efficiency();
             report.avg_check_ms += m.check_ms;
             report.coalesced += usize::from(m.coalesced);
+            report.local_fallbacks += usize::from(m.local_fallback);
+            report.rows_scanned += m.rows_scanned;
+            report.rows_pruned += m.rows_pruned;
             let slot = match m.outcome {
                 Outcome::Exact => 0,
                 Outcome::Contained => 1,
@@ -157,6 +178,9 @@ mod tests {
             rows_from_cache: cached,
             coalesced: false,
             lock_wait_ms: 0.0,
+            rows_scanned: 0,
+            rows_pruned: 0,
+            local_fallback: false,
         }
     }
 
@@ -183,6 +207,18 @@ mod tests {
         assert!((r.avg_cache_efficiency - 0.5).abs() < 1e-9);
         assert_eq!(r.counts, [1, 0, 0, 1, 1]);
         assert!((r.full_hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallbacks_are_observable() {
+        let mut q = m(Outcome::Forwarded, 1.0, 10, 0);
+        q.local_fallback = true;
+        q.rows_scanned = 7;
+        q.rows_pruned = 3;
+        let r = TraceReport::from_metrics(&[q, m(Outcome::Exact, 1.0, 5, 5)]);
+        assert_eq!(r.local_fallbacks, 1);
+        assert_eq!(r.rows_scanned, 7);
+        assert_eq!(r.rows_pruned, 3);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use crate::cache::{CacheStats, CacheStore};
 use crate::config::ProxyConfig;
 use crate::metrics::{Outcome, QueryMetrics};
 use crate::origin::Origin;
-use crate::query::{classify, eval_region_over, merge_results, remainder_query, QueryStatus};
+use crate::query::{
+    classify, eval_entry_region, merge_results, remainder_query, EvalScratch, QueryStatus,
+};
 use crate::schemes::Scheme;
 use crate::template::{BoundQuery, TemplateManager};
 use crate::ProxyError;
@@ -14,10 +16,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A served request: the result plus its metrics record.
+///
+/// The result is `Arc`-shared with the cache entry that holds (or was
+/// served from) it, so responding never deep-copies tuples.
 #[derive(Debug, Clone)]
 pub struct ProxyResponse {
     /// Rows returned to the client.
-    pub result: ResultSet,
+    pub result: Arc<ResultSet>,
     /// The per-query metrics the proxy servlet logs.
     pub metrics: QueryMetrics,
 }
@@ -32,6 +37,8 @@ pub struct FunctionProxy {
     store: CacheStore,
     config: ProxyConfig,
     origin: Arc<dyn Origin>,
+    /// Reusable local-evaluation buffers (one proxy = one thread).
+    scratch: EvalScratch,
 }
 
 impl FunctionProxy {
@@ -44,6 +51,7 @@ impl FunctionProxy {
             store,
             config,
             origin,
+            scratch: EvalScratch::default(),
         }
     }
 
@@ -112,7 +120,15 @@ impl FunctionProxy {
                     .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
                 let start = Instant::now();
                 let (result, sim_ms) = self.forward(&query, false)?;
-                Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, start, 0.0, 0.0))
+                Ok(self.respond(
+                    Arc::new(result),
+                    Outcome::Forwarded,
+                    0,
+                    sim_ms,
+                    start,
+                    0.0,
+                    0.0,
+                ))
             }
         }
     }
@@ -133,7 +149,15 @@ impl FunctionProxy {
     fn serve_no_cache(&mut self, bound: &BoundQuery) -> Result<ProxyResponse, ProxyError> {
         let start = Instant::now();
         let (result, sim_ms) = self.forward(&bound.query, false)?;
-        Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, start, 0.0, 0.0))
+        Ok(self.respond(
+            Arc::new(result),
+            Outcome::Forwarded,
+            0,
+            sim_ms,
+            start,
+            0.0,
+            0.0,
+        ))
     }
 
     fn serve_passive(&mut self, bound: &BoundQuery) -> Result<ProxyResponse, ProxyError> {
@@ -145,18 +169,21 @@ impl FunctionProxy {
         if let Some(id) = hit {
             let entry = self.store.get(id).expect("exact map is consistent");
             let sim_ms = self.config.cost.cache_read_ms(entry.bytes);
-            let result = entry.result.clone();
+            let result = Arc::clone(&entry.result);
             let cached = result.len();
             return Ok(self.respond(result, Outcome::Exact, cached, sim_ms, start, check_ms, 0.0));
         }
 
         let (result, sim_ms) = self.forward(&bound.query, false)?;
+        let truncated = self.is_truncated(bound, &result);
+        let result = Arc::new(result);
         self.store.insert(
             &bound.residual_key,
             bound.region.clone(),
-            result.clone(),
-            self.is_truncated(bound, &result),
+            Arc::clone(&result),
+            truncated,
             &bound.sql,
+            &bound.reg.coord_columns,
         );
         Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, start, check_ms, 0.0))
     }
@@ -177,40 +204,58 @@ impl FunctionProxy {
             QueryStatus::ExactMatch(id) => {
                 let entry = self.store.get(id).expect("classify returned a live id");
                 let sim_ms = self.config.cost.cache_read_ms(entry.bytes);
-                let result = entry.result.clone();
+                let result = Arc::clone(&entry.result);
                 let cached = result.len();
                 Ok(self.respond(result, Outcome::Exact, cached, sim_ms, start, check_ms, 0.0))
             }
 
             QueryStatus::ContainedBy(id) => {
                 let local_start = Instant::now();
-                let (filtered, sim_ms) = {
+                let scratch = &mut self.scratch;
+                let (eval, sim_ms) = {
                     let entry = self.store.get(id).expect("classify returned a live id");
                     let sim_ms = self.config.cost.cache_read_ms(entry.bytes);
-                    let filtered = entry
+                    let eval = entry
                         .coord_indexes(&bound.reg.coord_columns)
-                        .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region));
-                    (filtered, sim_ms)
+                        .and_then(|idx| {
+                            eval_entry_region(
+                                &entry.result,
+                                entry.columnar.as_deref(),
+                                &idx,
+                                &bound.region,
+                                scratch,
+                            )
+                        });
+                    (eval, sim_ms)
                 };
                 let local_ms = ms_since(local_start);
-                match filtered {
-                    Some(mut result) => {
+                match eval {
+                    Some(eval) => {
+                        let mut result = eval.result;
                         if let Some(n) = bound.query.top {
                             result.rows.truncate(n as usize);
                         }
                         let cached = result.len();
-                        Ok(self.respond(
-                            result,
+                        let mut response = self.respond(
+                            Arc::new(result),
                             Outcome::Contained,
                             cached,
                             sim_ms,
                             start,
                             check_ms,
                             local_ms,
-                        ))
+                        );
+                        response.metrics.rows_scanned = eval.stats.rows_scanned;
+                        response.metrics.rows_pruned = eval.stats.rows_pruned();
+                        Ok(response)
                     }
                     // Malformed cached document: fall back to the origin.
-                    None => self.forward_and_cache(&bound, start, check_ms, local_ms),
+                    None => {
+                        let mut response =
+                            self.forward_and_cache(&bound, start, check_ms, local_ms)?;
+                        response.metrics.local_fallback = true;
+                        Ok(response)
+                    }
                 }
             }
 
@@ -287,26 +332,46 @@ impl FunctionProxy {
         // overlap handling marginal in the paper's measurements.
         let local_start = Instant::now();
         let mut probe_sim_ms = 0.0;
-        let mut probes: Vec<ResultSet> = Vec::with_capacity(ids.len());
+        let mut rows_scanned = 0usize;
+        let mut rows_pruned = 0usize;
+        let mut probes: Vec<Arc<ResultSet>> = Vec::with_capacity(ids.len());
         for &id in &ids {
+            let scratch = &mut self.scratch;
             let entry = self.store.peek(id).expect("classify returned live ids");
             probe_sim_ms += self.config.cost.cache_read_ms(entry.bytes);
             let part = if probe_filters {
-                match entry
+                let eval = entry
                     .coord_indexes(&bound.reg.coord_columns)
-                    .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region))
-                {
-                    Some(p) => p,
-                    None => return self.forward_and_cache(&bound, start, check_ms, 0.0),
+                    .and_then(|idx| {
+                        eval_entry_region(
+                            &entry.result,
+                            entry.columnar.as_deref(),
+                            &idx,
+                            &bound.region,
+                            scratch,
+                        )
+                    });
+                match eval {
+                    Some(e) => {
+                        rows_scanned += e.stats.rows_scanned;
+                        rows_pruned += e.stats.rows_pruned();
+                        Arc::new(e.result)
+                    }
+                    None => {
+                        let mut response = self.forward_and_cache(&bound, start, check_ms, 0.0)?;
+                        response.metrics.local_fallback = true;
+                        return Ok(response);
+                    }
                 }
             } else {
                 // Region containment: the entry lies wholly inside the new
-                // region; its result contributes unfiltered.
-                entry.result.clone()
+                // region; its result contributes unfiltered (shared, not
+                // deep-copied).
+                Arc::clone(&entry.result)
             };
             probes.push(part);
         }
-        let probe_refs: Vec<&ResultSet> = probes.iter().collect();
+        let probe_refs: Vec<&ResultSet> = probes.iter().map(|p| &**p).collect();
         let cached_part = merge_results(&bound.reg.key_column, &probe_refs);
         let rows_from_cache = cached_part.len();
         let mut local_ms = ms_since(local_start);
@@ -329,12 +394,14 @@ impl FunctionProxy {
 
         // The merged result is complete for the new region: cache it and,
         // in the region-containment case, drop the now-redundant entries.
+        let result = Arc::new(result);
         self.store.insert(
             &bound.residual_key,
             bound.region.clone(),
-            result.clone(),
+            Arc::clone(&result),
             false,
             &bound.sql,
+            &bound.reg.coord_columns,
         );
         if !probe_filters {
             self.store.compact(&ids);
@@ -345,7 +412,7 @@ impl FunctionProxy {
         } else {
             Outcome::RegionContainment
         };
-        Ok(self.respond(
+        let mut response = self.respond(
             result,
             outcome,
             rows_from_cache,
@@ -353,7 +420,10 @@ impl FunctionProxy {
             start,
             check_ms,
             local_ms,
-        ))
+        );
+        response.metrics.rows_scanned = rows_scanned;
+        response.metrics.rows_pruned = rows_pruned;
+        Ok(response)
     }
 
     /// Forward to the origin and (for caching schemes) store the result.
@@ -365,13 +435,16 @@ impl FunctionProxy {
         local_ms: f64,
     ) -> Result<ProxyResponse, ProxyError> {
         let (result, sim_ms) = self.forward(&bound.query, false)?;
+        let truncated = self.is_truncated(bound, &result);
+        let result = Arc::new(result);
         if self.config.scheme.caches() {
             self.store.insert(
                 &bound.residual_key,
                 bound.region.clone(),
-                result.clone(),
-                self.is_truncated(bound, &result),
+                Arc::clone(&result),
+                truncated,
                 &bound.sql,
+                &bound.reg.coord_columns,
             );
         }
         Ok(self.respond(
@@ -401,7 +474,7 @@ impl FunctionProxy {
     #[allow(clippy::too_many_arguments)]
     fn respond(
         &self,
-        result: ResultSet,
+        result: Arc<ResultSet>,
         outcome: Outcome,
         rows_from_cache: usize,
         sim_ms: f64,
@@ -421,6 +494,9 @@ impl FunctionProxy {
             rows_from_cache,
             coalesced: false,
             lock_wait_ms: 0.0,
+            rows_scanned: 0,
+            rows_pruned: 0,
+            local_fallback: false,
         };
         ProxyResponse { result, metrics }
     }

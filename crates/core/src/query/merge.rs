@@ -4,6 +4,30 @@ use fp_skyserver::ResultSet;
 use fp_sqlmini::Value;
 use std::collections::HashSet;
 
+/// A hashable dedup key over one cell. Integer keys — the common case,
+/// SkyServer's `objID` — hash without allocating; only string keys copy.
+/// Floats dedup by bit pattern (`-0.0` ≠ `0.0`, as before).
+#[derive(PartialEq, Eq, Hash)]
+enum MergeKey {
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+impl MergeKey {
+    fn of(v: &Value) -> MergeKey {
+        match v {
+            Value::Int(i) => MergeKey::Int(*i),
+            Value::Float(f) => MergeKey::FloatBits(f.to_bits()),
+            Value::Str(s) => MergeKey::Str(s.clone()),
+            Value::Bool(b) => MergeKey::Bool(*b),
+            Value::Null => MergeKey::Null,
+        }
+    }
+}
+
 /// Merges result parts into one set, deduplicating by `key_column`.
 ///
 /// All parts must share the first part's column list (the proxy only
@@ -14,9 +38,11 @@ pub fn merge_results(key_column: &str, parts: &[&ResultSet]) -> ResultSet {
     let Some(first) = parts.first() else {
         return ResultSet::empty(vec![]);
     };
+    let total: usize = parts.iter().map(|p| p.len()).sum();
     let mut out = ResultSet::empty(first.columns.clone());
+    out.rows.reserve(total);
     let key_idx = first.column_index(key_column);
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<MergeKey> = HashSet::with_capacity(total);
 
     for part in parts {
         if part.columns != out.columns {
@@ -26,8 +52,7 @@ pub fn merge_results(key_column: &str, parts: &[&ResultSet]) -> ResultSet {
         for row in &part.rows {
             match key_idx {
                 Some(k) => {
-                    let key = key_text(&row[k]);
-                    if seen.insert(key) {
+                    if seen.insert(MergeKey::of(&row[k])) {
                         out.rows.push(row.clone());
                     }
                 }
@@ -36,16 +61,6 @@ pub fn merge_results(key_column: &str, parts: &[&ResultSet]) -> ResultSet {
         }
     }
     out
-}
-
-fn key_text(v: &Value) -> String {
-    match v {
-        Value::Int(i) => format!("i{i}"),
-        Value::Float(f) => format!("f{f}"),
-        Value::Str(s) => format!("s{s}"),
-        Value::Bool(b) => format!("b{b}"),
-        Value::Null => "null".into(),
-    }
 }
 
 #[cfg(test)]

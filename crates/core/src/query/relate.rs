@@ -52,7 +52,7 @@ pub fn classify(store: &CacheStore, bound: &BoundQuery) -> QueryStatus {
         let Some(entry) = store.peek(id) else {
             continue;
         };
-        debug_assert_eq!(entry.residual_key, bound.residual_key);
+        debug_assert_eq!(&*entry.residual_key, bound.residual_key);
         match bound.region.relate(&entry.region) {
             Relation::Equal => {
                 // Equal region within one residual group means the same
@@ -123,7 +123,14 @@ mod tests {
 
     fn seed(store: &mut CacheStore, b: &BoundQuery, n: usize, truncated: bool) -> u64 {
         store
-            .insert(&b.residual_key, b.region.clone(), rs(n), truncated, &b.sql)
+            .insert(
+                &b.residual_key,
+                b.region.clone(),
+                rs(n),
+                truncated,
+                &b.sql,
+                &[],
+            )
             .unwrap()
     }
 

@@ -186,6 +186,20 @@ mod tests {
             .collect();
         let probe =
             crate::query::eval_region_over(&cached_result, &coord_idx, &new.region).unwrap();
+        // The serve paths probe through the columnar form; it must land
+        // on the same rows before the union with the remainder.
+        let columnar = fp_skyserver::ColumnarRows::build(&cached_result, &coord_idx).unwrap();
+        let mut scratch = crate::query::EvalScratch::default();
+        let fast = crate::query::eval_entry_region(
+            &cached_result,
+            Some(&columnar),
+            &coord_idx,
+            &new.region,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(fast.columnar);
+        assert_eq!(fast.result, probe);
 
         // Remainder part from the origin.
         let rq = remainder_query(&new, &[&cached.region]).unwrap();

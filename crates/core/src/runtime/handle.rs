@@ -29,17 +29,30 @@ use crate::config::ProxyConfig;
 use crate::metrics::{Outcome, QueryMetrics};
 use crate::origin::Origin;
 use crate::proxy::ProxyResponse;
-use crate::query::{classify, eval_region_over, merge_results, remainder_query, QueryStatus};
+use crate::query::{
+    classify, eval_entry_region, merge_results, remainder_query, EvalScratch, QueryStatus,
+};
 use crate::runtime::shard::ShardedStore;
 use crate::runtime::singleflight::{Coalesce, Joined, SingleFlight};
 use crate::runtime::{RuntimeSnapshot, RuntimeStats};
 use crate::schemes::Scheme;
 use crate::template::{BoundQuery, TemplateManager};
 use crate::ProxyError;
-use fp_skyserver::ResultSet;
+use fp_skyserver::{ColumnarRows, ResultSet};
 use fp_sqlmini::Query;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-thread evaluation buffers: the handle is `&self` across
+    /// threads, so the scratch cannot live on the proxy itself.
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// How many times a request retries after following a flight that
 /// landed without helping it (failed leader, evicted entry) before it
@@ -91,7 +104,28 @@ impl Timing {
     }
 }
 
-/// What the cache phase decided.
+/// A response served as pre-assembled XML bytes. On the columnar hot
+/// paths (exact and contained hits) the body is copied out of the
+/// entry's pre-serialized row slab — no tuple materialization, no XML
+/// re-serialization. Byte-identical to serializing the row response.
+#[derive(Debug, Clone)]
+pub struct XmlResponse {
+    /// The complete `<ResultSet>` document.
+    pub body: Vec<u8>,
+    /// The same metrics a row response would carry.
+    pub metrics: QueryMetrics,
+}
+
+impl XmlResponse {
+    fn from_rows(response: ProxyResponse) -> Self {
+        XmlResponse {
+            body: response.result.to_xml_string().into_bytes(),
+            metrics: response.metrics,
+        }
+    }
+}
+
+/// What the cache phase decided (after off-lock local evaluation).
 enum Phase {
     /// Fully answered from the cache.
     Served(ProxyResponse),
@@ -99,19 +133,63 @@ enum Phase {
     Origin(Box<OriginPlan>),
 }
 
+/// What the shard-lock window itself decided. Contained hits leave the
+/// lock with `Arc` snapshots of the entry; the actual region selection
+/// runs after the lock is released, so a large scan never serializes
+/// other requests on the same shard.
+enum LockedPhase {
+    /// Exact hit: the entry's shared result (and columnar form, for
+    /// byte-level serving).
+    Exact {
+        result: Arc<ResultSet>,
+        columnar: Option<Arc<ColumnarRows>>,
+        sim_ms: f64,
+    },
+    /// A containing entry was found; evaluate off-lock.
+    Contained(Box<ContainedPlan>),
+    /// Origin work is needed; here is the plan.
+    Origin(Box<OriginPlan>),
+}
+
+/// `Arc` snapshots of a containing entry, captured under the shard lock.
+/// Entries are immutable once inserted, so the snapshot stays valid even
+/// if the entry is evicted while we evaluate.
+struct ContainedPlan {
+    result: Arc<ResultSet>,
+    columnar: Option<Arc<ColumnarRows>>,
+    /// Region dims → result columns; `None` = the entry cannot map the
+    /// template's coordinate columns (treated like a malformed entry).
+    coord_idx: Option<Vec<usize>>,
+    sim_ms: f64,
+}
+
+/// One probed entry in a merge plan: its shared result, its columnar
+/// form, and — on the overlap path — the coordinate mapping to filter
+/// it by. Filtering happens off-lock in [`ProxyHandle::execute_plan`].
+struct ProbePart {
+    result: Arc<ResultSet>,
+    columnar: Option<Arc<ColumnarRows>>,
+    /// `Some` = filter to the query region (overlap probes); `None` =
+    /// contributes whole (region containment).
+    filter_idx: Option<Vec<usize>>,
+}
+
 /// Everything a leader needs to finish a request off-lock: the query to
-/// send, the cached contribution extracted while the shard lock was
-/// held, and the entries to compact afterwards.
+/// send, `Arc` snapshots of the probed entries, and the entries to
+/// compact afterwards.
 struct OriginPlan {
     query: Query,
     is_remainder: bool,
-    /// Merged probe rows (region containment / overlap paths).
-    cached_part: Option<ResultSet>,
+    /// Probed entries whose rows merge into the response.
+    probe_parts: Vec<ProbePart>,
     /// Simulated cost of reading the probed entries.
     probe_sim_ms: f64,
     /// Entries subsumed by the merged result (compacted after insert).
     compact_ids: Vec<u64>,
     outcome: Outcome,
+    /// Whether this plan replaced a local evaluation that hit a
+    /// malformed cached entry.
+    local_fallback: bool,
 }
 
 impl OriginPlan {
@@ -119,11 +197,18 @@ impl OriginPlan {
         Box::new(OriginPlan {
             query: bound.query.clone(),
             is_remainder: false,
-            cached_part: None,
+            probe_parts: Vec::new(),
             probe_sim_ms: 0.0,
             compact_ids,
             outcome: Outcome::Forwarded,
+            local_fallback: false,
         })
+    }
+
+    fn forward_fallback(bound: &BoundQuery) -> Box<Self> {
+        let mut plan = Self::forward(bound, Vec::new());
+        plan.local_fallback = true;
+        plan
     }
 }
 
@@ -211,7 +296,14 @@ impl ProxyHandle {
                     .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
                 let timing = Timing::begin();
                 let (result, sim_ms) = self.fetch(&query, false)?;
-                Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, &timing, false))
+                Ok(self.respond(
+                    Arc::new(result),
+                    Outcome::Forwarded,
+                    0,
+                    sim_ms,
+                    &timing,
+                    false,
+                ))
             }
         }
     }
@@ -227,10 +319,157 @@ impl ProxyHandle {
             Scheme::NoCache => {
                 let timing = Timing::begin();
                 let (result, sim_ms) = self.fetch(&bound.query, false)?;
-                Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, &timing, false))
+                Ok(self.respond(
+                    Arc::new(result),
+                    Outcome::Forwarded,
+                    0,
+                    sim_ms,
+                    &timing,
+                    false,
+                ))
             }
             _ => self.serve_caching(bound),
         }
+    }
+
+    /// Serves an HTML-form request straight to response bytes. Cache
+    /// hits (exact and contained) copy pre-serialized XML out of the
+    /// entry's columnar slab without materializing tuples; every other
+    /// path serializes the row response. The body is byte-identical to
+    /// serializing [`ProxyHandle::handle_form`]'s result.
+    ///
+    /// # Errors
+    /// Propagates resolution failures and origin errors.
+    pub fn handle_form_xml(
+        &self,
+        path: &str,
+        fields: &[(String, String)],
+    ) -> Result<XmlResponse, ProxyError> {
+        let bound = self.inner.manager.resolve_form(path, fields)?;
+        self.serve_xml(bound)
+    }
+
+    /// [`ProxyHandle::handle_sql`], served straight to response bytes.
+    ///
+    /// # Errors
+    /// Propagates resolution failures and origin errors.
+    pub fn handle_sql_xml(&self, sql: &str) -> Result<XmlResponse, ProxyError> {
+        match self.inner.manager.resolve_sql(sql) {
+            Some(bound) => self.serve_xml(bound?),
+            None => {
+                self.inner.stats.note_request();
+                let query = fp_sqlmini::parse_query(sql)
+                    .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
+                let timing = Timing::begin();
+                let (result, sim_ms) = self.fetch(&query, false)?;
+                let response = self.respond(
+                    Arc::new(result),
+                    Outcome::Forwarded,
+                    0,
+                    sim_ms,
+                    &timing,
+                    false,
+                );
+                Ok(XmlResponse::from_rows(response))
+            }
+        }
+    }
+
+    /// The byte-serving front: try the hot paths (exact / contained hit
+    /// assembled from the columnar slab), fall back to the ordinary row
+    /// pipeline plus serialization for everything else.
+    fn serve_xml(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
+        self.inner.stats.note_request();
+        if self.inner.config.scheme == Scheme::NoCache {
+            let timing = Timing::begin();
+            let (result, sim_ms) = self.fetch(&bound.query, false)?;
+            let response = self.respond(
+                Arc::new(result),
+                Outcome::Forwarded,
+                0,
+                sim_ms,
+                &timing,
+                false,
+            );
+            return Ok(XmlResponse::from_rows(response));
+        }
+
+        let mut timing = Timing::begin();
+        match self.cache_phase_locked(&bound, &mut timing) {
+            LockedPhase::Exact {
+                result,
+                columnar,
+                sim_ms,
+            } => {
+                let body = match columnar.as_deref() {
+                    Some(col) => col.full_document(),
+                    None => result.to_xml_string().into_bytes(),
+                };
+                let cached = result.len();
+                let metrics =
+                    self.metrics_for(result.len(), Outcome::Exact, cached, sim_ms, &timing, false);
+                Ok(XmlResponse { body, metrics })
+            }
+            LockedPhase::Contained(plan) => {
+                match self.contained_bytes(&bound, &plan, &mut timing) {
+                    Some(response) => Ok(response),
+                    // Malformed entry: the ordinary loop forwards,
+                    // caches, and accounts the fallback.
+                    None => Ok(XmlResponse::from_rows(self.serve_caching(bound)?)),
+                }
+            }
+            // Miss: rejoin the ordinary loop (it re-runs the cache
+            // phase under the flight table, which is what closes the
+            // fetch/join race).
+            LockedPhase::Origin(_) => Ok(XmlResponse::from_rows(self.serve_caching(bound)?)),
+        }
+    }
+
+    /// A contained hit as bytes: prune through the micro-index, then
+    /// assemble the body by copying each selected row's pre-serialized
+    /// span out of the slab. Returns `None` for malformed entries.
+    fn contained_bytes(
+        &self,
+        bound: &BoundQuery,
+        plan: &ContainedPlan,
+        timing: &mut Timing,
+    ) -> Option<XmlResponse> {
+        let idx = plan.coord_idx.as_deref()?;
+        let local_start = Instant::now();
+        if let Some(col) = plan.columnar.as_deref().filter(|c| c.coord_idx() == idx) {
+            let (body, rows, stats) = with_scratch(|scratch| {
+                let (point, selected) = scratch.parts_mut();
+                let stats = col.select_region(&bound.region, selected, point);
+                if let Some(n) = bound.query.top {
+                    selected.truncate(n as usize);
+                }
+                (col.assemble_document(selected), selected.len(), stats)
+            });
+            timing.local_ms += ms_since(local_start);
+            let mut metrics =
+                self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
+            metrics.rows_scanned = stats.rows_scanned;
+            metrics.rows_pruned = stats.rows_pruned();
+            return Some(XmlResponse { body, metrics });
+        }
+        // No matching columnar form: row-major selection, then serialize.
+        let eval = with_scratch(|scratch| {
+            eval_entry_region(&plan.result, None, idx, &bound.region, scratch)
+        })?;
+        let mut result = eval.result;
+        if let Some(n) = bound.query.top {
+            result.rows.truncate(n as usize);
+        }
+        timing.local_ms += ms_since(local_start);
+        let rows = result.len();
+        let mut metrics =
+            self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
+        metrics.rows_scanned = eval.stats.rows_scanned;
+        metrics.rows_pruned = eval.stats.rows_pruned();
+        Some(XmlResponse {
+            body: result.to_xml_string().into_bytes(),
+            metrics,
+        })
     }
 
     /// The caching schemes' request loop: cache phase, then flight
@@ -293,10 +532,31 @@ impl ProxyHandle {
         }
     }
 
-    /// One pass over the shard: classify and either answer from the
-    /// cache or plan the origin work. Holds the shard lock throughout;
-    /// never fetches.
+    /// One pass over the shard, then off-lock local evaluation: classify
+    /// and either answer from the cache or plan the origin work.
     fn cache_phase(&self, bound: &BoundQuery, timing: &mut Timing, coalesced: bool) -> Phase {
+        match self.cache_phase_locked(bound, timing) {
+            LockedPhase::Exact { result, sim_ms, .. } => {
+                let cached = result.len();
+                Phase::Served(self.respond(
+                    result,
+                    Outcome::Exact,
+                    cached,
+                    sim_ms,
+                    timing,
+                    coalesced,
+                ))
+            }
+            LockedPhase::Contained(plan) => self.finish_contained(bound, &plan, timing, coalesced),
+            LockedPhase::Origin(plan) => Phase::Origin(plan),
+        }
+    }
+
+    /// The shard-lock window: exact lookup, classification, and `Arc`
+    /// snapshots of whatever entries the answer needs. Never fetches,
+    /// never scans tuples — contained-hit selection and overlap probe
+    /// filtering both run after the lock is released.
+    fn cache_phase_locked(&self, bound: &BoundQuery, timing: &mut Timing) -> LockedPhase {
         let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
         self.note_lock_wait(timing, wait);
         let config = &self.inner.config;
@@ -313,45 +573,21 @@ impl ProxyHandle {
         match status {
             QueryStatus::ExactMatch(id) => {
                 let entry = store.get(id).expect("exact map is consistent");
-                let sim_ms = config.cost.cache_read_ms(entry.bytes);
-                let result = entry.result.clone();
-                let cached = result.len();
-                Phase::Served(self.respond(
-                    result,
-                    Outcome::Exact,
-                    cached,
-                    sim_ms,
-                    timing,
-                    coalesced,
-                ))
+                LockedPhase::Exact {
+                    result: Arc::clone(&entry.result),
+                    columnar: entry.columnar.clone(),
+                    sim_ms: config.cost.cache_read_ms(entry.bytes),
+                }
             }
 
             QueryStatus::ContainedBy(id) => {
-                let local_start = Instant::now();
                 let entry = store.get(id).expect("classify returned a live id");
-                let sim_ms = config.cost.cache_read_ms(entry.bytes);
-                let filtered = entry
-                    .coord_indexes(&bound.reg.coord_columns)
-                    .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region));
-                timing.local_ms += ms_since(local_start);
-                match filtered {
-                    Some(mut result) => {
-                        if let Some(n) = bound.query.top {
-                            result.rows.truncate(n as usize);
-                        }
-                        let cached = result.len();
-                        Phase::Served(self.respond(
-                            result,
-                            Outcome::Contained,
-                            cached,
-                            sim_ms,
-                            timing,
-                            coalesced,
-                        ))
-                    }
-                    // Malformed cached document: fall back to the origin.
-                    None => Phase::Origin(OriginPlan::forward(bound, Vec::new())),
-                }
+                LockedPhase::Contained(Box::new(ContainedPlan {
+                    result: Arc::clone(&entry.result),
+                    columnar: entry.columnar.clone(),
+                    coord_idx: entry.coord_indexes(&bound.reg.coord_columns),
+                    sim_ms: config.cost.cache_read_ms(entry.bytes),
+                }))
             }
 
             QueryStatus::RegionContainment(ids) if config.scheme.handles_region_containment() => {
@@ -369,14 +605,64 @@ impl ProxyHandle {
 
             QueryStatus::RegionContainment(_)
             | QueryStatus::Overlapping(_)
-            | QueryStatus::Disjoint => Phase::Origin(OriginPlan::forward(bound, Vec::new())),
+            | QueryStatus::Disjoint => LockedPhase::Origin(OriginPlan::forward(bound, Vec::new())),
         }
     }
 
-    /// Plans the merge paths (region containment / overlap): extracts
-    /// the cached contribution under the held lock so the fetch can run
-    /// lock-free. Mirrors [`crate::proxy::FunctionProxy`]'s merge
-    /// procedure.
+    /// The off-lock half of a contained hit: select the rows inside the
+    /// query region from the snapshotted entry (columnar when the forms
+    /// match, row-major otherwise).
+    fn finish_contained(
+        &self,
+        bound: &BoundQuery,
+        plan: &ContainedPlan,
+        timing: &mut Timing,
+        coalesced: bool,
+    ) -> Phase {
+        let local_start = Instant::now();
+        let eval = plan.coord_idx.as_deref().and_then(|idx| {
+            with_scratch(|scratch| {
+                eval_entry_region(
+                    &plan.result,
+                    plan.columnar.as_deref(),
+                    idx,
+                    &bound.region,
+                    scratch,
+                )
+            })
+        });
+        timing.local_ms += ms_since(local_start);
+        match eval {
+            Some(eval) => {
+                let mut result = eval.result;
+                if let Some(n) = bound.query.top {
+                    result.rows.truncate(n as usize);
+                }
+                let cached = result.len();
+                let mut response = self.respond(
+                    Arc::new(result),
+                    Outcome::Contained,
+                    cached,
+                    plan.sim_ms,
+                    timing,
+                    coalesced,
+                );
+                response.metrics.rows_scanned = eval.stats.rows_scanned;
+                response.metrics.rows_pruned = eval.stats.rows_pruned();
+                Phase::Served(response)
+            }
+            // Malformed cached document: fall back to the origin.
+            None => {
+                self.inner.stats.note_local_fallback();
+                Phase::Origin(OriginPlan::forward_fallback(bound))
+            }
+        }
+    }
+
+    /// Plans the merge paths (region containment / overlap): snapshots
+    /// the probed entries under the held lock so both the fetch *and*
+    /// the probe filtering can run lock-free. Mirrors
+    /// [`crate::proxy::FunctionProxy`]'s merge procedure.
     fn merge_plan(
         &self,
         store: &mut CacheStore,
@@ -384,42 +670,48 @@ impl ProxyHandle {
         mut ids: Vec<u64>,
         probe_filters: bool,
         timing: &mut Timing,
-    ) -> Phase {
+    ) -> LockedPhase {
         let config = &self.inner.config;
         // Remainder queries need server support and a TOP-free query.
         if !self.inner.origin.supports_remainder() || bound.query.top.is_some() {
             // Region containment: the forwarded result still covers the
             // subsumed entries, so compaction remains valid.
             let compact_ids = if probe_filters { Vec::new() } else { ids };
-            return Phase::Origin(OriginPlan::forward(bound, compact_ids));
+            return LockedPhase::Origin(OriginPlan::forward(bound, compact_ids));
         }
 
         // Bound the fan-in; prefer the largest cached parts.
         ids.sort_by_key(|id| std::cmp::Reverse(store.peek(*id).map_or(0, |e| e.bytes)));
         ids.truncate(config.max_merge_entries);
 
-        // Probe phase: collect the cached contribution.
+        // Probe phase: snapshot each entry (shared, not deep-copied) and
+        // charge the simulated read cost. Actual filtering is deferred
+        // to `execute_plan`, outside this lock window.
         let local_start = Instant::now();
         let mut probe_sim_ms = 0.0;
-        let mut probes: Vec<ResultSet> = Vec::with_capacity(ids.len());
+        let mut probe_parts: Vec<ProbePart> = Vec::with_capacity(ids.len());
         for &id in &ids {
             let entry = store.peek(id).expect("classify returned live ids");
             probe_sim_ms += config.cost.cache_read_ms(entry.bytes);
-            let part = if probe_filters {
-                match entry
-                    .coord_indexes(&bound.reg.coord_columns)
-                    .and_then(|idx| eval_region_over(&entry.result, &idx, &bound.region))
-                {
-                    Some(p) => p,
-                    None => return Phase::Origin(OriginPlan::forward(bound, Vec::new())),
+            let filter_idx = if probe_filters {
+                match entry.coord_indexes(&bound.reg.coord_columns) {
+                    Some(idx) => Some(idx),
+                    // The entry cannot map the template's coordinate
+                    // columns: treat like a malformed entry.
+                    None => {
+                        self.inner.stats.note_local_fallback();
+                        return LockedPhase::Origin(OriginPlan::forward_fallback(bound));
+                    }
                 }
             } else {
-                entry.result.clone()
+                None
             };
-            probes.push(part);
+            probe_parts.push(ProbePart {
+                result: Arc::clone(&entry.result),
+                columnar: entry.columnar.clone(),
+                filter_idx,
+            });
         }
-        let probe_refs: Vec<&ResultSet> = probes.iter().collect();
-        let cached_part = merge_results(&bound.reg.key_column, &probe_refs);
 
         // Remainder phase setup (the fetch itself happens off-lock).
         let exclude: Vec<fp_geometry::Region> = ids
@@ -429,7 +721,7 @@ impl ProxyHandle {
         let exclude_refs: Vec<&fp_geometry::Region> = exclude.iter().collect();
         timing.local_ms += ms_since(local_start);
         let Some(rq) = remainder_query(bound, &exclude_refs) else {
-            return Phase::Origin(OriginPlan::forward(bound, Vec::new()));
+            return LockedPhase::Origin(OriginPlan::forward(bound, Vec::new()));
         };
 
         let (compact_ids, outcome) = if probe_filters {
@@ -437,27 +729,89 @@ impl ProxyHandle {
         } else {
             (ids, Outcome::RegionContainment)
         };
-        Phase::Origin(Box::new(OriginPlan {
+        LockedPhase::Origin(Box::new(OriginPlan {
             query: rq,
             is_remainder: true,
-            cached_part: Some(cached_part),
+            probe_parts,
             probe_sim_ms,
             compact_ids,
             outcome,
+            local_fallback: false,
         }))
     }
 
-    /// The leader's origin phase: fetch (no locks), merge, then one
+    /// The leader's origin phase, entirely off-lock until the final
+    /// insert: filter the snapshotted probes, fetch, merge, then one
     /// more shard-lock window to insert and compact.
     fn execute_plan(
         &self,
         bound: &BoundQuery,
-        plan: OriginPlan,
+        mut plan: OriginPlan,
         timing: &mut Timing,
     ) -> Result<ProxyResponse, ProxyError> {
+        // Probe filtering runs here, off-lock, against the `Arc`
+        // snapshots taken in `merge_plan` (entries are immutable, so
+        // concurrent eviction cannot invalidate them).
+        enum Part {
+            Whole(Arc<ResultSet>),
+            Filtered(ResultSet),
+        }
+        let mut rows_scanned = 0usize;
+        let mut rows_pruned = 0usize;
+        let mut cached_part: Option<ResultSet> = None;
+        if !plan.probe_parts.is_empty() {
+            let local_start = Instant::now();
+            let mut parts: Vec<Part> = Vec::with_capacity(plan.probe_parts.len());
+            let mut malformed = false;
+            for p in &plan.probe_parts {
+                match &p.filter_idx {
+                    None => parts.push(Part::Whole(Arc::clone(&p.result))),
+                    Some(idx) => {
+                        let eval = with_scratch(|scratch| {
+                            eval_entry_region(
+                                &p.result,
+                                p.columnar.as_deref(),
+                                idx,
+                                &bound.region,
+                                scratch,
+                            )
+                        });
+                        match eval {
+                            Some(e) => {
+                                rows_scanned += e.stats.rows_scanned;
+                                rows_pruned += e.stats.rows_pruned();
+                                parts.push(Part::Filtered(e.result));
+                            }
+                            None => {
+                                malformed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if malformed {
+                // Malformed probe entry: forward the original query.
+                self.inner.stats.note_local_fallback();
+                plan = *OriginPlan::forward_fallback(bound);
+                rows_scanned = 0;
+                rows_pruned = 0;
+            } else {
+                let refs: Vec<&ResultSet> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Part::Whole(a) => &**a,
+                        Part::Filtered(r) => r,
+                    })
+                    .collect();
+                cached_part = Some(merge_results(&bound.reg.key_column, &refs));
+            }
+            timing.local_ms += ms_since(local_start);
+        }
+
         let (fetched, origin_sim_ms) = self.fetch(&plan.query, plan.is_remainder)?;
 
-        let (result, rows_from_cache, truncated) = match plan.cached_part {
+        let (result, rows_from_cache, truncated) = match cached_part {
             Some(part) => {
                 let merge_start = Instant::now();
                 let merged = merge_results(&bound.reg.key_column, &[&part, &fetched]);
@@ -469,6 +823,7 @@ impl ProxyHandle {
                 (fetched, 0, truncated)
             }
         };
+        let result = Arc::new(result);
 
         {
             let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
@@ -477,9 +832,10 @@ impl ProxyHandle {
                 store.insert(
                     &bound.residual_key,
                     bound.region.clone(),
-                    result.clone(),
+                    Arc::clone(&result),
                     truncated,
                     &bound.sql,
+                    &bound.reg.coord_columns,
                 );
             }
             // Some ids may have been evicted while we fetched; compact
@@ -487,14 +843,18 @@ impl ProxyHandle {
             store.compact(&plan.compact_ids);
         }
 
-        Ok(self.respond(
+        let mut response = self.respond(
             result,
             plan.outcome,
             rows_from_cache,
             origin_sim_ms + plan.probe_sim_ms,
             timing,
             false,
-        ))
+        );
+        response.metrics.rows_scanned = rows_scanned;
+        response.metrics.rows_pruned = rows_pruned;
+        response.metrics.local_fallback = plan.local_fallback;
+        Ok(response)
     }
 
     /// Builds an exact follower's response from the leader's. The
@@ -510,6 +870,9 @@ impl ProxyHandle {
         metrics.lock_wait_ms = timing.lock_wait_ms;
         metrics.proxy_ms = ms_since(timing.start);
         metrics.response_ms = metrics.sim_ms + metrics.proxy_ms;
+        metrics.rows_scanned = 0;
+        metrics.rows_pruned = 0;
+        metrics.local_fallback = false;
         ProxyResponse {
             result: leader.result,
             metrics,
@@ -536,27 +899,49 @@ impl ProxyHandle {
 
     fn respond(
         &self,
-        result: ResultSet,
+        result: Arc<ResultSet>,
         outcome: Outcome,
         rows_from_cache: usize,
         sim_ms: f64,
         timing: &Timing,
         coalesced: bool,
     ) -> ProxyResponse {
+        let metrics = self.metrics_for(
+            result.len(),
+            outcome,
+            rows_from_cache,
+            sim_ms,
+            timing,
+            coalesced,
+        );
+        ProxyResponse { result, metrics }
+    }
+
+    fn metrics_for(
+        &self,
+        rows_total: usize,
+        outcome: Outcome,
+        rows_from_cache: usize,
+        sim_ms: f64,
+        timing: &Timing,
+        coalesced: bool,
+    ) -> QueryMetrics {
         let proxy_ms = ms_since(timing.start);
-        let metrics = QueryMetrics {
+        QueryMetrics {
             outcome,
             response_ms: sim_ms + proxy_ms,
             sim_ms,
             proxy_ms,
             check_ms: timing.check_ms,
             local_ms: timing.local_ms,
-            rows_total: result.len(),
+            rows_total,
             rows_from_cache,
             coalesced,
             lock_wait_ms: timing.lock_wait_ms,
-        };
-        ProxyResponse { result, metrics }
+            rows_scanned: 0,
+            rows_pruned: 0,
+            local_fallback: false,
+        }
     }
 }
 

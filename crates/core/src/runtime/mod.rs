@@ -32,7 +32,7 @@ pub mod handle;
 pub mod shard;
 pub mod singleflight;
 
-pub use handle::ProxyHandle;
+pub use handle::{ProxyHandle, XmlResponse};
 pub use shard::ShardedStore;
 pub use singleflight::SingleFlight;
 
@@ -47,6 +47,7 @@ pub struct RuntimeStats {
     coalesced_exact: AtomicUsize,
     coalesced_contained: AtomicUsize,
     flights_led: AtomicUsize,
+    local_eval_fallbacks: AtomicUsize,
     lock_waits: AtomicUsize,
     lock_wait_ns: AtomicU64,
 }
@@ -68,6 +69,10 @@ impl RuntimeStats {
         self.flights_led.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_local_fallback(&self) {
+        self.local_eval_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_lock_wait(&self, nanos: u64) {
         self.lock_waits.fetch_add(1, Ordering::Relaxed);
         self.lock_wait_ns.fetch_add(nanos, Ordering::Relaxed);
@@ -86,6 +91,9 @@ pub struct RuntimeSnapshot {
     pub coalesced_contained: usize,
     /// Origin-bound flights actually led (each is at most one WAN fetch).
     pub flights_led: usize,
+    /// Contained hits whose cached entry turned out malformed
+    /// (non-numeric coordinate cell) and fell back to the origin.
+    pub local_eval_fallbacks: usize,
     /// Duplicate origin fetches avoided by coalescing
     /// (`coalesced_exact + coalesced_contained`).
     pub duplicate_fetches_avoided: usize,
@@ -110,6 +118,7 @@ impl RuntimeStats {
             coalesced_exact,
             coalesced_contained,
             flights_led: self.flights_led.load(Ordering::Relaxed),
+            local_eval_fallbacks: self.local_eval_fallbacks.load(Ordering::Relaxed),
             duplicate_fetches_avoided: coalesced_exact + coalesced_contained,
             in_flight_peak,
             lock_acquisitions: self.lock_waits.load(Ordering::Relaxed),

@@ -116,7 +116,7 @@ mod tests {
         // to, the aggregate must see every entry.
         for (i, key) in ["k1", "k2", "k3"].iter().enumerate() {
             let (mut shard, _) = store.lock(key);
-            shard.insert(key, region(), rs(2), false, &format!("SQL {i}"));
+            shard.insert(key, region(), rs(2), false, &format!("SQL {i}"), &[]);
         }
         let stats = store.stats();
         assert_eq!(stats.entries, 3);
@@ -131,7 +131,9 @@ mod tests {
         let config = ProxyConfig::default().with_capacity(Some((big.xml_bytes() - 1) * 4));
         let store = ShardedStore::new(&config, 4);
         let (mut shard, _) = store.lock("k");
-        assert!(shard.insert("k", region(), big, false, "BIG").is_none());
+        assert!(shard
+            .insert("k", region(), big, false, "BIG", &[])
+            .is_none());
     }
 
     #[test]

@@ -219,12 +219,12 @@ mod tests {
 
     fn response(rows: usize) -> ProxyResponse {
         ProxyResponse {
-            result: ResultSet {
+            result: std::sync::Arc::new(ResultSet {
                 columns: vec!["objID".into()],
                 rows: (0..rows)
                     .map(|i| vec![fp_sqlmini::Value::Int(i as i64)])
                     .collect(),
-            },
+            }),
             metrics: QueryMetrics {
                 outcome: Outcome::Forwarded,
                 response_ms: 1.0,
@@ -236,6 +236,9 @@ mod tests {
                 rows_from_cache: 0,
                 coalesced: false,
                 lock_wait_ms: 0.0,
+                rows_scanned: 0,
+                rows_pruned: 0,
+                local_fallback: false,
             },
         }
     }

@@ -166,6 +166,71 @@ fn contained_concurrent_queries_wait_for_the_covering_flight() {
 }
 
 #[test]
+fn contained_hit_storm_pins_byte_identical_responses() {
+    let site = site();
+    let (handle, counting) = counting_handle(site.clone(), 0);
+
+    // Warm one large entry, then hammer a subsumed query from all
+    // threads: every response is assembled off-lock from the entry's
+    // columnar slab and must be byte-for-byte identical.
+    handle
+        .handle_form("/search/radial", &radial_fields(185.0, 0.0, 30.0))
+        .unwrap();
+    assert_eq!(counting.fetches(), 1);
+
+    let reference = handle
+        .handle_form_xml("/search/radial", &radial_fields(185.0, 0.0, 12.0))
+        .unwrap();
+    assert_eq!(reference.metrics.outcome.label(), "contained");
+    assert!(
+        reference.metrics.rows_total > 0,
+        "storm region is populated"
+    );
+
+    let barrier = Barrier::new(THREADS);
+    let bodies: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let handle = handle.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    (0..16)
+                        .map(|_| {
+                            let r = handle
+                                .handle_form_xml("/search/radial", &radial_fields(185.0, 0.0, 12.0))
+                                .unwrap();
+                            assert_eq!(r.metrics.outcome.label(), "contained");
+                            r.body
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    for body in bodies.iter().flatten() {
+        assert_eq!(body, &reference.body);
+    }
+
+    // The storm never touched the origin and never fell back to
+    // row-major evaluation.
+    assert_eq!(counting.fetches(), 1);
+    assert_eq!(handle.runtime_stats().local_eval_fallbacks, 0);
+
+    // And the byte responses agree with the row pipeline + the oracle.
+    let rows = handle
+        .handle_form("/search/radial", &radial_fields(185.0, 0.0, 12.0))
+        .unwrap();
+    assert_eq!(
+        rows.result.to_xml_string().into_bytes(),
+        reference.body,
+        "row and byte serving must agree"
+    );
+    assert_eq!(ids_of(&rows), oracle_ids(site, 185.0, 0.0, 12.0));
+}
+
+#[test]
 fn disjoint_concurrent_queries_proceed_independently() {
     let site = site();
     let (handle, counting) = counting_handle(site.clone(), 20);

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod columnar;
 pub mod exec;
 pub mod generate;
 pub mod result;
@@ -32,6 +33,7 @@ pub mod site;
 pub mod tvf;
 
 pub use catalog::Catalog;
+pub use columnar::{ColumnarRows, IndexKind, SelectStats};
 pub use generate::{CatalogSpec, SkyWindow};
 pub use result::{ExecStats, ResultSet};
 pub use site::{SiteError, SkySite};

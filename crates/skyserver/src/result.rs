@@ -40,7 +40,17 @@ impl ResultSet {
     /// proxy's cache-size accounting uses (the paper stores results as XML
     /// files and bounds the cache by their total size).
     pub fn xml_bytes(&self) -> usize {
-        self.to_xml().to_xml().len()
+        self.to_xml_string().len()
+    }
+
+    /// Serializes the XML document form directly into a string without
+    /// building the [`Element`] tree — byte-identical to
+    /// `self.to_xml().to_xml()` (pinned by tests) but one pass and one
+    /// allocation.
+    pub fn to_xml_string(&self) -> String {
+        let bytes = crate::columnar::result_to_xml_bytes(self);
+        // Only escaped UTF-8 text ever enters the buffer.
+        String::from_utf8(bytes).expect("XML serialization is UTF-8")
     }
 
     /// Converts to the XML document the proxy stores:
@@ -147,6 +157,25 @@ mod tests {
         let doc = Element::parse(&text).unwrap();
         let back = ResultSet::from_xml(&doc).unwrap();
         assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn direct_writer_matches_tree_writer() {
+        let mut rs = sample();
+        rs.rows.push(vec![
+            Value::Int(4),
+            Value::Float(2.0),
+            Value::Str("needs <escaping> & \"quotes\"".into()),
+        ]);
+        rs.rows.push(vec![
+            Value::Int(5),
+            Value::Float(3.5),
+            Value::Str(String::new()),
+        ]);
+        assert_eq!(rs.to_xml_string(), rs.to_xml().to_xml());
+        assert_eq!(rs.xml_bytes(), rs.to_xml().to_xml().len());
+        let empty = ResultSet::empty(vec![]);
+        assert_eq!(empty.to_xml_string(), empty.to_xml().to_xml());
     }
 
     #[test]

@@ -83,15 +83,17 @@ impl Origin for HttpOrigin {
 /// The proxy's HTTP face: the Radial search form plus a pass-through SQL
 /// page, exactly the two entry points the paper's SkyServer deployment
 /// had. Each connection thread serves through its own clone of the
-/// shared [`ProxyHandle`] — no global lock around the proxy.
+/// shared [`ProxyHandle`] — no global lock around the proxy. Bodies come
+/// from the byte-serving entry points: cache hits ship pre-assembled XML
+/// copied out of the entry's columnar slab, never re-serialized.
 fn proxy_router(handle: ProxyHandle) -> Router {
     let form_handle = handle.clone();
     Router::new()
         .route("/search/radial", move |req: &Request| {
             let fields = req.query_params();
-            match form_handle.handle_form("/search/radial", &fields) {
+            match form_handle.handle_form_xml("/search/radial", &fields) {
                 Ok(r) => {
-                    let mut resp = Response::ok("text/xml", r.result.to_xml().to_xml());
+                    let mut resp = Response::ok("text/xml", r.body);
                     resp.headers
                         .set("X-Cache-Outcome", r.metrics.outcome.label());
                     resp.headers
@@ -107,8 +109,8 @@ fn proxy_router(handle: ProxyHandle) -> Router {
             let Some((_, sql)) = req.query_params().into_iter().find(|(k, _)| k == "cmd") else {
                 return Response::error(Status::BAD_REQUEST, "missing cmd parameter");
             };
-            match handle.handle_sql(&sql) {
-                Ok(r) => Response::ok("text/xml", r.result.to_xml().to_xml()),
+            match handle.handle_sql_xml(&sql) {
+                Ok(r) => Response::ok("text/xml", r.body),
                 Err(e) => Response::error(Status::BAD_GATEWAY, &e.to_string()),
             }
         })

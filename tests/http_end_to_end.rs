@@ -4,7 +4,9 @@
 
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
-use fp_suite::proxy::{CostModel, FunctionProxy, Origin, OriginError, ProxyConfig, Scheme};
+use fp_suite::proxy::{
+    CostModel, FunctionProxy, Origin, OriginError, ProxyConfig, ProxyHandle, Scheme,
+};
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
 use fp_suite::sqlmini::Query;
@@ -144,6 +146,69 @@ fn proxy_over_http_origin_caches_and_answers_identically() {
         .expect("overlap");
     assert_eq!(d.metrics.outcome.label(), "overlap");
     assert_eq!(origin_hits.load(Ordering::SeqCst), 2);
+
+    server.shutdown();
+}
+
+#[test]
+fn byte_serving_matches_row_serving_over_http() {
+    let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+    let origin_hits = Arc::new(AtomicUsize::new(0));
+    let server = HttpServer::bind("127.0.0.1:0", origin_router(site, Arc::clone(&origin_hits)))
+        .expect("origin binds");
+
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(HttpOrigin {
+            client: HttpClient::new(server.addr()),
+        }),
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free()),
+        4,
+    );
+
+    let fields = |radius: &str| {
+        vec![
+            ("ra".to_string(), "185.0".to_string()),
+            ("dec".to_string(), "0.5".to_string()),
+            ("radius".to_string(), radius.to_string()),
+        ]
+    };
+
+    // Miss: the byte front serializes the forwarded rows.
+    let miss = handle
+        .handle_form_xml("/search/radial", &fields("20"))
+        .expect("miss");
+    assert_eq!(miss.metrics.outcome.label(), "forwarded");
+    let doc = Element::parse(std::str::from_utf8(&miss.body).unwrap()).expect("well-formed body");
+    assert!(!ResultSet::from_xml(&doc)
+        .expect("result document")
+        .is_empty());
+
+    // Exact hit: the body is copied straight out of the entry's
+    // pre-serialized slab — and must be byte-identical to the miss body.
+    let hit = handle
+        .handle_form_xml("/search/radial", &fields("20"))
+        .expect("hit");
+    assert_eq!(hit.metrics.outcome.label(), "exact");
+    assert_eq!(hit.body, miss.body);
+    assert_eq!(origin_hits.load(Ordering::SeqCst), 1);
+
+    // Contained hit: assembled from per-row spans after micro-index
+    // pruning; byte-identical to serializing the row response.
+    let rows = handle
+        .handle_form("/search/radial", &fields("8"))
+        .expect("contained rows");
+    assert_eq!(rows.metrics.outcome.label(), "contained");
+    let bytes = handle
+        .handle_form_xml("/search/radial", &fields("8"))
+        .expect("contained bytes");
+    assert_eq!(bytes.metrics.outcome.label(), "contained");
+    assert_eq!(bytes.body, rows.result.to_xml_string().into_bytes());
+    // Every selected row was among the scanned candidates.
+    assert!(bytes.metrics.rows_scanned >= bytes.metrics.rows_total);
+    assert_eq!(origin_hits.load(Ordering::SeqCst), 1);
 
     server.shutdown();
 }
