@@ -14,6 +14,9 @@
 //!   checktime     §4.2 cache-checking time, array vs R-tree
 //!   throughput    extension: multi-client qps/latency over the concurrent
 //!                 runtime, sweeping client counts up to --threads (default 8)
+//!   chaos         extension: availability under a mid-trace origin outage
+//!                 with deadlines, retries and the circuit breaker engaged
+//!                 (`--chaos` is an alias)
 //!   all           everything above
 //! ```
 
@@ -34,6 +37,7 @@ fn main() {
             "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
             "--threads" => threads = parse_num(args.next(), "--threads"),
             "--json" => json = true,
+            "--chaos" => experiments.push("chaos".to_string()),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -117,6 +121,10 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     }
+    if want("chaos") {
+        let t = exp.chaos();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+    }
 }
 
 fn print_block(json: bool, table: &dyn std::fmt::Display, json_text: &str) {
@@ -136,7 +144,7 @@ fn parse_num(v: Option<String>, flag: &str) -> usize {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--json] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|all]..."
+        "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--json] [--chaos] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|chaos|all]..."
     );
 }

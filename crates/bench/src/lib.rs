@@ -14,12 +14,16 @@
 //! * [`Experiment::compaction`] — region-containment compaction ablation.
 //! * [`Experiment::throughput`] — extension: multi-client throughput over
 //!   the concurrent runtime (see [`throughput`]).
+//! * [`Experiment::chaos`] — extension: availability under a mid-trace
+//!   origin outage with the resilience layer engaged (see [`chaos`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod throughput;
 
+pub use chaos::ChaosReport;
 pub use throughput::{
     thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,
 };

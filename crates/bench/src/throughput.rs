@@ -65,6 +65,12 @@ pub struct ThroughputRow {
     pub rows_scanned: usize,
     /// Cached rows the per-entry micro-index skipped without testing.
     pub rows_pruned: usize,
+    /// Requests answered degraded, from cache alone with the origin
+    /// unreachable (zero in a healthy run).
+    pub degraded_hits: usize,
+    /// Origin fetches whose deadline expired (zero without a resilience
+    /// layer configured).
+    pub origin_timeouts: u64,
 }
 
 /// The throughput experiment: one row per client count.
@@ -135,12 +141,12 @@ impl std::fmt::Display for Throughput {
         )?;
         writeln!(
             f,
-            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights"
+            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights | degraded | timeouts"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12}",
+                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12} | {:>8} | {:>8}",
                 r.threads,
                 r.qps,
                 r.p50_ms,
@@ -153,7 +159,9 @@ impl std::fmt::Display for Throughput {
                 r.coalesced,
                 r.duplicate_fetches_avoided,
                 r.lock_wait_ms,
-                r.in_flight_peak
+                r.in_flight_peak,
+                r.degraded_hits,
+                r.origin_timeouts
             )?;
         }
         Ok(())
@@ -238,6 +246,8 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
         hit_p99_ms: percentile(&hit_latencies, 0.99),
         rows_scanned: metrics.iter().map(|m| m.rows_scanned).sum(),
         rows_pruned: metrics.iter().map(|m| m.rows_pruned).sum(),
+        degraded_hits: snapshot.degraded_hits,
+        origin_timeouts: snapshot.origin_timeouts,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Proxy configuration.
 
 use crate::cache::{DescriptionKind, Replacement};
+use crate::resilience::ResilienceConfig;
 use crate::schemes::Scheme;
 use crate::sim::CostModel;
 
@@ -29,6 +30,10 @@ pub struct ProxyConfig {
     /// the remainder path, like the paper's full semantic caching. This is
     /// the §3.2 processing/transfer tradeoff made tunable.
     pub min_overlap_coverage: f64,
+    /// Fault-tolerance policy for the origin fetch path. `None`
+    /// (default) keeps the pre-resilience behaviour: no deadlines, no
+    /// retries, no breaker, failures surface directly.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for ProxyConfig {
@@ -41,6 +46,7 @@ impl Default for ProxyConfig {
             cost: CostModel::default(),
             max_merge_entries: 8,
             min_overlap_coverage: 0.0,
+            resilience: None,
         }
     }
 }
@@ -79,6 +85,12 @@ impl ProxyConfig {
     /// Convenience builder for the overlap coverage threshold.
     pub fn with_min_overlap_coverage(mut self, threshold: f64) -> Self {
         self.min_overlap_coverage = threshold;
+        self
+    }
+
+    /// Convenience builder for the fault-tolerance policy.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 }

@@ -40,6 +40,9 @@
 //! * [`runtime`] — the concurrent front: sharded cache locks,
 //!   single-flight origin coalescing, and the `Arc`-cloneable
 //!   [`runtime::ProxyHandle`] served by the threaded HTTP server.
+//! * [`resilience`] — the fault-tolerant fetch path: deadlines,
+//!   retry/backoff, the per-origin circuit breaker, and the chaos
+//!   injection harness behind degraded serving.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +53,7 @@ pub mod metrics;
 pub mod origin;
 pub mod proxy;
 pub mod query;
+pub mod resilience;
 pub mod runtime;
 pub mod schemes;
 pub mod sim;
@@ -58,12 +62,16 @@ pub mod template;
 pub use config::ProxyConfig;
 pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};
 pub use proxy::FunctionProxy;
+pub use resilience::{ChaosOrigin, Fault, ResilienceConfig, ResilientOrigin};
 pub use runtime::{ProxyHandle, XmlResponse};
 pub use schemes::Scheme;
 pub use sim::CostModel;
 
 /// Errors surfaced by the proxy.
-#[derive(Debug)]
+///
+/// `Clone` so single-flight leaders can publish one failure to every
+/// coalesced follower.
+#[derive(Debug, Clone)]
 pub enum ProxyError {
     /// The request did not match any registered form or template.
     UnknownForm(String),

@@ -74,6 +74,11 @@ pub struct QueryMetrics {
     /// was malformed (non-numeric coordinate cell) and the query fell
     /// back to the origin.
     pub local_fallback: bool,
+    /// Whether this answer was served degraded: the origin was
+    /// unreachable, so the proxy answered from cached data alone. For
+    /// overlap relationships the answer is the cached *intersection* —
+    /// a sound subset of the full answer, marked partial.
+    pub degraded: bool,
 }
 
 impl QueryMetrics {
@@ -116,6 +121,12 @@ pub struct TraceReport {
     pub rows_scanned: usize,
     /// Total cached rows the micro-index pruned without testing.
     pub rows_pruned: usize,
+    /// Queries answered degraded (from cache alone while the origin was
+    /// unreachable).
+    pub degraded_hits: usize,
+    /// Rows served by degraded *partial* answers (overlap intersections
+    /// that are sound subsets of the full answer).
+    pub degraded_partial_rows: usize,
 }
 
 impl TraceReport {
@@ -137,6 +148,13 @@ impl TraceReport {
             report.local_fallbacks += usize::from(m.local_fallback);
             report.rows_scanned += m.rows_scanned;
             report.rows_pruned += m.rows_pruned;
+            if m.degraded {
+                // Degraded answers are only ever produced on the merge
+                // paths (region containment / overlap), where they are
+                // sound subsets of the full answer — all partial.
+                report.degraded_hits += 1;
+                report.degraded_partial_rows += m.rows_total;
+            }
             let slot = match m.outcome {
                 Outcome::Exact => 0,
                 Outcome::Contained => 1,
@@ -181,6 +199,7 @@ mod tests {
             rows_scanned: 0,
             rows_pruned: 0,
             local_fallback: false,
+            degraded: false,
         }
     }
 
@@ -219,6 +238,17 @@ mod tests {
         assert_eq!(r.local_fallbacks, 1);
         assert_eq!(r.rows_scanned, 7);
         assert_eq!(r.rows_pruned, 3);
+    }
+
+    #[test]
+    fn degraded_answers_are_observable() {
+        let mut intersection = m(Outcome::Overlap, 1.0, 8, 8);
+        intersection.degraded = true;
+        let mut union = m(Outcome::RegionContainment, 1.0, 5, 5);
+        union.degraded = true;
+        let r = TraceReport::from_metrics(&[intersection, union, m(Outcome::Exact, 1.0, 5, 5)]);
+        assert_eq!(r.degraded_hits, 2);
+        assert_eq!(r.degraded_partial_rows, 13);
     }
 
     #[test]

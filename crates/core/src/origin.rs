@@ -8,12 +8,45 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// An error from the origin web site.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum OriginError {
-    /// The site rejected the query (parse/execution failure).
+    /// The site rejected the query (parse/execution failure). The origin
+    /// is alive; retrying the same query cannot help.
     Rejected(String),
     /// The site could not be reached.
     Unavailable(String),
+    /// The fetch (including any retries) exceeded the per-request
+    /// deadline; the result, if one eventually arrives, is discarded.
+    Timeout {
+        /// Time the request had actually consumed.
+        elapsed: Duration,
+        /// The configured per-request deadline.
+        deadline: Duration,
+    },
+    /// The circuit breaker is open: the origin is known unhealthy and
+    /// the fetch failed fast without a network attempt.
+    Overloaded {
+        /// Hint for when the breaker will admit a probe again.
+        retry_after: Duration,
+    },
+}
+
+impl OriginError {
+    /// Whether the failure is transient — the origin may recover, so
+    /// the proxy should serve degraded from its cache (or ask the
+    /// client to retry later) rather than report a permanent error.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, OriginError::Rejected(_))
+    }
+
+    /// The `Retry-After` hint to surface to clients, if the error
+    /// carries one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            OriginError::Overloaded { retry_after } => Some(*retry_after),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for OriginError {
@@ -21,6 +54,14 @@ impl std::fmt::Display for OriginError {
         match self {
             OriginError::Rejected(m) => write!(f, "origin rejected the query: {m}"),
             OriginError::Unavailable(m) => write!(f, "origin unavailable: {m}"),
+            OriginError::Timeout { elapsed, deadline } => write!(
+                f,
+                "origin deadline exceeded: {elapsed:?} elapsed against a {deadline:?} budget"
+            ),
+            OriginError::Overloaded { retry_after } => write!(
+                f,
+                "origin circuit open: fetch failed fast, retry after {retry_after:?}"
+            ),
         }
     }
 }

@@ -497,6 +497,7 @@ impl FunctionProxy {
             rows_scanned: 0,
             rows_pruned: 0,
             local_fallback: false,
+            degraded: false,
         };
         ProxyResponse { result, metrics }
     }

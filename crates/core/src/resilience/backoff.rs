@@ -1,0 +1,84 @@
+//! Bounded exponential backoff with seeded jitter.
+//!
+//! Retries against a struggling origin must spread out — both in time
+//! (exponentially, so a dying server is not hammered) and across
+//! clients (jitter, so retries from coalesced failures do not arrive
+//! in lockstep). The jitter source is a seeded [`SmallRng`], which
+//! keeps every retry schedule reproducible for a fixed
+//! [`crate::resilience::ResilienceConfig`] seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The backoff policy: `base * 2^(attempt-1)` capped at `cap`, then
+/// "equal jitter" — half the exponential delay is kept, the other half
+/// is sampled uniformly, so a delay is never less than half its
+/// deterministic value and never more than the cap.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: SmallRng,
+}
+
+impl Backoff {
+    /// A policy with the given base delay, cap, and jitter seed.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based: the first
+    /// retry is attempt 1).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.cap);
+        let half = exp / 2;
+        let jitter = exp.as_secs_f64() / 2.0 * self.rng.gen_range(0.0f64..1.0);
+        half + Duration::from_secs_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_and_stay_bounded() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut previous_exp = Duration::ZERO;
+        for attempt in 1..=10 {
+            let exp = base.saturating_mul(1 << (attempt - 1).min(20)).min(cap);
+            let d = b.delay(attempt);
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < half of {exp:?}");
+            assert!(d <= cap, "attempt {attempt}: {d:?} exceeds cap");
+            assert!(exp >= previous_exp);
+            previous_exp = exp;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 42);
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 42);
+        for attempt in 1..=5 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let mut a = Backoff::new(Duration::from_millis(100), Duration::from_secs(5), 1);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(5), 2);
+        let diffs: Vec<bool> = (1..=8).map(|i| a.delay(i) != b.delay(i)).collect();
+        assert!(diffs.iter().any(|&x| x), "independent seeds should diverge");
+    }
+}

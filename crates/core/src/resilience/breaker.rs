@@ -1,0 +1,262 @@
+//! A per-origin circuit breaker: closed → open → half-open.
+//!
+//! The breaker protects a failing origin from retry pressure and the
+//! proxy from wasting its request threads on an origin that is known
+//! down. Transient failures (unreachable, deadline expired) count
+//! against a consecutive-failure threshold; crossing it **opens** the
+//! circuit and every subsequent fetch fails fast with a
+//! `Retry-After`-style hint. After a cooldown the breaker admits a
+//! single **probe** (half-open); the probe's outcome either re-closes
+//! the circuit or re-opens it for another cooldown. Origin *rejections*
+//! (a parse/execution error for one query) are proof the origin is
+//! alive and never trip the breaker.
+
+use super::clock::Clock;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The breaker's public state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// Fetches fail fast until the cooldown elapses.
+    Open,
+    /// One probe fetch is deciding whether the origin recovered.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What the breaker decided about one fetch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Circuit closed: proceed normally.
+    Allow,
+    /// Circuit half-open: proceed, and this attempt's outcome decides
+    /// the circuit's fate.
+    Probe,
+    /// Circuit open: fail fast; retry no sooner than the hint.
+    Reject {
+        /// Time until the breaker will admit a probe.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_outstanding: bool,
+    opens: u64,
+}
+
+/// The breaker itself. All methods take `&self`; state lives behind one
+/// short-held mutex.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// transient failures and admits a probe after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration, clock: Arc<dyn Clock>) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            clock,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_outstanding: false,
+                opens: 0,
+            }),
+        }
+    }
+
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Asks permission for one fetch attempt.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.inner();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let opened_at = inner.opened_at.expect("open breaker records its open time");
+                let now = self.clock.now();
+                let elapsed = now.saturating_duration_since(opened_at);
+                if elapsed >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_outstanding = true;
+                    Admission::Probe
+                } else {
+                    Admission::Reject {
+                        retry_after: self.cooldown - elapsed,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_outstanding {
+                    // Someone else's probe is deciding; don't pile on.
+                    Admission::Reject {
+                        retry_after: self.cooldown,
+                    }
+                } else {
+                    inner.probe_outstanding = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Reports a successful fetch for an admitted attempt.
+    pub fn record_success(&self, admission: Admission) {
+        let mut inner = self.inner();
+        inner.consecutive_failures = 0;
+        if matches!(admission, Admission::Probe) {
+            inner.probe_outstanding = false;
+        }
+        inner.state = BreakerState::Closed;
+        inner.opened_at = None;
+    }
+
+    /// Reports a transient failure for an admitted attempt.
+    pub fn record_failure(&self, admission: Admission) {
+        let mut inner = self.inner();
+        match admission {
+            Admission::Probe => {
+                // The probe failed: straight back to open, new cooldown.
+                inner.probe_outstanding = false;
+                self.open(&mut inner);
+            }
+            _ => {
+                inner.consecutive_failures += 1;
+                if inner.state == BreakerState::Closed
+                    && inner.consecutive_failures >= self.threshold
+                {
+                    self.open(&mut inner);
+                }
+            }
+        }
+    }
+
+    fn open(&self, inner: &mut Inner) {
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(self.clock.now());
+        inner.consecutive_failures = 0;
+        inner.opens += 1;
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner().state
+    }
+
+    /// How many times the circuit has opened so far.
+    pub fn opens(&self) -> u64 {
+        self.inner().opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::clock::MockClock;
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> (CircuitBreaker, Arc<MockClock>) {
+        let clock = MockClock::shared();
+        let b = CircuitBreaker::new(
+            threshold,
+            Duration::from_millis(cooldown_ms),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        (b, clock)
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let (b, _clock) = breaker(3, 100);
+        for _ in 0..2 {
+            let a = b.admit();
+            assert_eq!(a, Admission::Allow);
+            b.record_failure(a);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        let a = b.admit();
+        b.record_failure(a);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(matches!(b.admit(), Admission::Reject { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let (b, _clock) = breaker(2, 100);
+        let a = b.admit();
+        b.record_failure(a);
+        let a = b.admit();
+        b.record_success(a);
+        let a = b.admit();
+        b.record_failure(a);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe_then_recloses_on_success() {
+        let (b, clock) = breaker(1, 100);
+        let a = b.admit();
+        b.record_failure(a);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Before the cooldown the hint counts down.
+        clock.advance(Duration::from_millis(40));
+        match b.admit() {
+            Admission::Reject { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(60));
+            }
+            other => panic!("expected fast-fail, got {other:?}"),
+        }
+        clock.advance(Duration::from_millis(60));
+        let probe = b.admit();
+        assert_eq!(probe, Admission::Probe);
+        // A second caller during the probe still fails fast.
+        assert!(matches!(b.admit(), Admission::Reject { .. }));
+        b.record_success(probe);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let (b, clock) = breaker(1, 100);
+        let a = b.admit();
+        b.record_failure(a);
+        clock.advance(Duration::from_millis(100));
+        let probe = b.admit();
+        assert_eq!(probe, Admission::Probe);
+        b.record_failure(probe);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        // The new cooldown starts at the probe failure, not the first
+        // open.
+        clock.advance(Duration::from_millis(99));
+        assert!(matches!(b.admit(), Admission::Reject { .. }));
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(b.admit(), Admission::Probe);
+    }
+}

@@ -1,0 +1,289 @@
+//! [`ChaosOrigin`]: scripted fault injection for resilience tests and
+//! the `repro --chaos` experiment.
+//!
+//! The wrapper sits between the proxy (or a [`ResilientOrigin`]) and a
+//! real origin and decides, per call, whether to pass the query
+//! through, delay it, fail it, or corrupt its result. Three layers
+//! decide the outcome, most specific first:
+//!
+//! 1. a **script** — a queue of [`Fault`]s consumed one per call,
+//!    for precisely choreographed unit tests;
+//! 2. **outage windows** — `[start, end)` intervals of clock time
+//!    (relative to construction) during which every call fails
+//!    `Unavailable`, for trace-driven experiments where "the site goes
+//!    down mid-trace";
+//! 3. a **default fault**, normally [`Fault::Healthy`].
+//!
+//! Latency faults sleep on the injected [`Clock`], so a [`MockClock`]
+//! makes latency-vs-deadline interactions fully deterministic.
+//!
+//! [`ResilientOrigin`]: super::ResilientOrigin
+//! [`MockClock`]: super::MockClock
+
+use super::clock::{Clock, SystemClock};
+use crate::origin::{Origin, OriginError};
+use fp_skyserver::result::QueryOutcome;
+use fp_sqlmini::{Query, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One injected outcome for one origin call.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Pass the call through untouched.
+    Healthy,
+    /// Consume clock time first, then apply the inner fault — the tool
+    /// for latency spikes (`Latency(d, Healthy)` is a slow success).
+    Latency(Duration, Box<Fault>),
+    /// Fail with [`OriginError::Unavailable`] without calling through.
+    Unavailable,
+    /// Fail with [`OriginError::Rejected`] without calling through —
+    /// the origin is alive but refuses this query.
+    Rejected,
+    /// Call through, then keep only the first `n` rows: a truncated
+    /// response body whose row count no longer matches the query.
+    TruncateRows(usize),
+    /// Call through, then overwrite the first cell of the first row
+    /// with garbage text: the in-process analogue of a malformed XML
+    /// payload that parses but carries a corrupt value.
+    MalformedCell,
+}
+
+/// The fault-injecting origin wrapper. Shareable and thread-safe; the
+/// script and windows sit behind one short-held mutex.
+pub struct ChaosOrigin {
+    inner: Arc<dyn Origin>,
+    clock: Arc<dyn Clock>,
+    epoch: Instant,
+    plan: Mutex<Plan>,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Plan {
+    script: VecDeque<Fault>,
+    outages: Vec<(Duration, Duration)>,
+    default_fault: Fault,
+}
+
+impl ChaosOrigin {
+    /// A healthy wrapper on the system clock.
+    pub fn new(inner: Arc<dyn Origin>) -> Self {
+        Self::with_clock(inner, Arc::new(SystemClock))
+    }
+
+    /// A healthy wrapper whose latency faults and outage windows run on
+    /// `clock`.
+    pub fn with_clock(inner: Arc<dyn Origin>, clock: Arc<dyn Clock>) -> Self {
+        let epoch = clock.now();
+        ChaosOrigin {
+            inner,
+            clock,
+            epoch,
+            plan: Mutex::new(Plan {
+                script: VecDeque::new(),
+                outages: Vec::new(),
+                default_fault: Fault::Healthy,
+            }),
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    fn plan(&self) -> MutexGuard<'_, Plan> {
+        self.plan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends `faults` to the per-call script (consumed in order, one
+    /// per call, before any outage window or the default applies).
+    pub fn script(&self, faults: Vec<Fault>) {
+        self.plan().script.extend(faults);
+    }
+
+    /// Declares an outage: every unscripted call in `[start, end)` of
+    /// clock time since construction fails `Unavailable`.
+    pub fn outage_between(&self, start: Duration, end: Duration) {
+        self.plan().outages.push((start, end));
+    }
+
+    /// Replaces the fault applied when the script is empty and no
+    /// outage window covers the call.
+    pub fn set_default_fault(&self, fault: Fault) {
+        self.plan().default_fault = fault;
+    }
+
+    /// Total `execute` calls observed (including fast-failed ones).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls whose outcome was altered (anything but `Healthy`).
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Whether an outage window covers the current clock time.
+    pub fn in_outage(&self) -> bool {
+        let since_epoch = self.clock.now().saturating_duration_since(self.epoch);
+        self.plan()
+            .outages
+            .iter()
+            .any(|&(s, e)| since_epoch >= s && since_epoch < e)
+    }
+
+    fn pick_fault(&self) -> Fault {
+        let since_epoch = self.clock.now().saturating_duration_since(self.epoch);
+        let mut plan = self.plan();
+        if let Some(f) = plan.script.pop_front() {
+            return f;
+        }
+        if plan
+            .outages
+            .iter()
+            .any(|&(s, e)| since_epoch >= s && since_epoch < e)
+        {
+            return Fault::Unavailable;
+        }
+        plan.default_fault.clone()
+    }
+
+    fn apply(&self, fault: Fault, query: &Query) -> Result<QueryOutcome, OriginError> {
+        match fault {
+            Fault::Healthy => self.inner.execute(query),
+            Fault::Latency(delay, then) => {
+                self.clock.sleep(delay);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.apply(*then, query)
+            }
+            Fault::Unavailable => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(OriginError::Unavailable("injected outage".into()))
+            }
+            Fault::Rejected => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(OriginError::Rejected("injected rejection".into()))
+            }
+            Fault::TruncateRows(keep) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let mut out = self.inner.execute(query)?;
+                out.result.rows.truncate(keep);
+                out.stats.rows_returned = out.result.len();
+                Ok(out)
+            }
+            Fault::MalformedCell => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let mut out = self.inner.execute(query)?;
+                if let Some(cell) = out.result.rows.first_mut().and_then(|r| r.first_mut()) {
+                    *cell = Value::Str("\u{fffd}corrupt\u{fffd}".into());
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl Origin for ChaosOrigin {
+    fn execute(&self, query: &Query) -> Result<QueryOutcome, OriginError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let fault = self.pick_fault();
+        self.apply(fault, query)
+    }
+
+    fn supports_remainder(&self) -> bool {
+        self.inner.supports_remainder()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::clock::MockClock;
+    use super::*;
+    use crate::origin::SiteOrigin;
+    use fp_skyserver::{Catalog, CatalogSpec, SkySite};
+    use fp_sqlmini::parse_query;
+
+    fn chaos() -> (Arc<ChaosOrigin>, Arc<MockClock>) {
+        let clock = MockClock::shared();
+        let site = SiteOrigin::new(SkySite::new(Catalog::generate(&CatalogSpec::small_test())));
+        let c = Arc::new(ChaosOrigin::with_clock(
+            Arc::new(site),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        (c, clock)
+    }
+
+    fn query() -> Query {
+        parse_query("SELECT TOP 4 * FROM fGetNearbyObjEq(185.0, 0.0, 25.0) n").unwrap()
+    }
+
+    #[test]
+    fn script_consumes_in_order_then_falls_back_to_default() {
+        let (c, _clock) = chaos();
+        c.script(vec![Fault::Unavailable, Fault::Rejected]);
+        assert!(matches!(
+            c.execute(&query()),
+            Err(OriginError::Unavailable(_))
+        ));
+        assert!(matches!(c.execute(&query()), Err(OriginError::Rejected(_))));
+        assert!(c.execute(&query()).is_ok(), "default is healthy");
+        assert_eq!(c.calls(), 3);
+        assert_eq!(c.faults_injected(), 2);
+    }
+
+    #[test]
+    fn outage_window_tracks_the_clock() {
+        let (c, clock) = chaos();
+        c.outage_between(Duration::from_millis(100), Duration::from_millis(200));
+        assert!(c.execute(&query()).is_ok(), "before the outage");
+        assert!(!c.in_outage());
+        clock.advance(Duration::from_millis(150));
+        assert!(c.in_outage());
+        assert!(matches!(
+            c.execute(&query()),
+            Err(OriginError::Unavailable(_))
+        ));
+        clock.advance(Duration::from_millis(60));
+        assert!(c.execute(&query()).is_ok(), "after the outage");
+    }
+
+    #[test]
+    fn latency_fault_consumes_clock_time_then_succeeds() {
+        let (c, clock) = chaos();
+        c.script(vec![Fault::Latency(
+            Duration::from_millis(300),
+            Box::new(Fault::Healthy),
+        )]);
+        assert!(c.execute(&query()).is_ok());
+        assert_eq!(clock.elapsed(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn truncation_and_corruption_mutate_the_result() {
+        let (c, _clock) = chaos();
+        let whole = c.execute(&query()).unwrap();
+        assert!(whole.result.len() > 1, "fixture needs at least two rows");
+
+        c.script(vec![Fault::TruncateRows(1), Fault::MalformedCell]);
+        let truncated = c.execute(&query()).unwrap();
+        assert_eq!(truncated.result.len(), 1);
+        assert_eq!(truncated.stats.rows_returned, 1);
+
+        let corrupt = c.execute(&query()).unwrap();
+        assert_eq!(corrupt.result.len(), whole.result.len());
+        assert_ne!(corrupt.result.rows[0][0], whole.result.rows[0][0]);
+    }
+
+    #[test]
+    fn default_fault_is_sticky() {
+        let (c, _clock) = chaos();
+        c.set_default_fault(Fault::Unavailable);
+        for _ in 0..3 {
+            assert!(c.execute(&query()).is_err());
+        }
+        c.set_default_fault(Fault::Healthy);
+        assert!(c.execute(&query()).is_ok());
+    }
+}

@@ -1,0 +1,98 @@
+//! Fault tolerance for the origin fetch path.
+//!
+//! The paper's proxy assumes the origin web site answers every
+//! remainder query; a deployed proxy cannot. This module supplies the
+//! missing failure model as composable pieces, all deterministic under
+//! an injected [`Clock`]:
+//!
+//! - [`ResilientOrigin`] — the decorator the runtime wraps around the
+//!   configured origin: per-request deadlines, bounded retries with
+//!   seeded-jitter exponential [`Backoff`], and a per-origin
+//!   [`CircuitBreaker`].
+//! - Degraded serving lives in the runtime
+//!   ([`crate::runtime::ProxyHandle`]): when the fetch path reports a
+//!   transient failure, overlap cases answer from the cached
+//!   intersection (marked partial), region containment serves the
+//!   cached union, and only true disjoint misses surface the error.
+//! - [`ChaosOrigin`] — scripted fault injection (latency spikes,
+//!   unavailability, rejections, truncated rows, corrupt cells) for
+//!   the fault-matrix tests and the `repro --chaos` experiment.
+
+mod backoff;
+mod breaker;
+mod chaos;
+mod clock;
+mod origin;
+
+pub use backoff::Backoff;
+pub use breaker::{Admission, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosOrigin, Fault};
+pub use clock::{Clock, MockClock, SystemClock};
+pub use origin::{ResilienceSnapshot, ResilientOrigin};
+
+use std::time::Duration;
+
+/// Policy knobs for [`ResilientOrigin`], carried by
+/// [`crate::config::ProxyConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Wall-clock budget for one fetch including retries and backoff
+    /// waits; `None` disables deadline enforcement.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt for transient failures.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter RNG — fixed seed, reproducible schedule.
+    pub backoff_seed: u64,
+    /// Consecutive transient failures that open the circuit.
+    pub breaker_threshold: u32,
+    /// Time the circuit stays open before admitting a probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            deadline: Some(Duration::from_secs(10)),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            backoff_seed: 0x5EED_F00D,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A policy suited to fast deterministic tests: tiny backoff, low
+    /// breaker threshold, short cooldown, no deadline unless set.
+    pub fn fast_test() -> Self {
+        ResilienceConfig {
+            deadline: None,
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+            backoff_seed: 7,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ResilienceConfig::default();
+        assert!(c.deadline.unwrap() > c.backoff_cap);
+        assert!(c.backoff_base < c.backoff_cap);
+        assert!(c.breaker_threshold >= 1);
+        assert_eq!(c, c.clone());
+    }
+}

@@ -19,10 +19,21 @@
 //!    the shard lock once more to insert/compact, resolves the flight.
 //!
 //! Followers either adopt the leader's response (exact) or retry the
-//! cache phase once the flight lands (contained); a failed leader
-//! wakes its followers to retry, bounded by
+//! cache phase once the flight lands (contained); a follower whose
+//! flight lands without leaving a usable entry retries, bounded by
 //! [`MAX_COALESCE_ATTEMPTS`], after which a request serves itself
 //! without coalescing.
+//!
+//! **Failure path.** A leader whose fetch fails publishes the error to
+//! its followers ([`FlightLease::fail`]) — exactly one origin attempt
+//! per failed flight. Neither the leader nor any follower retries the
+//! origin; each re-checks the cache and then attempts **degraded
+//! serving**: for a transient failure
+//! the proxy answers from cached data alone — region containment
+//! serves the union of the subsumed entries, overlap serves the cached
+//! intersection — marked `degraded` and never inserted into the cache
+//! (a partial answer must not masquerade as a complete entry). Only
+//! rejections and true disjoint misses surface the error.
 
 use crate::cache::{CacheStats, CacheStore};
 use crate::config::ProxyConfig;
@@ -32,8 +43,9 @@ use crate::proxy::ProxyResponse;
 use crate::query::{
     classify, eval_entry_region, merge_results, remainder_query, EvalScratch, QueryStatus,
 };
+use crate::resilience::{Clock, ResilientOrigin, SystemClock};
 use crate::runtime::shard::ShardedStore;
-use crate::runtime::singleflight::{Coalesce, Joined, SingleFlight};
+use crate::runtime::singleflight::{Coalesce, FlightLease, Joined, SingleFlight};
 use crate::runtime::{RuntimeSnapshot, RuntimeStats};
 use crate::schemes::Scheme;
 use crate::template::{BoundQuery, TemplateManager};
@@ -83,6 +95,9 @@ struct Runtime {
     stats: RuntimeStats,
     config: ProxyConfig,
     origin: Arc<dyn Origin>,
+    /// Set iff `config.resilience` is set; `origin` then points at this
+    /// same decorator. Kept separately for snapshot access.
+    resilient: Option<Arc<ResilientOrigin>>,
 }
 
 /// Wall-clock bookkeeping for one request, accumulated across phases.
@@ -227,7 +242,39 @@ impl ProxyHandle {
         config: ProxyConfig,
         shards: usize,
     ) -> Self {
+        Self::build(manager, origin, config, shards, Arc::new(SystemClock))
+    }
+
+    /// [`ProxyHandle::with_shards`] with an injected clock for the
+    /// resilience layer (deadlines, backoff, breaker cooldowns) — the
+    /// constructor deterministic tests and the chaos harness use. The
+    /// clock is inert unless `config.resilience` is set.
+    pub fn with_shards_clocked(
+        manager: TemplateManager,
+        origin: Arc<dyn Origin>,
+        config: ProxyConfig,
+        shards: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self::build(manager, origin, config, shards, clock)
+    }
+
+    fn build(
+        manager: TemplateManager,
+        origin: Arc<dyn Origin>,
+        config: ProxyConfig,
+        shards: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         let store = ShardedStore::new(&config, shards);
+        let (origin, resilient) = match &config.resilience {
+            Some(policy) => {
+                let decorated =
+                    Arc::new(ResilientOrigin::with_clock(origin, policy.clone(), clock));
+                (Arc::clone(&decorated) as Arc<dyn Origin>, Some(decorated))
+            }
+            None => (origin, None),
+        };
         ProxyHandle {
             inner: Arc::new(Runtime {
                 manager,
@@ -236,6 +283,7 @@ impl ProxyHandle {
                 stats: RuntimeStats::default(),
                 config,
                 origin,
+                resilient,
             }),
         }
     }
@@ -260,12 +308,22 @@ impl ProxyHandle {
         self.inner.store.stats()
     }
 
-    /// A snapshot of the runtime's concurrency counters.
+    /// A snapshot of the runtime's concurrency counters, merged with
+    /// the resilience layer's (when one is configured).
     pub fn runtime_stats(&self) -> RuntimeSnapshot {
-        self.inner.stats.snapshot(
+        let mut snapshot = self.inner.stats.snapshot(
             self.inner.flights.in_flight_peak(),
             self.inner.store.shard_count(),
-        )
+        );
+        if let Some(resilient) = &self.inner.resilient {
+            let r = resilient.snapshot();
+            snapshot.origin_timeouts = r.timeouts;
+            snapshot.origin_retries = r.retries;
+            snapshot.origin_fast_fails = r.fast_fails;
+            snapshot.breaker_opens = r.breaker_opens;
+            snapshot.breaker_state = r.breaker_state;
+        }
+        snapshot
     }
 
     /// Serves an HTML-form request; see
@@ -499,37 +557,104 @@ impl ProxyHandle {
                     // now, because leaders insert before resolving.
                     let response = match self.cache_phase(&bound, &mut timing, false) {
                         Phase::Served(response) => response,
-                        Phase::Origin(plan) => self.execute_plan(&bound, *plan, &mut timing)?,
+                        Phase::Origin(plan) => {
+                            return self.lead_origin(&bound, *plan, lease, &mut timing)
+                        }
                     };
                     lease.resolve(response.clone());
                     return Ok(response);
                 }
-                Joined::Follow(Coalesce::Exact, ticket) => {
-                    if let Some(leader) = ticket.wait() {
+                Joined::Follow(Coalesce::Exact, ticket) => match ticket.wait() {
+                    Ok(leader) => {
                         self.inner.stats.note_coalesced_exact();
                         return Ok(self.adopt(leader, &timing));
                     }
-                    // Leader failed: retry, maybe leading this time.
-                }
-                Joined::Follow(Coalesce::Contained, ticket) => {
-                    let landed = ticket.wait().is_some();
-                    if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, landed) {
-                        if landed {
-                            self.inner.stats.note_coalesced_contained();
+                    // The leader's failure is this request's failure: a
+                    // fresh flight here would turn one outage into a
+                    // retry storm. Re-check the cache (the entry may
+                    // have landed through another group), then try
+                    // degraded serving.
+                    Err(error) => {
+                        if let Phase::Served(response) =
+                            self.cache_phase(&bound, &mut timing, false)
+                        {
+                            return Ok(response);
                         }
-                        return Ok(response);
+                        return self.serve_after_failure(&bound, error, &mut timing);
                     }
-                    // The flight didn't leave a usable entry (failed
-                    // leader, truncated or evicted result): retry.
-                }
+                },
+                Joined::Follow(Coalesce::Contained, ticket) => match ticket.wait() {
+                    Ok(_) => {
+                        if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, true)
+                        {
+                            self.inner.stats.note_coalesced_contained();
+                            return Ok(response);
+                        }
+                        // The flight landed but didn't leave a usable
+                        // entry (truncated or evicted result): retry.
+                    }
+                    Err(error) => {
+                        if let Phase::Served(response) =
+                            self.cache_phase(&bound, &mut timing, false)
+                        {
+                            return Ok(response);
+                        }
+                        return self.serve_after_failure(&bound, error, &mut timing);
+                    }
+                },
             }
         }
 
         // Coalescing kept failing; serve uncoalesced rather than loop.
         match self.cache_phase(&bound, &mut timing, false) {
             Phase::Served(response) => Ok(response),
-            Phase::Origin(plan) => self.execute_plan(&bound, *plan, &mut timing),
+            Phase::Origin(plan) => match self.execute_plan(&bound, *plan, &mut timing) {
+                Ok(response) => Ok(response),
+                Err(error) => self.serve_after_failure(&bound, error, &mut timing),
+            },
         }
+    }
+
+    /// The leader's origin phase plus failure handling: on success the
+    /// flight resolves with the response; on failure the error is
+    /// published to every follower exactly once and the leader falls
+    /// back to degraded serving for its own client.
+    fn lead_origin(
+        &self,
+        bound: &BoundQuery,
+        plan: OriginPlan,
+        lease: FlightLease<'_>,
+        timing: &mut Timing,
+    ) -> Result<ProxyResponse, ProxyError> {
+        match self.execute_plan(bound, plan, timing) {
+            Ok(response) => {
+                lease.resolve(response.clone());
+                Ok(response)
+            }
+            Err(error) => {
+                lease.fail(error.clone());
+                self.serve_after_failure(bound, error, timing)
+            }
+        }
+    }
+
+    /// After a failed fetch (this request's own or a followed
+    /// leader's): serve degraded from the cache when the failure is
+    /// transient and the cache covers any of the query; otherwise
+    /// surface the error.
+    fn serve_after_failure(
+        &self,
+        bound: &BoundQuery,
+        error: ProxyError,
+        timing: &mut Timing,
+    ) -> Result<ProxyResponse, ProxyError> {
+        let transient = matches!(&error, ProxyError::Origin(e) if e.is_transient());
+        if transient {
+            if let Some(response) = self.degraded_phase(bound, timing) {
+                return Ok(response);
+            }
+        }
+        Err(error)
     }
 
     /// One pass over the shard, then off-lock local evaluation: classify
@@ -657,6 +782,147 @@ impl ProxyHandle {
                 Phase::Origin(OriginPlan::forward_fallback(bound))
             }
         }
+    }
+
+    /// Cache-only answering after a transient origin failure.
+    ///
+    /// Re-classifies the query against the cache, ignoring the gates
+    /// the full path applies (remainder support, `TOP`, the coverage
+    /// threshold) — origin-side completion is off the table, so any
+    /// sound cached subset beats a refusal:
+    ///
+    /// * exact / contained: complete answers, served normally (these
+    ///   arise when another group's fetch landed the entry meanwhile);
+    /// * region containment: the union of the subsumed cached entries,
+    ///   a sound subset of the full answer, marked `degraded`;
+    /// * overlap: the cached entries filtered to the query region (the
+    ///   cached intersection), likewise sound, marked `degraded`.
+    ///
+    /// Malformed entries are skipped best-effort rather than failing
+    /// the whole answer. Degraded responses are **never** inserted into
+    /// the cache. Returns `None` when the cache cannot contribute
+    /// (disjoint, passive scheme, nothing usable).
+    fn degraded_phase(&self, bound: &BoundQuery, timing: &mut Timing) -> Option<ProxyResponse> {
+        let config = &self.inner.config;
+        // Passive caching cannot reason spatially; its only possible
+        // hit (exact text) was already checked before the fetch.
+        if !config.scheme.caches() || config.scheme == Scheme::Passive {
+            return None;
+        }
+
+        let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
+        self.note_lock_wait(timing, wait);
+        let check_start = Instant::now();
+        let status = match store.lookup_exact(&bound.sql) {
+            Some(id) => QueryStatus::ExactMatch(id),
+            None => classify(&store, bound),
+        };
+        timing.check_ms += ms_since(check_start);
+
+        let (ids, filtered, outcome) = match status {
+            QueryStatus::ExactMatch(id) => {
+                let entry = store.get(id).expect("exact map is consistent");
+                let result = Arc::clone(&entry.result);
+                let sim_ms = config.cost.cache_read_ms(entry.bytes);
+                drop(store);
+                let cached = result.len();
+                return Some(self.respond(result, Outcome::Exact, cached, sim_ms, timing, false));
+            }
+            QueryStatus::ContainedBy(id) => {
+                let entry = store.get(id).expect("classify returned a live id");
+                let plan = ContainedPlan {
+                    result: Arc::clone(&entry.result),
+                    columnar: entry.columnar.clone(),
+                    coord_idx: entry.coord_indexes(&bound.reg.coord_columns),
+                    sim_ms: config.cost.cache_read_ms(entry.bytes),
+                };
+                drop(store);
+                return match self.finish_contained(bound, &plan, timing, false) {
+                    Phase::Served(response) => Some(response),
+                    // Malformed entry; nothing else covers the query.
+                    Phase::Origin(_) => None,
+                };
+            }
+            QueryStatus::RegionContainment(ids) if config.scheme.handles_region_containment() => {
+                (ids, false, Outcome::RegionContainment)
+            }
+            QueryStatus::Overlapping(ids) if config.scheme.handles_overlap() => {
+                (ids, true, Outcome::Overlap)
+            }
+            _ => return None,
+        };
+
+        // Snapshot the contributing entries, skipping malformed ones.
+        let mut probe_sim_ms = 0.0;
+        let mut parts: Vec<ProbePart> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let entry = store.peek(id).expect("classify returned live ids");
+            let filter_idx = if filtered {
+                match entry.coord_indexes(&bound.reg.coord_columns) {
+                    Some(idx) => Some(idx),
+                    None => continue,
+                }
+            } else {
+                None
+            };
+            probe_sim_ms += config.cost.cache_read_ms(entry.bytes);
+            parts.push(ProbePart {
+                result: Arc::clone(&entry.result),
+                columnar: entry.columnar.clone(),
+                filter_idx,
+            });
+        }
+        drop(store);
+        if parts.is_empty() {
+            return None;
+        }
+
+        // Off-lock: filter the overlap parts and merge by key.
+        let local_start = Instant::now();
+        let mut rows_scanned = 0usize;
+        let mut rows_pruned = 0usize;
+        let mut pieces: Vec<ResultSet> = Vec::with_capacity(parts.len());
+        let mut wholes: Vec<Arc<ResultSet>> = Vec::new();
+        for p in &parts {
+            match &p.filter_idx {
+                None => wholes.push(Arc::clone(&p.result)),
+                Some(idx) => {
+                    let eval = with_scratch(|scratch| {
+                        eval_entry_region(
+                            &p.result,
+                            p.columnar.as_deref(),
+                            idx,
+                            &bound.region,
+                            scratch,
+                        )
+                    });
+                    if let Some(e) = eval {
+                        rows_scanned += e.stats.rows_scanned;
+                        rows_pruned += e.stats.rows_pruned();
+                        pieces.push(e.result);
+                    }
+                }
+            }
+        }
+        let refs: Vec<&ResultSet> = wholes.iter().map(|a| &**a).chain(pieces.iter()).collect();
+        if refs.is_empty() {
+            timing.local_ms += ms_since(local_start);
+            return None;
+        }
+        let mut merged = merge_results(&bound.reg.key_column, &refs);
+        if let Some(n) = bound.query.top {
+            merged.rows.truncate(n as usize);
+        }
+        timing.local_ms += ms_since(local_start);
+
+        let result = Arc::new(merged);
+        let rows = result.len();
+        self.inner.stats.note_degraded(rows);
+        let mut response = self.respond(result, outcome, rows, probe_sim_ms, timing, false);
+        response.metrics.degraded = true;
+        response.metrics.rows_scanned = rows_scanned;
+        response.metrics.rows_pruned = rows_pruned;
+        Some(response)
     }
 
     /// Plans the merge paths (region containment / overlap): snapshots
@@ -862,7 +1128,11 @@ impl ProxyHandle {
     /// out that fetch); the measured time is the follower's own.
     fn adopt(&self, leader: ProxyResponse, timing: &Timing) -> ProxyResponse {
         let mut metrics = leader.metrics;
-        metrics.outcome = Outcome::Exact;
+        // A degraded leader response stays what it is — relabelling a
+        // partial answer as an exact hit would hide its partiality.
+        if !metrics.degraded {
+            metrics.outcome = Outcome::Exact;
+        }
         metrics.rows_from_cache = metrics.rows_total;
         metrics.coalesced = true;
         metrics.check_ms = timing.check_ms;
@@ -941,6 +1211,7 @@ impl ProxyHandle {
             rows_scanned: 0,
             rows_pruned: 0,
             local_fallback: false,
+            degraded: false,
         }
     }
 }

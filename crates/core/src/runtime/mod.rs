@@ -50,6 +50,8 @@ pub struct RuntimeStats {
     local_eval_fallbacks: AtomicUsize,
     lock_waits: AtomicUsize,
     lock_wait_ns: AtomicU64,
+    degraded_hits: AtomicUsize,
+    degraded_partial_rows: AtomicUsize,
 }
 
 impl RuntimeStats {
@@ -76,6 +78,12 @@ impl RuntimeStats {
     pub(crate) fn note_lock_wait(&self, nanos: u64) {
         self.lock_waits.fetch_add(1, Ordering::Relaxed);
         self.lock_wait_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_degraded(&self, partial_rows: usize) {
+        self.degraded_hits.fetch_add(1, Ordering::Relaxed);
+        self.degraded_partial_rows
+            .fetch_add(partial_rows, Ordering::Relaxed);
     }
 }
 
@@ -105,6 +113,21 @@ pub struct RuntimeSnapshot {
     pub lock_wait_ms: f64,
     /// Number of cache shards.
     pub shards: usize,
+    /// Requests answered degraded (from cache alone, origin down).
+    pub degraded_hits: usize,
+    /// Rows served by degraded partial answers.
+    pub degraded_partial_rows: usize,
+    /// Fetches whose deadline expired (zero without a resilience layer).
+    pub origin_timeouts: u64,
+    /// Origin retries issued by the resilience layer.
+    pub origin_retries: u64,
+    /// Fetches failed fast because the circuit was open.
+    pub origin_fast_fails: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Breaker state at snapshot time (`"none"` without a resilience
+    /// layer).
+    pub breaker_state: &'static str,
 }
 
 impl RuntimeStats {
@@ -124,6 +147,13 @@ impl RuntimeStats {
             lock_acquisitions: self.lock_waits.load(Ordering::Relaxed),
             lock_wait_ms: self.lock_wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
             shards,
+            degraded_hits: self.degraded_hits.load(Ordering::Relaxed),
+            degraded_partial_rows: self.degraded_partial_rows.load(Ordering::Relaxed),
+            origin_timeouts: 0,
+            origin_retries: 0,
+            origin_fast_fails: 0,
+            breaker_opens: 0,
+            breaker_state: "none",
         }
     }
 }

@@ -13,15 +13,21 @@
 //!   flight, so the retry finds a containing entry and takes the normal
 //!   local-evaluation path.
 //!
-//! Either way at most one WAN fetch is issued. A leader that fails (or
-//! panics) resolves its flight empty; followers wake and retry, bounded
-//! by the caller.
+//! Either way at most one WAN fetch is issued. A leader whose fetch
+//! fails publishes the **error** to its followers ([`FlightLease::fail`])
+//! — exactly one origin attempt per failed flight, no retry storm. A
+//! leader that panics publishes a synthetic `Unavailable` the same way.
+//! Followers receiving an error must not lead a fresh flight for the
+//! same query; they re-check the cache and try degraded serving, then
+//! surface the error.
 //!
 //! Lock discipline: the flight-table lock is never held while a flight's
 //! state lock is held, and neither is ever held across a wait or an
 //! origin fetch.
 
+use crate::origin::OriginError;
 use crate::proxy::ProxyResponse;
+use crate::ProxyError;
 use fp_geometry::{Region, Relation};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -38,7 +44,7 @@ pub enum Coalesce {
 
 enum FlightState {
     Pending,
-    Done(Option<ProxyResponse>),
+    Done(Result<ProxyResponse, ProxyError>),
 }
 
 struct Flight {
@@ -152,9 +158,9 @@ pub enum Joined<'a> {
 
 /// The leader's obligation to land its flight.
 ///
-/// Dropping the lease without [`FlightLease::resolve`] (error return or
-/// panic on the origin path) resolves the flight empty so followers
-/// wake and retry instead of hanging.
+/// Dropping the lease without [`FlightLease::resolve`] or
+/// [`FlightLease::fail`] (a panic on the origin path) publishes a
+/// synthetic `Unavailable` error so followers wake instead of hanging.
 pub struct FlightLease<'a> {
     table: &'a SingleFlight,
     flight: Arc<Flight>,
@@ -166,10 +172,16 @@ impl FlightLease<'_> {
     /// follower. Call only after the result has been inserted into the
     /// cache, so contained followers find it on retry.
     pub fn resolve(mut self, response: ProxyResponse) {
-        self.finish(Some(response));
+        self.finish(Ok(response));
     }
 
-    fn finish(&mut self, response: Option<ProxyResponse>) {
+    /// Lands the flight with the leader's failure, publishing the error
+    /// to every follower exactly once.
+    pub fn fail(mut self, error: ProxyError) {
+        self.finish(Err(error));
+    }
+
+    fn finish(&mut self, response: Result<ProxyResponse, ProxyError>) {
         self.resolved = true;
         // Deregister first (new arrivals start a fresh flight), then
         // publish the state; the two locks are never held together.
@@ -182,7 +194,9 @@ impl FlightLease<'_> {
 impl Drop for FlightLease<'_> {
     fn drop(&mut self) {
         if !self.resolved {
-            self.finish(None);
+            self.finish(Err(ProxyError::Origin(OriginError::Unavailable(
+                "flight leader aborted".into(),
+            ))));
         }
     }
 }
@@ -191,9 +205,11 @@ impl Drop for FlightLease<'_> {
 pub struct FlightTicket(Arc<Flight>);
 
 impl FlightTicket {
-    /// Blocks until the flight lands. `None` means the leader failed;
-    /// the caller should retry (itself becoming a leader candidate).
-    pub fn wait(self) -> Option<ProxyResponse> {
+    /// Blocks until the flight lands. `Err` carries the leader's
+    /// failure; the caller must not retry the origin (that would undo
+    /// the coalescing) — it should attempt degraded serving from the
+    /// cache and otherwise surface the error.
+    pub fn wait(self) -> Result<ProxyResponse, ProxyError> {
         let mut state = self.0.state();
         loop {
             match &*state {
@@ -239,6 +255,7 @@ mod tests {
                 rows_scanned: 0,
                 rows_pruned: 0,
                 local_fallback: false,
+                degraded: false,
             },
         }
     }
@@ -256,7 +273,7 @@ mod tests {
         };
         assert_eq!(sf.in_flight(), 1);
         lease.resolve(response(3));
-        let adopted = ticket.wait().expect("resolved flight");
+        let adopted = ticket.wait().expect("resolved flight succeeds");
         assert_eq!(adopted.result.len(), 3);
         assert_eq!(sf.in_flight(), 0);
         assert_eq!(sf.in_flight_peak(), 1);
@@ -287,7 +304,30 @@ mod tests {
     }
 
     #[test]
-    fn dropped_lease_wakes_followers_empty() {
+    fn failed_leader_publishes_its_error_to_followers() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let ticket = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, ticket) => ticket,
+            Joined::Lead(_) => panic!("second join must follow"),
+        };
+        lease.fail(ProxyError::Origin(OriginError::Rejected("nope".into())));
+        match ticket.wait() {
+            Err(ProxyError::Origin(OriginError::Rejected(m))) => assert_eq!(m, "nope"),
+            other => panic!("follower must see the leader's error, got {other:?}"),
+        }
+        // The failed flight no longer blocks new leaders.
+        assert!(matches!(
+            sf.join("SQL", "k", &region(0.0, 1.0), true),
+            Joined::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn dropped_lease_wakes_followers_with_unavailable() {
         let sf = SingleFlight::new();
         let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
             Joined::Lead(lease) => lease,
@@ -298,12 +338,13 @@ mod tests {
             Joined::Lead(_) => panic!("second join must follow"),
         };
         drop(lease);
-        assert!(ticket.wait().is_none(), "failed flight resolves empty");
-        // The failed flight no longer blocks new leaders.
-        assert!(matches!(
-            sf.join("SQL", "k", &region(0.0, 1.0), true),
-            Joined::Lead(_)
-        ));
+        assert!(
+            matches!(
+                ticket.wait(),
+                Err(ProxyError::Origin(OriginError::Unavailable(_)))
+            ),
+            "an abandoned flight reads as origin-unavailable"
+        );
     }
 
     #[test]

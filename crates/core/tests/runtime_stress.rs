@@ -6,7 +6,10 @@ use fp_skyserver::{Catalog, CatalogSpec, SkySite};
 use funcproxy::origin::CountingOrigin;
 use funcproxy::proxy::ProxyResponse;
 use funcproxy::template::TemplateManager;
-use funcproxy::{CostModel, FunctionProxy, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
+use funcproxy::{
+    ChaosOrigin, CostModel, Fault, FunctionProxy, OriginError, ProxyConfig, ProxyError,
+    ProxyHandle, Scheme, SiteOrigin,
+};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -228,6 +231,60 @@ fn contained_hit_storm_pins_byte_identical_responses() {
         "row and byte serving must agree"
     );
     assert_eq!(ids_of(&rows), oracle_ids(site, 185.0, 0.0, 12.0));
+}
+
+#[test]
+fn failing_flight_storm_attempts_the_origin_exactly_once() {
+    // A cold cache, a dead origin, and 8 identical concurrent queries:
+    // the leader's one failed fetch must be the *only* origin attempt —
+    // its error is published to every follower, and no follower starts
+    // a fresh flight (that would be a retry storm against a downed
+    // site).
+    let chaos = Arc::new(ChaosOrigin::new(Arc::new(SiteOrigin::new(site()))));
+    chaos.set_default_fault(Fault::Unavailable);
+    // Count fetches *beneath* the chaos layer is impossible (chaos
+    // fails before calling through), so count above it instead: the
+    // chaos wrapper itself records every execute call, and the slow
+    // counting layer widens the race window.
+    let counting = Arc::new(CountingOrigin::with_delay(
+        Arc::clone(&chaos) as Arc<dyn funcproxy::Origin>,
+        Duration::from_millis(50),
+    ));
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::clone(&counting) as Arc<dyn funcproxy::Origin>,
+        config(),
+        4,
+    );
+    let barrier = Barrier::new(THREADS);
+
+    let results: Vec<Result<ProxyResponse, ProxyError>> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let handle = handle.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    handle.handle_form("/search/radial", &radial_fields(185.0, 0.0, 20.0))
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        counting.fetches(),
+        1,
+        "a failed flight must not trigger follower refetches"
+    );
+    for result in &results {
+        assert!(
+            matches!(result, Err(ProxyError::Origin(OriginError::Unavailable(_)))),
+            "every request sees the one published failure, got {result:?}"
+        );
+    }
+    assert_eq!(handle.runtime_stats().flights_led, 1);
+    assert_eq!(handle.cache_stats().entries, 0, "failures are not cached");
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use crate::message::{Request, Response};
 use crate::parse::read_response;
 use crate::HttpError;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -11,45 +11,84 @@ use std::time::Duration;
 /// A client bound to one server address, reusing a single HTTP/1.1
 /// keep-alive connection across requests. A connection the server has
 /// meanwhile closed is detected on the next request and replaced
-/// transparently (one reconnect, then the error propagates). Cloning
-/// yields an independent client with its own connection.
+/// transparently — but only when **zero** response bytes had arrived:
+/// that is the stale keep-alive signature, and resending is safe. A
+/// connection that dies mid-response is poisoned (dropped) and the
+/// error surfaces, because the server did receive the request and a
+/// blind retry would silently duplicate it. Cloning yields an
+/// independent client with its own connection.
 #[derive(Debug)]
 pub struct HttpClient {
     addr: SocketAddr,
-    timeout: Duration,
+    connect_timeout: Duration,
+    read_timeout: Duration,
     conn: Mutex<Option<Conn>>,
 }
 
+/// A pooled connection. The reader wraps the stream in a byte counter
+/// so [`HttpClient::send`] can tell a stale keep-alive (zero bytes
+/// before the error) from a half-dead socket (some bytes, then error).
 #[derive(Debug)]
 struct Conn {
-    reader: BufReader<TcpStream>,
+    reader: BufReader<CountingStream>,
     writer: TcpStream,
+}
+
+impl Conn {
+    fn bytes_read(&self) -> u64 {
+        self.reader.get_ref().bytes_read
+    }
+}
+
+#[derive(Debug)]
+struct CountingStream {
+    stream: TcpStream,
+    bytes_read: u64,
+}
+
+impl Read for CountingStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.stream.read(buf)?;
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
 }
 
 impl Clone for HttpClient {
     fn clone(&self) -> Self {
         HttpClient {
             addr: self.addr,
-            timeout: self.timeout,
+            connect_timeout: self.connect_timeout,
+            read_timeout: self.read_timeout,
             conn: Mutex::new(None),
         }
     }
 }
 
 impl HttpClient {
-    /// A client for `addr` with a 30 s default timeout.
+    /// A client for `addr` with 10 s connect and 30 s read/write
+    /// timeouts.
     pub fn new(addr: SocketAddr) -> Self {
         HttpClient {
             addr,
-            timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
             conn: Mutex::new(None),
         }
     }
 
-    /// Overrides the connect/read/write timeout. Drops any pooled
+    /// Sets one timeout for connect, read, and write. Drops any pooled
     /// connection so the new timeout applies from the next request.
-    pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_timeouts(timeout, timeout)
+    }
+
+    /// Sets the connect and read/write timeouts separately — a proxy
+    /// wants to give up on an unreachable origin much faster than on a
+    /// slow response. Drops any pooled connection.
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
         self.conn = Mutex::new(None);
         self
     }
@@ -68,14 +107,24 @@ impl HttpClient {
 
         let mut slot = self.conn.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(mut conn) = slot.take() {
+            let before = conn.bytes_read();
             match roundtrip(&mut conn, &bytes) {
                 Ok(response) => {
                     park(&mut slot, conn, &response);
                     return Ok(response);
                 }
-                // The server closed the pooled connection between
-                // requests: fall through and retry on a fresh one.
-                Err(HttpError::Io(_) | HttpError::UnexpectedEof) => {}
+                Err(e @ (HttpError::Io(_) | HttpError::UnexpectedEof)) => {
+                    if conn.bytes_read() > before {
+                        // A short read mid-response: the server had the
+                        // request, so a retry would duplicate it. The
+                        // connection is poisoned (dropped here), the
+                        // caller decides what a safe retry looks like.
+                        return Err(e);
+                    }
+                    // Zero response bytes: the server closed the pooled
+                    // connection between requests. Fall through and
+                    // resend on a fresh one.
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -94,12 +143,15 @@ impl HttpClient {
     }
 
     fn connect(&self) -> Result<Conn, HttpError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
         let writer = stream.try_clone()?;
         Ok(Conn {
-            reader: BufReader::new(stream),
+            reader: BufReader::new(CountingStream {
+                stream,
+                bytes_read: 0,
+            }),
             writer,
         })
     }
@@ -196,5 +248,69 @@ mod tests {
             3,
             "each request needed a fresh connection"
         );
+    }
+
+    /// A server whose connections serve one good response, then answer
+    /// the next request with a *partial* response (advertised
+    /// Content-Length never delivered) and hang up. Counts every
+    /// request it reads.
+    fn short_read_server() -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let requests = Arc::new(AtomicUsize::new(0));
+        let requests2 = Arc::clone(&requests);
+        std::thread::spawn(move || {
+            while let Ok((socket, _)) = listener.accept() {
+                let mut writer = socket.try_clone().unwrap();
+                let mut reader = BufReader::new(socket);
+                if let Ok(Some(request)) = read_request(&mut reader) {
+                    requests2.fetch_add(1, Ordering::SeqCst);
+                    let body = format!("echo:{}", request.path);
+                    let response = Response::ok("text/plain", body);
+                    writer.write_all(&response.to_bytes()).unwrap();
+                    writer.flush().unwrap();
+                }
+                if let Ok(Some(_)) = read_request(&mut reader) {
+                    requests2.fetch_add(1, Ordering::SeqCst);
+                    writer
+                        .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 1000\r\n\r\npartial")
+                        .unwrap();
+                    writer.flush().unwrap();
+                }
+                // Hang up mid-body.
+            }
+        });
+        (addr, requests)
+    }
+
+    #[test]
+    fn short_read_poisons_the_connection_instead_of_retrying() {
+        let (addr, requests) = short_read_server();
+        let client = HttpClient::new(addr).with_timeout(Duration::from_secs(5));
+        assert_eq!(client.get("/ok").unwrap().body_text(), "echo:/ok");
+        // The second request dies mid-response. The client must NOT
+        // resend it on a fresh connection — the server already saw it.
+        let err = client.get("/truncated").unwrap_err();
+        assert!(
+            matches!(err, HttpError::Io(_) | HttpError::UnexpectedEof),
+            "expected a transport error, got {err:?}"
+        );
+        assert_eq!(
+            requests.load(Ordering::SeqCst),
+            2,
+            "a short read must not be retried"
+        );
+        // The poisoned connection was dropped: the next request opens a
+        // fresh one and succeeds.
+        assert_eq!(client.get("/again").unwrap().body_text(), "echo:/again");
+        assert_eq!(requests.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn split_timeouts_apply() {
+        let (addr, _accepts) = counting_server(10);
+        let client =
+            HttpClient::new(addr).with_timeouts(Duration::from_millis(250), Duration::from_secs(5));
+        assert_eq!(client.get("/t").unwrap().body_text(), "echo:/t");
     }
 }

@@ -47,6 +47,8 @@ impl Status {
     pub const INTERNAL: Status = Status(500);
     /// 502
     pub const BAD_GATEWAY: Status = Status(502);
+    /// 503
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     /// Canonical reason phrase.
     pub fn reason(self) -> &'static str {
@@ -56,6 +58,7 @@ impl Status {
             404 => "Not Found",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }

@@ -10,7 +10,9 @@
 
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
-use fp_suite::proxy::{CostModel, Origin, OriginError, ProxyConfig, ProxyHandle, Scheme};
+use fp_suite::proxy::{
+    CostModel, Origin, OriginError, ProxyConfig, ProxyError, ProxyHandle, Scheme,
+};
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
 use fp_suite::sqlmini::Query;
@@ -80,6 +82,24 @@ impl Origin for HttpOrigin {
     }
 }
 
+/// Maps a proxy error onto the HTTP status the browser should see: a
+/// transient origin failure (outage, deadline, open breaker) becomes
+/// `503 Service Unavailable` with a `Retry-After` hint, a permanent
+/// origin rejection becomes `502 Bad Gateway`, and anything else is the
+/// client's fault (`400`).
+fn error_response(error: &ProxyError) -> Response {
+    match error {
+        ProxyError::Origin(e) if e.is_transient() => {
+            let mut resp = Response::error(Status::SERVICE_UNAVAILABLE, &error.to_string());
+            let secs = e.retry_after().map_or(1, |d| d.as_secs().max(1));
+            resp.headers.set("Retry-After", secs.to_string());
+            resp
+        }
+        ProxyError::Origin(_) => Response::error(Status::BAD_GATEWAY, &error.to_string()),
+        _ => Response::error(Status::BAD_REQUEST, &error.to_string()),
+    }
+}
+
 /// The proxy's HTTP face: the Radial search form plus a pass-through SQL
 /// page, exactly the two entry points the paper's SkyServer deployment
 /// had. Each connection thread serves through its own clone of the
@@ -100,9 +120,11 @@ fn proxy_router(handle: ProxyHandle) -> Router {
                         .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
                     resp.headers
                         .set("X-Coalesced", r.metrics.coalesced.to_string());
+                    resp.headers
+                        .set("X-Degraded", r.metrics.degraded.to_string());
                     resp
                 }
-                Err(e) => Response::error(Status::BAD_REQUEST, &e.to_string()),
+                Err(e) => error_response(&e),
             }
         })
         .route("/sql", move |req: &Request| {
@@ -111,7 +133,7 @@ fn proxy_router(handle: ProxyHandle) -> Router {
             };
             match handle.handle_sql_xml(&sql) {
                 Ok(r) => Response::ok("text/xml", r.body),
-                Err(e) => Response::error(Status::BAD_GATEWAY, &e.to_string()),
+                Err(e) => error_response(&e),
             }
         })
 }
