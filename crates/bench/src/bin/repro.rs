@@ -124,6 +124,14 @@ fn main() {
     if want("chaos") {
         let t = exp.chaos();
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist the availability axes so lifecycle/resilience changes
+        // can be compared run over run.
+        let bench = t.availability_bench();
+        let path = "BENCH_availability.json";
+        match std::fs::write(path, serde_json::to_string(&bench).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
     }
 }
 

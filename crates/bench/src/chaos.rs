@@ -97,6 +97,30 @@ pub struct ChaosReport {
     /// Breaker state after the post-outage recovery probe ("closed" if
     /// the proxy healed).
     pub final_breaker_state: &'static str,
+    /// Virtual milliseconds between the outage ending and the breaker
+    /// observed closed again; `None` if it never re-closed.
+    pub breaker_reclose_ms: Option<f64>,
+}
+
+/// The compact availability summary `repro --chaos` persists to
+/// `BENCH_availability.json`, so successive lifecycle/resilience changes
+/// can be compared on fixed axes.
+#[derive(Debug, Clone, Serialize)]
+pub struct AvailabilityBench {
+    /// Queries in the trace.
+    pub queries: usize,
+    /// Fraction of all queries answered.
+    pub availability: f64,
+    /// Fraction of outage-window queries still answered.
+    pub availability_in_outage: f64,
+    /// Of the outage answers, the fraction served degraded.
+    pub degraded_hit_rate: f64,
+    /// Virtual ms from outage end until the breaker re-closed.
+    pub breaker_reclose_ms: Option<f64>,
+    /// Times the breaker opened over the run.
+    pub breaker_opens: u64,
+    /// Every served answer verified as a subset of the oracle answer.
+    pub all_answers_sound: bool,
 }
 
 impl ChaosReport {
@@ -120,6 +144,23 @@ impl ChaosReport {
             return 1.0;
         }
         self.degraded_rows as f64 / self.degraded_oracle_rows as f64
+    }
+
+    /// Projects this report onto the persisted benchmark axes.
+    pub fn availability_bench(&self) -> AvailabilityBench {
+        AvailabilityBench {
+            queries: self.queries,
+            availability: self.availability(),
+            availability_in_outage: self.availability_in_outage(),
+            degraded_hit_rate: if self.answered_in_outage == 0 {
+                0.0
+            } else {
+                self.degraded_in_outage as f64 / self.answered_in_outage as f64
+            },
+            breaker_reclose_ms: self.breaker_reclose_ms,
+            breaker_opens: self.breaker_opens,
+            all_answers_sound: self.all_answers_sound,
+        }
     }
 }
 
@@ -161,7 +202,14 @@ impl std::fmt::Display for ChaosReport {
             self.origin_fast_fails,
             self.breaker_opens,
             self.final_breaker_state
-        )
+        )?;
+        match self.breaker_reclose_ms {
+            Some(ms) => writeln!(
+                f,
+                "  breaker re-closed {ms:.0} virtual ms after the outage ended"
+            ),
+            None => writeln!(f, "  breaker never re-closed"),
+        }
     }
 }
 
@@ -247,8 +295,11 @@ impl Experiment {
             origin_fast_fails: 0,
             breaker_opens: 0,
             final_breaker_state: "none",
+            breaker_reclose_ms: None,
         };
 
+        let t0 = clock.now();
+        let mut reclosed_at: Option<Duration> = None;
         for q in &self.trace.queries {
             clock.advance(TICK);
             let in_outage = chaos.in_outage();
@@ -280,6 +331,14 @@ impl Experiment {
                     }
                 }
             }
+            // Track when the breaker is first seen closed again after
+            // the outage window (virtual time, so deterministic).
+            if reclosed_at.is_none() {
+                let elapsed = clock.now().duration_since(t0);
+                if elapsed > outage_end && handle.runtime_stats().breaker_state == "closed" {
+                    reclosed_at = Some(elapsed);
+                }
+            }
         }
 
         // Recovery: let the breaker cooldown lapse, then force one
@@ -299,6 +358,12 @@ impl Experiment {
         report.origin_fast_fails = snapshot.origin_fast_fails;
         report.breaker_opens = snapshot.breaker_opens;
         report.final_breaker_state = snapshot.breaker_state;
+        if reclosed_at.is_none() && snapshot.breaker_state == "closed" {
+            // Closed by the healing probe, after the trace loop ended.
+            reclosed_at = Some(clock.now().duration_since(t0));
+        }
+        report.breaker_reclose_ms =
+            reclosed_at.map(|at| at.saturating_sub(outage_end).as_secs_f64() * 1000.0);
         report
     }
 }
@@ -354,6 +419,16 @@ mod tests {
             r.final_breaker_state, "closed",
             "the breaker must re-close once the origin heals"
         );
+        let reclose = r
+            .breaker_reclose_ms
+            .expect("a healed breaker has a reclose time");
+        assert!(
+            (0.0..=10_000.0).contains(&reclose),
+            "reclose time {reclose} ms out of range"
+        );
+        let bench = r.availability_bench();
+        assert!(bench.availability > 0.0 && bench.availability <= 1.0);
+        assert!(bench.degraded_hit_rate <= 1.0);
         // Outside the outage window, the only failures are the scripted
         // latency spikes plus the short post-outage tail where the
         // breaker is still in its last cooldown (at most

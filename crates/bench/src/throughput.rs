@@ -71,6 +71,11 @@ pub struct ThroughputRow {
     /// Origin fetches whose deadline expired (zero without a resilience
     /// layer configured).
     pub origin_timeouts: u64,
+    /// Requests answered from an expired-but-serveable entry (zero
+    /// unless a lifecycle TTL is configured).
+    pub stale_hits: usize,
+    /// Background refreshes the stale hits triggered.
+    pub revalidations: usize,
 }
 
 /// The throughput experiment: one row per client count.
@@ -141,12 +146,12 @@ impl std::fmt::Display for Throughput {
         )?;
         writeln!(
             f,
-            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights | degraded | timeouts"
+            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights | degraded | timeouts | stale | revalidated"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12} | {:>8} | {:>8}",
+                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12} | {:>8} | {:>8} | {:>5} | {:>11}",
                 r.threads,
                 r.qps,
                 r.p50_ms,
@@ -161,7 +166,9 @@ impl std::fmt::Display for Throughput {
                 r.lock_wait_ms,
                 r.in_flight_peak,
                 r.degraded_hits,
-                r.origin_timeouts
+                r.origin_timeouts,
+                r.stale_hits,
+                r.revalidations
             )?;
         }
         Ok(())
@@ -248,6 +255,8 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
         rows_pruned: metrics.iter().map(|m| m.rows_pruned).sum(),
         degraded_hits: snapshot.degraded_hits,
         origin_timeouts: snapshot.origin_timeouts,
+        stale_hits: snapshot.stale_hits,
+        revalidations: snapshot.revalidations,
     }
 }
 

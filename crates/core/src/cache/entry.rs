@@ -3,6 +3,7 @@
 use fp_geometry::{HyperRect, Region};
 use fp_skyserver::{ColumnarRows, ResultSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One cached query result.
 ///
@@ -41,6 +42,17 @@ pub struct CacheEntry {
     pub truncated: bool,
     /// Canonical SQL text that produced the entry (exact-match key).
     pub exact_sql: Arc<str>,
+    /// Data-release epoch the entry was fetched under. An epoch bump
+    /// retires every entry stamped with a lower value. `0` when the
+    /// store has no lifecycle configured.
+    pub epoch: u64,
+    /// When the entry was inserted, on the store's injectable clock.
+    /// `None` when the store is clock-free (lifecycle inactive).
+    pub inserted_at: Option<Instant>,
+    /// TTL deadline; past it the entry decays through the stale →
+    /// grace → dead windows (see [`crate::lifecycle::Freshness`]).
+    /// `None` = the entry never expires.
+    pub expires_at: Option<Instant>,
 }
 
 impl CacheEntry {
@@ -89,6 +101,9 @@ mod tests {
             bytes: 10,
             truncated: false,
             exact_sql: "SELECT".into(),
+            epoch: 0,
+            inserted_at: None,
+            expires_at: None,
         };
         assert_eq!(
             entry.coord_indexes(&["cx".into(), "cy".into(), "cz".into()]),

@@ -11,11 +11,13 @@
 
 use crate::cache::entry::CacheEntry;
 use crate::cache::store::CacheStore;
+use crate::lifecycle::LifecycleStamp;
 use fp_geometry::{HalfSpace, HyperRect, HyperSphere, Point, Polytope, Region};
 use fp_skyserver::ResultSet;
 use fp_xmlite::Element;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 impl CacheStore {
     /// Writes every cached entry to `dir` (created if absent) as
@@ -36,9 +38,10 @@ impl CacheStore {
                 std::fs::remove_file(path)?;
             }
         }
+        let now = self.now();
         let mut written = 0;
         for entry in self.iter_entries() {
-            let doc = entry_to_xml(entry);
+            let doc = entry_to_xml(entry, now);
             std::fs::write(
                 dir.join(format!("entry_{}.xml", entry.id)),
                 doc.to_xml_pretty(),
@@ -71,9 +74,19 @@ impl CacheStore {
                 .and_then(|text| Element::parse(&text).ok())
                 .and_then(|doc| entry_from_xml(&doc));
             match parsed {
-                Some((residual_key, region, result, truncated, sql, coord_idx)) => {
-                    self.insert_indexed(&residual_key, region, result, truncated, &sql, &coord_idx);
-                    load.loaded += 1;
+                Some(((residual_key, region, result, truncated, sql, coord_idx), stamp)) => {
+                    let restored = self.insert_restored(
+                        &residual_key,
+                        region,
+                        result,
+                        truncated,
+                        &sql,
+                        &coord_idx,
+                        &stamp,
+                    );
+                    if restored.is_some() {
+                        load.loaded += 1;
+                    }
                 }
                 None => load.skipped += 1,
             }
@@ -91,12 +104,33 @@ pub struct SnapshotLoad {
     pub skipped: usize,
 }
 
-fn entry_to_xml(entry: &CacheEntry) -> Element {
+/// Serializes one entry as a self-describing XML document. When `now`
+/// is given (a clocked store), the entry's lifecycle stamp rides along
+/// as *relative* times: its age and the signed milliseconds left until
+/// its TTL deadline — `Instant`s don't survive a restart, offsets do.
+pub(crate) fn entry_to_xml(entry: &CacheEntry, now: Option<Instant>) -> Element {
     let mut doc = Element::new("CacheEntry")
         .with_attr("truncated", if entry.truncated { "1" } else { "0" })
         .with_child(Element::new("ResidualKey").with_text(&*entry.residual_key))
         .with_child(Element::new("Sql").with_text(&*entry.exact_sql))
         .with_child(region_to_xml(&entry.region));
+    if entry.epoch > 0 {
+        doc = doc.with_attr("epoch", entry.epoch.to_string());
+    }
+    if let (Some(now), Some(at)) = (now, entry.inserted_at) {
+        doc = doc.with_attr(
+            "age_ms",
+            now.saturating_duration_since(at).as_millis().to_string(),
+        );
+    }
+    if let (Some(now), Some(deadline)) = (now, entry.expires_at) {
+        let remaining_ms = if deadline >= now {
+            i128::from(u64::try_from(deadline.duration_since(now).as_millis()).unwrap_or(u64::MAX))
+        } else {
+            -i128::from(u64::try_from(now.duration_since(deadline).as_millis()).unwrap_or(u64::MAX))
+        };
+        doc = doc.with_attr("remaining_ms", remaining_ms.to_string());
+    }
     // Persist the coordinate column indexes so a reload rebuilds the
     // columnar hot-path form without knowing the template registry.
     if let Some(col) = &entry.columnar {
@@ -112,7 +146,7 @@ fn entry_to_xml(entry: &CacheEntry) -> Element {
 
 type ParsedEntry = (String, Region, ResultSet, bool, String, Vec<usize>);
 
-fn entry_from_xml(doc: &Element) -> Option<ParsedEntry> {
+pub(crate) fn entry_from_xml(doc: &Element) -> Option<(ParsedEntry, LifecycleStamp)> {
     if doc.name() != "CacheEntry" {
         return None;
     }
@@ -130,7 +164,17 @@ fn entry_from_xml(doc: &Element) -> Option<ParsedEntry> {
             .collect::<Option<Vec<usize>>>()?,
         None => Vec::new(),
     };
-    Some((residual_key, region, result, truncated, sql, coord_idx))
+    // Absent lifecycle attributes (pre-lifecycle snapshots) restore as
+    // epoch 0, ageless, never expiring — exactly how they were cached.
+    let stamp = LifecycleStamp {
+        epoch: doc.attr("epoch").and_then(|v| v.parse().ok()).unwrap_or(0),
+        age_ms: doc.attr("age_ms").and_then(|v| v.parse().ok()),
+        remaining_ms: doc.attr("remaining_ms").and_then(|v| v.parse().ok()),
+    };
+    Some((
+        (residual_key, region, result, truncated, sql, coord_idx),
+        stamp,
+    ))
 }
 
 /// Shortest-roundtrip float text.

@@ -3,10 +3,13 @@
 use crate::cache::description::{CacheDescription, DescriptionKind};
 use crate::cache::entry::CacheEntry;
 use crate::cache::replace::{policy_key, select_victim, Replacement};
+use crate::lifecycle::{freshness_at, Freshness, LifecycleConfig, LifecycleStamp};
+use crate::resilience::Clock;
 use fp_geometry::Region;
 use fp_skyserver::{ColumnarRows, ResultSet};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Aggregate statistics of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,6 +22,10 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Entries removed by region-containment compaction.
     pub compactions: usize,
+    /// Entries retired because they aged past every staleness window.
+    pub expired: usize,
+    /// Entries retired by data-release epoch bumps.
+    pub epoch_invalidations: usize,
 }
 
 /// The proxy's cache: entries, the exact-match map, and one cache
@@ -43,6 +50,18 @@ pub struct CacheStore {
     next_id: u64,
     evictions: usize,
     compactions: usize,
+    /// Lifecycle policy (TTLs, staleness windows). Inert by default.
+    lifecycle: Arc<LifecycleConfig>,
+    /// Injectable clock for TTL stamping; `None` = entries never age.
+    time: Option<Arc<dyn Clock>>,
+    /// Current data-release epoch; entries stamped lower are retired on
+    /// the next [`Self::bump_epoch`].
+    epoch: u64,
+    expired: usize,
+    epoch_invalidations: usize,
+    /// Mutation counter (inserts/removes), letting the snapshot writer
+    /// skip shards that have not changed since the last pass.
+    generation: u64,
 }
 
 impl CacheStore {
@@ -72,7 +91,30 @@ impl CacheStore {
             next_id: 1,
             evictions: 0,
             compactions: 0,
+            lifecycle: Arc::new(LifecycleConfig::default()),
+            time: None,
+            epoch: 0,
+            expired: 0,
+            epoch_invalidations: 0,
+            generation: 0,
         }
+    }
+
+    /// A store whose entries age on `clock` under `lifecycle`: inserts
+    /// are stamped with the current epoch and a TTL deadline, and the
+    /// freshness accessors start returning non-`Fresh` states.
+    pub fn with_lifecycle(
+        kind: DescriptionKind,
+        capacity: Option<usize>,
+        replacement: Replacement,
+        lifecycle: Arc<LifecycleConfig>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let mut store = Self::with_replacement(kind, capacity, replacement);
+        store.epoch = lifecycle.epoch;
+        store.lifecycle = lifecycle;
+        store.time = Some(clock);
+        store
     }
 
     /// The configured description kind.
@@ -87,7 +129,95 @@ impl CacheStore {
             bytes: self.total_bytes,
             evictions: self.evictions,
             compactions: self.compactions,
+            expired: self.expired,
+            epoch_invalidations: self.epoch_invalidations,
         }
+    }
+
+    /// The store's current data-release epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The mutation counter: bumps on every insert or remove.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The store's clock reading, when lifecycle timing is configured.
+    pub fn now(&self) -> Option<std::time::Instant> {
+        self.time.as_ref().map(|c| c.now())
+    }
+
+    /// Where `id` sits in its lifecycle. `None` when the entry is gone;
+    /// entries without a deadline (or in a clock-free store) are
+    /// perpetually [`Freshness::Fresh`].
+    pub fn freshness(&self, id: u64) -> Option<Freshness> {
+        let entry = self.entries.get(&id)?;
+        let (Some(expires_at), Some(clock)) = (entry.expires_at, &self.time) else {
+            return Some(Freshness::Fresh);
+        };
+        Some(freshness_at(
+            expires_at,
+            clock.now(),
+            self.lifecycle.stale_while_revalidate,
+            self.lifecycle.stale_if_error,
+        ))
+    }
+
+    /// Entry age in milliseconds on the store's clock; `0` when unknown.
+    pub fn entry_age_ms(&self, id: u64) -> f64 {
+        match (
+            self.entries.get(&id).and_then(|e| e.inserted_at),
+            &self.time,
+        ) {
+            (Some(at), Some(clock)) => {
+                clock.now().saturating_duration_since(at).as_secs_f64() * 1000.0
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Advances the store to a new data-release epoch, eagerly retiring
+    /// every entry stamped with an older one. Returns how many were
+    /// retired; a non-advancing epoch is a no-op.
+    pub fn bump_epoch(&mut self, epoch: u64) -> usize {
+        if epoch <= self.epoch {
+            return 0;
+        }
+        self.epoch = epoch;
+        let outdated: Vec<u64> = self
+            .entries
+            .values()
+            .filter(|e| e.epoch < epoch)
+            .map(|e| e.id)
+            .collect();
+        let n = outdated.len();
+        for id in outdated {
+            self.remove(id);
+        }
+        self.epoch_invalidations += n;
+        n
+    }
+
+    /// Retires [`Freshness::Dead`] entries among the probe region's
+    /// candidates (expiry is lazy: entries die when next probed, not on
+    /// a timer). Returns how many were retired.
+    pub(crate) fn sweep_dead(&mut self, residual_key: &str, region: &Region) -> usize {
+        if self.time.is_none() {
+            return 0;
+        }
+        let dead: Vec<u64> = self
+            .candidates(residual_key, region)
+            .into_iter()
+            .filter(|&id| self.freshness(id) == Some(Freshness::Dead))
+            .collect();
+        let n = dead.len();
+        for id in dead {
+            self.remove(id);
+        }
+        self.expired += n;
+        n
     }
 
     /// Inserts a result; returns the new entry's id, or `None` when the
@@ -163,6 +293,16 @@ impl CacheStore {
 
         let id = self.next_id;
         self.next_id += 1;
+        let (inserted_at, expires_at) = match &self.time {
+            Some(clock) => {
+                let now = clock.now();
+                (
+                    Some(now),
+                    self.lifecycle.ttl_for(residual_key).map(|ttl| now + ttl),
+                )
+            }
+            None => (None, None),
+        };
         let residual_key: Arc<str> = Arc::from(residual_key);
         let exact_sql: Arc<str> = Arc::from(exact_sql);
         let bbox = region.bounding_rect();
@@ -176,6 +316,9 @@ impl CacheStore {
             bytes,
             truncated,
             exact_sql: Arc::clone(&exact_sql),
+            epoch: self.epoch,
+            inserted_at,
+            expires_at,
         };
         self.groups
             .entry(residual_key)
@@ -188,6 +331,60 @@ impl CacheStore {
         self.victim_order
             .insert((self.entry_key(self.clock, self.clock, footprint), id));
         self.entries.insert(id, entry);
+        self.generation += 1;
+        Some(id)
+    }
+
+    /// Inserts an entry recovered from a snapshot, re-anchoring its
+    /// persisted lifecycle stamp (epoch, age, remaining TTL) onto the
+    /// store's clock. Returns `None` — without counting a recovery —
+    /// when the entry belongs to an older epoch or has already aged past
+    /// every serve window.
+    #[allow(clippy::too_many_arguments)] // mirrors insert_indexed + the stamp
+    pub(crate) fn insert_restored(
+        &mut self,
+        residual_key: &str,
+        region: Region,
+        result: impl Into<Arc<ResultSet>>,
+        truncated: bool,
+        exact_sql: &str,
+        coord_idx: &[usize],
+        stamp: &LifecycleStamp,
+    ) -> Option<u64> {
+        if stamp.epoch < self.epoch {
+            self.epoch_invalidations += 1;
+            return None;
+        }
+        let id = self.insert_indexed(
+            residual_key,
+            region,
+            result,
+            truncated,
+            exact_sql,
+            coord_idx,
+        )?;
+        let entry = self.entries.get_mut(&id).expect("just inserted");
+        entry.epoch = stamp.epoch;
+        if let Some(clock) = &self.time {
+            let now = clock.now();
+            if let Some(age) = stamp.age_ms {
+                entry.inserted_at = now
+                    .checked_sub(Duration::from_millis(age))
+                    .or(entry.inserted_at);
+            }
+            if let Some(remaining) = stamp.remaining_ms {
+                entry.expires_at = if remaining >= 0 {
+                    Some(now + Duration::from_millis(remaining.unsigned_abs()))
+                } else {
+                    now.checked_sub(Duration::from_millis(remaining.unsigned_abs()))
+                };
+            }
+            if self.freshness(id) == Some(Freshness::Dead) {
+                self.remove(id);
+                self.expired += 1;
+                return None;
+            }
+        }
         Some(id)
     }
 
@@ -232,6 +429,7 @@ impl CacheStore {
         if let Some(g) = self.groups.get_mut(&*entry.residual_key) {
             g.remove(id, &entry.bbox);
         }
+        self.generation += 1;
         Some(entry)
     }
 

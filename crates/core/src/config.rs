@@ -1,6 +1,7 @@
 //! Proxy configuration.
 
 use crate::cache::{DescriptionKind, Replacement};
+use crate::lifecycle::LifecycleConfig;
 use crate::resilience::ResilienceConfig;
 use crate::schemes::Scheme;
 use crate::sim::CostModel;
@@ -34,6 +35,10 @@ pub struct ProxyConfig {
     /// (default) keeps the pre-resilience behaviour: no deadlines, no
     /// retries, no breaker, failures surface directly.
     pub resilience: Option<ResilienceConfig>,
+    /// Cache lifecycle policy: TTLs, staleness windows, epoch, and
+    /// crash-safe snapshots. The default is inert (entries never age,
+    /// nothing is persisted).
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for ProxyConfig {
@@ -47,6 +52,7 @@ impl Default for ProxyConfig {
             max_merge_entries: 8,
             min_overlap_coverage: 0.0,
             resilience: None,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -91,6 +97,12 @@ impl ProxyConfig {
     /// Convenience builder for the fault-tolerance policy.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = Some(resilience);
+        self
+    }
+
+    /// Convenience builder for the cache lifecycle policy.
+    pub fn with_lifecycle(mut self, lifecycle: LifecycleConfig) -> Self {
+        self.lifecycle = lifecycle;
         self
     }
 }

@@ -43,12 +43,16 @@
 //! * [`resilience`] — the fault-tolerant fetch path: deadlines,
 //!   retry/backoff, the per-origin circuit breaker, and the chaos
 //!   injection harness behind degraded serving.
+//! * [`lifecycle`] — cache freshness and durability: per-template TTLs,
+//!   data-release epochs, stale-while-revalidate / stale-if-error
+//!   serving windows, and crash-safe cache snapshots.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod config;
+pub mod lifecycle;
 pub mod metrics;
 pub mod origin;
 pub mod proxy;
@@ -60,6 +64,7 @@ pub mod sim;
 pub mod template;
 
 pub use config::ProxyConfig;
+pub use lifecycle::{Freshness, LifecycleConfig, SnapshotPolicy};
 pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};
 pub use proxy::FunctionProxy;
 pub use resilience::{ChaosOrigin, Fault, ResilienceConfig, ResilientOrigin};

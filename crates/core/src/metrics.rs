@@ -79,6 +79,15 @@ pub struct QueryMetrics {
     /// overlap relationships the answer is the cached *intersection* —
     /// a sound subset of the full answer, marked partial.
     pub degraded: bool,
+    /// Whether any contributing cache entry was past its TTL deadline:
+    /// served in the stale-while-revalidate window (a background
+    /// refresh is on its way) or in the stale-if-error window (the
+    /// origin was down and the expired entry was extended).
+    pub stale: bool,
+    /// Age of the oldest contributing cache entry, ms on the proxy's
+    /// clock; `0` when no cached data contributed or lifecycle timing
+    /// is off.
+    pub entry_age_ms: f64,
 }
 
 impl QueryMetrics {
@@ -127,6 +136,9 @@ pub struct TraceReport {
     /// Rows served by degraded *partial* answers (overlap intersections
     /// that are sound subsets of the full answer).
     pub degraded_partial_rows: usize,
+    /// Queries answered from expired entries (stale-while-revalidate or
+    /// stale-if-error serving).
+    pub stale_hits: usize,
 }
 
 impl TraceReport {
@@ -148,6 +160,7 @@ impl TraceReport {
             report.local_fallbacks += usize::from(m.local_fallback);
             report.rows_scanned += m.rows_scanned;
             report.rows_pruned += m.rows_pruned;
+            report.stale_hits += usize::from(m.stale);
             if m.degraded {
                 // Degraded answers are only ever produced on the merge
                 // paths (region containment / overlap), where they are
@@ -200,6 +213,8 @@ mod tests {
             rows_pruned: 0,
             local_fallback: false,
             degraded: false,
+            stale: false,
+            entry_age_ms: 0.0,
         }
     }
 

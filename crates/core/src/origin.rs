@@ -87,6 +87,15 @@ pub trait Origin: Send + Sync {
     fn supports_remainder(&self) -> bool {
         true
     }
+
+    /// The data-release epoch the origin currently advertises (e.g. a
+    /// survey's DR number), checked by the runtime after each successful
+    /// fetch: a higher value than the proxy's current epoch retires
+    /// every entry cached under older releases. `None` (the default)
+    /// means the origin does not version its catalog.
+    fn advertised_epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The in-process origin: a [`SkySite`] called directly. The simulation
@@ -141,6 +150,8 @@ pub struct CountingOrigin {
     inner: Arc<dyn Origin>,
     delay: Option<Duration>,
     counts: Mutex<HashMap<String, usize>>,
+    /// Advertised data-release epoch; `0` defers to the wrapped origin.
+    advertised_epoch: std::sync::atomic::AtomicU64,
 }
 
 impl CountingOrigin {
@@ -150,6 +161,7 @@ impl CountingOrigin {
             inner,
             delay: None,
             counts: Mutex::new(HashMap::new()),
+            advertised_epoch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -161,7 +173,15 @@ impl CountingOrigin {
             inner,
             delay: Some(delay),
             counts: Mutex::new(HashMap::new()),
+            advertised_epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Makes this origin advertise a data-release epoch (as a real site
+    /// would via a version endpoint); `0` defers to the wrapped origin.
+    pub fn set_advertised_epoch(&self, epoch: u64) {
+        self.advertised_epoch
+            .store(epoch, std::sync::atomic::Ordering::SeqCst);
     }
 
     fn counts(&self) -> std::sync::MutexGuard<'_, HashMap<String, usize>> {
@@ -196,6 +216,16 @@ impl Origin for CountingOrigin {
 
     fn supports_remainder(&self) -> bool {
         self.inner.supports_remainder()
+    }
+
+    fn advertised_epoch(&self) -> Option<u64> {
+        match self
+            .advertised_epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            0 => self.inner.advertised_epoch(),
+            epoch => Some(epoch),
+        }
     }
 }
 

@@ -498,6 +498,8 @@ impl FunctionProxy {
             rows_pruned: 0,
             local_fallback: false,
             degraded: false,
+            stale: false,
+            entry_age_ms: 0.0,
         };
         ProxyResponse { result, metrics }
     }

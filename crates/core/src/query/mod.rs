@@ -10,5 +10,5 @@ pub use local_eval::{
     eval_entry_region, eval_region_over, eval_region_scratch, EntryEval, EvalScratch,
 };
 pub use merge::merge_results;
-pub use relate::{classify, QueryStatus};
+pub use relate::{classify, classify_graded, QueryStatus};
 pub use remainder::{region_inside_predicate, remainder_query};

@@ -44,11 +44,27 @@ impl QueryStatus {
 /// for exact matches — a clipped result cannot prove completeness for any
 /// other relationship (see `CacheEntry::truncated`).
 pub fn classify(store: &CacheStore, bound: &BoundQuery) -> QueryStatus {
+    classify_graded(store, bound, false)
+}
+
+/// [`classify`] with an explicit freshness grade.
+///
+/// With `allow_grace = false` only `Fresh` and `Stale` entries are
+/// candidates (the stale-while-revalidate window: serveable, with a
+/// background refresh). With `allow_grace = true` — the degraded path,
+/// where the origin is known down — `Grace` entries are admitted too
+/// (stale-if-error). `Dead` entries never classify; they are retired by
+/// the store's sweep.
+pub fn classify_graded(store: &CacheStore, bound: &BoundQuery, allow_grace: bool) -> QueryStatus {
     let mut contained_by: Option<u64> = None;
     let mut contains: Vec<u64> = Vec::new();
     let mut overlaps: Vec<u64> = Vec::new();
 
     for id in store.candidates(&bound.residual_key, &bound.region) {
+        match store.freshness(id) {
+            Some(f) if f.serveable(allow_grace) => {}
+            _ => continue,
+        }
         let Some(entry) = store.peek(id) else {
             continue;
         };

@@ -172,6 +172,21 @@ impl CircuitBreaker {
     pub fn opens(&self) -> u64 {
         self.inner().opens
     }
+
+    /// Time left until an open circuit admits its next probe — the live
+    /// `Retry-After` value. `None` unless the circuit is open (a probe
+    /// may be admitted right now once the cooldown has fully elapsed).
+    pub fn remaining_open(&self) -> Option<Duration> {
+        let inner = self.inner();
+        match inner.state {
+            BreakerState::Open => {
+                let opened_at = inner.opened_at.expect("open breaker records its open time");
+                let elapsed = self.clock.now().saturating_duration_since(opened_at);
+                Some(self.cooldown.saturating_sub(elapsed))
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,8 @@ pub struct ChaosOrigin {
     plan: Mutex<Plan>,
     calls: AtomicU64,
     injected: AtomicU64,
+    /// Advertised data-release epoch; `0` defers to the wrapped origin.
+    advertised: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -90,6 +92,7 @@ impl ChaosOrigin {
             }),
             calls: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            advertised: AtomicU64::new(0),
         }
     }
 
@@ -123,6 +126,12 @@ impl ChaosOrigin {
     /// Calls whose outcome was altered (anything but `Healthy`).
     pub fn faults_injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Starts advertising a data-release epoch, as a catalog site does
+    /// when a new release goes live; `0` defers to the wrapped origin.
+    pub fn advertise_epoch(&self, epoch: u64) {
+        self.advertised.store(epoch, Ordering::SeqCst);
     }
 
     /// Whether an outage window covers the current clock time.
@@ -194,6 +203,13 @@ impl Origin for ChaosOrigin {
 
     fn supports_remainder(&self) -> bool {
         self.inner.supports_remainder()
+    }
+
+    fn advertised_epoch(&self) -> Option<u64> {
+        match self.advertised.load(Ordering::SeqCst) {
+            0 => self.inner.advertised_epoch(),
+            epoch => Some(epoch),
+        }
     }
 }
 

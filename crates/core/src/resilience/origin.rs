@@ -54,6 +54,9 @@ pub struct ResilienceSnapshot {
     pub breaker_opens: u64,
     /// The breaker's state at snapshot time.
     pub breaker_state: &'static str,
+    /// Milliseconds until an open breaker admits its next probe; `0`
+    /// unless the breaker is open. The live `Retry-After` hint.
+    pub breaker_retry_after_ms: u64,
 }
 
 impl Default for ResilienceSnapshot {
@@ -65,6 +68,7 @@ impl Default for ResilienceSnapshot {
             fast_fails: 0,
             breaker_opens: 0,
             breaker_state: "none",
+            breaker_retry_after_ms: 0,
         }
     }
 }
@@ -126,6 +130,10 @@ impl ResilientOrigin {
             fast_fails: self.stats.fast_fails.load(Ordering::Relaxed),
             breaker_opens: self.breaker.opens(),
             breaker_state: self.breaker.state().label(),
+            breaker_retry_after_ms: self
+                .breaker
+                .remaining_open()
+                .map_or(0, |d| d.as_millis().try_into().unwrap_or(u64::MAX)),
         }
     }
 
@@ -205,6 +213,10 @@ impl Origin for ResilientOrigin {
 
     fn supports_remainder(&self) -> bool {
         self.inner.supports_remainder()
+    }
+
+    fn advertised_epoch(&self) -> Option<u64> {
+        self.inner.advertised_epoch()
     }
 }
 

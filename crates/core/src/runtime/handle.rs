@@ -35,13 +35,16 @@
 //! (a partial answer must not masquerade as a complete entry). Only
 //! rejections and true disjoint misses surface the error.
 
-use crate::cache::{CacheStats, CacheStore};
+use crate::cache::{entry_from_xml, entry_to_xml, CacheStats, CacheStore};
 use crate::config::ProxyConfig;
+use crate::lifecycle::snapshot::{read_snapshot_file, write_snapshot_file};
+use crate::lifecycle::Freshness;
 use crate::metrics::{Outcome, QueryMetrics};
 use crate::origin::Origin;
 use crate::proxy::ProxyResponse;
 use crate::query::{
-    classify, eval_entry_region, merge_results, remainder_query, EvalScratch, QueryStatus,
+    classify, classify_graded, eval_entry_region, merge_results, remainder_query, EvalScratch,
+    QueryStatus,
 };
 use crate::resilience::{Clock, ResilientOrigin, SystemClock};
 use crate::runtime::shard::ShardedStore;
@@ -52,8 +55,14 @@ use crate::template::{BoundQuery, TemplateManager};
 use crate::ProxyError;
 use fp_skyserver::{ColumnarRows, ResultSet};
 use fp_sqlmini::Query;
+use fp_xmlite::Element;
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 thread_local! {
@@ -98,6 +107,52 @@ struct Runtime {
     /// Set iff `config.resilience` is set; `origin` then points at this
     /// same decorator. Kept separately for snapshot access.
     resilient: Option<Arc<ResilientOrigin>>,
+    /// The clock lifecycle timing and the snapshot schedule run on.
+    clock: Arc<dyn Clock>,
+    /// `config.lifecycle.is_active()`, hoisted off the hot path.
+    lifecycle_active: bool,
+    /// The live data-release epoch (monotone; starts at the config's,
+    /// advanced by [`ProxyHandle::set_epoch`] and advertised epochs).
+    current_epoch: AtomicU64,
+    /// Canonical SQL of entries with a background refresh in flight —
+    /// the dedup set behind "exactly one refresh per expired key".
+    revalidating: Mutex<HashSet<String>>,
+    /// Live revalidation threads, joined by
+    /// [`ProxyHandle::quiesce_revalidations`].
+    reval_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Snapshot schedule state; `None` when persistence is off.
+    snap: Option<Mutex<SnapSched>>,
+}
+
+/// Mutable snapshot-scheduler state (behind a `try_lock` so the serve
+/// path never blocks on a concurrent snapshot pass).
+struct SnapSched {
+    /// Next virtual-clock instant a snapshot pass is due.
+    next_due: Instant,
+    /// Per-shard store generation at its last written snapshot; a shard
+    /// whose generation is unchanged is skipped (incremental writes).
+    written_gens: Vec<u64>,
+}
+
+/// Lifecycle facts about the cached data behind one response, captured
+/// under the shard lock and applied to the metrics after serving.
+#[derive(Clone, Default)]
+struct ServeLife {
+    /// Any contributing entry was past its TTL deadline.
+    stale: bool,
+    /// Age of the oldest contributing entry, ms.
+    age_ms: f64,
+    /// Canonical SQL to refresh in the background (stale exact or
+    /// contained hits on the healthy path).
+    revalidate: Option<String>,
+}
+
+impl ServeLife {
+    /// Folds another contributing entry's facts in (merge paths).
+    fn absorb(&mut self, other: &ServeLife) {
+        self.stale |= other.stale;
+        self.age_ms = self.age_ms.max(other.age_ms);
+    }
 }
 
 /// Wall-clock bookkeeping for one request, accumulated across phases.
@@ -159,6 +214,7 @@ enum LockedPhase {
         result: Arc<ResultSet>,
         columnar: Option<Arc<ColumnarRows>>,
         sim_ms: f64,
+        life: ServeLife,
     },
     /// A containing entry was found; evaluate off-lock.
     Contained(Box<ContainedPlan>),
@@ -176,6 +232,7 @@ struct ContainedPlan {
     /// template's coordinate columns (treated like a malformed entry).
     coord_idx: Option<Vec<usize>>,
     sim_ms: f64,
+    life: ServeLife,
 }
 
 /// One probed entry in a merge plan: its shared result, its columnar
@@ -205,6 +262,9 @@ struct OriginPlan {
     /// Whether this plan replaced a local evaluation that hit a
     /// malformed cached entry.
     local_fallback: bool,
+    /// Lifecycle facts about the probed entries (merge paths can draw
+    /// on stale-but-serveable parts).
+    life: ServeLife,
 }
 
 impl OriginPlan {
@@ -217,6 +277,7 @@ impl OriginPlan {
             compact_ids,
             outcome: Outcome::Forwarded,
             local_fallback: false,
+            life: ServeLife::default(),
         })
     }
 
@@ -266,26 +327,46 @@ impl ProxyHandle {
         shards: usize,
         clock: Arc<dyn Clock>,
     ) -> Self {
-        let store = ShardedStore::new(&config, shards);
+        let store = ShardedStore::with_clock(&config, shards, Arc::clone(&clock));
         let (origin, resilient) = match &config.resilience {
             Some(policy) => {
-                let decorated =
-                    Arc::new(ResilientOrigin::with_clock(origin, policy.clone(), clock));
+                let decorated = Arc::new(ResilientOrigin::with_clock(
+                    origin,
+                    policy.clone(),
+                    Arc::clone(&clock),
+                ));
                 (Arc::clone(&decorated) as Arc<dyn Origin>, Some(decorated))
             }
             None => (origin, None),
         };
-        ProxyHandle {
+        let snap = config.lifecycle.snapshot.as_ref().map(|policy| {
+            Mutex::new(SnapSched {
+                next_due: clock.now() + policy.interval,
+                written_gens: vec![0; store.shard_count()],
+            })
+        });
+        let snapshot_dir = config.lifecycle.snapshot.as_ref().map(|p| p.dir.clone());
+        let handle = ProxyHandle {
             inner: Arc::new(Runtime {
                 manager,
                 store,
                 flights: SingleFlight::new(),
                 stats: RuntimeStats::default(),
-                config,
                 origin,
                 resilient,
+                lifecycle_active: config.lifecycle.is_active(),
+                current_epoch: AtomicU64::new(config.lifecycle.epoch),
+                revalidating: Mutex::new(HashSet::new()),
+                reval_threads: Mutex::new(Vec::new()),
+                snap,
+                clock,
+                config,
             }),
+        };
+        if let Some(dir) = snapshot_dir {
+            handle.recover_from(&dir);
         }
+        handle
     }
 
     /// The template registry.
@@ -322,8 +403,55 @@ impl ProxyHandle {
             snapshot.origin_fast_fails = r.fast_fails;
             snapshot.breaker_opens = r.breaker_opens;
             snapshot.breaker_state = r.breaker_state;
+            snapshot.breaker_retry_after_ms = r.breaker_retry_after_ms;
         }
+        let cache = self.inner.store.stats();
+        snapshot.epoch_invalidations = cache.epoch_invalidations;
+        snapshot.entries_expired = cache.expired;
         snapshot
+    }
+
+    /// The live data-release epoch new cache entries are stamped with.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.current_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the proxy to data-release `epoch`, atomically retiring
+    /// every cache entry stamped with an older one (shard by shard, so
+    /// the serve path is never blocked behind one global pause). Returns
+    /// how many entries were retired; a non-advancing epoch is a no-op.
+    pub fn set_epoch(&self, epoch: u64) -> usize {
+        let prev = self.inner.current_epoch.fetch_max(epoch, Ordering::SeqCst);
+        if epoch <= prev {
+            return 0;
+        }
+        let mut retired = 0;
+        for i in 0..self.inner.store.shard_count() {
+            retired += self.inner.store.lock_shard(i).bump_epoch(epoch);
+        }
+        retired
+    }
+
+    /// Blocks until every background revalidation spawned so far has
+    /// finished — the deterministic-test barrier ("exactly one refresh
+    /// per expired key" is only countable once the refreshes landed).
+    pub fn quiesce_revalidations(&self) {
+        loop {
+            let threads: Vec<JoinHandle<()>> = {
+                let mut guard = self
+                    .inner
+                    .reval_threads
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *guard)
+            };
+            if threads.is_empty() {
+                return;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+        }
     }
 
     /// Serves an HTML-form request; see
@@ -372,6 +500,12 @@ impl ProxyHandle {
     /// Propagates origin errors; cache-side failures fall back to
     /// forwarding instead of erroring.
     pub fn handle_bound(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+        let response = self.handle_bound_inner(bound);
+        self.maybe_snapshot();
+        response
+    }
+
+    fn handle_bound_inner(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
         self.inner.stats.note_request();
         match self.inner.config.scheme {
             Scheme::NoCache => {
@@ -437,6 +571,12 @@ impl ProxyHandle {
     /// assembled from the columnar slab), fall back to the ordinary row
     /// pipeline plus serialization for everything else.
     fn serve_xml(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
+        let response = self.serve_xml_inner(bound);
+        self.maybe_snapshot();
+        response
+    }
+
+    fn serve_xml_inner(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
         self.inner.stats.note_request();
         if self.inner.config.scheme == Scheme::NoCache {
             let timing = Timing::begin();
@@ -458,14 +598,16 @@ impl ProxyHandle {
                 result,
                 columnar,
                 sim_ms,
+                life,
             } => {
                 let body = match columnar.as_deref() {
                     Some(col) => col.full_document(),
                     None => result.to_xml_string().into_bytes(),
                 };
                 let cached = result.len();
-                let metrics =
+                let mut metrics =
                     self.metrics_for(result.len(), Outcome::Exact, cached, sim_ms, &timing, false);
+                self.apply_life(&mut metrics, &life, true);
                 Ok(XmlResponse { body, metrics })
             }
             LockedPhase::Contained(plan) => {
@@ -508,6 +650,7 @@ impl ProxyHandle {
                 self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
             metrics.rows_scanned = stats.rows_scanned;
             metrics.rows_pruned = stats.rows_pruned();
+            self.apply_life(&mut metrics, &plan.life, true);
             return Some(XmlResponse { body, metrics });
         }
         // No matching columnar form: row-major selection, then serialize.
@@ -524,6 +667,7 @@ impl ProxyHandle {
             self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
         metrics.rows_scanned = eval.stats.rows_scanned;
         metrics.rows_pruned = eval.stats.rows_pruned();
+        self.apply_life(&mut metrics, &plan.life, true);
         Some(XmlResponse {
             body: result.to_xml_string().into_bytes(),
             metrics,
@@ -661,16 +805,17 @@ impl ProxyHandle {
     /// and either answer from the cache or plan the origin work.
     fn cache_phase(&self, bound: &BoundQuery, timing: &mut Timing, coalesced: bool) -> Phase {
         match self.cache_phase_locked(bound, timing) {
-            LockedPhase::Exact { result, sim_ms, .. } => {
+            LockedPhase::Exact {
+                result,
+                sim_ms,
+                life,
+                ..
+            } => {
                 let cached = result.len();
-                Phase::Served(self.respond(
-                    result,
-                    Outcome::Exact,
-                    cached,
-                    sim_ms,
-                    timing,
-                    coalesced,
-                ))
+                let mut response =
+                    self.respond(result, Outcome::Exact, cached, sim_ms, timing, coalesced);
+                self.apply_life(&mut response.metrics, &life, true);
+                Phase::Served(response)
             }
             LockedPhase::Contained(plan) => self.finish_contained(bound, &plan, timing, coalesced),
             LockedPhase::Origin(plan) => Phase::Origin(plan),
@@ -685,33 +830,47 @@ impl ProxyHandle {
         let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
         self.note_lock_wait(timing, wait);
         let config = &self.inner.config;
+        if self.inner.lifecycle_active {
+            // Expiry is lazy: entries die when next probed, not on a
+            // timer, so retire this probe's dead candidates first.
+            store.sweep_dead(&bound.residual_key, &bound.region);
+        }
 
         let check_start = Instant::now();
+        // An exact entry past its serveable windows (Grace on the
+        // healthy path) falls through to classification, which applies
+        // the same freshness grade to every candidate.
         let status = match store.lookup_exact(&bound.sql) {
-            Some(id) => QueryStatus::ExactMatch(id),
+            Some(id) if store.freshness(id).is_some_and(|f| f.serveable(false)) => {
+                QueryStatus::ExactMatch(id)
+            }
             // Passive caching only ever matches exact text.
-            None if config.scheme == Scheme::Passive => QueryStatus::Disjoint,
-            None => classify(&store, bound),
+            _ if config.scheme == Scheme::Passive => QueryStatus::Disjoint,
+            _ => classify(&store, bound),
         };
         timing.check_ms += ms_since(check_start);
 
         match status {
             QueryStatus::ExactMatch(id) => {
+                let life = self.life_of(&store, id);
                 let entry = store.get(id).expect("exact map is consistent");
                 LockedPhase::Exact {
                     result: Arc::clone(&entry.result),
                     columnar: entry.columnar.clone(),
                     sim_ms: config.cost.cache_read_ms(entry.bytes),
+                    life,
                 }
             }
 
             QueryStatus::ContainedBy(id) => {
+                let life = self.life_of(&store, id);
                 let entry = store.get(id).expect("classify returned a live id");
                 LockedPhase::Contained(Box::new(ContainedPlan {
                     result: Arc::clone(&entry.result),
                     columnar: entry.columnar.clone(),
                     coord_idx: entry.coord_indexes(&bound.reg.coord_columns),
                     sim_ms: config.cost.cache_read_ms(entry.bytes),
+                    life,
                 }))
             }
 
@@ -774,6 +933,7 @@ impl ProxyHandle {
                 );
                 response.metrics.rows_scanned = eval.stats.rows_scanned;
                 response.metrics.rows_pruned = eval.stats.rows_pruned();
+                self.apply_life(&mut response.metrics, &plan.life, true);
                 Phase::Served(response)
             }
             // Malformed cached document: fall back to the origin.
@@ -813,28 +973,40 @@ impl ProxyHandle {
         let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
         self.note_lock_wait(timing, wait);
         let check_start = Instant::now();
+        // The error path's privilege: entries in the stale-if-error
+        // Grace window are admitted — an outage extends expired entries
+        // instead of abandoning them. No revalidation is spawned here
+        // (the origin is known down).
         let status = match store.lookup_exact(&bound.sql) {
-            Some(id) => QueryStatus::ExactMatch(id),
-            None => classify(&store, bound),
+            Some(id) if store.freshness(id).is_some_and(|f| f.serveable(true)) => {
+                QueryStatus::ExactMatch(id)
+            }
+            _ => classify_graded(&store, bound, true),
         };
         timing.check_ms += ms_since(check_start);
 
         let (ids, filtered, outcome) = match status {
             QueryStatus::ExactMatch(id) => {
+                let life = self.error_life_of(&store, id);
                 let entry = store.get(id).expect("exact map is consistent");
                 let result = Arc::clone(&entry.result);
                 let sim_ms = config.cost.cache_read_ms(entry.bytes);
                 drop(store);
                 let cached = result.len();
-                return Some(self.respond(result, Outcome::Exact, cached, sim_ms, timing, false));
+                let mut response =
+                    self.respond(result, Outcome::Exact, cached, sim_ms, timing, false);
+                self.apply_life(&mut response.metrics, &life, false);
+                return Some(response);
             }
             QueryStatus::ContainedBy(id) => {
+                let life = self.error_life_of(&store, id);
                 let entry = store.get(id).expect("classify returned a live id");
                 let plan = ContainedPlan {
                     result: Arc::clone(&entry.result),
                     columnar: entry.columnar.clone(),
                     coord_idx: entry.coord_indexes(&bound.reg.coord_columns),
                     sim_ms: config.cost.cache_read_ms(entry.bytes),
+                    life,
                 };
                 drop(store);
                 return match self.finish_contained(bound, &plan, timing, false) {
@@ -854,6 +1026,7 @@ impl ProxyHandle {
 
         // Snapshot the contributing entries, skipping malformed ones.
         let mut probe_sim_ms = 0.0;
+        let mut life = ServeLife::default();
         let mut parts: Vec<ProbePart> = Vec::with_capacity(ids.len());
         for &id in &ids {
             let entry = store.peek(id).expect("classify returned live ids");
@@ -865,6 +1038,7 @@ impl ProxyHandle {
             } else {
                 None
             };
+            life.absorb(&self.error_life_of(&store, id));
             probe_sim_ms += config.cost.cache_read_ms(entry.bytes);
             parts.push(ProbePart {
                 result: Arc::clone(&entry.result),
@@ -922,6 +1096,7 @@ impl ProxyHandle {
         response.metrics.degraded = true;
         response.metrics.rows_scanned = rows_scanned;
         response.metrics.rows_pruned = rows_pruned;
+        self.apply_life(&mut response.metrics, &life, false);
         Some(response)
     }
 
@@ -949,6 +1124,14 @@ impl ProxyHandle {
         // Bound the fan-in; prefer the largest cached parts.
         ids.sort_by_key(|id| std::cmp::Reverse(store.peek(*id).map_or(0, |e| e.bytes)));
         ids.truncate(config.max_merge_entries);
+
+        // Stale parts may still contribute (the merged result is
+        // re-anchored by the fresh remainder fetch, and region
+        // containment compacts them away); the response is flagged.
+        let mut life = ServeLife::default();
+        for &id in &ids {
+            life.absorb(&self.life_of(store, id));
+        }
 
         // Probe phase: snapshot each entry (shared, not deep-copied) and
         // charge the simulated read cost. Actual filtering is deferred
@@ -1003,6 +1186,7 @@ impl ProxyHandle {
             compact_ids,
             outcome,
             local_fallback: false,
+            life,
         }))
     }
 
@@ -1120,6 +1304,9 @@ impl ProxyHandle {
         response.metrics.rows_scanned = rows_scanned;
         response.metrics.rows_pruned = rows_pruned;
         response.metrics.local_fallback = plan.local_fallback;
+        // Stale probe parts flag the merged answer; no revalidation —
+        // the remainder fetch just refreshed this region's coverage.
+        self.apply_life(&mut response.metrics, &plan.life, false);
         Ok(response)
     }
 
@@ -1149,15 +1336,147 @@ impl ProxyHandle {
         }
     }
 
-    /// One origin interaction: execute + charge the cost model.
+    /// One origin interaction: execute + charge the cost model. A
+    /// successful fetch also picks up the origin's advertised
+    /// data-release epoch, bumping ours when the site moved ahead.
     fn fetch(&self, query: &Query, is_remainder: bool) -> Result<(ResultSet, f64), ProxyError> {
         let outcome = self.inner.origin.execute(query)?;
+        if let Some(epoch) = self.inner.origin.advertised_epoch() {
+            // No-op (and lock-free) unless the epoch actually advances.
+            self.set_epoch(epoch);
+        }
         let sim_ms = self
             .inner
             .config
             .cost
             .origin_ms(&outcome.stats, is_remainder);
         Ok((outcome.result, sim_ms))
+    }
+
+    /// Lifecycle facts about entry `id`, read under the held shard lock.
+    /// Stale (or Grace, on the error path) entries carry their exact SQL
+    /// for a background refresh.
+    fn life_of(&self, store: &CacheStore, id: u64) -> ServeLife {
+        if !self.inner.lifecycle_active {
+            return ServeLife::default();
+        }
+        let age_ms = store.entry_age_ms(id);
+        match store.freshness(id) {
+            Some(Freshness::Fresh) | None => ServeLife {
+                stale: false,
+                age_ms,
+                revalidate: None,
+            },
+            Some(_) => ServeLife {
+                stale: true,
+                age_ms,
+                revalidate: store.peek(id).map(|e| e.exact_sql.to_string()),
+            },
+        }
+    }
+
+    /// [`Self::life_of`] for the degraded path: same staleness facts,
+    /// but never a revalidation target — the origin is known down.
+    fn error_life_of(&self, store: &CacheStore, id: u64) -> ServeLife {
+        let mut life = self.life_of(store, id);
+        life.revalidate = None;
+        life
+    }
+
+    /// Folds a response's lifecycle facts into its metrics; when
+    /// `revalidate` is allowed and the serving entry was stale, spawns
+    /// the background refresh (stale-while-revalidate).
+    fn apply_life(&self, metrics: &mut QueryMetrics, life: &ServeLife, revalidate: bool) {
+        if life.age_ms > metrics.entry_age_ms {
+            metrics.entry_age_ms = life.age_ms;
+        }
+        if life.stale {
+            metrics.stale = true;
+            self.inner.stats.note_stale_hit();
+            if revalidate {
+                if let Some(sql) = &life.revalidate {
+                    self.spawn_revalidation(sql.clone());
+                }
+            }
+        }
+    }
+
+    /// Registers `sql` in the dedup set and spawns its background
+    /// refresh thread. A second stale hit on the same key while the
+    /// first refresh is in flight is a no-op — exactly one refresh per
+    /// expired key.
+    fn spawn_revalidation(&self, sql: String) {
+        {
+            let mut inflight = self
+                .inner
+                .revalidating
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if !inflight.insert(sql.clone()) {
+                return;
+            }
+        }
+        let handle = self.clone();
+        let spawned = std::thread::Builder::new()
+            .name("fp-revalidate".into())
+            .spawn({
+                let sql = sql.clone();
+                move || handle.revalidate(sql)
+            });
+        match spawned {
+            Ok(thread) => self
+                .inner
+                .reval_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(thread),
+            Err(_) => {
+                // Could not spawn: release the reservation so a later
+                // stale hit can retry.
+                self.inner
+                    .revalidating
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&sql);
+            }
+        }
+    }
+
+    /// The background refresh body: re-resolve the entry's own SQL,
+    /// skip if someone already refreshed it, fetch on the resilient
+    /// origin path, and replace the entry on success. A failed fetch
+    /// leaves the stale entry in place — that is what stale-if-error
+    /// serves during the outage.
+    fn revalidate(&self, sql: String) {
+        if let Some(Ok(bound)) = self.inner.manager.resolve_sql(&sql) {
+            let already_fresh = {
+                let (store, _) = self.inner.store.lock(&bound.residual_key);
+                store
+                    .lookup_exact(&bound.sql)
+                    .and_then(|id| store.freshness(id))
+                    == Some(Freshness::Fresh)
+            };
+            if !already_fresh {
+                self.inner.stats.note_revalidation();
+                if let Ok((result, _sim_ms)) = self.fetch(&bound.query, false) {
+                    let truncated = bound.query.top.is_some_and(|n| result.len() as u64 >= n);
+                    let (mut store, _) = self.inner.store.lock(&bound.residual_key);
+                    store.insert(
+                        &bound.residual_key,
+                        bound.region.clone(),
+                        result,
+                        truncated,
+                        &bound.sql,
+                        &bound.reg.coord_columns,
+                    );
+                }
+            }
+        }
+        self.inner
+            .revalidating
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&sql);
     }
 
     fn note_lock_wait(&self, timing: &mut Timing, wait: std::time::Duration) {
@@ -1212,7 +1531,146 @@ impl ProxyHandle {
             rows_pruned: 0,
             local_fallback: false,
             degraded: false,
+            stale: false,
+            entry_age_ms: 0.0,
         }
+    }
+
+    /// End-of-request snapshot check: when persistence is configured and
+    /// the virtual-clock schedule is due, write the shards that changed.
+    /// `try_lock` keeps concurrent requests from queueing behind one
+    /// writer; write errors are swallowed (a failed snapshot must never
+    /// fail a query — the previous snapshot generation stays on disk).
+    fn maybe_snapshot(&self) {
+        let (Some(sched), Some(policy)) = (&self.inner.snap, &self.inner.config.lifecycle.snapshot)
+        else {
+            return;
+        };
+        let Ok(mut s) = sched.try_lock() else { return };
+        let now = self.inner.clock.now();
+        if now < s.next_due {
+            return;
+        }
+        s.next_due = now + policy.interval;
+        let _ = self.write_snapshots(&policy.dir, &mut s.written_gens);
+    }
+
+    /// Forces a snapshot pass now (shutdown hooks, tests). Returns how
+    /// many shard files were written; unchanged shards are skipped.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors. A partially completed pass leaves
+    /// every already-written shard file valid (each is written to a
+    /// temporary file and atomically renamed).
+    pub fn snapshot_now(&self) -> io::Result<usize> {
+        let (Some(sched), Some(policy)) = (&self.inner.snap, &self.inner.config.lifecycle.snapshot)
+        else {
+            return Ok(0);
+        };
+        let mut s = sched.lock().unwrap_or_else(|e| e.into_inner());
+        self.write_snapshots(&policy.dir, &mut s.written_gens)
+    }
+
+    /// One snapshot pass: serialize each dirty shard's entries (with
+    /// relative lifecycle stamps) into the checksummed segment format.
+    fn write_snapshots(&self, dir: &Path, written_gens: &mut [u64]) -> io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let epoch = self.current_epoch();
+        let mut written = 0;
+        for (i, written_gen) in written_gens.iter_mut().enumerate() {
+            let dirty = {
+                let store = self.inner.store.lock_shard(i);
+                let generation = store.generation();
+                if generation == *written_gen {
+                    None
+                } else {
+                    let now = store.now();
+                    let segments: Vec<Vec<u8>> = store
+                        .iter_entries()
+                        .map(|e| entry_to_xml(e, now).to_xml().into_bytes())
+                        .collect();
+                    Some((generation, segments))
+                }
+            };
+            let Some((generation, segments)) = dirty else {
+                continue;
+            };
+            write_snapshot_file(&dir.join(format!("shard_{i}.fpsnap")), epoch, &segments)?;
+            *written_gen = generation;
+            written += 1;
+        }
+        if written > 0 {
+            self.inner.stats.note_snapshot_writes(written);
+        }
+        Ok(written)
+    }
+
+    /// Startup recovery: load every `*.fpsnap` file in `dir`,
+    /// corruption-tolerantly — an unreadable file or segment is counted
+    /// and skipped, never fatal. Entries are re-anchored onto the live
+    /// clock via their relative stamps; entries from an older epoch (or
+    /// aged past every serve window) are dropped by the store. Finishes
+    /// by advancing to the highest epoch seen on disk.
+    fn recover_from(&self, dir: &Path) {
+        let Ok(listing) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<std::path::PathBuf> = listing
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "fpsnap"))
+            .collect();
+        files.sort();
+        let mut max_epoch = self.inner.config.lifecycle.epoch;
+        let mut recovered = 0usize;
+        for path in &files {
+            match read_snapshot_file(path) {
+                // Bad magic/version/header: the whole file is one
+                // corrupt unit.
+                Err(_) => self.inner.stats.note_snapshot_corrupt(1),
+                Ok(file) => {
+                    max_epoch = max_epoch.max(file.epoch);
+                    if file.corrupt_segments > 0 {
+                        self.inner
+                            .stats
+                            .note_snapshot_corrupt(file.corrupt_segments);
+                    }
+                    for segment in &file.segments {
+                        let parsed = std::str::from_utf8(segment)
+                            .ok()
+                            .and_then(|text| Element::parse(text).ok())
+                            .and_then(|doc| entry_from_xml(&doc));
+                        match parsed {
+                            Some((
+                                (residual_key, region, result, truncated, sql, coord_idx),
+                                stamp,
+                            )) => {
+                                let (mut store, _) = self.inner.store.lock(&residual_key);
+                                let restored = store.insert_restored(
+                                    &residual_key,
+                                    region,
+                                    result,
+                                    truncated,
+                                    &sql,
+                                    &coord_idx,
+                                    &stamp,
+                                );
+                                if restored.is_some() {
+                                    recovered += 1;
+                                }
+                            }
+                            // A checksum-valid segment that fails to
+                            // parse still counts as corrupt.
+                            None => self.inner.stats.note_snapshot_corrupt(1),
+                        }
+                    }
+                }
+            }
+        }
+        if recovered > 0 {
+            self.inner.stats.note_recovered_entries(recovered);
+        }
+        self.set_epoch(max_epoch);
     }
 }
 

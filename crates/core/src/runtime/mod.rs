@@ -52,6 +52,11 @@ pub struct RuntimeStats {
     lock_wait_ns: AtomicU64,
     degraded_hits: AtomicUsize,
     degraded_partial_rows: AtomicUsize,
+    stale_hits: AtomicUsize,
+    revalidations: AtomicUsize,
+    snapshot_writes: AtomicUsize,
+    recovered_entries: AtomicUsize,
+    snapshot_corrupt_segments: AtomicUsize,
 }
 
 impl RuntimeStats {
@@ -84,6 +89,27 @@ impl RuntimeStats {
         self.degraded_hits.fetch_add(1, Ordering::Relaxed);
         self.degraded_partial_rows
             .fetch_add(partial_rows, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stale_hit(&self) {
+        self.stale_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_revalidation(&self) {
+        self.revalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_snapshot_writes(&self, files: usize) {
+        self.snapshot_writes.fetch_add(files, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_recovered_entries(&self, entries: usize) {
+        self.recovered_entries.fetch_add(entries, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_snapshot_corrupt(&self, segments: usize) {
+        self.snapshot_corrupt_segments
+            .fetch_add(segments, Ordering::Relaxed);
     }
 }
 
@@ -128,6 +154,26 @@ pub struct RuntimeSnapshot {
     /// Breaker state at snapshot time (`"none"` without a resilience
     /// layer).
     pub breaker_state: &'static str,
+    /// Milliseconds until an open breaker admits its next probe (`0`
+    /// unless the breaker is open right now).
+    pub breaker_retry_after_ms: u64,
+    /// Requests answered from expired entries (stale-while-revalidate
+    /// or stale-if-error).
+    pub stale_hits: usize,
+    /// Background refreshes that reached the origin on behalf of stale
+    /// entries.
+    pub revalidations: usize,
+    /// Entries retired by data-release epoch bumps (across all shards).
+    pub epoch_invalidations: usize,
+    /// Entries retired for aging past every staleness window.
+    pub entries_expired: usize,
+    /// Snapshot shard files written so far.
+    pub snapshot_writes: usize,
+    /// Entries recovered from disk at startup.
+    pub recovered_entries: usize,
+    /// Snapshot segments (or whole files) skipped as corrupt during
+    /// recovery.
+    pub snapshot_corrupt_segments: usize,
 }
 
 impl RuntimeStats {
@@ -154,6 +200,14 @@ impl RuntimeStats {
             origin_fast_fails: 0,
             breaker_opens: 0,
             breaker_state: "none",
+            breaker_retry_after_ms: 0,
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
+            revalidations: self.revalidations.load(Ordering::Relaxed),
+            epoch_invalidations: 0,
+            entries_expired: 0,
+            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+            snapshot_corrupt_segments: self.snapshot_corrupt_segments.load(Ordering::Relaxed),
         }
     }
 }

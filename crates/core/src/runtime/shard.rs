@@ -10,9 +10,10 @@
 
 use crate::cache::{CacheStats, CacheStore};
 use crate::config::ProxyConfig;
+use crate::resilience::{Clock, SystemClock};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// `N` independently locked [`CacheStore`]s, keyed by residual key.
@@ -30,15 +31,29 @@ impl ShardedStore {
     /// Builds `shards` stores per `config` (at least one). A `Some`
     /// capacity is split evenly; `None` stays unbounded everywhere.
     pub fn new(config: &ProxyConfig, shards: usize) -> Self {
+        Self::with_clock(config, shards, Arc::new(SystemClock))
+    }
+
+    /// [`Self::new`] with an injected clock for the shards' lifecycle
+    /// timing. When the config's lifecycle is inert the shards stay
+    /// clock-free — inserts are not stamped, nothing ever expires.
+    pub fn with_clock(config: &ProxyConfig, shards: usize, clock: Arc<dyn Clock>) -> Self {
         let n = shards.max(1);
         let per_shard = config.capacity.map(|total| (total / n).max(1));
+        let lifecycle = Arc::new(config.lifecycle.clone());
         let shards = (0..n)
             .map(|_| {
-                Mutex::new(CacheStore::with_replacement(
-                    config.description,
-                    per_shard,
-                    config.replacement,
-                ))
+                Mutex::new(if config.lifecycle.is_active() {
+                    CacheStore::with_lifecycle(
+                        config.description,
+                        per_shard,
+                        config.replacement,
+                        Arc::clone(&lifecycle),
+                        Arc::clone(&clock),
+                    )
+                } else {
+                    CacheStore::with_replacement(config.description, per_shard, config.replacement)
+                })
             })
             .collect();
         ShardedStore { shards }
@@ -67,6 +82,12 @@ impl ShardedStore {
         (guard, start.elapsed())
     }
 
+    /// Locks shard `index` directly (snapshot writer, epoch bumps —
+    /// operations that walk every shard rather than one residual key).
+    pub fn lock_shard(&self, index: usize) -> MutexGuard<'_, CacheStore> {
+        self.shards[index].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Statistics aggregated across all shards.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
@@ -76,6 +97,8 @@ impl ShardedStore {
             total.bytes += s.bytes;
             total.evictions += s.evictions;
             total.compactions += s.compactions;
+            total.expired += s.expired;
+            total.epoch_invalidations += s.epoch_invalidations;
         }
         total
     }

@@ -256,6 +256,8 @@ mod tests {
                 rows_pruned: 0,
                 local_fallback: false,
                 degraded: false,
+                stale: false,
+                entry_age_ms: 0.0,
             },
         }
     }

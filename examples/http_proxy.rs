@@ -5,13 +5,19 @@
 //! HTTP stack.
 //!
 //! ```sh
-//! cargo run --example http_proxy
+//! cargo run --example http_proxy [-- --ttl <secs>] [--snapshot-dir <path>] [--epoch <n>]
 //! ```
+//!
+//! `--ttl` gives every cached entry a freshness lifetime (expired entries
+//! are served stale while a background refresh runs), `--snapshot-dir`
+//! persists the cache for a warm restart, and `--epoch` declares the
+//! origin's current data-release epoch (entries from older epochs are
+//! invalidated).
 
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
 use fp_suite::proxy::{
-    CostModel, Origin, OriginError, ProxyConfig, ProxyError, ProxyHandle, Scheme,
+    CostModel, LifecycleConfig, Origin, OriginError, ProxyConfig, ProxyError, ProxyHandle, Scheme,
 };
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
@@ -87,11 +93,21 @@ impl Origin for HttpOrigin {
 /// `503 Service Unavailable` with a `Retry-After` hint, a permanent
 /// origin rejection becomes `502 Bad Gateway`, and anything else is the
 /// client's fault (`400`).
-fn error_response(error: &ProxyError) -> Response {
+///
+/// `Retry-After` reports the breaker's actual remaining-open time when
+/// the breaker is what is rejecting requests — the honest answer to
+/// "when is it worth asking again" — falling back to the error's own
+/// hint, then to one second.
+fn error_response(handle: &ProxyHandle, error: &ProxyError) -> Response {
     match error {
         ProxyError::Origin(e) if e.is_transient() => {
             let mut resp = Response::error(Status::SERVICE_UNAVAILABLE, &error.to_string());
-            let secs = e.retry_after().map_or(1, |d| d.as_secs().max(1));
+            let breaker_ms = handle.runtime_stats().breaker_retry_after_ms;
+            let secs = if breaker_ms > 0 {
+                breaker_ms.div_ceil(1000).max(1)
+            } else {
+                e.retry_after().map_or(1, |d| d.as_secs().max(1))
+            };
             resp.headers.set("Retry-After", secs.to_string());
             resp
         }
@@ -122,9 +138,17 @@ fn proxy_router(handle: ProxyHandle) -> Router {
                         .set("X-Coalesced", r.metrics.coalesced.to_string());
                     resp.headers
                         .set("X-Degraded", r.metrics.degraded.to_string());
+                    resp.headers.set("X-Stale", r.metrics.stale.to_string());
+                    if r.metrics.stale || r.metrics.degraded {
+                        // RFC 9111 §5.5: 110 = "Response is Stale". Covers
+                        // both an expired entry being revalidated and a
+                        // degraded (partial, origin-down) answer.
+                        resp.headers
+                            .set("Warning", "110 funcproxy \"Response is stale\"");
+                    }
                     resp
                 }
-                Err(e) => error_response(&e),
+                Err(e) => error_response(&form_handle, &e),
             }
         })
         .route("/sql", move |req: &Request| {
@@ -133,12 +157,46 @@ fn proxy_router(handle: ProxyHandle) -> Router {
             };
             match handle.handle_sql_xml(&sql) {
                 Ok(r) => Response::ok("text/xml", r.body),
-                Err(e) => error_response(&e),
+                Err(e) => error_response(&handle, &e),
             }
         })
 }
 
 fn main() {
+    // 0. Lifecycle flags (all optional; without them the cache never
+    //    expires and nothing is persisted — the pre-lifecycle behaviour).
+    let mut ttl_secs: Option<u64> = None;
+    let mut snapshot_dir: Option<std::path::PathBuf> = None;
+    let mut epoch: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ttl" => ttl_secs = args.next().and_then(|s| s.parse().ok()),
+            "--snapshot-dir" => snapshot_dir = args.next().map(Into::into),
+            "--epoch" => epoch = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            other => {
+                eprintln!(
+                    "unknown option `{other}` \
+                     (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut lifecycle = LifecycleConfig::default().with_epoch(epoch);
+    if let Some(secs) = ttl_secs {
+        let ttl = std::time::Duration::from_secs(secs.max(1));
+        lifecycle = lifecycle
+            .with_default_ttl(ttl)
+            // Serve expired entries (while refreshing) for one more TTL,
+            // and keep them usable through origin outages for ten.
+            .with_stale_while_revalidate(ttl)
+            .with_stale_if_error(ttl * 10);
+    }
+    if let Some(dir) = &snapshot_dir {
+        lifecycle = lifecycle.with_snapshot(dir.clone(), std::time::Duration::from_secs(5));
+    }
+
     // 1. The origin web site.
     println!("starting the origin site…");
     let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
@@ -155,8 +213,19 @@ fn main() {
         Arc::new(origin),
         ProxyConfig::default()
             .with_scheme(Scheme::FullSemantic)
-            .with_cost(CostModel::free()),
+            .with_cost(CostModel::free())
+            .with_lifecycle(lifecycle),
     );
+    if handle.runtime_stats().recovered_entries > 0 {
+        println!(
+            "recovered {} cache entries from {}",
+            handle.runtime_stats().recovered_entries,
+            snapshot_dir
+                .as_deref()
+                .unwrap_or(std::path::Path::new("?"))
+                .display()
+        );
+    }
     let proxy_server =
         HttpServer::bind("127.0.0.1:0", proxy_router(handle.clone())).expect("proxy binds");
     println!(
@@ -212,6 +281,12 @@ fn main() {
         handle.shard_count()
     );
 
+    if snapshot_dir.is_some() {
+        match handle.snapshot_now() {
+            Ok(files) => println!("final snapshot: {files} shard files written"),
+            Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
+    }
     proxy_server.shutdown();
     origin_server.shutdown();
     println!("servers stopped.");

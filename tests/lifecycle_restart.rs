@@ -1,0 +1,206 @@
+//! Kill-restart recovery: snapshot a warmed proxy mid-trace, drop it,
+//! rebuild from disk, and finish the trace — the warm restart must
+//! recover the fresh entries (serving byte-identical answers) and land
+//! within five hit-rate points of a proxy that never restarted. A
+//! corrupted snapshot loses exactly the damaged segments, never the
+//! startup.
+
+use fp_suite::proxy::metrics::Outcome;
+use fp_suite::proxy::resilience::{Clock, MockClock};
+use fp_suite::proxy::template::TemplateManager;
+use fp_suite::proxy::{
+    CostModel, LifecycleConfig, Origin, ProxyConfig, ProxyHandle, Scheme, SiteOrigin,
+};
+use fp_suite::skyserver::{Catalog, CatalogSpec, SkySite};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn site() -> &'static SkySite {
+    static SITE: OnceLock<SkySite> = OnceLock::new();
+    SITE.get_or_init(|| {
+        SkySite::new(Catalog::generate(&CatalogSpec {
+            seed: 13,
+            objects: 8_000,
+            ..CatalogSpec::default()
+        }))
+    })
+}
+
+/// Twelve well-separated radial queries: each is its own cache entry.
+fn base_queries() -> Vec<Vec<(String, String)>> {
+    (0..12)
+        .map(|i| {
+            vec![
+                (
+                    "ra".to_string(),
+                    format!("{:.4}", 30.0 + 25.0 * f64::from(i)),
+                ),
+                (
+                    "dec".to_string(),
+                    format!("{:.4}", -20.0 + 4.0 * f64::from(i)),
+                ),
+                ("radius".to_string(), "8.0000".to_string()),
+            ]
+        })
+        .collect()
+}
+
+/// The full trace: every base query once (all misses), then every base
+/// query again plus three fresh positions (12 hits + 3 misses).
+fn trace() -> (Vec<Vec<(String, String)>>, usize) {
+    let base = base_queries();
+    let mut all = base.clone();
+    all.extend(base);
+    for i in 0..3 {
+        all.push(vec![
+            (
+                "ra".to_string(),
+                format!("{:.4}", 40.0 + 30.0 * f64::from(i)),
+            ),
+            (
+                "dec".to_string(),
+                format!("{:.4}", 55.0 - 3.0 * f64::from(i)),
+            ),
+            ("radius".to_string(), "6.0000".to_string()),
+        ]);
+    }
+    let first_half = 12;
+    (all, first_half)
+}
+
+fn make_handle(clock: &Arc<MockClock>, snapshot_dir: Option<&Path>, shards: usize) -> ProxyHandle {
+    let mut lifecycle = LifecycleConfig::default()
+        .with_default_ttl(Duration::from_secs(3600))
+        .with_epoch(1);
+    if let Some(dir) = snapshot_dir {
+        // Interval far beyond the test: snapshots happen via
+        // `snapshot_now` only, deterministically.
+        lifecycle = lifecycle.with_snapshot(dir.to_path_buf(), Duration::from_secs(3600));
+    }
+    ProxyHandle::with_shards_clocked(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(SiteOrigin::new(site().clone())) as Arc<dyn Origin>,
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free())
+            .with_lifecycle(lifecycle),
+        shards,
+        Arc::clone(clock) as Arc<dyn Clock>,
+    )
+}
+
+/// Replays `queries` and returns (hits, bodies) — hit = exact/contained.
+fn replay(handle: &ProxyHandle, queries: &[Vec<(String, String)>]) -> (usize, Vec<Vec<u8>>) {
+    let mut hits = 0;
+    let mut bodies = Vec::with_capacity(queries.len());
+    for q in queries {
+        let r = handle.handle_form_xml("/search/radial", q).expect("serves");
+        hits += usize::from(matches!(
+            r.metrics.outcome,
+            Outcome::Exact | Outcome::Contained
+        ));
+        bodies.push(r.body);
+    }
+    (hits, bodies)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn warm_restart_recovers_the_cache_and_its_hit_rate() {
+    let (all, half) = trace();
+    let clock = MockClock::shared();
+
+    // Baseline: one proxy lives through the whole trace.
+    let baseline = make_handle(&clock, None, 4);
+    replay(&baseline, &all[..half]);
+    let (baseline_hits, baseline_bodies) = replay(&baseline, &all[half..]);
+    assert!(baseline_hits >= 12, "the repeated queries must hit");
+
+    // Restarted: snapshot after the first half, drop, recover, finish.
+    let dir = fresh_dir("fp_lifecycle_restart_clean");
+    let before = make_handle(&clock, Some(&dir), 4);
+    let (_, warm_bodies) = replay(&before, &all[..half]);
+    let files = before.snapshot_now().expect("snapshot writes");
+    assert!(files >= 1, "warmed shards must produce snapshot files");
+    drop(before);
+
+    let after = make_handle(&clock, Some(&dir), 4);
+    let stats = after.runtime_stats();
+    assert_eq!(
+        stats.recovered_entries, half,
+        "every fresh entry must be recovered"
+    );
+    assert_eq!(stats.snapshot_corrupt_segments, 0);
+
+    // Recovered entries serve byte-identical answers...
+    let (restart_hits, restart_bodies) = replay(&after, &all[half..]);
+    for (got, want) in restart_bodies.iter().zip(&baseline_bodies) {
+        assert_eq!(got, want, "restarted proxy diverged from the baseline");
+    }
+    assert_eq!(warm_bodies[0], restart_bodies[0], "recovered entry bytes");
+
+    // ...and the hit rate stays within five points of never restarting.
+    let n = all.len() - half;
+    let baseline_rate = baseline_hits as f64 / n as f64;
+    let restart_rate = restart_hits as f64 / n as f64;
+    assert!(
+        (baseline_rate - restart_rate).abs() <= 0.05,
+        "hit rate drifted: baseline {baseline_rate:.2}, restarted {restart_rate:.2}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_snapshot_loads_partially_without_panicking() {
+    let (all, half) = trace();
+    let clock = MockClock::shared();
+
+    // One shard → one snapshot file holding all twelve entries.
+    let dir = fresh_dir("fp_lifecycle_restart_corrupt");
+    let before = make_handle(&clock, Some(&dir), 1);
+    let (_, warm_bodies) = replay(&before, &all[..half]);
+    assert_eq!(before.snapshot_now().expect("snapshot writes"), 1);
+    drop(before);
+
+    // Damage the file: flip a byte inside the first segment's payload
+    // (CRC mismatch) and cut the tail mid-segment (truncation).
+    let path = dir.join("shard_0.fpsnap");
+    let mut data = std::fs::read(&path).expect("snapshot exists");
+    let header_len = 8 + 4 + 8;
+    data[header_len + 8 + 2] ^= 0xFF;
+    let keep = data.len() - 40;
+    std::fs::write(&path, &data[..keep]).expect("rewrite damaged snapshot");
+
+    let after = make_handle(&clock, Some(&dir), 1);
+    let stats = after.runtime_stats();
+    assert!(
+        stats.snapshot_corrupt_segments >= 2,
+        "bit-flip and truncation must both be counted, got {}",
+        stats.snapshot_corrupt_segments
+    );
+    assert!(
+        stats.recovered_entries >= half.saturating_sub(2 + stats.snapshot_corrupt_segments)
+            && stats.recovered_entries < half,
+        "partial recovery expected, got {} of {half}",
+        stats.recovered_entries
+    );
+
+    // Whatever survived serves byte-identical exact hits; the damaged
+    // entries are ordinary misses, not errors.
+    let mut exact = 0;
+    for (q, want) in all[..half].iter().zip(&warm_bodies) {
+        let r = after.handle_form_xml("/search/radial", q).expect("serves");
+        if matches!(r.metrics.outcome, Outcome::Exact) {
+            assert_eq!(&r.body, want, "recovered entry must serve its old bytes");
+            exact += 1;
+        }
+    }
+    assert_eq!(exact, stats.recovered_entries, "survivors all serve exact");
+    std::fs::remove_dir_all(&dir).ok();
+}
