@@ -196,6 +196,71 @@ fn headline_speedup(_c: &mut Criterion) {
     );
 }
 
+/// The observability acceptance number: what the observe layer adds to
+/// one exact-hit serve — a sampled-trace decision, three phase records,
+/// one outcome record, and one span — as a fraction of the columnar
+/// serve latency at a 10 000-row entry. Must stay ≤ 5 %.
+fn headline_observe_overhead(_c: &mut Criterion) {
+    use funcproxy::observe::{OutcomeClass, PathClass, Phase};
+    use funcproxy::{ObserveConfig, Observer};
+
+    let rs = entry(10_000, 7);
+    let col = ColumnarRows::build(&rs, &COORD_IDX).expect("numeric entry");
+    let region = ball(0.10);
+    let iters = 100u32;
+    // Best-of-three wall times so scheduler noise cannot fake (or mask)
+    // an overhead regression.
+    fn measure<F: FnMut()>(iters: u32, mut body: F) -> std::time::Duration {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    body();
+                }
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    }
+
+    let (mut selected, mut point) = (Vec::new(), Vec::new());
+    let bare = measure(iters, || {
+        col.select_region(&region, &mut selected, &mut point);
+        black_box(col.assemble_document(&selected));
+    });
+
+    // The same serve plus exactly the recording the runtime performs on
+    // an exact hit, at the default 1-in-16 trace sampling.
+    let obs = Observer::new(&ObserveConfig::default());
+    let (mut s2, mut p2) = (Vec::new(), Vec::new());
+    let instrumented = measure(iters, || {
+        let _trace = obs.begin_trace();
+        let req = Instant::now();
+        col.select_region(&region, &mut s2, &mut p2);
+        black_box(col.assemble_document(&s2));
+        obs.record_phase(Phase::Classify, PathClass::Hit, 0.01);
+        obs.record_phase(Phase::LocalEval, PathClass::Hit, 0.5);
+        obs.record_phase(Phase::Serialize, PathClass::Hit, 0.4);
+        obs.record_outcome(OutcomeClass::Exact, 1.0);
+        obs.span("request", "proxy", req, req.elapsed(), || {
+            Some("exact".into())
+        });
+    });
+
+    let overhead =
+        (instrumented.as_secs_f64() - bare.as_secs_f64()) / bare.as_secs_f64().max(1e-12) * 100.0;
+    println!(
+        "observe overhead: {:.2}% of exact-hit serve latency ({:.3} ms instrumented vs {:.3} ms bare per hit)",
+        overhead.max(0.0),
+        instrumented.as_secs_f64() * 1e3 / f64::from(iters),
+        bare.as_secs_f64() * 1e3 / f64::from(iters),
+    );
+    assert!(
+        overhead < 5.0,
+        "observe recording must stay under 5% of serve latency (measured {overhead:.2}%)"
+    );
+}
+
 criterion_group!(
     benches,
     bench_hit_select,
@@ -203,5 +268,6 @@ criterion_group!(
     bench_micro_index,
     bench_build,
     headline_speedup,
+    headline_observe_overhead,
 );
 criterion_main!(benches);

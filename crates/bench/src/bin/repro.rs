@@ -120,6 +120,18 @@ fn main() {
             Ok(()) => eprintln!("# wrote {path}"),
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
+        // Persist the per-phase/per-outcome latency quantiles from the
+        // runtime's histograms — the same distributions `/metrics`
+        // exposes, on fixed axes for run-over-run comparison.
+        let percentiles = t.latency_percentiles();
+        let path = "BENCH_latency_percentiles.json";
+        match std::fs::write(
+            path,
+            serde_json::to_string(&percentiles).expect("serializes"),
+        ) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
     }
     if want("chaos") {
         let t = exp.chaos();

@@ -20,9 +20,11 @@ use crate::Experiment;
 use fp_skyserver::SkySite;
 use fp_trace::{Rbe, Trace};
 use funcproxy::metrics::Outcome;
+use funcproxy::observe::{OutcomeClass, PathClass, Phase};
 use funcproxy::origin::CountingOrigin;
 use funcproxy::runtime::RuntimeSnapshot;
 use funcproxy::template::TemplateManager;
+use funcproxy::LatencySummary;
 use funcproxy::{CostModel, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
 use serde::Serialize;
 use std::sync::Arc;
@@ -45,6 +47,13 @@ pub struct ThroughputRow {
     pub p50_ms: f64,
     /// 99th-percentile measured per-request latency at the proxy, ms.
     pub p99_ms: f64,
+    /// 90th-percentile per-request latency from the runtime's lock-free
+    /// histograms (log-bucketed, ≤ 1 % relative error) — the same
+    /// numbers `/metrics` exposes, cross-checking the exact sort above.
+    pub p90_ms: f64,
+    /// 99.9th-percentile per-request latency from the runtime's
+    /// histograms.
+    pub p999_ms: f64,
     /// Origin fetches actually issued.
     pub origin_fetches: usize,
     /// Requests answered by piggybacking on another request's flight.
@@ -85,6 +94,51 @@ pub struct Throughput {
     pub origin_delay_ms: u64,
     /// Rows, ordered by client count.
     pub rows: Vec<ThroughputRow>,
+    /// Per-phase and per-outcome latency distributions for each client
+    /// count, drained from the runtime's histograms after the replay.
+    pub latency: Vec<LatencyPercentilesRow>,
+}
+
+/// The `BENCH_latency_percentiles.json` artifact: per-phase and
+/// per-outcome latency quantiles from the runtime's lock-free
+/// histograms, per swept client count.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyPercentilesReport {
+    /// Simulated per-fetch origin delay, ms.
+    pub origin_delay_ms: u64,
+    /// One entry per swept client count.
+    pub rows: Vec<LatencyPercentilesRow>,
+}
+
+/// One client count's latency distributions.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyPercentilesRow {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// One entry per (phase, path class) cell that recorded samples.
+    pub phases: Vec<PhasePercentiles>,
+    /// One entry per outcome class that recorded samples.
+    pub outcomes: Vec<OutcomePercentiles>,
+}
+
+/// Quantiles for one (phase, path-class) histogram cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhasePercentiles {
+    /// Request phase (`classify`, `local_eval`, `origin_fetch`, ...).
+    pub phase: String,
+    /// Path class (`hit`, `miss`, `background`).
+    pub path: String,
+    /// Samples recorded, and the p50/p90/p99/p999 quantiles in ms.
+    pub summary: LatencySummary,
+}
+
+/// Quantiles for one outcome class's request-latency histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct OutcomePercentiles {
+    /// Outcome class (`exact`, `contained`, `miss`, `degraded`, ...).
+    pub class: String,
+    /// Samples recorded, and the p50/p90/p99/p999 quantiles in ms.
+    pub summary: LatencySummary,
 }
 
 /// The `BENCH_hit_latency.json` artifact: the cache-hit serve path's
@@ -117,6 +171,15 @@ pub struct HitLatencyRow {
 }
 
 impl Throughput {
+    /// Projects the histogram quantiles into the
+    /// `BENCH_latency_percentiles.json` artifact.
+    pub fn latency_percentiles(&self) -> LatencyPercentilesReport {
+        LatencyPercentilesReport {
+            origin_delay_ms: self.origin_delay_ms,
+            rows: self.latency.clone(),
+        }
+    }
+
     /// Projects the hit-path columns into the perf-trajectory artifact.
     pub fn hit_latency(&self) -> HitLatencyReport {
         HitLatencyReport {
@@ -146,16 +209,18 @@ impl std::fmt::Display for Throughput {
         )?;
         writeln!(
             f,
-            "  clients |     qps | p50 ms | p99 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights | degraded | timeouts | stale | revalidated"
+            "  clients |     qps | p50 ms | p90 ms | p99 ms | p999 ms | hit p50 | hit p99 | scanned | pruned | fetches | coalesced | dup avoided | lock wait ms | peak flights | degraded | timeouts | stale | revalidated"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12} | {:>8} | {:>8} | {:>5} | {:>11}",
+                "  {:>7} | {:>7.1} | {:>6.1} | {:>6.1} | {:>6.1} | {:>7.1} | {:>7.3} | {:>7.3} | {:>7} | {:>6} | {:>7} | {:>9} | {:>11} | {:>12.2} | {:>12} | {:>8} | {:>8} | {:>5} | {:>11}",
                 r.threads,
                 r.qps,
                 r.p50_ms,
+                r.p90_ms,
                 r.p99_ms,
+                r.p999_ms,
                 r.hit_p50_ms,
                 r.hit_p99_ms,
                 r.rows_scanned,
@@ -180,13 +245,14 @@ impl Experiment {
     /// a fresh shared handle, with `origin_delay` of simulated WAN +
     /// origin time per fetch.
     pub fn throughput(&self, thread_counts: &[usize], origin_delay: Duration) -> Throughput {
-        let rows = thread_counts
+        let (rows, latency) = thread_counts
             .iter()
             .map(|&threads| run_once(&self.site, &self.trace, threads, origin_delay))
-            .collect();
+            .unzip();
         Throughput {
             origin_delay_ms: origin_delay.as_millis() as u64,
             rows,
+            latency,
         }
     }
 }
@@ -202,7 +268,12 @@ pub fn thread_sweep(max: usize) -> Vec<usize> {
     counts
 }
 
-fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> ThroughputRow {
+fn run_once(
+    site: &SkySite,
+    trace: &Trace,
+    threads: usize,
+    delay: Duration,
+) -> (ThroughputRow, LatencyPercentilesRow) {
     let counting = Arc::new(CountingOrigin::with_delay(
         Arc::new(SiteOrigin::new(site.clone())),
         delay,
@@ -237,12 +308,14 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
     hit_latencies.sort_by(f64::total_cmp);
 
     let snapshot: RuntimeSnapshot = handle.runtime_stats();
-    ThroughputRow {
+    let row = ThroughputRow {
         threads,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         qps: trace.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
+        p90_ms: snapshot.request_latency.p90_ms,
+        p999_ms: snapshot.request_latency.p999_ms,
         origin_fetches: counting.fetches(),
         coalesced: snapshot.coalesced_exact + snapshot.coalesced_contained,
         duplicate_fetches_avoided: snapshot.duplicate_fetches_avoided,
@@ -257,6 +330,41 @@ fn run_once(site: &SkySite, trace: &Trace, threads: usize, delay: Duration) -> T
         origin_timeouts: snapshot.origin_timeouts,
         stale_hits: snapshot.stale_hits,
         revalidations: snapshot.revalidations,
+    };
+    (row, latency_row(&handle, threads))
+}
+
+/// Drains every non-empty histogram cell from the handle's observer
+/// into one serializable latency row.
+fn latency_row(handle: &ProxyHandle, threads: usize) -> LatencyPercentilesRow {
+    let obs = handle.observer();
+    let phases = Phase::ALL
+        .iter()
+        .flat_map(|&phase| {
+            PathClass::ALL.iter().filter_map(move |&path| {
+                let snap = obs.phase_histogram(phase, path).snapshot();
+                (snap.count() > 0).then(|| PhasePercentiles {
+                    phase: phase.label().to_string(),
+                    path: path.label().to_string(),
+                    summary: LatencySummary::from_snapshot(&snap),
+                })
+            })
+        })
+        .collect();
+    let outcomes = OutcomeClass::ALL
+        .iter()
+        .filter_map(|&class| {
+            let snap = obs.outcome_histogram(class).snapshot();
+            (snap.count() > 0).then(|| OutcomePercentiles {
+                class: class.label().to_string(),
+                summary: LatencySummary::from_snapshot(&snap),
+            })
+        })
+        .collect();
+    LatencyPercentilesRow {
+        threads,
+        phases,
+        outcomes,
     }
 }
 
@@ -320,6 +428,21 @@ mod tests {
             assert!(r.hits > 0, "replay must produce cache hits");
             assert!(r.hit_p99_ms >= r.hit_p50_ms);
             assert!(r.rows_scanned > 0, "hits evaluate cached rows");
+        }
+        // The histogram-backed columns and the percentile artifact are
+        // populated: every client count records phases and outcomes.
+        assert_eq!(t.latency.len(), t.rows.len());
+        for (r, l) in t.rows.iter().zip(&t.latency) {
+            assert!(r.p999_ms >= r.p90_ms, "quantiles must be ordered");
+            assert!(!l.phases.is_empty(), "phases recorded");
+            assert!(!l.outcomes.is_empty(), "outcomes recorded");
+            assert!(
+                l.phases.iter().any(|p| p.phase == "origin_fetch"),
+                "origin fetches must be observed"
+            );
+            // Every replayed query records exactly one outcome sample.
+            let total: u64 = l.outcomes.iter().map(|o| o.summary.count).sum();
+            assert_eq!(total, 120, "one outcome sample per replayed query");
         }
     }
 }

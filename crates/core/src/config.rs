@@ -2,6 +2,7 @@
 
 use crate::cache::{DescriptionKind, Replacement};
 use crate::lifecycle::LifecycleConfig;
+use crate::observe::ObserveConfig;
 use crate::resilience::ResilienceConfig;
 use crate::schemes::Scheme;
 use crate::sim::CostModel;
@@ -39,6 +40,9 @@ pub struct ProxyConfig {
     /// crash-safe snapshots. The default is inert (entries never age,
     /// nothing is persisted).
     pub lifecycle: LifecycleConfig,
+    /// Observability tuning: trace sampling rate and span retention.
+    /// Latency histograms are always on regardless.
+    pub observe: ObserveConfig,
 }
 
 impl Default for ProxyConfig {
@@ -53,6 +57,7 @@ impl Default for ProxyConfig {
             min_overlap_coverage: 0.0,
             resilience: None,
             lifecycle: LifecycleConfig::default(),
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -103,6 +108,12 @@ impl ProxyConfig {
     /// Convenience builder for the cache lifecycle policy.
     pub fn with_lifecycle(mut self, lifecycle: LifecycleConfig) -> Self {
         self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Convenience builder for the observability tuning.
+    pub fn with_observe(mut self, observe: ObserveConfig) -> Self {
+        self.observe = observe;
         self
     }
 }

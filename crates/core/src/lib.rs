@@ -46,6 +46,9 @@
 //! * [`lifecycle`] — cache freshness and durability: per-template TTLs,
 //!   data-release epochs, stale-while-revalidate / stale-if-error
 //!   serving windows, and crash-safe cache snapshots.
+//! * [`observe`] — per-phase latency histograms, outcome-class latency
+//!   distributions, and sampled trace spans behind the `/metrics` and
+//!   `/debug/trace` endpoints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +57,7 @@ pub mod cache;
 pub mod config;
 pub mod lifecycle;
 pub mod metrics;
+pub mod observe;
 pub mod origin;
 pub mod proxy;
 pub mod query;
@@ -65,6 +69,7 @@ pub mod template;
 
 pub use config::ProxyConfig;
 pub use lifecycle::{Freshness, LifecycleConfig, SnapshotPolicy};
+pub use observe::{LatencySummary, ObserveConfig, Observer};
 pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};
 pub use proxy::FunctionProxy;
 pub use resilience::{ChaosOrigin, Fault, ResilienceConfig, ResilientOrigin};

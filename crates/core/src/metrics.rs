@@ -139,6 +139,24 @@ pub struct TraceReport {
     /// Queries answered from expired entries (stale-while-revalidate or
     /// stale-if-error serving).
     pub stale_hits: usize,
+    /// Median response time, ms (nearest-rank over the exact per-query
+    /// values — unlike the runtime histograms, nothing is bucketed).
+    pub p50_response_ms: f64,
+    /// 90th-percentile response time, ms.
+    pub p90_response_ms: f64,
+    /// 99th-percentile response time, ms.
+    pub p99_response_ms: f64,
+    /// 99.9th-percentile response time, ms.
+    pub p999_response_ms: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
 }
 
 impl TraceReport {
@@ -180,6 +198,12 @@ impl TraceReport {
         report.avg_response_ms /= n as f64;
         report.avg_cache_efficiency /= n as f64;
         report.avg_check_ms /= n as f64;
+        let mut sorted: Vec<f64> = metrics.iter().map(|m| m.response_ms).collect();
+        sorted.sort_by(f64::total_cmp);
+        report.p50_response_ms = nearest_rank(&sorted, 0.50);
+        report.p90_response_ms = nearest_rank(&sorted, 0.90);
+        report.p99_response_ms = nearest_rank(&sorted, 0.99);
+        report.p999_response_ms = nearest_rank(&sorted, 0.999);
         report
     }
 
@@ -241,6 +265,24 @@ mod tests {
         assert!((r.avg_cache_efficiency - 0.5).abs() < 1e-9);
         assert_eq!(r.counts, [1, 0, 0, 1, 1]);
         assert!((r.full_hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_percentiles_are_nearest_rank() {
+        let metrics: Vec<QueryMetrics> = (1..=1000)
+            .map(|i| m(Outcome::Forwarded, i as f64, 1, 0))
+            .collect();
+        let r = TraceReport::from_metrics(&metrics);
+        assert_eq!(r.p50_response_ms, 500.0);
+        assert_eq!(r.p90_response_ms, 900.0);
+        assert_eq!(r.p99_response_ms, 990.0);
+        assert_eq!(r.p999_response_ms, 999.0);
+        // A single-sample trace reports that sample at every quantile.
+        let one = TraceReport::from_metrics(&[m(Outcome::Exact, 42.0, 1, 1)]);
+        assert_eq!(one.p50_response_ms, 42.0);
+        assert_eq!(one.p999_response_ms, 42.0);
+        // Empty traces default to zero, not NaN.
+        assert_eq!(TraceReport::default().p99_response_ms, 0.0);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! HDR-style layout over nanoseconds: values below 64 ns get one bucket
+//! each (exact), and every power-of-two octave above that is split into
+//! 64 sub-buckets, so a bucket's width is always at most 1/64 of its
+//! lower bound. Reporting the bucket midpoint therefore bounds the
+//! relative quantile error at 1/128 ≈ 0.8 % — "about 1 %" — uniformly
+//! from sub-microsecond lock waits to multi-second origin outages
+//! (values clamp at 2⁴²−1 ns ≈ 73 min).
+//!
+//! Recording is one atomic add into a fixed array — wait-free, no
+//! allocation, safe from any thread. Merging is bucket-wise addition,
+//! which makes per-shard histograms *exactly* equivalent to one global
+//! histogram fed the same samples (pinned by `tests/
+//! prop_histogram_merge.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per octave (and the number of exact low buckets).
+const SUB: usize = 1 << SUB_BITS;
+/// Highest octave tracked; values at or above 2^(MAX_OCTAVE+1) clamp.
+const MAX_OCTAVE: u32 = 41;
+/// Octaves that get sub-bucketed: [SUB_BITS, MAX_OCTAVE].
+const GROUPS: usize = (MAX_OCTAVE - SUB_BITS + 1) as usize;
+/// Total bucket count: 64 exact + 36 octaves × 64 sub-buckets.
+pub const NUM_BUCKETS: usize = SUB + GROUPS * SUB;
+/// Largest representable sample, in nanoseconds.
+pub const MAX_NS: u64 = (1u64 << (MAX_OCTAVE + 1)) - 1;
+
+/// Bucket index for a nanosecond value (clamped to [`MAX_NS`]).
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let v = ns.min(MAX_NS);
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros();
+        let group = (octave - SUB_BITS) as usize;
+        let sub = ((v >> (octave - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + group * SUB + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `index`, in nanoseconds.
+#[inline]
+pub fn bucket_lower(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let group = (index - SUB) / SUB;
+        let sub = ((index - SUB) % SUB) as u64;
+        let octave = group as u32 + SUB_BITS;
+        (1u64 << octave) + (sub << (octave - SUB_BITS))
+    }
+}
+
+/// Width of bucket `index`, in nanoseconds (≥ 1).
+#[inline]
+pub fn bucket_width(index: usize) -> u64 {
+    if index < SUB {
+        1
+    } else {
+        1u64 << ((index - SUB) / SUB)
+    }
+}
+
+/// Midpoint of bucket `index` — the value quantiles report for samples
+/// landing in it.
+#[inline]
+fn bucket_midpoint_ns(index: usize) -> f64 {
+    bucket_lower(index) as f64 + (bucket_width(index) as f64 - 1.0) / 2.0
+}
+
+/// A wait-free, mergeable latency histogram (see the module docs for
+/// the bucket scheme).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample, in nanoseconds. One relaxed atomic add into
+    /// a fixed slot plus one into the running sum — never blocks,
+    /// never allocates.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let clamped = ns.min(MAX_NS);
+        self.buckets[bucket_index(clamped)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(clamped, Ordering::Relaxed);
+    }
+
+    /// Records one sample given in (possibly fractional) milliseconds —
+    /// the unit the runtime's timing segments use. Negative values
+    /// clamp to zero.
+    #[inline]
+    pub fn record_ms(&self, ms: f64) {
+        self.record_ns((ms * 1e6).max(0.0) as u64);
+    }
+
+    /// Records one sample given as a [`Duration`].
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        self.record_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Adds every bucket of `other` into `self` — the shard-merge
+    /// operation. Concurrent recording on either side is fine; the
+    /// merge is per-bucket atomic, not a consistent cut.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile queries and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`LatencyHistogram`]'s buckets, for quantile
+/// queries, merging and rendering without touching the live atomics.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in seconds (Prometheus `_sum` convention).
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    /// Mean sample, in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// Folds `other`'s buckets into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`), in milliseconds, by nearest
+    /// rank: the midpoint of the bucket holding the ⌈q·count⌉-th
+    /// smallest sample. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_midpoint_ns(index) / 1e6;
+            }
+        }
+        bucket_midpoint_ns(NUM_BUCKETS - 1) / 1e6
+    }
+
+    /// Samples at or below `le_ns` — the Prometheus cumulative-bucket
+    /// count. A histogram bucket is counted when it lies entirely at or
+    /// below the boundary, so boundary-straddling buckets undercount by
+    /// at most one bucket width (≤ 1/64 of the boundary).
+    pub fn cumulative_le_ns(&self, le_ns: u64) -> u64 {
+        let mut total = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if bucket_lower(index) + bucket_width(index) - 1 <= le_ns {
+                total += n;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_covers_the_range() {
+        // Every bucket's lower bound maps back to that bucket, buckets
+        // tile the axis in order, and the clamp lands in the last one.
+        let mut prev_end = 0u64;
+        for index in 0..NUM_BUCKETS {
+            let lower = bucket_lower(index);
+            let width = bucket_width(index);
+            assert_eq!(bucket_index(lower), index, "lower bound of {index}");
+            assert_eq!(
+                bucket_index(lower + width - 1),
+                index,
+                "upper bound of {index}"
+            );
+            if index > 0 {
+                assert_eq!(lower, prev_end, "buckets tile with no gaps");
+            }
+            prev_end = lower + width;
+        }
+        assert_eq!(prev_end, MAX_NS + 1, "the last bucket ends at the clamp");
+        assert_eq!(bucket_index(MAX_NS), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_percent() {
+        // For any value ≥ 64 ns, the reported midpoint differs from the
+        // true value by at most half a bucket width ≤ lower/128.
+        for ns in [64, 100, 999, 12_345, 1_000_000, 987_654_321, MAX_NS] {
+            let index = bucket_index(ns);
+            let mid = bucket_midpoint_ns(index);
+            let err = (mid - ns as f64).abs() / ns as f64;
+            assert!(err <= 1.0 / 128.0, "error {err} at {ns} ns");
+        }
+        // Below 64 ns the buckets are exact.
+        for ns in 0..64 {
+            assert_eq!(bucket_midpoint_ns(bucket_index(ns)), ns as f64);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions() {
+        let h = LatencyHistogram::new();
+        for ms in 1..=100 {
+            h.record_ms(ms as f64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        // Nearest rank: p50 is the 50th sample = 50 ms, within bucket error.
+        for (q, expect) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0), (1.0, 100.0)] {
+            let got = snap.quantile(q);
+            let err = (got - expect).abs() / expect;
+            assert!(err <= 0.01, "q={q}: got {got}, want ≈{expect}");
+        }
+        assert!((snap.mean_ms() - 50.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn merge_equals_single_feed() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let global = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            let ns = i * i * 37 + 5;
+            global.record_ns(ns);
+            if i % 2 == 0 { &a } else { &b }.record_ns(ns);
+        }
+        let merged = LatencyHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let (m, g) = (merged.snapshot(), global.snapshot());
+        assert_eq!(m.count(), g.count());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(m.quantile(q), g.quantile(q), "quantile {q}");
+        }
+        assert_eq!(m.sum_seconds(), g.sum_seconds());
+    }
+
+    #[test]
+    fn cumulative_le_counts_whole_buckets() {
+        let h = LatencyHistogram::new();
+        h.record_ns(10);
+        h.record_ns(1_000);
+        h.record_ns(2_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative_le_ns(9), 0);
+        assert_eq!(snap.cumulative_le_ns(10), 1);
+        assert_eq!(snap.cumulative_le_ns(100_000), 2);
+        assert_eq!(snap.cumulative_le_ns(MAX_NS), 3);
+    }
+}

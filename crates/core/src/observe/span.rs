@@ -1,0 +1,363 @@
+//! Structured trace spans: sampled, ring-buffered, reconstructable into
+//! a single query's full timeline.
+//!
+//! A request opens a *trace* with [`SpanRecorder::begin_trace`]; 1 in
+//! `sample_every` requests is sampled and gets a nonzero trace id,
+//! stored in a thread-local for the duration of the request (restored
+//! by the returned guard, so nested traces and pooled threads behave).
+//! Every instrumented site then calls [`SpanRecorder::record`], which
+//! on a *non-sampled* request is two thread-local reads and a return —
+//! no allocation, no lock, no atomic. Sampled spans land in a mutexed
+//! ring buffer that overwrites the oldest span when full, so the
+//! recorder is bounded regardless of uptime.
+//!
+//! Background work (revalidation threads, single-flight leaders working
+//! for followers) opens its own trace, so its spans carry their own
+//! trace ids; the chrome://tracing export groups by thread and labels
+//! each slice with its trace id, which is what lets a timeline be
+//! stitched back together.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The active trace id on this thread; 0 = not sampled.
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    /// Small dense per-thread tag for the trace export (0 = unassigned).
+    static THREAD_TAG: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|tag| {
+        let v = tag.get();
+        if v != 0 {
+            v
+        } else {
+            let fresh = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+            tag.set(fresh);
+            fresh
+        }
+    })
+}
+
+/// True when the calling thread is inside a sampled trace — lets
+/// callers skip even the cost of *preparing* span arguments.
+pub fn trace_active() -> bool {
+    CURRENT_TRACE.with(|t| t.get() != 0)
+}
+
+/// One completed span of a sampled trace.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Which sampled trace this span belongs to (≥ 1).
+    pub trace_id: u64,
+    /// Dense tag of the recording thread.
+    pub thread: u64,
+    /// Span name, e.g. `request` or `origin.fetch`.
+    pub name: &'static str,
+    /// Coarse category for trace-viewer filtering, e.g. `proxy`.
+    pub category: &'static str,
+    /// Start, microseconds since the recorder was built.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub duration_us: u64,
+    /// Optional free-form detail (outcome label, attempt number…).
+    pub detail: Option<String>,
+}
+
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Next overwrite position once `buf` has reached capacity.
+    next: usize,
+}
+
+/// Restores the thread's previous trace id when dropped. Hold it for
+/// the duration of the request being traced.
+#[must_use = "dropping the guard ends the trace scope"]
+pub struct TraceGuard {
+    prev: u64,
+    /// The id this guard installed (0 = this request is not sampled).
+    id: u64,
+}
+
+impl TraceGuard {
+    /// The trace id this guard installed; 0 means not sampled.
+    pub fn trace_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|t| t.set(self.prev));
+    }
+}
+
+/// The sampled, bounded span sink (see the module docs).
+pub struct SpanRecorder {
+    epoch: Instant,
+    sample_every: u64,
+    capacity: usize,
+    tick: AtomicU64,
+    next_trace_id: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl SpanRecorder {
+    /// A recorder sampling 1 in `sample_every` traces (0 disables
+    /// sampling entirely) into a ring of `capacity` spans.
+    pub fn new(sample_every: u64, capacity: usize) -> Self {
+        SpanRecorder {
+            epoch: Instant::now(),
+            sample_every,
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
+            ring: Mutex::new(Ring {
+                buf: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Starts a trace scope on the calling thread. Every
+    /// `sample_every`-th call is sampled; the rest install trace id 0,
+    /// making all span recording inside the scope free.
+    pub fn begin_trace(&self) -> TraceGuard {
+        let sampled = self.sample_every > 0
+            && self
+                .tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.sample_every);
+        let id = if sampled {
+            self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        let prev = CURRENT_TRACE.with(|t| t.replace(id));
+        TraceGuard { prev, id }
+    }
+
+    /// Records a completed span into the active trace. On a non-sampled
+    /// request this is a thread-local read and a return; `detail` is
+    /// only invoked when the span is actually kept, so argument
+    /// formatting costs nothing on the hot path.
+    #[inline]
+    pub fn record(
+        &self,
+        name: &'static str,
+        category: &'static str,
+        start: Instant,
+        duration: Duration,
+        detail: impl FnOnce() -> Option<String>,
+    ) {
+        let trace_id = CURRENT_TRACE.with(|t| t.get());
+        if trace_id == 0 {
+            return;
+        }
+        let record = SpanRecord {
+            trace_id,
+            thread: thread_tag(),
+            name,
+            category,
+            start_us: start.saturating_duration_since(self.epoch).as_micros() as u64,
+            duration_us: duration.as_micros() as u64,
+            detail: detail(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(record);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = record;
+            ring.next = (at + 1) % self.capacity;
+        }
+    }
+
+    /// Number of traces sampled so far.
+    pub fn traces_sampled(&self) -> u64 {
+        self.next_trace_id.load(Ordering::Relaxed) - 1
+    }
+
+    /// Spans currently buffered, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.next..]);
+        out.extend_from_slice(&ring.buf[..ring.next]);
+        out
+    }
+
+    /// The buffered spans as a chrome://tracing JSON document (load it
+    /// in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+    /// complete `"ph":"X"` events, one row per thread, each slice
+    /// labelled with its trace id).
+    pub fn chrome_json(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::with_capacity(64 + spans.len() * 128);
+        out.push_str("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json(s.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_json(s.category, &mut out);
+            out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&s.thread.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&s.start_us.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&s.duration_us.to_string());
+            out.push_str(",\"args\":{\"trace\":");
+            out.push_str(&s.trace_id.to_string());
+            if let Some(detail) = &s.detail {
+                out.push_str(",\"detail\":\"");
+                escape_json(detail, &mut out);
+                out.push('"');
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The buffered spans as JSON Lines — one span object per line,
+    /// convenient for `grep`/`jq` pipelines.
+    pub fn jsonl(&self) -> String {
+        let spans = self.snapshot();
+        let mut out = String::with_capacity(spans.len() * 128);
+        for s in &spans {
+            out.push_str("{\"trace\":");
+            out.push_str(&s.trace_id.to_string());
+            out.push_str(",\"thread\":");
+            out.push_str(&s.thread.to_string());
+            out.push_str(",\"name\":\"");
+            escape_json(s.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_json(s.category, &mut out);
+            out.push_str("\",\"start_us\":");
+            out.push_str(&s.start_us.to_string());
+            out.push_str(",\"dur_us\":");
+            out.push_str(&s.duration_us.to_string());
+            if let Some(detail) = &s.detail {
+                out.push_str(",\"detail\":\"");
+                escape_json(detail, &mut out);
+                out.push('"');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) —
+/// the core crate deliberately has no JSON dependency.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsampled_traces_record_nothing_and_skip_detail() {
+        let rec = SpanRecorder::new(2, 16); // samples ticks 0, 2, 4…
+        let _first = rec.begin_trace(); // tick 0: sampled
+        drop(_first);
+        let guard = rec.begin_trace(); // tick 1: not sampled
+        assert_eq!(guard.trace_id(), 0);
+        assert!(!trace_active());
+        let start = Instant::now();
+        rec.record("x", "t", start, Duration::from_micros(5), || {
+            panic!("detail must not be evaluated on the non-sampled path")
+        });
+        drop(guard);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sampled_spans_carry_the_trace_id_and_guard_restores() {
+        let rec = SpanRecorder::new(1, 16);
+        let outer = rec.begin_trace();
+        let outer_id = outer.trace_id();
+        assert!(outer_id >= 1);
+        assert!(trace_active());
+        let start = Instant::now();
+        rec.record("request", "proxy", start, Duration::from_micros(7), || {
+            Some("exact".into())
+        });
+        {
+            let inner = rec.begin_trace();
+            assert_ne!(inner.trace_id(), outer_id, "nested scope gets its own id");
+        }
+        // Guard dropped: back to the outer trace.
+        rec.record("after", "proxy", start, Duration::ZERO, || None);
+        drop(outer);
+        assert!(!trace_active());
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].trace_id, outer_id);
+        assert_eq!(spans[1].trace_id, outer_id);
+        assert_eq!(spans[0].detail.as_deref(), Some("exact"));
+        assert_eq!(rec.traces_sampled(), 2);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_exports_in_order() {
+        let rec = SpanRecorder::new(1, 3);
+        let names: [&'static str; 5] = ["a", "b", "c", "d", "e"];
+        let _g = rec.begin_trace();
+        let start = Instant::now();
+        for name in names {
+            rec.record(name, "t", start, Duration::ZERO, || None);
+        }
+        let kept: Vec<&str> = rec.snapshot().iter().map(|s| s.name).collect();
+        assert_eq!(kept, vec!["c", "d", "e"], "oldest spans were overwritten");
+    }
+
+    #[test]
+    fn exports_are_valid_shapes_and_escape_strings() {
+        let rec = SpanRecorder::new(1, 8);
+        let _g = rec.begin_trace();
+        rec.record("q", "t", Instant::now(), Duration::from_micros(3), || {
+            Some("say \"hi\"\n".into())
+        });
+        let chrome = rec.chrome_json();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.ends_with("]}"));
+        assert!(chrome.contains("\\\"hi\\\"\\n"), "escaped: {chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""));
+        let jsonl = rec.jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"dur_us\":3"));
+    }
+
+    #[test]
+    fn sampling_disabled_samples_nothing() {
+        let rec = SpanRecorder::new(0, 8);
+        for _ in 0..10 {
+            let g = rec.begin_trace();
+            assert_eq!(g.trace_id(), 0);
+        }
+        assert_eq!(rec.traces_sampled(), 0);
+    }
+}

@@ -20,12 +20,14 @@ use super::backoff::Backoff;
 use super::breaker::{Admission, BreakerState, CircuitBreaker};
 use super::clock::{Clock, SystemClock};
 use super::ResilienceConfig;
+use crate::observe::{Observer, PathClass, Phase};
 use crate::origin::{Origin, OriginError};
 use fp_skyserver::result::QueryOutcome;
 use fp_sqlmini::Query;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cumulative counters of the resilience layer, updated lock-free.
 #[derive(Debug, Default)]
@@ -57,6 +59,11 @@ pub struct ResilienceSnapshot {
     /// Milliseconds until an open breaker admits its next probe; `0`
     /// unless the breaker is open. The live `Retry-After` hint.
     pub breaker_retry_after_ms: u64,
+    /// The backoff delay this layer would prescribe before the next
+    /// retry, in milliseconds: the most recent delay actually slept,
+    /// or the configured base before any retry has happened. The
+    /// `Retry-After` fallback when the breaker is *not* open.
+    pub backoff_hint_ms: u64,
 }
 
 impl Default for ResilienceSnapshot {
@@ -69,6 +76,7 @@ impl Default for ResilienceSnapshot {
             breaker_opens: 0,
             breaker_state: "none",
             breaker_retry_after_ms: 0,
+            backoff_hint_ms: 0,
         }
     }
 }
@@ -82,6 +90,10 @@ pub struct ResilientOrigin {
     breaker: CircuitBreaker,
     backoff: Mutex<Backoff>,
     stats: Stats,
+    /// Most recent backoff delay slept, ms (0 = no retry yet).
+    last_backoff_ms: AtomicU64,
+    /// Optional observe hook: backoff-wait histogram + attempt spans.
+    observer: Option<Arc<Observer>>,
 }
 
 impl ResilientOrigin {
@@ -113,7 +125,17 @@ impl ResilientOrigin {
             breaker,
             backoff,
             stats: Stats::default(),
+            last_backoff_ms: AtomicU64::new(0),
+            observer: None,
         }
+    }
+
+    /// Attaches the observe layer: backoff waits land in its
+    /// `backoff_wait` phase histogram and each origin attempt emits a
+    /// trace span (when the calling request is sampled).
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The breaker's current state.
@@ -123,6 +145,7 @@ impl ResilientOrigin {
 
     /// A copy of the counters and breaker state.
     pub fn snapshot(&self) -> ResilienceSnapshot {
+        let last_backoff = self.last_backoff_ms.load(Ordering::Relaxed);
         ResilienceSnapshot {
             attempts: self.stats.attempts.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
@@ -134,14 +157,29 @@ impl ResilientOrigin {
                 .breaker
                 .remaining_open()
                 .map_or(0, |d| d.as_millis().try_into().unwrap_or(u64::MAX)),
+            backoff_hint_ms: if last_backoff > 0 {
+                last_backoff
+            } else {
+                self.config
+                    .backoff_base
+                    .as_millis()
+                    .try_into()
+                    .unwrap_or(u64::MAX)
+            },
         }
     }
 
     fn next_delay(&self, attempt: u32) -> std::time::Duration {
-        self.backoff
+        let delay = self
+            .backoff
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .delay(attempt)
+            .delay(attempt);
+        self.last_backoff_ms.store(
+            delay.as_millis().try_into().unwrap_or(u64::MAX).max(1),
+            Ordering::Relaxed,
+        );
+        delay
     }
 }
 
@@ -162,7 +200,18 @@ impl Origin for ResilientOrigin {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
             }
 
+            let attempt_start = Instant::now();
             let result = self.inner.execute(query);
+            if let Some(obs) = &self.observer {
+                let failed = result.is_err();
+                obs.span(
+                    "origin.attempt",
+                    "origin",
+                    attempt_start,
+                    attempt_start.elapsed(),
+                    || Some(format!("attempt={attempt} failed={failed}")),
+                );
+            }
             let elapsed = self.clock.now().saturating_duration_since(start);
             let overdue = deadline.is_some_and(|d| elapsed > d);
 
@@ -205,7 +254,21 @@ impl Origin for ResilientOrigin {
             if deadline.is_some_and(|d| elapsed + delay > d) {
                 break;
             }
+            let wait_start = Instant::now();
             self.clock.sleep(delay);
+            if let Some(obs) = &self.observer {
+                // Backoff only ever happens on an origin-bound (miss)
+                // path; background revalidation retries land here too
+                // and are folded in — the wait is origin-imposed either
+                // way. The recorded time is the *prescribed* delay, so
+                // virtual clocks report honest waits.
+                obs.record_phase(
+                    Phase::BackoffWait,
+                    PathClass::Miss,
+                    delay.as_secs_f64() * 1e3,
+                );
+                obs.span("backoff.wait", "origin", wait_start, delay, || None);
+            }
         }
 
         Err(last_error.expect("loop ran at least one attempt"))

@@ -40,6 +40,7 @@ use crate::config::ProxyConfig;
 use crate::lifecycle::snapshot::{read_snapshot_file, write_snapshot_file};
 use crate::lifecycle::Freshness;
 use crate::metrics::{Outcome, QueryMetrics};
+use crate::observe::{Observer, OutcomeClass, PathClass, Phase as ObsPhase};
 use crate::origin::Origin;
 use crate::proxy::ProxyResponse;
 use crate::query::{
@@ -122,6 +123,9 @@ struct Runtime {
     reval_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Snapshot schedule state; `None` when persistence is off.
     snap: Option<Mutex<SnapSched>>,
+    /// The observability hub: per-phase latency histograms and the
+    /// sampled span recorder, shared with the resilience layer.
+    observe: Arc<Observer>,
 }
 
 /// Mutable snapshot-scheduler state (behind a `try_lock` so the serve
@@ -186,15 +190,6 @@ pub struct XmlResponse {
     pub metrics: QueryMetrics,
 }
 
-impl XmlResponse {
-    fn from_rows(response: ProxyResponse) -> Self {
-        XmlResponse {
-            body: response.result.to_xml_string().into_bytes(),
-            metrics: response.metrics,
-        }
-    }
-}
-
 /// What the cache phase decided (after off-lock local evaluation).
 enum Phase {
     /// Fully answered from the cache.
@@ -244,6 +239,9 @@ struct ProbePart {
     /// `Some` = filter to the query region (overlap probes); `None` =
     /// contributes whole (region containment).
     filter_idx: Option<Vec<usize>>,
+    /// Lifecycle facts for this entry alone; folded into the response
+    /// only when the part contributes rows to the served answer.
+    life: ServeLife,
 }
 
 /// Everything a leader needs to finish a request off-lock: the query to
@@ -328,13 +326,13 @@ impl ProxyHandle {
         clock: Arc<dyn Clock>,
     ) -> Self {
         let store = ShardedStore::with_clock(&config, shards, Arc::clone(&clock));
+        let observe = Arc::new(Observer::new(&config.observe));
         let (origin, resilient) = match &config.resilience {
             Some(policy) => {
-                let decorated = Arc::new(ResilientOrigin::with_clock(
-                    origin,
-                    policy.clone(),
-                    Arc::clone(&clock),
-                ));
+                let decorated = Arc::new(
+                    ResilientOrigin::with_clock(origin, policy.clone(), Arc::clone(&clock))
+                        .with_observer(Arc::clone(&observe)),
+                );
                 (Arc::clone(&decorated) as Arc<dyn Origin>, Some(decorated))
             }
             None => (origin, None),
@@ -359,6 +357,7 @@ impl ProxyHandle {
                 revalidating: Mutex::new(HashSet::new()),
                 reval_threads: Mutex::new(Vec::new()),
                 snap,
+                observe,
                 clock,
                 config,
             }),
@@ -404,11 +403,68 @@ impl ProxyHandle {
             snapshot.breaker_opens = r.breaker_opens;
             snapshot.breaker_state = r.breaker_state;
             snapshot.breaker_retry_after_ms = r.breaker_retry_after_ms;
+            snapshot.origin_backoff_hint_ms = r.backoff_hint_ms;
         }
         let cache = self.inner.store.stats();
         snapshot.epoch_invalidations = cache.epoch_invalidations;
         snapshot.entries_expired = cache.expired;
+        let obs = &self.inner.observe;
+        snapshot.request_latency = obs.request_summary();
+        snapshot.hit_latency = obs.hit_summary();
+        snapshot.origin_fetch_latency = obs.origin_fetch_summary();
         snapshot
+    }
+
+    /// The observe layer behind this handle: per-phase and per-outcome
+    /// latency histograms plus the sampled span recorder.
+    pub fn observer(&self) -> &Observer {
+        &self.inner.observe
+    }
+
+    /// The full `/metrics` payload in Prometheus text exposition format
+    /// (version 0.0.4): runtime counters and gauges followed by every
+    /// latency histogram family.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.runtime_stats().render_prometheus();
+        out.push_str(&self.inner.observe.render_prometheus());
+        out
+    }
+
+    /// Buffered trace spans as a chrome://tracing JSON document.
+    pub fn trace_chrome_json(&self) -> String {
+        self.inner.observe.spans().chrome_json()
+    }
+
+    /// Buffered trace spans as JSON Lines (one span object per line).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner.observe.spans().jsonl()
+    }
+
+    /// The `Retry-After` hint (whole seconds, ≥ 1) a client should be
+    /// given for `error`, or `None` when a retry is pointless (the
+    /// error is not transient). Prefers the breaker's actual
+    /// remaining-open time, then the error's own hint, then the
+    /// resilience layer's next backoff delay — so a transient failure
+    /// carries an honest nonzero hint even while the breaker is still
+    /// closed (a bare 503 used to be the answer in that window).
+    pub fn retry_after_secs(&self, error: &ProxyError) -> Option<u64> {
+        let ProxyError::Origin(e) = error else {
+            return None;
+        };
+        if !e.is_transient() {
+            return None;
+        }
+        let stats = self.runtime_stats();
+        let ms = if stats.breaker_retry_after_ms > 0 {
+            stats.breaker_retry_after_ms
+        } else if let Some(hint) = e.retry_after() {
+            hint.as_millis().try_into().unwrap_or(u64::MAX)
+        } else if stats.origin_backoff_hint_ms > 0 {
+            stats.origin_backoff_hint_ms
+        } else {
+            1000
+        };
+        Some(ms.div_ceil(1000).max(1))
     }
 
     /// The live data-release epoch new cache entries are stamped with.
@@ -477,21 +533,31 @@ impl ProxyHandle {
         match self.inner.manager.resolve_sql(sql) {
             Some(bound) => self.handle_bound(bound?),
             None => {
-                self.inner.stats.note_request();
-                let query = fp_sqlmini::parse_query(sql)
-                    .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
-                let timing = Timing::begin();
-                let (result, sim_ms) = self.fetch(&query, false)?;
-                Ok(self.respond(
-                    Arc::new(result),
-                    Outcome::Forwarded,
-                    0,
-                    sim_ms,
-                    &timing,
-                    false,
-                ))
+                let _trace = self.inner.observe.begin_trace();
+                let started = Instant::now();
+                let response = self.forward_raw_sql(sql);
+                self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
+                response
             }
         }
+    }
+
+    /// The unregistered-SQL path: parse and forward, no cache
+    /// interaction (there is no template, so no region to reason about).
+    fn forward_raw_sql(&self, sql: &str) -> Result<ProxyResponse, ProxyError> {
+        self.inner.stats.note_request();
+        let query =
+            fp_sqlmini::parse_query(sql).map_err(|e| ProxyError::BadRequest(e.to_string()))?;
+        let timing = Timing::begin();
+        let (result, sim_ms) = self.fetch(&query, false, PathClass::Miss)?;
+        Ok(self.respond(
+            Arc::new(result),
+            Outcome::Forwarded,
+            0,
+            sim_ms,
+            &timing,
+            false,
+        ))
     }
 
     /// Serves an already-resolved query from any thread.
@@ -500,9 +566,52 @@ impl ProxyHandle {
     /// Propagates origin errors; cache-side failures fall back to
     /// forwarding instead of erroring.
     pub fn handle_bound(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+        let _trace = self.inner.observe.begin_trace();
+        let started = Instant::now();
         let response = self.handle_bound_inner(bound);
+        self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
         self.maybe_snapshot();
         response
+    }
+
+    /// End-of-request observe recording: fold the request's accumulated
+    /// timing segments into the per-phase histograms, classify the
+    /// outcome, and close the root span. `None` metrics = the request
+    /// errored; only the root span is recorded then (failure counters
+    /// live in [`RuntimeStats`] and the resilience layer).
+    ///
+    /// Phase segments record only when the phase actually ran — folding
+    /// in zero-length segments for phases a path never touched would
+    /// drown the distributions in zeros. The outcome histogram records
+    /// `proxy_ms` (measured proxy-side time), not `response_ms`, which
+    /// mixes in simulated WAN cost.
+    fn observe_request(&self, started: Instant, metrics: Option<&QueryMetrics>) {
+        let obs = &self.inner.observe;
+        let Some(m) = metrics else {
+            obs.span("request", "proxy", started, started.elapsed(), || {
+                Some("error".into())
+            });
+            return;
+        };
+        let path = if matches!(m.outcome, Outcome::Exact | Outcome::Contained) {
+            PathClass::Hit
+        } else {
+            PathClass::Miss
+        };
+        if m.check_ms > 0.0 {
+            obs.record_phase(ObsPhase::Classify, path, m.check_ms);
+        }
+        if m.local_ms > 0.0 {
+            obs.record_phase(ObsPhase::LocalEval, path, m.local_ms);
+        }
+        if m.lock_wait_ms > 0.0 {
+            obs.record_phase(ObsPhase::LockWait, path, m.lock_wait_ms);
+        }
+        let class = OutcomeClass::of(m.outcome, m.degraded, m.stale);
+        obs.record_outcome(class, m.proxy_ms);
+        obs.span("request", "proxy", started, started.elapsed(), || {
+            Some(class.label().to_string())
+        });
     }
 
     fn handle_bound_inner(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
@@ -510,7 +619,7 @@ impl ProxyHandle {
         match self.inner.config.scheme {
             Scheme::NoCache => {
                 let timing = Timing::begin();
-                let (result, sim_ms) = self.fetch(&bound.query, false)?;
+                let (result, sim_ms) = self.fetch(&bound.query, false, PathClass::Miss)?;
                 Ok(self.respond(
                     Arc::new(result),
                     Outcome::Forwarded,
@@ -549,21 +658,39 @@ impl ProxyHandle {
         match self.inner.manager.resolve_sql(sql) {
             Some(bound) => self.serve_xml(bound?),
             None => {
-                self.inner.stats.note_request();
-                let query = fp_sqlmini::parse_query(sql)
-                    .map_err(|e| ProxyError::BadRequest(e.to_string()))?;
-                let timing = Timing::begin();
-                let (result, sim_ms) = self.fetch(&query, false)?;
-                let response = self.respond(
-                    Arc::new(result),
-                    Outcome::Forwarded,
-                    0,
-                    sim_ms,
-                    &timing,
-                    false,
-                );
-                Ok(XmlResponse::from_rows(response))
+                let _trace = self.inner.observe.begin_trace();
+                let started = Instant::now();
+                let response = self
+                    .forward_raw_sql(sql)
+                    .map(|response| self.xml_from_rows(response));
+                self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
+                response
             }
+        }
+    }
+
+    /// Serializes a row response into response bytes, timing the
+    /// serialization into the observe layer (the non-columnar paths —
+    /// the columnar hot paths time their slab assembly at the site).
+    fn xml_from_rows(&self, response: ProxyResponse) -> XmlResponse {
+        let ser_start = Instant::now();
+        let body = response.result.to_xml_string().into_bytes();
+        let path = if matches!(
+            response.metrics.outcome,
+            Outcome::Exact | Outcome::Contained
+        ) {
+            PathClass::Hit
+        } else {
+            PathClass::Miss
+        };
+        let obs = &self.inner.observe;
+        obs.record_phase(ObsPhase::Serialize, path, ms_since(ser_start));
+        obs.span("serialize", "serve", ser_start, ser_start.elapsed(), || {
+            None
+        });
+        XmlResponse {
+            body,
+            metrics: response.metrics,
         }
     }
 
@@ -571,7 +698,10 @@ impl ProxyHandle {
     /// assembled from the columnar slab), fall back to the ordinary row
     /// pipeline plus serialization for everything else.
     fn serve_xml(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
+        let _trace = self.inner.observe.begin_trace();
+        let started = Instant::now();
         let response = self.serve_xml_inner(bound);
+        self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
         self.maybe_snapshot();
         response
     }
@@ -580,7 +710,7 @@ impl ProxyHandle {
         self.inner.stats.note_request();
         if self.inner.config.scheme == Scheme::NoCache {
             let timing = Timing::begin();
-            let (result, sim_ms) = self.fetch(&bound.query, false)?;
+            let (result, sim_ms) = self.fetch(&bound.query, false, PathClass::Miss)?;
             let response = self.respond(
                 Arc::new(result),
                 Outcome::Forwarded,
@@ -589,7 +719,7 @@ impl ProxyHandle {
                 &timing,
                 false,
             );
-            return Ok(XmlResponse::from_rows(response));
+            return Ok(self.xml_from_rows(response));
         }
 
         let mut timing = Timing::begin();
@@ -600,10 +730,16 @@ impl ProxyHandle {
                 sim_ms,
                 life,
             } => {
+                let ser_start = Instant::now();
                 let body = match columnar.as_deref() {
                     Some(col) => col.full_document(),
                     None => result.to_xml_string().into_bytes(),
                 };
+                let obs = &self.inner.observe;
+                obs.record_phase(ObsPhase::Serialize, PathClass::Hit, ms_since(ser_start));
+                obs.span("serialize", "serve", ser_start, ser_start.elapsed(), || {
+                    Some("exact".into())
+                });
                 let cached = result.len();
                 let mut metrics =
                     self.metrics_for(result.len(), Outcome::Exact, cached, sim_ms, &timing, false);
@@ -615,13 +751,13 @@ impl ProxyHandle {
                     Some(response) => Ok(response),
                     // Malformed entry: the ordinary loop forwards,
                     // caches, and accounts the fallback.
-                    None => Ok(XmlResponse::from_rows(self.serve_caching(bound)?)),
+                    None => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
                 }
             }
             // Miss: rejoin the ordinary loop (it re-runs the cache
             // phase under the flight table, which is what closes the
             // fetch/join race).
-            LockedPhase::Origin(_) => Ok(XmlResponse::from_rows(self.serve_caching(bound)?)),
+            LockedPhase::Origin(_) => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
         }
     }
 
@@ -637,15 +773,23 @@ impl ProxyHandle {
         let idx = plan.coord_idx.as_deref()?;
         let local_start = Instant::now();
         if let Some(col) = plan.columnar.as_deref().filter(|c| c.coord_idx() == idx) {
-            let (body, rows, stats) = with_scratch(|scratch| {
+            let (body, rows, stats, ser_ms) = with_scratch(|scratch| {
                 let (point, selected) = scratch.parts_mut();
                 let stats = col.select_region(&bound.region, selected, point);
                 if let Some(n) = bound.query.top {
                     selected.truncate(n as usize);
                 }
-                (col.assemble_document(selected), selected.len(), stats)
+                let ser_start = Instant::now();
+                let body = col.assemble_document(selected);
+                (body, selected.len(), stats, ms_since(ser_start))
             });
+            // `local_ms` keeps its established meaning (all off-lock
+            // local work, assembly included); the serialize histogram
+            // carves the assembly share out separately.
             timing.local_ms += ms_since(local_start);
+            self.inner
+                .observe
+                .record_phase(ObsPhase::Serialize, PathClass::Hit, ser_ms);
             let mut metrics =
                 self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
             metrics.rows_scanned = stats.rows_scanned;
@@ -663,15 +807,17 @@ impl ProxyHandle {
         }
         timing.local_ms += ms_since(local_start);
         let rows = result.len();
+        let ser_start = Instant::now();
+        let body = result.to_xml_string().into_bytes();
+        self.inner
+            .observe
+            .record_phase(ObsPhase::Serialize, PathClass::Hit, ms_since(ser_start));
         let mut metrics =
             self.metrics_for(rows, Outcome::Contained, rows, plan.sim_ms, timing, false);
         metrics.rows_scanned = eval.stats.rows_scanned;
         metrics.rows_pruned = eval.stats.rows_pruned();
         self.apply_life(&mut metrics, &plan.life, true);
-        Some(XmlResponse {
-            body: result.to_xml_string().into_bytes(),
-            metrics,
-        })
+        Some(XmlResponse { body, metrics })
     }
 
     /// The caching schemes' request loop: cache phase, then flight
@@ -708,44 +854,67 @@ impl ProxyHandle {
                     lease.resolve(response.clone());
                     return Ok(response);
                 }
-                Joined::Follow(Coalesce::Exact, ticket) => match ticket.wait() {
-                    Ok(leader) => {
-                        self.inner.stats.note_coalesced_exact();
-                        return Ok(self.adopt(leader, &timing));
-                    }
-                    // The leader's failure is this request's failure: a
-                    // fresh flight here would turn one outage into a
-                    // retry storm. Re-check the cache (the entry may
-                    // have landed through another group), then try
-                    // degraded serving.
-                    Err(error) => {
-                        if let Phase::Served(response) =
-                            self.cache_phase(&bound, &mut timing, false)
-                        {
-                            return Ok(response);
+                Joined::Follow(Coalesce::Exact, ticket) => {
+                    let wait_start = Instant::now();
+                    let waited = ticket.wait();
+                    self.inner.observe.span(
+                        "flight.wait",
+                        "flight",
+                        wait_start,
+                        wait_start.elapsed(),
+                        || Some("exact".into()),
+                    );
+                    match waited {
+                        Ok(leader) => {
+                            self.inner.stats.note_coalesced_exact();
+                            return Ok(self.adopt(leader, &timing));
                         }
-                        return self.serve_after_failure(&bound, error, &mut timing);
-                    }
-                },
-                Joined::Follow(Coalesce::Contained, ticket) => match ticket.wait() {
-                    Ok(_) => {
-                        if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, true)
-                        {
-                            self.inner.stats.note_coalesced_contained();
-                            return Ok(response);
+                        // The leader's failure is this request's failure: a
+                        // fresh flight here would turn one outage into a
+                        // retry storm. Re-check the cache (the entry may
+                        // have landed through another group), then try
+                        // degraded serving.
+                        Err(error) => {
+                            if let Phase::Served(response) =
+                                self.cache_phase(&bound, &mut timing, false)
+                            {
+                                return Ok(response);
+                            }
+                            return self.serve_after_failure(&bound, error, &mut timing);
                         }
-                        // The flight landed but didn't leave a usable
-                        // entry (truncated or evicted result): retry.
                     }
-                    Err(error) => {
-                        if let Phase::Served(response) =
-                            self.cache_phase(&bound, &mut timing, false)
-                        {
-                            return Ok(response);
+                }
+                Joined::Follow(Coalesce::Contained, ticket) => {
+                    let wait_start = Instant::now();
+                    let waited = ticket.wait();
+                    self.inner.observe.span(
+                        "flight.wait",
+                        "flight",
+                        wait_start,
+                        wait_start.elapsed(),
+                        || Some("contained".into()),
+                    );
+                    match waited {
+                        Ok(_) => {
+                            if let Phase::Served(response) =
+                                self.cache_phase(&bound, &mut timing, true)
+                            {
+                                self.inner.stats.note_coalesced_contained();
+                                return Ok(response);
+                            }
+                            // The flight landed but didn't leave a usable
+                            // entry (truncated or evicted result): retry.
                         }
-                        return self.serve_after_failure(&bound, error, &mut timing);
+                        Err(error) => {
+                            if let Phase::Served(response) =
+                                self.cache_phase(&bound, &mut timing, false)
+                            {
+                                return Ok(response);
+                            }
+                            return self.serve_after_failure(&bound, error, &mut timing);
+                        }
                     }
-                },
+                }
             }
         }
 
@@ -770,12 +939,27 @@ impl ProxyHandle {
         lease: FlightLease<'_>,
         timing: &mut Timing,
     ) -> Result<ProxyResponse, ProxyError> {
+        let lead_start = Instant::now();
         match self.execute_plan(bound, plan, timing) {
             Ok(response) => {
+                self.inner.observe.span(
+                    "flight.lead",
+                    "flight",
+                    lead_start,
+                    lead_start.elapsed(),
+                    || Some(format!("{:?}", response.metrics.outcome)),
+                );
                 lease.resolve(response.clone());
                 Ok(response)
             }
             Err(error) => {
+                self.inner.observe.span(
+                    "flight.lead",
+                    "flight",
+                    lead_start,
+                    lead_start.elapsed(),
+                    || Some("failed".into()),
+                );
                 lease.fail(error.clone());
                 self.serve_after_failure(bound, error, timing)
             }
@@ -1026,7 +1210,6 @@ impl ProxyHandle {
 
         // Snapshot the contributing entries, skipping malformed ones.
         let mut probe_sim_ms = 0.0;
-        let mut life = ServeLife::default();
         let mut parts: Vec<ProbePart> = Vec::with_capacity(ids.len());
         for &id in &ids {
             let entry = store.peek(id).expect("classify returned live ids");
@@ -1038,12 +1221,12 @@ impl ProxyHandle {
             } else {
                 None
             };
-            life.absorb(&self.error_life_of(&store, id));
             probe_sim_ms += config.cost.cache_read_ms(entry.bytes);
             parts.push(ProbePart {
                 result: Arc::clone(&entry.result),
                 columnar: entry.columnar.clone(),
                 filter_idx,
+                life: self.error_life_of(&store, id),
             });
         }
         drop(store);
@@ -1051,15 +1234,23 @@ impl ProxyHandle {
             return None;
         }
 
-        // Off-lock: filter the overlap parts and merge by key.
+        // Off-lock: filter the overlap parts and merge by key. Like the
+        // healthy merge path, lifecycle facts come only from the parts
+        // that contribute rows to the served answer.
         let local_start = Instant::now();
+        let mut life = ServeLife::default();
         let mut rows_scanned = 0usize;
         let mut rows_pruned = 0usize;
         let mut pieces: Vec<ResultSet> = Vec::with_capacity(parts.len());
         let mut wholes: Vec<Arc<ResultSet>> = Vec::new();
         for p in &parts {
             match &p.filter_idx {
-                None => wholes.push(Arc::clone(&p.result)),
+                None => {
+                    if !p.result.rows.is_empty() {
+                        life.absorb(&p.life);
+                    }
+                    wholes.push(Arc::clone(&p.result));
+                }
                 Some(idx) => {
                     let eval = with_scratch(|scratch| {
                         eval_entry_region(
@@ -1073,6 +1264,9 @@ impl ProxyHandle {
                     if let Some(e) = eval {
                         rows_scanned += e.stats.rows_scanned;
                         rows_pruned += e.stats.rows_pruned();
+                        if !e.result.rows.is_empty() {
+                            life.absorb(&p.life);
+                        }
                         pieces.push(e.result);
                     }
                 }
@@ -1127,12 +1321,10 @@ impl ProxyHandle {
 
         // Stale parts may still contribute (the merged result is
         // re-anchored by the fresh remainder fetch, and region
-        // containment compacts them away); the response is flagged.
-        let mut life = ServeLife::default();
-        for &id in &ids {
-            life.absorb(&self.life_of(store, id));
-        }
-
+        // containment compacts them away). Each part carries its own
+        // lifecycle facts; `execute_plan` folds in only the parts whose
+        // rows actually reach the served answer, so a stale-but-empty
+        // probe can never flag (or age) the response.
         // Probe phase: snapshot each entry (shared, not deep-copied) and
         // charge the simulated read cost. Actual filtering is deferred
         // to `execute_plan`, outside this lock window.
@@ -1159,6 +1351,7 @@ impl ProxyHandle {
                 result: Arc::clone(&entry.result),
                 columnar: entry.columnar.clone(),
                 filter_idx,
+                life: self.life_of(store, id),
             });
         }
 
@@ -1186,7 +1379,7 @@ impl ProxyHandle {
             compact_ids,
             outcome,
             local_fallback: false,
-            life,
+            life: ServeLife::default(),
         }))
     }
 
@@ -1211,11 +1404,17 @@ impl ProxyHandle {
         let mut cached_part: Option<ResultSet> = None;
         if !plan.probe_parts.is_empty() {
             let local_start = Instant::now();
+            let mut served_life = ServeLife::default();
             let mut parts: Vec<Part> = Vec::with_capacity(plan.probe_parts.len());
             let mut malformed = false;
             for p in &plan.probe_parts {
                 match &p.filter_idx {
-                    None => parts.push(Part::Whole(Arc::clone(&p.result))),
+                    None => {
+                        if !p.result.rows.is_empty() {
+                            served_life.absorb(&p.life);
+                        }
+                        parts.push(Part::Whole(Arc::clone(&p.result)));
+                    }
                     Some(idx) => {
                         let eval = with_scratch(|scratch| {
                             eval_entry_region(
@@ -1230,6 +1429,9 @@ impl ProxyHandle {
                             Some(e) => {
                                 rows_scanned += e.stats.rows_scanned;
                                 rows_pruned += e.stats.rows_pruned();
+                                if !e.result.rows.is_empty() {
+                                    served_life.absorb(&p.life);
+                                }
                                 parts.push(Part::Filtered(e.result));
                             }
                             None => {
@@ -1255,11 +1457,15 @@ impl ProxyHandle {
                     })
                     .collect();
                 cached_part = Some(merge_results(&bound.reg.key_column, &refs));
+                // Only the entries whose rows reached the merged answer
+                // shape its lifecycle facts (staleness flag and age).
+                plan.life = served_life;
             }
             timing.local_ms += ms_since(local_start);
         }
 
-        let (fetched, origin_sim_ms) = self.fetch(&plan.query, plan.is_remainder)?;
+        let (fetched, origin_sim_ms) =
+            self.fetch(&plan.query, plan.is_remainder, PathClass::Miss)?;
 
         let (result, rows_from_cache, truncated) = match cached_part {
             Some(part) => {
@@ -1339,8 +1545,26 @@ impl ProxyHandle {
     /// One origin interaction: execute + charge the cost model. A
     /// successful fetch also picks up the origin's advertised
     /// data-release epoch, bumping ours when the site moved ahead.
-    fn fetch(&self, query: &Query, is_remainder: bool) -> Result<(ResultSet, f64), ProxyError> {
-        let outcome = self.inner.origin.execute(query)?;
+    fn fetch(
+        &self,
+        query: &Query,
+        is_remainder: bool,
+        path: PathClass,
+    ) -> Result<(ResultSet, f64), ProxyError> {
+        let fetch_start = Instant::now();
+        let executed = self.inner.origin.execute(query);
+        let elapsed = fetch_start.elapsed();
+        let obs = &self.inner.observe;
+        obs.record_phase(ObsPhase::OriginFetch, path, elapsed.as_secs_f64() * 1e3);
+        let failed = executed.is_err();
+        obs.span("origin.fetch", "origin", fetch_start, elapsed, || {
+            Some(format!(
+                "{}{}",
+                if is_remainder { "remainder" } else { "forward" },
+                if failed { " failed" } else { "" }
+            ))
+        });
+        let outcome = executed?;
         if let Some(epoch) = self.inner.origin.advertised_epoch() {
             // No-op (and lock-free) unless the epoch actually advances.
             self.set_epoch(epoch);
@@ -1387,9 +1611,12 @@ impl ProxyHandle {
     /// `revalidate` is allowed and the serving entry was stale, spawns
     /// the background refresh (stale-while-revalidate).
     fn apply_life(&self, metrics: &mut QueryMetrics, life: &ServeLife, revalidate: bool) {
-        if life.age_ms > metrics.entry_age_ms {
-            metrics.entry_age_ms = life.age_ms;
-        }
+        // `life` already describes exactly the entries whose rows were
+        // served (the merge paths absorb per contributing part), and a
+        // response passes through `apply_life` at most once — so this
+        // is a plain assignment. The old max-fold let the age of an
+        // unrelated probed entry leak into the served answer.
+        metrics.entry_age_ms = life.age_ms;
         if life.stale {
             metrics.stale = true;
             self.inner.stats.note_stale_hit();
@@ -1448,6 +1675,10 @@ impl ProxyHandle {
     /// leaves the stale entry in place — that is what stale-if-error
     /// serves during the outage.
     fn revalidate(&self, sql: String) {
+        // Background threads get their own sampled trace: the client
+        // request that spawned this refresh already returned.
+        let _trace = self.inner.observe.begin_trace();
+        let reval_start = Instant::now();
         if let Some(Ok(bound)) = self.inner.manager.resolve_sql(&sql) {
             let already_fresh = {
                 let (store, _) = self.inner.store.lock(&bound.residual_key);
@@ -1458,7 +1689,9 @@ impl ProxyHandle {
             };
             if !already_fresh {
                 self.inner.stats.note_revalidation();
-                if let Ok((result, _sim_ms)) = self.fetch(&bound.query, false) {
+                if let Ok((result, _sim_ms)) =
+                    self.fetch(&bound.query, false, PathClass::Background)
+                {
                     let truncated = bound.query.top.is_some_and(|n| result.len() as u64 >= n);
                     let (mut store, _) = self.inner.store.lock(&bound.residual_key);
                     store.insert(
@@ -1472,6 +1705,13 @@ impl ProxyHandle {
                 }
             }
         }
+        self.inner.observe.span(
+            "revalidate",
+            "lifecycle",
+            reval_start,
+            reval_start.elapsed(),
+            || None,
+        );
         self.inner
             .revalidating
             .lock()
@@ -1574,6 +1814,7 @@ impl ProxyHandle {
     /// One snapshot pass: serialize each dirty shard's entries (with
     /// relative lifecycle stamps) into the checksummed segment format.
     fn write_snapshots(&self, dir: &Path, written_gens: &mut [u64]) -> io::Result<usize> {
+        let pass_start = Instant::now();
         std::fs::create_dir_all(dir)?;
         let epoch = self.current_epoch();
         let mut written = 0;
@@ -1601,6 +1842,19 @@ impl ProxyHandle {
         }
         if written > 0 {
             self.inner.stats.note_snapshot_writes(written);
+            let obs = &self.inner.observe;
+            obs.record_phase(
+                ObsPhase::SnapshotWrite,
+                PathClass::Background,
+                ms_since(pass_start),
+            );
+            obs.span(
+                "snapshot.write",
+                "lifecycle",
+                pass_start,
+                pass_start.elapsed(),
+                || Some(format!("files={written}")),
+            );
         }
         Ok(written)
     }
@@ -1612,6 +1866,10 @@ impl ProxyHandle {
     /// aged past every serve window) are dropped by the store. Finishes
     /// by advancing to the highest epoch seen on disk.
     fn recover_from(&self, dir: &Path) {
+        // Recovery runs at build time, before any request: give it its
+        // own sampled trace so the startup cost is visible.
+        let _trace = self.inner.observe.begin_trace();
+        let recover_start = Instant::now();
         let Ok(listing) = std::fs::read_dir(dir) else {
             return;
         };
@@ -1671,6 +1929,19 @@ impl ProxyHandle {
             self.inner.stats.note_recovered_entries(recovered);
         }
         self.set_epoch(max_epoch);
+        let obs = &self.inner.observe;
+        obs.record_phase(
+            ObsPhase::SnapshotRecover,
+            PathClass::Background,
+            ms_since(recover_start),
+        );
+        obs.span(
+            "snapshot.recover",
+            "lifecycle",
+            recover_start,
+            recover_start.elapsed(),
+            || Some(format!("entries={recovered}")),
+        );
     }
 }
 

@@ -36,11 +36,29 @@ pub use handle::{ProxyHandle, XmlResponse};
 pub use shard::ShardedStore;
 pub use singleflight::SingleFlight;
 
+use crate::observe::LatencySummary;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Cumulative counters of the concurrent runtime, updated lock-free by
 /// every request.
+///
+/// # Snapshot consistency
+///
+/// The counters are independent atomics, so a snapshot is not one
+/// consistent cut — but it is *invariant-preserving*. Every derived
+/// counter (coalesced hits, flights led, stale hits, …) is incremented
+/// **after** the same request's `note_request`, in program order, with
+/// `Release` stores; [`RuntimeStats::snapshot`] reads the derived
+/// counters first with `Acquire` loads and reads `requests` **last**.
+/// An acquire load that observes a derived increment therefore also
+/// observes the `requests` increment that preceded it, which makes
+/// `coalesced_exact + coalesced_contained ≤ requests`,
+/// `flights_led ≤ requests`, `stale_hits ≤ requests` and
+/// `revalidations ≤ stale_hits` hold in *every* snapshot, even one
+/// taken mid-storm (asserted by `runtime_stress.rs`). Before this
+/// ordering existed, relaxed loads in arbitrary order could report
+/// more hits than requests.
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
     requests: AtomicUsize,
@@ -61,55 +79,55 @@ pub struct RuntimeStats {
 
 impl RuntimeStats {
     pub(crate) fn note_request(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_coalesced_exact(&self) {
-        self.coalesced_exact.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_exact.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_coalesced_contained(&self) {
-        self.coalesced_contained.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_contained.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_flight_led(&self) {
-        self.flights_led.fetch_add(1, Ordering::Relaxed);
+        self.flights_led.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_local_fallback(&self) {
-        self.local_eval_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.local_eval_fallbacks.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_lock_wait(&self, nanos: u64) {
-        self.lock_waits.fetch_add(1, Ordering::Relaxed);
-        self.lock_wait_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.lock_waits.fetch_add(1, Ordering::Release);
+        self.lock_wait_ns.fetch_add(nanos, Ordering::Release);
     }
 
     pub(crate) fn note_degraded(&self, partial_rows: usize) {
-        self.degraded_hits.fetch_add(1, Ordering::Relaxed);
+        self.degraded_hits.fetch_add(1, Ordering::Release);
         self.degraded_partial_rows
-            .fetch_add(partial_rows, Ordering::Relaxed);
+            .fetch_add(partial_rows, Ordering::Release);
     }
 
     pub(crate) fn note_stale_hit(&self) {
-        self.stale_hits.fetch_add(1, Ordering::Relaxed);
+        self.stale_hits.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_revalidation(&self) {
-        self.revalidations.fetch_add(1, Ordering::Relaxed);
+        self.revalidations.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_snapshot_writes(&self, files: usize) {
-        self.snapshot_writes.fetch_add(files, Ordering::Relaxed);
+        self.snapshot_writes.fetch_add(files, Ordering::Release);
     }
 
     pub(crate) fn note_recovered_entries(&self, entries: usize) {
-        self.recovered_entries.fetch_add(entries, Ordering::Relaxed);
+        self.recovered_entries.fetch_add(entries, Ordering::Release);
     }
 
     pub(crate) fn note_snapshot_corrupt(&self, segments: usize) {
         self.snapshot_corrupt_segments
-            .fetch_add(segments, Ordering::Relaxed);
+            .fetch_add(segments, Ordering::Release);
     }
 }
 
@@ -174,40 +192,182 @@ pub struct RuntimeSnapshot {
     /// Snapshot segments (or whole files) skipped as corrupt during
     /// recovery.
     pub snapshot_corrupt_segments: usize,
+    /// Next backoff delay the resilience layer would prescribe before
+    /// retrying the origin, in milliseconds (`0` without a resilience
+    /// layer) — the `Retry-After` fallback when the breaker is closed.
+    pub origin_backoff_hint_ms: u64,
+    /// Measured end-to-end latency quantiles over every served request.
+    pub request_latency: LatencySummary,
+    /// Measured latency quantiles over fresh cache hits (exact +
+    /// contained).
+    pub hit_latency: LatencySummary,
+    /// Measured latency quantiles of blocking origin fetches on the
+    /// request path.
+    pub origin_fetch_latency: LatencySummary,
 }
 
 impl RuntimeStats {
-    /// Snapshot the counters (relaxed reads; exact totals once the
-    /// producing threads have quiesced).
+    /// Snapshot the counters. Exact totals once the producing threads
+    /// have quiesced; mid-storm the snapshot still preserves the
+    /// cross-counter invariants — see the [`RuntimeStats`] docs for the
+    /// read-ordering argument (derived counters first, with `Acquire`;
+    /// `revalidations` before `stale_hits`; `requests` last).
     pub fn snapshot(&self, in_flight_peak: usize, shards: usize) -> RuntimeSnapshot {
-        let coalesced_exact = self.coalesced_exact.load(Ordering::Relaxed);
-        let coalesced_contained = self.coalesced_contained.load(Ordering::Relaxed);
+        let revalidations = self.revalidations.load(Ordering::Acquire);
+        let stale_hits = self.stale_hits.load(Ordering::Acquire);
+        let coalesced_exact = self.coalesced_exact.load(Ordering::Acquire);
+        let coalesced_contained = self.coalesced_contained.load(Ordering::Acquire);
+        let flights_led = self.flights_led.load(Ordering::Acquire);
+        let local_eval_fallbacks = self.local_eval_fallbacks.load(Ordering::Acquire);
+        let lock_acquisitions = self.lock_waits.load(Ordering::Acquire);
+        let lock_wait_ms = self.lock_wait_ns.load(Ordering::Acquire) as f64 / 1e6;
+        let degraded_hits = self.degraded_hits.load(Ordering::Acquire);
+        let degraded_partial_rows = self.degraded_partial_rows.load(Ordering::Acquire);
+        let snapshot_writes = self.snapshot_writes.load(Ordering::Acquire);
+        let recovered_entries = self.recovered_entries.load(Ordering::Acquire);
+        let snapshot_corrupt_segments = self.snapshot_corrupt_segments.load(Ordering::Acquire);
+        // Read last: every derived increment observed above was preceded
+        // by its request's `note_request`, so this load sees it too.
+        let requests = self.requests.load(Ordering::Acquire);
         RuntimeSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests,
             coalesced_exact,
             coalesced_contained,
-            flights_led: self.flights_led.load(Ordering::Relaxed),
-            local_eval_fallbacks: self.local_eval_fallbacks.load(Ordering::Relaxed),
+            flights_led,
+            local_eval_fallbacks,
             duplicate_fetches_avoided: coalesced_exact + coalesced_contained,
             in_flight_peak,
-            lock_acquisitions: self.lock_waits.load(Ordering::Relaxed),
-            lock_wait_ms: self.lock_wait_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            lock_acquisitions,
+            lock_wait_ms,
             shards,
-            degraded_hits: self.degraded_hits.load(Ordering::Relaxed),
-            degraded_partial_rows: self.degraded_partial_rows.load(Ordering::Relaxed),
+            degraded_hits,
+            degraded_partial_rows,
             origin_timeouts: 0,
             origin_retries: 0,
             origin_fast_fails: 0,
             breaker_opens: 0,
             breaker_state: "none",
             breaker_retry_after_ms: 0,
-            stale_hits: self.stale_hits.load(Ordering::Relaxed),
-            revalidations: self.revalidations.load(Ordering::Relaxed),
+            stale_hits,
+            revalidations,
             epoch_invalidations: 0,
             entries_expired: 0,
-            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
-            recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
-            snapshot_corrupt_segments: self.snapshot_corrupt_segments.load(Ordering::Relaxed),
+            snapshot_writes,
+            recovered_entries,
+            snapshot_corrupt_segments,
+            origin_backoff_hint_ms: 0,
+            request_latency: LatencySummary::default(),
+            hit_latency: LatencySummary::default(),
+            origin_fetch_latency: LatencySummary::default(),
+        }
+    }
+}
+
+impl RuntimeSnapshot {
+    /// Renders the counter/gauge half of the `/metrics` payload in
+    /// Prometheus text format; `ProxyHandle::metrics_text` appends the
+    /// histogram families from
+    /// [`crate::observe::Observer::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        };
+        counter(
+            "funcproxy_requests_total",
+            "Requests served through the runtime.",
+            self.requests as f64,
+        );
+        counter(
+            "funcproxy_coalesced_total",
+            "Requests answered by piggybacking on an in-flight fetch.",
+            self.duplicate_fetches_avoided as f64,
+        );
+        counter(
+            "funcproxy_flights_led_total",
+            "Origin-bound flights led.",
+            self.flights_led as f64,
+        );
+        counter(
+            "funcproxy_degraded_hits_total",
+            "Requests answered degraded (origin down).",
+            self.degraded_hits as f64,
+        );
+        counter(
+            "funcproxy_stale_hits_total",
+            "Requests answered from expired entries.",
+            self.stale_hits as f64,
+        );
+        counter(
+            "funcproxy_revalidations_total",
+            "Background refreshes reaching the origin.",
+            self.revalidations as f64,
+        );
+        counter(
+            "funcproxy_origin_timeouts_total",
+            "Origin fetches whose deadline expired.",
+            self.origin_timeouts as f64,
+        );
+        counter(
+            "funcproxy_origin_retries_total",
+            "Origin retries issued by the resilience layer.",
+            self.origin_retries as f64,
+        );
+        counter(
+            "funcproxy_breaker_opens_total",
+            "Times the circuit breaker opened.",
+            self.breaker_opens as f64,
+        );
+        counter(
+            "funcproxy_lock_wait_seconds_total",
+            "Total time spent waiting on cache shard locks.",
+            self.lock_wait_ms / 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_breaker_open Whether the circuit breaker is open.\n\
+             # TYPE funcproxy_breaker_open gauge\n\
+             funcproxy_breaker_open{{state=\"{}\"}} {}",
+            self.breaker_state,
+            u8::from(self.breaker_state == "open"),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_origin_backoff_hint_ms Next origin retry backoff delay.\n\
+             # TYPE funcproxy_origin_backoff_hint_ms gauge\n\
+             funcproxy_origin_backoff_hint_ms {}",
+            self.origin_backoff_hint_ms,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rendering_is_well_formed() {
+        let stats = RuntimeStats::default();
+        stats.note_request();
+        stats.note_request();
+        stats.note_stale_hit();
+        let snap = stats.snapshot(1, 2);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.stale_hits, 1);
+        let text = snap.render_prometheus();
+        assert!(text.contains("funcproxy_requests_total 2"));
+        assert!(text.contains("funcproxy_stale_hits_total 1"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "numeric value in {line}");
         }
     }
 }

@@ -384,3 +384,121 @@ fn mixed_concurrent_workload_matches_the_single_threaded_proxy() {
         counting.fetches()
     );
 }
+
+/// Mid-storm snapshots must preserve the cross-counter invariants the
+/// `RuntimeStats` docs promise (derived counters acquire-read first,
+/// `requests` last): no snapshot may ever report more coalesced hits,
+/// led flights or stale hits than requests, nor more revalidations
+/// than stale hits. A sampler thread races `runtime_stats()` against
+/// the 8-thread storm; afterwards the observer's outcome histograms
+/// must hold exactly one sample per request.
+#[test]
+fn mid_storm_snapshots_preserve_counter_invariants() {
+    use funcproxy::LifecycleConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (handle, _counting) = {
+        let counting = Arc::new(CountingOrigin::with_delay(
+            Arc::new(SiteOrigin::new(site())),
+            Duration::from_millis(1),
+        ));
+        let handle = ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::clone(&counting) as Arc<dyn funcproxy::Origin>,
+            // A 15 ms TTL inside a wide stale window makes the hot
+            // entry go stale repeatedly *during* the storm, so the
+            // stale-hit and revalidation counters race for real.
+            config().with_lifecycle(
+                LifecycleConfig::default()
+                    .with_default_ttl(Duration::from_millis(15))
+                    .with_stale_while_revalidate(Duration::from_secs(10)),
+            ),
+            4,
+        );
+        (handle, counting)
+    };
+    handle
+        .handle_form("/search/radial", &radial_fields(185.0, 0.0, 20.0))
+        .unwrap();
+
+    let done = AtomicBool::new(false);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let handle = handle.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..40 {
+                    // Exact repeats, contained hits and occasional
+                    // pauses past the TTL, staggered per thread.
+                    let radius = if (i + t) % 3 == 0 { 20.0 } else { 12.0 };
+                    handle
+                        .handle_form("/search/radial", &radial_fields(185.0, 0.0, radius))
+                        .unwrap();
+                    if (i + t) % 8 == 0 {
+                        std::thread::sleep(Duration::from_millis(4));
+                    }
+                }
+            });
+        }
+        let sampler = handle.clone();
+        let done = &done;
+        scope.spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                let s = sampler.runtime_stats();
+                assert!(
+                    s.coalesced_exact + s.coalesced_contained <= s.requests,
+                    "torn snapshot: {} coalesced > {} requests",
+                    s.coalesced_exact + s.coalesced_contained,
+                    s.requests
+                );
+                assert!(
+                    s.flights_led <= s.requests,
+                    "torn snapshot: {} flights > {} requests",
+                    s.flights_led,
+                    s.requests
+                );
+                assert!(
+                    s.stale_hits <= s.requests,
+                    "torn snapshot: {} stale hits > {} requests",
+                    s.stale_hits,
+                    s.requests
+                );
+                assert!(
+                    s.revalidations <= s.stale_hits,
+                    "torn snapshot: {} revalidations > {} stale hits",
+                    s.revalidations,
+                    s.stale_hits
+                );
+                std::thread::yield_now();
+            }
+        });
+        // Scoped threads only join at scope exit, so a watcher flips
+        // the sampler's stop flag once every worker request has landed.
+        let watcher = handle.clone();
+        scope.spawn(move || {
+            while watcher.runtime_stats().requests < 1 + THREADS * 40 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+    });
+
+    handle.quiesce_revalidations();
+    let stats = handle.runtime_stats();
+    assert_eq!(stats.requests, 1 + THREADS * 40);
+    assert!(
+        stats.stale_hits > 0,
+        "the storm should have produced stale hits (TTL 15 ms)"
+    );
+
+    // One end-to-end outcome sample per successful request, spread over
+    // the per-class histograms — recording never dropped or doubled.
+    use funcproxy::observe::OutcomeClass;
+    let total: u64 = OutcomeClass::ALL
+        .iter()
+        .map(|&c| handle.observer().outcome_histogram(c).count())
+        .sum();
+    assert_eq!(total, stats.requests as u64);
+}

@@ -6,6 +6,7 @@
 //!
 //! ```sh
 //! cargo run --example http_proxy [-- --ttl <secs>] [--snapshot-dir <path>] [--epoch <n>]
+//!                                [--serve] [--port <n>] [--trace-sample <n>]
 //! ```
 //!
 //! `--ttl` gives every cached entry a freshness lifetime (expired entries
@@ -13,11 +14,21 @@
 //! persists the cache for a warm restart, and `--epoch` declares the
 //! origin's current data-release epoch (entries from older epochs are
 //! invalidated).
+//!
+//! Observability: the proxy always exposes `GET /metrics` (Prometheus
+//! text format: runtime counters plus per-phase and per-outcome latency
+//! histograms) and `GET /debug/trace` (sampled spans as a
+//! chrome://tracing JSON document; `?format=jsonl` for JSON Lines).
+//! `--trace-sample N` traces one request in `N` (default 16, `0`
+//! disables tracing). `--serve` keeps the proxy running after the
+//! scripted demo so the endpoints can be scraped; `--port N` pins the
+//! proxy's listen port (default: an ephemeral port).
 
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
 use fp_suite::proxy::{
-    CostModel, LifecycleConfig, Origin, OriginError, ProxyConfig, ProxyError, ProxyHandle, Scheme,
+    CostModel, LifecycleConfig, ObserveConfig, Origin, OriginError, ProxyConfig, ProxyError,
+    ProxyHandle, ResilienceConfig, Scheme,
 };
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
@@ -94,21 +105,19 @@ impl Origin for HttpOrigin {
 /// origin rejection becomes `502 Bad Gateway`, and anything else is the
 /// client's fault (`400`).
 ///
-/// `Retry-After` reports the breaker's actual remaining-open time when
-/// the breaker is what is rejecting requests — the honest answer to
-/// "when is it worth asking again" — falling back to the error's own
-/// hint, then to one second.
+/// `Retry-After` comes from [`ProxyHandle::retry_after_secs`]: the
+/// breaker's actual remaining-open time when the breaker is what is
+/// rejecting requests, else the error's own hint, else the resilience
+/// layer's next backoff delay — so a transient 503 carries an honest
+/// nonzero hint even while the breaker is still closed (previously that
+/// window produced a bare one-second guess).
 fn error_response(handle: &ProxyHandle, error: &ProxyError) -> Response {
     match error {
         ProxyError::Origin(e) if e.is_transient() => {
             let mut resp = Response::error(Status::SERVICE_UNAVAILABLE, &error.to_string());
-            let breaker_ms = handle.runtime_stats().breaker_retry_after_ms;
-            let secs = if breaker_ms > 0 {
-                breaker_ms.div_ceil(1000).max(1)
-            } else {
-                e.retry_after().map_or(1, |d| d.as_secs().max(1))
-            };
-            resp.headers.set("Retry-After", secs.to_string());
+            if let Some(secs) = handle.retry_after_secs(error) {
+                resp.headers.set("Retry-After", secs.to_string());
+            }
             resp
         }
         ProxyError::Origin(_) => Response::error(Status::BAD_GATEWAY, &error.to_string()),
@@ -124,7 +133,26 @@ fn error_response(handle: &ProxyHandle, error: &ProxyError) -> Response {
 /// copied out of the entry's columnar slab, never re-serialized.
 fn proxy_router(handle: ProxyHandle) -> Router {
     let form_handle = handle.clone();
+    let metrics_handle = handle.clone();
+    let trace_handle = handle.clone();
     Router::new()
+        .route("/metrics", move |_req: &Request| {
+            Response::ok(
+                "text/plain; version=0.0.4; charset=utf-8",
+                metrics_handle.metrics_text(),
+            )
+        })
+        .route("/debug/trace", move |req: &Request| {
+            let jsonl = req
+                .query_params()
+                .iter()
+                .any(|(k, v)| k == "format" && v == "jsonl");
+            if jsonl {
+                Response::ok("application/x-ndjson", trace_handle.trace_jsonl())
+            } else {
+                Response::ok("application/json", trace_handle.trace_chrome_json())
+            }
+        })
         .route("/search/radial", move |req: &Request| {
             let fields = req.query_params();
             match form_handle.handle_form_xml("/search/radial", &fields) {
@@ -168,16 +196,25 @@ fn main() {
     let mut ttl_secs: Option<u64> = None;
     let mut snapshot_dir: Option<std::path::PathBuf> = None;
     let mut epoch: u64 = 0;
+    let mut serve = false;
+    let mut port: u16 = 0;
+    let mut trace_sample: u64 = 16;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ttl" => ttl_secs = args.next().and_then(|s| s.parse().ok()),
             "--snapshot-dir" => snapshot_dir = args.next().map(Into::into),
             "--epoch" => epoch = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--serve" => serve = true,
+            "--port" => port = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--trace-sample" => {
+                trace_sample = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+            }
             other => {
                 eprintln!(
                     "unknown option `{other}` \
-                     (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>)"
+                     (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>, \
+                     --serve, --port <n>, --trace-sample <n>)"
                 );
                 std::process::exit(2);
             }
@@ -214,7 +251,11 @@ fn main() {
         ProxyConfig::default()
             .with_scheme(Scheme::FullSemantic)
             .with_cost(CostModel::free())
-            .with_lifecycle(lifecycle),
+            .with_lifecycle(lifecycle)
+            // Deadlines, retry/backoff and the circuit breaker on the
+            // origin path — also what feeds the Retry-After backoff hint.
+            .with_resilience(ResilienceConfig::default())
+            .with_observe(ObserveConfig::default().with_sample_every(trace_sample)),
     );
     if handle.runtime_stats().recovered_entries > 0 {
         println!(
@@ -226,8 +267,8 @@ fn main() {
                 .display()
         );
     }
-    let proxy_server =
-        HttpServer::bind("127.0.0.1:0", proxy_router(handle.clone())).expect("proxy binds");
+    let proxy_server = HttpServer::bind(&format!("127.0.0.1:{port}"), proxy_router(handle.clone()))
+        .expect("proxy binds");
     println!(
         "proxy  listening on http://{} ({} cache shards)\n",
         proxy_server.addr(),
@@ -285,6 +326,16 @@ fn main() {
         match handle.snapshot_now() {
             Ok(files) => println!("final snapshot: {files} shard files written"),
             Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
+    }
+    if serve {
+        println!(
+            "\nserving until interrupted: curl http://{0}/metrics, \
+             curl http://{0}/debug/trace?format=jsonl",
+            proxy_server.addr()
+        );
+        loop {
+            std::thread::park();
         }
     }
     proxy_server.shutdown();

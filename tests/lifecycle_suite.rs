@@ -241,3 +241,71 @@ fn stale_if_error_extends_expired_entries_through_an_outage() {
         "a dead entry must not serve even on the error path"
     );
 }
+
+/// Regression for the `entry_age_ms` max-fold bug: the reported age is
+/// the age of the entries that actually *contributed rows* to the
+/// answer, not the oldest entry the planner merely probed. A stale but
+/// empty cached region must neither age the response nor flag it stale.
+#[test]
+fn entry_age_reports_the_serving_entry_not_the_oldest_probed() {
+    let clock = MockClock::shared();
+    let handle = ProxyHandle::with_shards_clocked(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(SiteOrigin::new(site().clone())),
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free())
+            .with_lifecycle(
+                LifecycleConfig::default()
+                    .with_default_ttl(100 * MS)
+                    .with_stale_while_revalidate(1000 * MS),
+            ),
+        2,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+
+    // t=0: a tiny, almost certainly empty entry A off to the side.
+    let a = handle
+        .handle_form_xml("/search/radial", &fields(185.0, 0.4, 0.01))
+        .expect("entry A");
+    assert_eq!(
+        a.metrics.rows_total, 0,
+        "the tiny region must be empty for this scenario"
+    );
+
+    // t=150 ms: entry B, disjoint from A so compaction keeps both.
+    clock.advance(150 * MS);
+    let b = handle
+        .handle_form_xml("/search/radial", &fields(185.0, 0.0, 20.0))
+        .expect("entry B");
+    assert!(b.metrics.rows_total > 0, "B must hold real rows");
+
+    // t=180 ms: a query containing both A and B (region containment,
+    // remainder fetched). A is now past its TTL but contributes zero
+    // rows; B (30 ms old) serves the hit portion. The max-fold bug
+    // reported age 180 ms and stale=true.
+    clock.advance(30 * MS);
+    let served = handle
+        .handle_form_xml("/search/radial", &fields(185.0, 0.05, 25.0))
+        .expect("merged serve");
+    assert!(
+        served.metrics.rows_from_cache > 0,
+        "B must contribute cached rows (outcome {:?})",
+        served.metrics.outcome
+    );
+    assert!(
+        served.metrics.entry_age_ms < 100.0,
+        "age {} must be B's (~30 ms), not stale A's (~180 ms)",
+        served.metrics.entry_age_ms
+    );
+    assert!(
+        !served.metrics.stale,
+        "an empty probed entry must not mark the answer stale"
+    );
+    handle.quiesce_revalidations();
+    assert_eq!(
+        handle.runtime_stats().stale_hits,
+        0,
+        "no stale hit was served"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests for the observe-layer latency histograms (satellite d
+//! of the observability PR).
+//!
+//! Two things must hold for the `/metrics` numbers to be trustworthy:
+//!
+//! 1. **Merge fidelity** — per-shard (or per-thread) histograms merged
+//!    bucket-wise must report *exactly* the quantiles a single global
+//!    histogram fed the same samples would. The bucket scheme is
+//!    deterministic, so merge equality is exact, not approximate.
+//! 2. **Bounded quantile error** — any reported quantile is the midpoint
+//!    of the log-linear bucket holding the nearest-rank sample, so it
+//!    sits within ~1% (half a bucket width) of the true sample value.
+//!
+//! A third, non-property test storms one histogram from eight threads
+//! while a sampler takes concurrent snapshots, proving recording is
+//! non-blocking and snapshots are never torn above the true total.
+
+use fp_suite::proxy::observe::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+const QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+proptest! {
+    /// Round-robin the samples across N shard histograms, merge the
+    /// snapshots, and require the merged quantiles to equal the global
+    /// histogram's bit for bit.
+    #[test]
+    fn merged_shards_equal_global(
+        samples in prop::collection::vec(0u64..2_000_000_000_000, 1..300),
+        shards in 1usize..9,
+    ) {
+        let global = LatencyHistogram::new();
+        let shard_hists: Vec<LatencyHistogram> =
+            (0..shards).map(|_| LatencyHistogram::new()).collect();
+        for (i, &ns) in samples.iter().enumerate() {
+            global.record_ns(ns);
+            shard_hists[i % shards].record_ns(ns);
+        }
+
+        let mut merged = HistogramSnapshot::default();
+        for h in &shard_hists {
+            merged.merge(&h.snapshot());
+        }
+        let global = global.snapshot();
+
+        prop_assert_eq!(merged.count(), global.count());
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for q in QUANTILES {
+            let m = merged.quantile(q);
+            let g = global.quantile(q);
+            prop_assert_eq!(
+                m.to_bits(),
+                g.to_bits(),
+                "q={} merged={} global={}",
+                q,
+                m,
+                g
+            );
+        }
+    }
+
+    /// Reported quantiles stay within the documented bucket error of the
+    /// true (nearest-rank over the raw samples) quantile.
+    #[test]
+    fn quantiles_within_bucket_error_of_truth(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..200),
+    ) {
+        let hist = LatencyHistogram::new();
+        for &ns in &samples {
+            hist.record_ns(ns);
+        }
+        let snap = hist.snapshot();
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let rank = ((q * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let truth_ns = sorted[rank - 1] as f64;
+            let reported_ns = snap.quantile(q) * 1e6; // quantile() is in ms
+            let tolerance = truth_ns * 0.01 + 1.0; // ~1% relative + sub-ns slack
+            prop_assert!(
+                (reported_ns - truth_ns).abs() <= tolerance,
+                "q={}: reported {} ns vs true {} ns (tolerance {})",
+                q,
+                reported_ns,
+                truth_ns,
+                tolerance
+            );
+        }
+    }
+}
+
+/// Eight writer threads hammer one shared histogram while a sampler
+/// takes snapshots mid-storm. Recording must never block or panic, no
+/// snapshot may report more events than have been recorded, and the
+/// final count must be exact (no lost updates).
+#[test]
+fn storm_recording_is_non_blocking_and_lossless() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 50_000;
+    let hist = LatencyHistogram::new();
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let hist = &hist;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Spread across the linear range, the octave range,
+                    // and multi-second outliers.
+                    let ns = (i * 37 + w as u64) % 3_000_000_000;
+                    hist.record_ns(ns);
+                }
+            });
+        }
+        let hist = &hist;
+        scope.spawn(move || {
+            for _ in 0..200 {
+                let snap = hist.snapshot();
+                assert!(
+                    snap.count() <= WRITERS as u64 * PER_WRITER,
+                    "snapshot reported more events than were ever recorded"
+                );
+                if snap.count() > 0 {
+                    let p99 = snap.quantile(0.99);
+                    assert!(p99.is_finite() && p99 >= 0.0);
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let snap = hist.snapshot();
+    assert_eq!(
+        snap.count(),
+        WRITERS as u64 * PER_WRITER,
+        "relaxed atomic buckets must still lose no updates"
+    );
+    assert!(snap.quantile(0.999) >= snap.quantile(0.5));
+}
