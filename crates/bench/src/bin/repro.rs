@@ -13,20 +13,25 @@
 //!   coverage      extension: overlap coverage-threshold ablation
 //!   checktime     §4.2 cache-checking time, array vs R-tree
 //!   throughput    extension: multi-client qps/latency over the concurrent
-//!                 runtime, sweeping client counts up to --threads (default 8)
+//!                 runtime, sweeping client counts up to --threads (default 8),
+//!                 then the edge-concurrency sweep below
+//!   edge          extension: qps and tail latency of the nonblocking edge
+//!                 server over real sockets, sweeping keep-alive connection
+//!                 counts 64, 128, … up to --edge-conns (default 256)
 //!   chaos         extension: availability under a mid-trace origin outage
 //!                 with deadlines, retries and the circuit breaker engaged
 //!                 (`--chaos` is an alias)
 //!   all           everything above
 //! ```
 
-use fp_bench::{thread_sweep, Experiment, Scale};
+use fp_bench::{conn_sweep, thread_sweep, Experiment, Scale};
 use std::time::Duration;
 
 fn main() {
     let mut scale = Scale::default();
     let mut json = false;
     let mut threads = 8usize;
+    let mut edge_conns = 256usize;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -36,6 +41,7 @@ fn main() {
             "--queries" => scale.queries = parse_num(args.next(), "--queries"),
             "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
             "--threads" => threads = parse_num(args.next(), "--threads"),
+            "--edge-conns" => edge_conns = parse_num(args.next(), "--edge-conns"),
             "--json" => json = true,
             "--chaos" => experiments.push("chaos".to_string()),
             "--help" | "-h" => {
@@ -133,6 +139,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     }
+    // The edge sweep rides along with `throughput` (both answer "what
+    // does concurrency cost"), and runs alone as `edge`.
+    if want("edge") || want("throughput") {
+        let t = exp.edge_concurrency(&conn_sweep(edge_conns), Duration::from_millis(5));
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist qps + tail latency vs connection count so edge changes
+        // can be compared run over run.
+        let path = "BENCH_edge_concurrency.json";
+        match std::fs::write(path, serde_json::to_string(&t).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
     if want("chaos") {
         let t = exp.chaos();
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
@@ -164,7 +183,8 @@ fn parse_num(v: Option<String>, flag: &str) -> usize {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--json] [--chaos] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|chaos|all]..."
+        "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--edge-conns N] \
+         [--json] [--chaos] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|edge|chaos|all]..."
     );
 }

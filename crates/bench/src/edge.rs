@@ -1,0 +1,303 @@
+//! Edge-concurrency benchmark: the nonblocking reactor under real
+//! socket load.
+//!
+//! The throughput harness (`throughput.rs`) measures the *runtime* by
+//! calling the shared handle directly from K threads. This experiment
+//! measures the *edge*: a live [`EdgeServer`] on loopback TCP with
+//! hundreds of concurrent keep-alive HTTP connections replaying the
+//! calibrated Radial trace — the configuration a thread-per-connection
+//! front end cannot reach without spawning hundreds of threads. The
+//! server's thread count is fixed at `1 + workers` no matter the
+//! connection count; that invariant is part of the emitted artifact
+//! (`server_threads`).
+//!
+//! Each swept connection count gets a fresh proxy (cold cache), so the
+//! miss/hit mix is identical across counts and the qps/p99 curves are
+//! comparable.
+
+use crate::throughput::THROUGHPUT_SHARDS;
+use crate::Experiment;
+use fp_edge::{EdgeConfig, EdgeServer, ProxyEdgeService};
+use fp_httpd::{HttpClient, Status};
+use fp_skyserver::SkySite;
+use fp_trace::Trace;
+use funcproxy::origin::CountingOrigin;
+use funcproxy::template::TemplateManager;
+use funcproxy::{CostModel, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker threads behind the reactor in every swept configuration.
+pub const EDGE_WORKERS: usize = 8;
+
+/// Pending-request queue bound. Deep enough that a healthy run does not
+/// shed; sheds that do occur are admission control working and are
+/// reported in the row, not errors.
+pub const EDGE_QUEUE_DEPTH: usize = 512;
+
+/// Requests each connection issues, minimum (the trace is repeated as
+/// needed so every swept connection count gets a meaningful sample).
+const MIN_REQUESTS_PER_CONN: usize = 8;
+
+/// One measured connection-count configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct EdgeConcurrencyRow {
+    /// Concurrent keep-alive client connections.
+    pub conns: usize,
+    /// Requests issued across all connections.
+    pub total_requests: usize,
+    /// Wall-clock time for the whole replay, ms.
+    pub elapsed_ms: f64,
+    /// Successfully answered queries per second.
+    pub qps: f64,
+    /// Median client-observed latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency, ms.
+    pub p99_ms: f64,
+    /// Requests answered `503` by admission control.
+    pub shed_503: usize,
+    /// Transport errors or unexpected statuses.
+    pub errors: usize,
+    /// Server threads (reactor + workers) — fixed, never per-connection.
+    pub server_threads: usize,
+    /// Requests the reactor answered inline (fresh cache hits).
+    pub fast_path_hits: usize,
+    /// Requests offloaded to the worker pool.
+    pub offloaded: usize,
+    /// Requests parsed while an earlier one on the same connection was
+    /// still in flight.
+    pub pipelined: usize,
+}
+
+/// The `BENCH_edge_concurrency.json` artifact: qps and tail latency vs
+/// concurrent connections over the nonblocking edge.
+#[derive(Debug, Clone, Serialize)]
+pub struct EdgeConcurrency {
+    /// Simulated per-fetch origin delay, ms.
+    pub origin_delay_ms: u64,
+    /// Worker threads behind the reactor.
+    pub workers: usize,
+    /// Rows, ordered by connection count.
+    pub rows: Vec<EdgeConcurrencyRow>,
+}
+
+impl std::fmt::Display for EdgeConcurrency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Edge concurrency ({} workers behind the reactor, {} ms simulated origin delay)",
+            self.workers, self.origin_delay_ms
+        )?;
+        writeln!(
+            f,
+            "  conns | requests |     qps | p50 ms | p99 ms | shed | errors | threads | fast path | offloaded | pipelined"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>5} | {:>8} | {:>7.1} | {:>6.2} | {:>6.2} | {:>4} | {:>6} | {:>7} | {:>9} | {:>9} | {:>9}",
+                r.conns,
+                r.total_requests,
+                r.qps,
+                r.p50_ms,
+                r.p99_ms,
+                r.shed_503,
+                r.errors,
+                r.server_threads,
+                r.fast_path_hits,
+                r.offloaded,
+                r.pipelined
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Connection counts for a `--edge-conns N` sweep: powers of two from 64
+/// up to `max`, plus `max` itself (`256 → 64, 128, 256`; below 64, just
+/// `max`).
+pub fn conn_sweep(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts: Vec<usize> = std::iter::successors(Some(64usize), |n| n.checked_mul(2))
+        .take_while(|&n| n < max)
+        .collect();
+    counts.push(max);
+    counts
+}
+
+impl Experiment {
+    /// Boots a fresh edge server per connection count in `conn_counts`
+    /// and replays the trace through that many concurrent keep-alive
+    /// HTTP connections, with `origin_delay` of simulated WAN + origin
+    /// time per miss.
+    pub fn edge_concurrency(
+        &self,
+        conn_counts: &[usize],
+        origin_delay: Duration,
+    ) -> EdgeConcurrency {
+        EdgeConcurrency {
+            origin_delay_ms: origin_delay.as_millis() as u64,
+            workers: EDGE_WORKERS,
+            rows: conn_counts
+                .iter()
+                .map(|&conns| run_once(&self.site, &self.trace, conns, origin_delay))
+                .collect(),
+        }
+    }
+}
+
+fn run_once(site: &SkySite, trace: &Trace, conns: usize, delay: Duration) -> EdgeConcurrencyRow {
+    let counting = Arc::new(CountingOrigin::with_delay(
+        Arc::new(SiteOrigin::new(site.clone())),
+        delay,
+    ));
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::clone(&counting) as Arc<dyn funcproxy::Origin>,
+        ProxyConfig::default()
+            .with_scheme(Scheme::FullSemantic)
+            .with_cost(CostModel::free()),
+        THROUGHPUT_SHARDS,
+    );
+    let service = Arc::new(ProxyEdgeService::new(handle.clone()));
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service) as Arc<dyn fp_edge::EdgeService>,
+        EdgeConfig::default()
+            .with_workers(EDGE_WORKERS)
+            .with_queue_depth(EDGE_QUEUE_DEPTH)
+            // Headroom over the client count: the sweep measures request
+            // concurrency, not the connection cap (tested elsewhere).
+            .with_max_connections(conns + 16)
+            .with_stats(service.edge_stats()),
+    )
+    .expect("edge server binds");
+    let server_threads = server.thread_count();
+
+    let urls: Vec<String> = trace
+        .queries
+        .iter()
+        .map(|q| format!("/search/radial?{}", q.query_string()))
+        .collect();
+    // Repeat the trace until every connection has a meaningful share.
+    let rounds = (conns * MIN_REQUESTS_PER_CONN).div_ceil(urls.len()).max(1);
+    let total = urls.len() * rounds;
+
+    let addr = server.addr();
+    let start = Instant::now();
+    // One thread per client connection — *client*-side threads; the
+    // server side stays at `server_threads` regardless.
+    let per_client: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let urls = &urls;
+                scope.spawn(move || {
+                    let client = HttpClient::new(addr);
+                    let mut latencies = Vec::new();
+                    let (mut shed, mut errors) = (0usize, 0usize);
+                    // Round-robin deal of the repeated trace.
+                    let mut i = c;
+                    while i < total {
+                        let t0 = Instant::now();
+                        match client.get(&urls[i % urls.len()]) {
+                            Ok(r) if r.status == Status::OK => {
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Ok(r) if r.status == Status::SERVICE_UNAVAILABLE => shed += 1,
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                        i += conns;
+                    }
+                    (latencies, shed, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(total);
+    let (mut shed, mut errors) = (0usize, 0usize);
+    for (lat, s, e) in per_client {
+        latencies.extend(lat);
+        shed += s;
+        errors += e;
+    }
+    latencies.sort_by(f64::total_cmp);
+
+    let snap = server.stats();
+    server.shutdown_graceful(Duration::from_secs(10));
+
+    EdgeConcurrencyRow {
+        conns,
+        total_requests: total,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        qps: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        shed_503: shed,
+        errors,
+        server_threads,
+        fast_path_hits: snap.fast_path,
+        offloaded: snap.offloaded,
+        pipelined: snap.pipelined,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn sweep_is_powers_of_two_from_64() {
+        assert_eq!(conn_sweep(256), vec![64, 128, 256]);
+        assert_eq!(conn_sweep(100), vec![64, 100]);
+        assert_eq!(conn_sweep(64), vec![64]);
+        assert_eq!(conn_sweep(16), vec![16]);
+    }
+
+    /// The acceptance bar for the edge: 96 concurrent connections served
+    /// by a fixed, single-digit server thread count, zero transport
+    /// errors, and the fast path actually engaged.
+    #[test]
+    fn ninety_six_connections_on_a_handful_of_threads() {
+        let exp = Experiment::prepare(Scale {
+            objects: 10_000,
+            queries: 120,
+            seed: 33,
+        });
+        let report = exp.edge_concurrency(&[96], Duration::from_millis(2));
+        let row = &report.rows[0];
+        assert_eq!(row.conns, 96);
+        assert_eq!(row.server_threads, 1 + EDGE_WORKERS);
+        assert_eq!(row.errors, 0, "no transport errors under load");
+        assert!(
+            row.total_requests >= 96 * MIN_REQUESTS_PER_CONN,
+            "each connection gets a meaningful share"
+        );
+        assert!(row.qps > 0.0);
+        assert!(row.p99_ms >= row.p50_ms);
+        assert!(
+            row.fast_path_hits > 0,
+            "repeated trace queries must hit the inline fast path"
+        );
+        // Every request is accounted for: served, shed, or errored.
+        assert!(
+            row.fast_path_hits + row.offloaded + row.shed_503 >= row.total_requests - row.errors
+        );
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`Experiment::compaction`] — region-containment compaction ablation.
 //! * [`Experiment::throughput`] — extension: multi-client throughput over
 //!   the concurrent runtime (see [`throughput`]).
+//! * [`Experiment::edge_concurrency`] — extension: qps and tail latency of
+//!   the nonblocking edge server under 64–1024 concurrent keep-alive
+//!   connections (see [`edge`]).
 //! * [`Experiment::chaos`] — extension: availability under a mid-trace
 //!   origin outage with the resilience layer engaged (see [`chaos`]).
 
@@ -21,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod edge;
 pub mod throughput;
 
 pub use chaos::ChaosReport;
+pub use edge::{conn_sweep, EdgeConcurrency, EdgeConcurrencyRow, EDGE_WORKERS};
 pub use throughput::{
     thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,
 };

@@ -42,11 +42,23 @@ pub enum Phase {
     SnapshotRecover,
     /// Waiting to acquire a cache shard lock.
     LockWait,
+    /// Edge reactor: accepting a connection (accept syscall to
+    /// registered-with-epoll).
+    Accept,
+    /// Edge reactor: incremental HTTP request parsing (first byte of a
+    /// request head to a complete parsed request).
+    Parse,
+    /// Edge: time a request spent in the bounded pending queue before a
+    /// worker picked it up.
+    QueueWait,
+    /// Edge: time a finished response waited for the reactor to collect
+    /// it from the completion queue (worker push to reactor drain).
+    Handoff,
 }
 
 impl Phase {
     /// Every phase, in rendering order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Classify,
         Phase::LocalEval,
         Phase::OriginFetch,
@@ -55,6 +67,10 @@ impl Phase {
         Phase::SnapshotWrite,
         Phase::SnapshotRecover,
         Phase::LockWait,
+        Phase::Accept,
+        Phase::Parse,
+        Phase::QueueWait,
+        Phase::Handoff,
     ];
 
     /// Stable snake_case label used in metric labels and JSON.
@@ -68,6 +84,10 @@ impl Phase {
             Phase::SnapshotWrite => "snapshot_write",
             Phase::SnapshotRecover => "snapshot_recover",
             Phase::LockWait => "lock_wait",
+            Phase::Accept => "accept",
+            Phase::Parse => "parse",
+            Phase::QueueWait => "queue_wait",
+            Phase::Handoff => "handoff",
         }
     }
 
@@ -81,6 +101,10 @@ impl Phase {
             Phase::SnapshotWrite => 5,
             Phase::SnapshotRecover => 6,
             Phase::LockWait => 7,
+            Phase::Accept => 8,
+            Phase::Parse => 9,
+            Phase::QueueWait => 10,
+            Phase::Handoff => 11,
         }
     }
 }

@@ -421,6 +421,27 @@ impl ProxyHandle {
         &self.inner.observe
     }
 
+    /// An owned, shareable handle to the observe layer, for subsystems
+    /// (the edge reactor, worker pools) that record phases from threads
+    /// that outlive a single request.
+    pub fn observer_shared(&self) -> Arc<Observer> {
+        Arc::clone(&self.inner.observe)
+    }
+
+    /// The `Retry-After` hint (whole seconds, ≥ 1) an admission-control
+    /// layer should shed with while the origin circuit breaker is open;
+    /// `None` when the breaker is closed, half-open, or resilience is
+    /// not configured. Cheap enough for a per-request probe — one
+    /// atomic-snapshot read, no locks.
+    pub fn breaker_shed_hint(&self) -> Option<u64> {
+        let r = self.inner.resilient.as_ref()?.snapshot();
+        if r.breaker_state == "open" {
+            Some(r.breaker_retry_after_ms.div_ceil(1000).max(1))
+        } else {
+            None
+        }
+    }
+
     /// The full `/metrics` payload in Prometheus text exposition format
     /// (version 0.0.4): runtime counters and gauges followed by every
     /// latency histogram family.
@@ -723,13 +744,36 @@ impl ProxyHandle {
         }
 
         let mut timing = Timing::begin();
-        match self.cache_phase_locked(&bound, &mut timing) {
+        match self.try_locked_hit(&bound, &mut timing, false) {
+            Some(response) => Ok(response),
+            // Malformed entry or miss: rejoin the ordinary loop (it
+            // re-runs the cache phase under the flight table, which is
+            // what closes the fetch/join race).
+            None => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
+        }
+    }
+
+    /// One shard-lock window's worth of byte serving: an exact or
+    /// contained hit becomes a response, anything needing origin work
+    /// (or a malformed entry) becomes `None`. With `fresh_only`, stale
+    /// hits also return `None` — the nonblocking edge path declines them
+    /// so revalidation spawning stays off the reactor thread.
+    fn try_locked_hit(
+        &self,
+        bound: &BoundQuery,
+        timing: &mut Timing,
+        fresh_only: bool,
+    ) -> Option<XmlResponse> {
+        match self.cache_phase_locked(bound, timing) {
             LockedPhase::Exact {
                 result,
                 columnar,
                 sim_ms,
                 life,
             } => {
+                if fresh_only && life.stale {
+                    return None;
+                }
                 let ser_start = Instant::now();
                 let body = match columnar.as_deref() {
                     Some(col) => col.full_document(),
@@ -742,23 +786,61 @@ impl ProxyHandle {
                 });
                 let cached = result.len();
                 let mut metrics =
-                    self.metrics_for(result.len(), Outcome::Exact, cached, sim_ms, &timing, false);
+                    self.metrics_for(result.len(), Outcome::Exact, cached, sim_ms, timing, false);
                 self.apply_life(&mut metrics, &life, true);
-                Ok(XmlResponse { body, metrics })
+                Some(XmlResponse { body, metrics })
             }
             LockedPhase::Contained(plan) => {
-                match self.contained_bytes(&bound, &plan, &mut timing) {
-                    Some(response) => Ok(response),
-                    // Malformed entry: the ordinary loop forwards,
-                    // caches, and accounts the fallback.
-                    None => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
+                if fresh_only && plan.life.stale {
+                    return None;
                 }
+                self.contained_bytes(bound, &plan, timing)
             }
-            // Miss: rejoin the ordinary loop (it re-runs the cache
-            // phase under the flight table, which is what closes the
-            // fetch/join race).
-            LockedPhase::Origin(_) => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
+            LockedPhase::Origin(_) => None,
         }
+    }
+
+    /// The edge reactor's fast path: serve an HTML-form request to bytes
+    /// **only if** a fresh exact or contained hit answers it within one
+    /// shard-lock window. Returns `None` — without touching the origin,
+    /// the flight table, or the snapshot schedule — whenever serving
+    /// would block: misses, stale entries, malformed entries, resolution
+    /// failures, and the no-cache scheme all decline. Declined requests
+    /// must be re-served through [`ProxyHandle::handle_form_xml`] on a
+    /// thread that may block.
+    pub fn try_form_xml_cached(
+        &self,
+        path: &str,
+        fields: &[(String, String)],
+    ) -> Option<XmlResponse> {
+        let bound = self.inner.manager.resolve_form(path, fields).ok()?;
+        self.try_cached_xml(bound)
+    }
+
+    /// [`ProxyHandle::try_form_xml_cached`] for raw SQL requests.
+    /// Unregistered SQL always declines (it always needs the origin).
+    pub fn try_sql_xml_cached(&self, sql: &str) -> Option<XmlResponse> {
+        match self.inner.manager.resolve_sql(sql)? {
+            Ok(bound) => self.try_cached_xml(bound),
+            Err(_) => None,
+        }
+    }
+
+    fn try_cached_xml(&self, bound: BoundQuery) -> Option<XmlResponse> {
+        if self.inner.config.scheme == Scheme::NoCache {
+            return None;
+        }
+        let _trace = self.inner.observe.begin_trace();
+        let started = Instant::now();
+        let mut timing = Timing::begin();
+        let response = self.try_locked_hit(&bound, &mut timing, true)?;
+        // Count the request only once it is actually served here; a
+        // declined probe is re-served (and counted) by the blocking
+        // path. Snapshot scheduling is deliberately skipped — the
+        // reactor thread must not absorb file I/O.
+        self.inner.stats.note_request();
+        self.observe_request(started, Some(&response.metrics));
+        Some(response)
     }
 
     /// A contained hit as bytes: prune through the micro-index, then

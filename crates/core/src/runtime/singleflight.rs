@@ -5,10 +5,10 @@
 //! table makes the first such request the **leader**; everyone else
 //! becomes a **follower** of its flight:
 //!
-//! * an *exact* follower (same canonical SQL) blocks until the flight
+//! * an *exact* follower (same canonical SQL) waits until the flight
 //!   lands and adopts the leader's response;
 //! * a *contained* follower (region inside the in-flight region, same
-//!   residual group) blocks until the flight lands, then retries the
+//!   residual group) waits until the flight lands, then retries the
 //!   cache — the leader inserts its result **before** resolving the
 //!   flight, so the retry finds a containing entry and takes the normal
 //!   local-evaluation path.
@@ -21,16 +21,30 @@
 //! same query; they re-check the cache and try degraded serving, then
 //! surface the error.
 //!
+//! ## Wakeup lists, not condvars
+//!
+//! A pending flight holds an explicit **wakeup list**: each follower
+//! registers either its thread handle (the blocking path — it parks and
+//! the leader unparks it) or an arbitrary callback
+//! ([`FlightTicket::on_landing`] — the nonblocking path used by
+//! event-loop edges that must not park a reactor thread). On landing the
+//! leader swaps the state to `Done`, then drains the list *outside* the
+//! state lock: threads are unparked, callbacks are invoked with a clone
+//! of the landed result. A callback registered after landing fires
+//! immediately on the registering thread. This keeps followers cheap —
+//! no condvar broadcast storms — and lets a follower be something other
+//! than a parked thread.
+//!
 //! Lock discipline: the flight-table lock is never held while a flight's
-//! state lock is held, and neither is ever held across a wait or an
-//! origin fetch.
+//! state lock is held, and neither is ever held across a wait, a
+//! callback invocation, or an origin fetch.
 
 use crate::origin::OriginError;
 use crate::proxy::ProxyResponse;
 use crate::ProxyError;
 use fp_geometry::{Region, Relation};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How a follower's query relates to the flight it joined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,9 +56,21 @@ pub enum Coalesce {
     Contained,
 }
 
+/// The landed result of a flight, as delivered to followers.
+pub type FlightResult = Result<ProxyResponse, ProxyError>;
+
+/// A follower's registration on a pending flight's wakeup list.
+enum Waiter {
+    /// A parked thread; the leader unparks it on landing.
+    Thread(std::thread::Thread),
+    /// A callback; the leader invokes it with the landed result.
+    Callback(Box<dyn FnOnce(FlightResult) + Send>),
+}
+
 enum FlightState {
-    Pending,
-    Done(Result<ProxyResponse, ProxyError>),
+    /// In flight; the wakeup list of registered followers.
+    Pending(Vec<Waiter>),
+    Done(FlightResult),
 }
 
 struct Flight {
@@ -52,7 +78,6 @@ struct Flight {
     residual_key: String,
     region: Region,
     state: Mutex<FlightState>,
-    landed: Condvar,
 }
 
 impl Flight {
@@ -124,8 +149,7 @@ impl SingleFlight {
             sql: sql.to_string(),
             residual_key: residual_key.to_string(),
             region: region.clone(),
-            state: Mutex::new(FlightState::Pending),
-            landed: Condvar::new(),
+            state: Mutex::new(FlightState::Pending(Vec::new())),
         });
         table.flights.insert(sql.to_string(), Arc::clone(&flight));
         table.in_flight_peak = table.in_flight_peak.max(table.flights.len());
@@ -152,7 +176,8 @@ pub enum Joined<'a> {
     /// This request leads: fetch from the origin, then
     /// [`FlightLease::resolve`].
     Lead(FlightLease<'a>),
-    /// This request follows an in-flight fetch: [`FlightTicket::wait`].
+    /// This request follows an in-flight fetch: [`FlightTicket::wait`]
+    /// or [`FlightTicket::on_landing`].
     Follow(Coalesce, FlightTicket),
 }
 
@@ -181,13 +206,26 @@ impl FlightLease<'_> {
         self.finish(Err(error));
     }
 
-    fn finish(&mut self, response: Result<ProxyResponse, ProxyError>) {
+    fn finish(&mut self, response: FlightResult) {
         self.resolved = true;
         // Deregister first (new arrivals start a fresh flight), then
         // publish the state; the two locks are never held together.
         self.table.table().flights.remove(&self.flight.sql);
-        *self.flight.state() = FlightState::Done(response);
-        self.flight.landed.notify_all();
+        let previous = {
+            let mut state = self.flight.state();
+            std::mem::replace(&mut *state, FlightState::Done(response.clone()))
+        };
+        // Drain the wakeup list outside the state lock: callbacks may be
+        // arbitrarily slow (an edge completion handler) and must not
+        // serialize against followers still registering.
+        if let FlightState::Pending(waiters) = previous {
+            for waiter in waiters {
+                match waiter {
+                    Waiter::Thread(thread) => thread.unpark(),
+                    Waiter::Callback(callback) => callback(response.clone()),
+                }
+            }
+        }
     }
 }
 
@@ -209,15 +247,56 @@ impl FlightTicket {
     /// failure; the caller must not retry the origin (that would undo
     /// the coalescing) — it should attempt degraded serving from the
     /// cache and otherwise surface the error.
-    pub fn wait(self) -> Result<ProxyResponse, ProxyError> {
-        let mut state = self.0.state();
+    pub fn wait(self) -> FlightResult {
         loop {
-            match &*state {
-                FlightState::Done(response) => return response.clone(),
-                FlightState::Pending => {
-                    state = self.0.landed.wait(state).unwrap_or_else(|e| e.into_inner());
+            {
+                let mut state = self.0.state();
+                match &mut *state {
+                    FlightState::Done(response) => return response.clone(),
+                    FlightState::Pending(waiters) => {
+                        // Re-register on every iteration: a spurious
+                        // park return may leave a stale entry behind,
+                        // and a duplicate unpark is harmless.
+                        waiters.push(Waiter::Thread(std::thread::current()));
+                    }
                 }
             }
+            // The unpark token is sticky: if the leader drains the list
+            // between the unlock above and this park, park returns
+            // immediately instead of losing the wakeup.
+            std::thread::park();
+        }
+    }
+
+    /// Registers `callback` to run when the flight lands, without
+    /// blocking. If the flight has already landed, the callback runs
+    /// immediately on the current thread; otherwise it runs on the
+    /// leader's thread as it drains the wakeup list.
+    ///
+    /// This is the nonblocking follower path for event-loop edges: a
+    /// reactor must never park, so instead of [`FlightTicket::wait`] it
+    /// hands the flight a completion that re-enqueues the suspended
+    /// request.
+    pub fn on_landing<F>(self, callback: F)
+    where
+        F: FnOnce(FlightResult) + Send + 'static,
+    {
+        // Option dance: the branches are exclusive, but the borrow
+        // checker sees `callback` potentially moved twice.
+        let mut callback = Some(callback);
+        let landed = {
+            let mut state = self.0.state();
+            match &mut *state {
+                FlightState::Done(response) => Some(response.clone()),
+                FlightState::Pending(waiters) => {
+                    let cb = callback.take().expect("callback registered once");
+                    waiters.push(Waiter::Callback(Box::new(cb)));
+                    None
+                }
+            }
+        };
+        if let Some(response) = landed {
+            (callback.take().expect("callback not registered"))(response);
         }
     }
 }
@@ -364,5 +443,79 @@ mod tests {
         b.resolve(response(1));
         assert_eq!(sf.in_flight_peak(), 2);
         assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn callback_follower_fires_without_a_parked_thread() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let ticket = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, ticket) => ticket,
+            Joined::Lead(_) => panic!("second join must follow"),
+        };
+        let landed = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&landed);
+        ticket.on_landing(move |result| {
+            *sink.lock().unwrap() = Some(result.map(|r| r.result.len()).map_err(|e| e.to_string()));
+        });
+        assert!(landed.lock().unwrap().is_none(), "must not fire early");
+        lease.resolve(response(7));
+        assert_eq!(
+            *landed.lock().unwrap(),
+            Some(Ok(7)),
+            "leader must drain the callback on landing"
+        );
+    }
+
+    #[test]
+    fn callback_after_landing_fires_immediately() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let ticket = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, ticket) => ticket,
+            Joined::Lead(_) => panic!("second join must follow"),
+        };
+        lease.resolve(response(2));
+        let landed = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&landed);
+        ticket.on_landing(move |result| {
+            *sink.lock().unwrap() = Some(result.map(|r| r.result.len()).map_err(|e| e.to_string()));
+        });
+        assert_eq!(*landed.lock().unwrap(), Some(Ok(2)));
+    }
+
+    #[test]
+    fn parked_and_callback_followers_both_land() {
+        let sf = SingleFlight::new();
+        let lease = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Lead(lease) => lease,
+            Joined::Follow(..) => panic!("first join must lead"),
+        };
+        let blocking = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, t) => t,
+            Joined::Lead(_) => panic!("must follow"),
+        };
+        let async_side = match sf.join("SQL", "k", &region(0.0, 1.0), true) {
+            Joined::Follow(_, t) => t,
+            Joined::Lead(_) => panic!("must follow"),
+        };
+        let waiter = std::thread::spawn(move || blocking.wait());
+        let landed = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&landed);
+        async_side.on_landing(move |result| {
+            *sink.lock().unwrap() = Some(result.map(|r| r.result.len()).map_err(|e| e.to_string()));
+        });
+        // Give the blocking follower a moment to park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        lease.resolve(response(4));
+        let adopted = waiter.join().expect("waiter thread").expect("resolved");
+        assert_eq!(adopted.result.len(), 4);
+        assert_eq!(*landed.lock().unwrap(), Some(Ok(4)));
     }
 }

@@ -1,0 +1,151 @@
+//! Incremental HTTP/1.1 request parsing over an accumulation buffer.
+//!
+//! The blocking server hands `fp_httpd::parse::read_request` a stream
+//! and lets it block for missing bytes. The reactor cannot: it owns a
+//! growing byte buffer per connection and must answer "is a complete
+//! request here yet?" without waiting. The trick is to look for the
+//! head terminator (the blank line) first — only once the full head has
+//! arrived is `read_request` run over the buffer, so a half-received
+//! request line is *incomplete*, never *malformed*. `read_request`
+//! itself then reports a short body as `UnexpectedEof`, which maps back
+//! to "need more bytes".
+
+use fp_httpd::parse::read_request;
+use fp_httpd::{HttpError, Request};
+
+/// Cap on the request head (request line + headers). Matches the
+/// per-line limit `fp_httpd` enforces, applied to the whole head.
+pub const MAX_HEAD: usize = 64 * 1024;
+
+/// What the accumulation buffer currently holds.
+pub enum ParseOutcome {
+    /// No complete request yet; keep reading.
+    NeedMore,
+    /// One complete request, occupying `consumed` leading bytes of the
+    /// buffer (pipelined successors may follow it).
+    Request {
+        /// The parsed request.
+        request: Box<Request>,
+        /// How many buffer bytes it consumed.
+        consumed: usize,
+    },
+    /// The connection sent something unrecoverable.
+    Error(HttpError),
+}
+
+/// Finds the end of a complete request head: the index one past the
+/// blank line. Tolerates `\r\n` and bare `\n` line endings, like the
+/// underlying parser.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Attempts to parse one request off the front of `buf`.
+pub fn try_parse(buf: &[u8]) -> ParseOutcome {
+    if find_head_end(buf).is_none() {
+        if buf.len() > MAX_HEAD {
+            return ParseOutcome::Error(HttpError::Malformed("request head too large".into()));
+        }
+        return ParseOutcome::NeedMore;
+    }
+    // `&[u8]` is `BufRead`; the cursor advances as the parser consumes.
+    let mut cursor = buf;
+    match read_request(&mut cursor) {
+        Ok(Some(request)) => ParseOutcome::Request {
+            request: Box::new(request),
+            consumed: buf.len() - cursor.len(),
+        },
+        // A clean-EOF verdict cannot happen with a nonempty head; treat
+        // it like missing bytes for robustness.
+        Ok(None) => ParseOutcome::NeedMore,
+        // Complete head, short body: not an error over a live socket.
+        Err(HttpError::UnexpectedEof) => ParseOutcome::NeedMore,
+        Err(e) => ParseOutcome::Error(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fp_httpd::Method;
+
+    #[test]
+    fn head_end_handles_both_line_ending_styles() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(
+            find_head_end(b"GET / HTTP/1.1\r\nHost: h\r\n\r\nX"),
+            Some(27)
+        );
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost:"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn partial_request_line_is_need_more_not_malformed() {
+        // `read_request` alone would call this malformed; incrementally
+        // it is just incomplete.
+        assert!(matches!(try_parse(b"GET /sea"), ParseOutcome::NeedMore));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/1.1\r\nHost: h\r\n"),
+            ParseOutcome::NeedMore
+        ));
+    }
+
+    #[test]
+    fn complete_request_reports_consumed_bytes() {
+        let raw = b"GET /ping HTTP/1.1\r\nHost: h\r\n\r\nGET /nex";
+        match try_parse(raw) {
+            ParseOutcome::Request { request, consumed } => {
+                assert_eq!(request.method, Method::Get);
+                assert_eq!(request.path, "/ping");
+                assert_eq!(consumed, 31);
+                assert_eq!(&raw[consumed..], b"GET /nex");
+            }
+            _ => panic!("complete request must parse"),
+        }
+    }
+
+    #[test]
+    fn body_arrives_incrementally() {
+        let full = b"POST /sql HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(try_parse(&full[..43]), ParseOutcome::NeedMore));
+        match try_parse(full) {
+            ParseOutcome::Request { request, consumed } => {
+                assert_eq!(request.body, b"hello");
+                assert_eq!(consumed, full.len());
+            }
+            _ => panic!("complete POST must parse"),
+        }
+    }
+
+    #[test]
+    fn garbage_with_complete_head_is_an_error() {
+        assert!(matches!(
+            try_parse(b"BLORP / HTTP/1.1\r\n\r\n"),
+            ParseOutcome::Error(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/2\r\n\r\n"),
+            ParseOutcome::Error(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered_forever() {
+        let mut huge = b"GET / HTTP/1.1\r\n".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD + 10));
+        assert!(matches!(try_parse(&huge), ParseOutcome::Error(_)));
+    }
+}

@@ -1,0 +1,41 @@
+//! The nonblocking edge: an epoll-reactor HTTP/1.1 server with
+//! admission control, built so the function proxy can face thousands of
+//! concurrent client connections with a handful of threads
+//! (DESIGN.md §12).
+//!
+//! The legacy [`fp_httpd::HttpServer`] spawns a thread per connection
+//! and parks it on reads and origin fetches — fine for eight benchmark
+//! clients, fatal for an edge. This crate splits the work the way
+//! event-driven proxies do:
+//!
+//! * one **reactor** thread ([`reactor::EdgeServer`]) owns the listener
+//!   and every connection; nonblocking accept/read/write driven by
+//!   epoll readiness, per-connection state machines for HTTP/1.1
+//!   keep-alive and pipelining;
+//! * a small fixed **worker pool** ([`pool::WorkerPool`]) runs requests
+//!   that may block (origin fetches, single-flight waits). Cache hits
+//!   never get there — the reactor serves them inline through
+//!   [`service::EdgeService::try_fast`];
+//! * **admission control** keeps saturation cheap: a connection cap at
+//!   accept, a bounded pending-request queue in front of the pool, and
+//!   breaker-aware load shedding — all answered with an immediate
+//!   `503` + `Retry-After` instead of an unbounded thread or queue.
+//!
+//! The only `unsafe` in the crate is the [`sys`] module's hand-declared
+//! epoll/eventfd/signal bindings (the build environment has no `libc`
+//! crate to vendor them from).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod pool;
+pub mod reactor;
+pub mod service;
+pub mod stats;
+#[allow(unsafe_code)]
+pub mod sys;
+
+pub use reactor::{EdgeConfig, EdgeServer};
+pub use service::{EdgeService, ProxyEdgeService};
+pub use stats::{EdgeSnapshot, EdgeStats};

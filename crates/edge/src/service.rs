@@ -1,0 +1,187 @@
+//! What the edge serves: the [`EdgeService`] contract between the
+//! reactor and application logic, plus [`ProxyEdgeService`] — the
+//! function proxy's HTTP face wired for the reactor/worker split.
+
+use crate::stats::EdgeStats;
+use fp_httpd::{Request, Response, Router, Status};
+use funcproxy::runtime::XmlResponse;
+use funcproxy::{ProxyError, ProxyHandle};
+use std::sync::Arc;
+
+/// Application logic behind an [`crate::EdgeServer`].
+///
+/// The reactor calls [`EdgeService::try_fast`] inline on the event
+/// loop; anything it declines is offloaded to a worker, which calls
+/// [`EdgeService::handle`]. The contract: `try_fast` must never block —
+/// no origin fetches, no flight waits, no file I/O — while `handle` may
+/// block as long as it likes.
+pub trait EdgeService: Send + Sync + 'static {
+    /// Serves a request, blocking as needed. Runs on a worker thread.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// Attempts to serve without blocking. Runs on the reactor thread;
+    /// `None` offloads the request to [`EdgeService::handle`].
+    fn try_fast(&self, _request: &Request) -> Option<Response> {
+        None
+    }
+
+    /// Admission-control probe: `Some(retry_after_secs)` when the
+    /// backend is saturated and new offloads should be shed. Runs on
+    /// the reactor thread per offload — must be cheap.
+    fn shed_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A plain [`Router`] serves everything on the workers — the drop-in
+/// way to put an existing blocking app behind the reactor.
+impl EdgeService for Router {
+    fn handle(&self, request: &Request) -> Response {
+        Router::handle(self, request)
+    }
+}
+
+/// The function proxy behind the nonblocking edge: the same four routes
+/// as the classic threaded deployment (`/search/radial`, `/sql`,
+/// `/metrics`, `/debug/trace`), with fresh cache hits served straight
+/// off the reactor via [`ProxyHandle::try_form_xml_cached`] and misses
+/// offloaded to the worker pool. The origin circuit breaker doubles as
+/// the load-shedding signal.
+pub struct ProxyEdgeService {
+    handle: ProxyHandle,
+    edge_stats: Arc<EdgeStats>,
+}
+
+impl ProxyEdgeService {
+    /// Wraps a shared proxy handle.
+    pub fn new(handle: ProxyHandle) -> Self {
+        ProxyEdgeService {
+            handle,
+            edge_stats: Arc::new(EdgeStats::default()),
+        }
+    }
+
+    /// The wrapped handle (the example prints stats from it).
+    pub fn proxy(&self) -> &ProxyHandle {
+        &self.handle
+    }
+
+    /// The edge counter block this service appends to `/metrics`. Hand
+    /// it to [`crate::EdgeConfig::with_stats`] so the reactor and the
+    /// metrics endpoint count on the same instance.
+    pub fn edge_stats(&self) -> Arc<EdgeStats> {
+        Arc::clone(&self.edge_stats)
+    }
+
+    /// The Radial search form's response headers, identical on the fast
+    /// and offloaded paths: cache outcome, coalescing and degradation
+    /// flags, and the RFC 9111 staleness warning.
+    fn radial_response(r: XmlResponse) -> Response {
+        let mut resp = Response::ok("text/xml", r.body);
+        resp.headers
+            .set("X-Cache-Outcome", r.metrics.outcome.label());
+        resp.headers
+            .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
+        resp.headers
+            .set("X-Coalesced", r.metrics.coalesced.to_string());
+        resp.headers
+            .set("X-Degraded", r.metrics.degraded.to_string());
+        resp.headers.set("X-Stale", r.metrics.stale.to_string());
+        if r.metrics.stale || r.metrics.degraded {
+            // RFC 9111 §5.5: 110 = "Response is Stale".
+            resp.headers
+                .set("Warning", "110 funcproxy \"Response is stale\"");
+        }
+        resp
+    }
+
+    /// A proxy error as the HTTP status the client should see: a
+    /// transient origin failure is `503` with a `Retry-After` hint, a
+    /// permanent rejection is `502`, anything else is the client's
+    /// fault (`400`).
+    fn error_response(&self, error: &ProxyError) -> Response {
+        match error {
+            ProxyError::Origin(e) if e.is_transient() => {
+                let mut resp = Response::error(Status::SERVICE_UNAVAILABLE, &error.to_string());
+                if let Some(secs) = self.handle.retry_after_secs(error) {
+                    resp.headers.set("Retry-After", secs.to_string());
+                }
+                resp
+            }
+            ProxyError::Origin(_) => Response::error(Status::BAD_GATEWAY, &error.to_string()),
+            _ => Response::error(Status::BAD_REQUEST, &error.to_string()),
+        }
+    }
+
+    fn sql_command(request: &Request) -> Option<String> {
+        request
+            .query_params()
+            .into_iter()
+            .find(|(k, _)| k == "cmd")
+            .map(|(_, v)| v)
+    }
+}
+
+impl EdgeService for ProxyEdgeService {
+    fn handle(&self, request: &Request) -> Response {
+        match request.path.as_str() {
+            "/metrics" => {
+                let mut text = self.handle.metrics_text();
+                text.push_str(&self.edge_stats.snapshot().render_prometheus());
+                Response::ok("text/plain; version=0.0.4; charset=utf-8", text)
+            }
+            "/debug/trace" => {
+                let jsonl = request
+                    .query_params()
+                    .iter()
+                    .any(|(k, v)| k == "format" && v == "jsonl");
+                if jsonl {
+                    Response::ok("application/x-ndjson", self.handle.trace_jsonl())
+                } else {
+                    Response::ok("application/json", self.handle.trace_chrome_json())
+                }
+            }
+            "/search/radial" => {
+                let fields = request.query_params();
+                match self.handle.handle_form_xml("/search/radial", &fields) {
+                    Ok(r) => Self::radial_response(r),
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            "/sql" => {
+                let Some(sql) = Self::sql_command(request) else {
+                    return Response::error(Status::BAD_REQUEST, "missing cmd parameter");
+                };
+                match self.handle.handle_sql_xml(&sql) {
+                    Ok(r) => Response::ok("text/xml", r.body),
+                    Err(e) => self.error_response(&e),
+                }
+            }
+            _ => Response::error(Status::NOT_FOUND, "no such route"),
+        }
+    }
+
+    fn try_fast(&self, request: &Request) -> Option<Response> {
+        match request.path.as_str() {
+            "/search/radial" => {
+                let fields = request.query_params();
+                self.handle
+                    .try_form_xml_cached("/search/radial", &fields)
+                    .map(Self::radial_response)
+            }
+            "/sql" => {
+                let sql = Self::sql_command(request)?;
+                self.handle
+                    .try_sql_xml_cached(&sql)
+                    .map(|r| Response::ok("text/xml", r.body))
+            }
+            // /metrics and /debug/trace render whole documents; keep
+            // that allocation churn off the reactor.
+            _ => None,
+        }
+    }
+
+    fn shed_hint(&self) -> Option<u64> {
+        self.handle.breaker_shed_hint()
+    }
+}

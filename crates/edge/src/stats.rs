@@ -1,0 +1,210 @@
+//! Edge-server counters: admission-control decisions, fast-path serves,
+//! connection lifecycle. Same discipline as the core `RuntimeStats` —
+//! wait-free atomic increments on the hot path, snapshot on demand,
+//! Prometheus text on request.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared live counters, incremented by the reactor and workers.
+#[derive(Default)]
+pub struct EdgeStats {
+    /// Connections accepted and registered.
+    pub conns_accepted: AtomicUsize,
+    /// Connections refused at accept (connection cap).
+    pub conns_rejected: AtomicUsize,
+    /// Currently open connections (gauge).
+    pub conns_open: AtomicUsize,
+    /// Complete requests parsed.
+    pub requests: AtomicUsize,
+    /// Requests served inline on the reactor (fresh cache hits).
+    pub fast_path: AtomicUsize,
+    /// Requests handed off to the worker pool.
+    pub offloaded: AtomicUsize,
+    /// Requests shed because the pending queue was full.
+    pub shed_queue_full: AtomicUsize,
+    /// Requests shed because the origin breaker was open while the
+    /// queue was already half full.
+    pub shed_breaker: AtomicUsize,
+    /// Requests shed because the server was draining for shutdown.
+    pub shed_draining: AtomicUsize,
+    /// Connections closed for dribbling a request past the read
+    /// deadline (slowloris defense), answered `408`.
+    pub read_timeouts: AtomicUsize,
+    /// Malformed requests answered `400` and closed.
+    pub bad_requests: AtomicUsize,
+    /// Requests parsed while earlier ones on the same connection were
+    /// still being served (HTTP/1.1 pipelining actually exercised).
+    pub pipelined: AtomicUsize,
+}
+
+impl EdgeStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> EdgeSnapshot {
+        EdgeSnapshot {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            fast_path: self.fast_path.load(Ordering::Relaxed),
+            offloaded: self.offloaded.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_breaker: self.shed_breaker.load(Ordering::Relaxed),
+            shed_draining: self.shed_draining.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            pipelined: self.pipelined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EdgeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeSnapshot {
+    /// Connections accepted and registered.
+    pub conns_accepted: usize,
+    /// Connections refused at accept (connection cap).
+    pub conns_rejected: usize,
+    /// Currently open connections.
+    pub conns_open: usize,
+    /// Complete requests parsed.
+    pub requests: usize,
+    /// Requests served inline on the reactor.
+    pub fast_path: usize,
+    /// Requests handed off to the worker pool.
+    pub offloaded: usize,
+    /// Requests shed: pending queue full.
+    pub shed_queue_full: usize,
+    /// Requests shed: breaker open under queue pressure.
+    pub shed_breaker: usize,
+    /// Requests shed: server draining.
+    pub shed_draining: usize,
+    /// Slowloris closes (`408`).
+    pub read_timeouts: usize,
+    /// Malformed requests (`400`).
+    pub bad_requests: usize,
+    /// Requests that were pipelined behind an in-flight one.
+    pub pipelined: usize,
+}
+
+impl EdgeSnapshot {
+    /// Every deliberate shed, across the three admission-control gates.
+    pub fn shed_total(&self) -> usize {
+        self.shed_queue_full + self.shed_breaker + self.shed_draining
+    }
+
+    /// Renders the edge counter families in Prometheus text exposition
+    /// format (version 0.0.4), alongside the core
+    /// `funcproxy_*` families.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: usize| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        };
+        counter(
+            "funcproxy_edge_conns_accepted_total",
+            "Connections accepted by the edge reactor.",
+            self.conns_accepted,
+        );
+        counter(
+            "funcproxy_edge_conns_rejected_total",
+            "Connections refused at the connection cap.",
+            self.conns_rejected,
+        );
+        counter(
+            "funcproxy_edge_requests_total",
+            "Complete requests parsed by the edge reactor.",
+            self.requests,
+        );
+        counter(
+            "funcproxy_edge_fast_path_total",
+            "Requests served inline on the reactor (fresh cache hits).",
+            self.fast_path,
+        );
+        counter(
+            "funcproxy_edge_offloaded_total",
+            "Requests handed off to the worker pool.",
+            self.offloaded,
+        );
+        counter(
+            "funcproxy_edge_shed_queue_full_total",
+            "Requests shed with 503: pending queue full.",
+            self.shed_queue_full,
+        );
+        counter(
+            "funcproxy_edge_shed_breaker_total",
+            "Requests shed with 503: origin breaker open under queue pressure.",
+            self.shed_breaker,
+        );
+        counter(
+            "funcproxy_edge_shed_draining_total",
+            "Requests shed with 503: server draining for shutdown.",
+            self.shed_draining,
+        );
+        counter(
+            "funcproxy_edge_read_timeouts_total",
+            "Connections closed for dribbling past the read deadline (408).",
+            self.read_timeouts,
+        );
+        counter(
+            "funcproxy_edge_bad_requests_total",
+            "Malformed requests answered 400.",
+            self.bad_requests,
+        );
+        counter(
+            "funcproxy_edge_pipelined_total",
+            "Requests parsed while earlier ones were still in flight.",
+            self.pipelined,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_edge_conns_open Currently open edge connections.\n\
+             # TYPE funcproxy_edge_conns_open gauge\n\
+             funcproxy_edge_conns_open {}",
+            self.conns_open
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_rendering_cover_every_counter() {
+        let stats = EdgeStats::default();
+        EdgeStats::bump(&stats.conns_accepted);
+        EdgeStats::bump(&stats.requests);
+        EdgeStats::bump(&stats.shed_queue_full);
+        let snap = stats.snapshot();
+        assert_eq!(snap.conns_accepted, 1);
+        assert_eq!(snap.shed_total(), 1);
+        let text = snap.render_prometheus();
+        for family in [
+            "funcproxy_edge_conns_accepted_total",
+            "funcproxy_edge_conns_rejected_total",
+            "funcproxy_edge_requests_total",
+            "funcproxy_edge_fast_path_total",
+            "funcproxy_edge_offloaded_total",
+            "funcproxy_edge_shed_queue_full_total",
+            "funcproxy_edge_shed_breaker_total",
+            "funcproxy_edge_shed_draining_total",
+            "funcproxy_edge_read_timeouts_total",
+            "funcproxy_edge_bad_requests_total",
+            "funcproxy_edge_pipelined_total",
+            "funcproxy_edge_conns_open",
+        ] {
+            assert!(text.contains(family), "{family} missing");
+        }
+        assert!(text.contains("funcproxy_edge_requests_total 1"));
+    }
+}

@@ -43,6 +43,8 @@ impl Status {
     pub const BAD_REQUEST: Status = Status(400);
     /// 404
     pub const NOT_FOUND: Status = Status(404);
+    /// 408
+    pub const REQUEST_TIMEOUT: Status = Status(408);
     /// 500
     pub const INTERNAL: Status = Status(500);
     /// 502
@@ -56,6 +58,7 @@ impl Status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            408 => "Request Timeout",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",

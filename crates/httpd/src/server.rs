@@ -6,10 +6,14 @@ use crate::router::Router;
 use crate::HttpError;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Default cap on simultaneously served connections (and therefore on
+/// spawned connection threads) for [`HttpServer::bind`].
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
 
 /// A running HTTP server. Dropping the handle (or calling
 /// [`HttpServer::shutdown`]) stops the accept loop.
@@ -19,18 +23,74 @@ pub struct HttpServer {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Counting semaphore over live connection threads: a permit is taken
+/// before spawning and released by the guard when the thread finishes,
+/// so the thread count can never exceed the cap.
+struct ConnPermits {
+    live: AtomicUsize,
+    max: usize,
+}
+
+impl ConnPermits {
+    fn try_acquire(self: &Arc<Self>) -> Option<ConnPermit> {
+        let mut live = self.live.load(Ordering::Relaxed);
+        loop {
+            if live >= self.max {
+                return None;
+            }
+            match self.live.compare_exchange_weak(
+                live,
+                live + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(ConnPermit(Arc::clone(self))),
+                Err(actual) => live = actual,
+            }
+        }
+    }
+}
+
+struct ConnPermit(Arc<ConnPermits>);
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::Release);
+    }
+}
+
 impl HttpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `router` with one thread per connection.
+    /// serving `router` with one thread per connection, capped at
+    /// [`DEFAULT_MAX_CONNECTIONS`] simultaneous connections.
     ///
     /// # Errors
     /// Returns the bind error, e.g. when the port is taken.
     pub fn bind(addr: &str, router: Router) -> std::io::Result<HttpServer> {
+        Self::bind_with_limit(addr, router, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// [`HttpServer::bind`] with an explicit connection cap. Once
+    /// `max_connections` threads are live, further connects are
+    /// answered `503 Service Unavailable` with `Retry-After: 1` and
+    /// closed instead of spawning without bound.
+    ///
+    /// # Errors
+    /// Returns the bind error, e.g. when the port is taken.
+    pub fn bind_with_limit(
+        addr: &str,
+        router: Router,
+        max_connections: usize,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // Wake the accept loop periodically to observe the stop flag.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let permits = Arc::new(ConnPermits {
+            live: AtomicUsize::new(0),
+            max: max_connections.max(1),
+        });
 
         let stop2 = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
@@ -40,12 +100,19 @@ impl HttpServer {
                 while !stop2.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((socket, _)) => {
+                            let Some(permit) = permits.try_acquire() else {
+                                reject_over_limit(socket);
+                                continue;
+                            };
                             let router = router.clone();
                             let stop3 = Arc::clone(&stop2);
                             workers.push(
                                 std::thread::Builder::new()
                                     .name("httpd-conn".into())
-                                    .spawn(move || serve_connection(socket, router, stop3))
+                                    .spawn(move || {
+                                        let _permit = permit;
+                                        serve_connection(socket, router, stop3)
+                                    })
                                     .expect("spawn connection thread"),
                             );
                             // Opportunistically reap finished workers.
@@ -92,6 +159,18 @@ impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
+}
+
+/// Sheds a connection over the cap: best-effort 503 with a retry hint,
+/// then close. The socket is still blocking-fresh from `accept`, so a
+/// short write timeout keeps a dead peer from stalling the accept loop.
+fn reject_over_limit(socket: TcpStream) {
+    let _ = socket.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut response = Response::error(Status::SERVICE_UNAVAILABLE, "connection limit reached");
+    response.headers.set("Retry-After", "1");
+    response.headers.set("Connection", "close");
+    let mut socket = socket;
+    let _ = socket.write_all(&response.to_bytes());
 }
 
 fn serve_connection(socket: TcpStream, router: Router, stop: Arc<AtomicBool>) {
@@ -189,6 +268,46 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_limit_connects_are_shed_with_503() {
+        let entered = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(AtomicBool::new(false));
+        let router = Router::new().route("/slow", {
+            let entered = Arc::clone(&entered);
+            let gate = Arc::clone(&gate);
+            move |_: &Request| {
+                entered.store(true, Ordering::SeqCst);
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Response::ok("text/plain", "done")
+            }
+        });
+        let server = HttpServer::bind_with_limit("127.0.0.1:0", router, 1).unwrap();
+        let addr = server.addr();
+
+        // Occupy the single permit with a request parked in the handler.
+        let blocker = std::thread::spawn(move || {
+            let client = HttpClient::new(addr);
+            client.send(&Request::get("/slow")).unwrap()
+        });
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // The next connection must be shed, not queued behind a thread.
+        let client = HttpClient::new(addr);
+        let shed = client.send(&Request::get("/slow")).unwrap();
+        assert_eq!(shed.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(shed.headers.get("retry-after"), Some("1"));
+
+        // Releasing the permit restores service.
+        gate.store(true, Ordering::SeqCst);
+        let ok = blocker.join().unwrap();
+        assert_eq!(ok.status, Status::OK);
         server.shutdown();
     }
 }

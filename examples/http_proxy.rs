@@ -7,6 +7,7 @@
 //! ```sh
 //! cargo run --example http_proxy [-- --ttl <secs>] [--snapshot-dir <path>] [--epoch <n>]
 //!                                [--serve] [--port <n>] [--trace-sample <n>]
+//!                                [--edge] [--workers <n>] [--max-conns <n>]
 //! ```
 //!
 //! `--ttl` gives every cached entry a freshness lifetime (expired entries
@@ -14,6 +15,18 @@
 //! persists the cache for a warm restart, and `--epoch` declares the
 //! origin's current data-release epoch (entries from older epochs are
 //! invalidated).
+//!
+//! `--edge` swaps the thread-per-connection front end for the
+//! nonblocking `fp-edge` reactor: one event-loop thread multiplexes
+//! every connection, fresh cache hits are answered inline, misses go to
+//! a fixed worker pool (`--workers`, default 4), and admission control
+//! sheds overload with fast `503 + Retry-After` instead of queueing
+//! unboundedly (`--max-conns` caps open connections, default 1024).
+//!
+//! Both front ends shut down gracefully: SIGINT/SIGTERM stops
+//! accepting, drains in-flight requests, quiesces background
+//! revalidations, writes a final snapshot when `--snapshot-dir` is set,
+//! and prints a closing stats summary.
 //!
 //! Observability: the proxy always exposes `GET /metrics` (Prometheus
 //! text format: runtime counters plus per-phase and per-outcome latency
@@ -24,6 +37,8 @@
 //! scripted demo so the endpoints can be scraped; `--port N` pins the
 //! proxy's listen port (default: an ephemeral port).
 
+use fp_suite::edge::sys::install_interrupt_flag;
+use fp_suite::edge::{EdgeConfig, EdgeServer, ProxyEdgeService};
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
 use fp_suite::proxy::template::TemplateManager;
 use fp_suite::proxy::{
@@ -190,6 +205,39 @@ fn proxy_router(handle: ProxyHandle) -> Router {
         })
 }
 
+/// Either front end behind one address: the classic
+/// thread-per-connection server or the nonblocking reactor.
+enum FrontEnd {
+    Threaded(HttpServer),
+    Edge(EdgeServer),
+}
+
+impl FrontEnd {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            FrontEnd::Threaded(s) => s.addr(),
+            FrontEnd::Edge(s) => s.addr(),
+        }
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins every
+    /// server thread. Returns the edge counters for the closing summary
+    /// when the reactor was the front end.
+    fn shutdown_graceful(self) -> Option<fp_suite::edge::EdgeSnapshot> {
+        match self {
+            FrontEnd::Threaded(s) => {
+                s.shutdown();
+                None
+            }
+            FrontEnd::Edge(s) => {
+                let snapshot = s.stats();
+                s.shutdown_graceful(std::time::Duration::from_secs(5));
+                Some(snapshot)
+            }
+        }
+    }
+}
+
 fn main() {
     // 0. Lifecycle flags (all optional; without them the cache never
     //    expires and nothing is persisted — the pre-lifecycle behaviour).
@@ -199,6 +247,9 @@ fn main() {
     let mut serve = false;
     let mut port: u16 = 0;
     let mut trace_sample: u64 = 16;
+    let mut edge = false;
+    let mut workers: usize = 4;
+    let mut max_conns: usize = 1024;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -210,11 +261,17 @@ fn main() {
             "--trace-sample" => {
                 trace_sample = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
             }
+            "--edge" => edge = true,
+            "--workers" => workers = args.next().and_then(|s| s.parse().ok()).unwrap_or(4),
+            "--max-conns" => {
+                max_conns = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+            }
             other => {
                 eprintln!(
                     "unknown option `{other}` \
                      (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>, \
-                     --serve, --port <n>, --trace-sample <n>)"
+                     --serve, --port <n>, --trace-sample <n>, \
+                     --edge, --workers <n>, --max-conns <n>)"
                 );
                 std::process::exit(2);
             }
@@ -267,13 +324,37 @@ fn main() {
                 .display()
         );
     }
-    let proxy_server = HttpServer::bind(&format!("127.0.0.1:{port}"), proxy_router(handle.clone()))
-        .expect("proxy binds");
-    println!(
-        "proxy  listening on http://{} ({} cache shards)\n",
-        proxy_server.addr(),
-        handle.shard_count()
-    );
+    let bind_addr = format!("127.0.0.1:{port}");
+    let proxy_server = if edge {
+        // The nonblocking front end: every connection multiplexed on one
+        // reactor thread, misses offloaded to the fixed worker pool,
+        // fresh cache hits answered inline. The reactor, the proxy
+        // runtime, and `/metrics` share one stats/observer instance.
+        let service = Arc::new(ProxyEdgeService::new(handle.clone()));
+        let config = EdgeConfig::default()
+            .with_workers(workers)
+            .with_max_connections(max_conns)
+            .with_stats(service.edge_stats())
+            .with_observer(handle.observer_shared());
+        let server = EdgeServer::bind(&bind_addr, service, config).expect("proxy binds");
+        println!(
+            "proxy  listening on http://{} (edge reactor: {} threads total, \
+             {max_conns} connection cap, {} cache shards)\n",
+            server.addr(),
+            server.thread_count(),
+            handle.shard_count()
+        );
+        FrontEnd::Edge(server)
+    } else {
+        let server =
+            HttpServer::bind(&bind_addr, proxy_router(handle.clone())).expect("proxy binds");
+        println!(
+            "proxy  listening on http://{} ({} cache shards)\n",
+            server.addr(),
+            handle.shard_count()
+        );
+        FrontEnd::Threaded(server)
+    };
 
     // 3. A browser-like client issues Radial form requests to the proxy
     //    over one keep-alive connection.
@@ -322,23 +403,50 @@ fn main() {
         handle.shard_count()
     );
 
+    if serve {
+        // SIGINT/SIGTERM set a flag instead of killing the process, so
+        // the drain below always runs.
+        let interrupted = install_interrupt_flag();
+        println!(
+            "\nserving until interrupted: curl http://{0}/metrics, \
+             curl http://{0}/debug/trace?format=jsonl",
+            proxy_server.addr()
+        );
+        while !interrupted.load(std::sync::atomic::Ordering::Relaxed) {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        println!("\ninterrupt received; draining…");
+    }
+
+    // Graceful shutdown, identical for both front ends: stop accepting,
+    // let in-flight requests finish, then quiesce background
+    // revalidations so no origin fetch is abandoned mid-flight.
+    let edge_summary = proxy_server.shutdown_graceful();
+    handle.quiesce_revalidations();
     if snapshot_dir.is_some() {
         match handle.snapshot_now() {
             Ok(files) => println!("final snapshot: {files} shard files written"),
             Err(e) => eprintln!("final snapshot failed: {e}"),
         }
     }
-    if serve {
-        println!(
-            "\nserving until interrupted: curl http://{0}/metrics, \
-             curl http://{0}/debug/trace?format=jsonl",
-            proxy_server.addr()
-        );
-        loop {
-            std::thread::park();
-        }
-    }
-    proxy_server.shutdown();
     origin_server.shutdown();
-    println!("servers stopped.");
+    if let Some(snap) = edge_summary {
+        println!(
+            "edge summary: {} requests ({} fast-path, {} offloaded, {} pipelined), \
+             {} shed, {} connections ({} rejected at cap)",
+            snap.requests,
+            snap.fast_path,
+            snap.offloaded,
+            snap.pipelined,
+            snap.shed_total(),
+            snap.conns_accepted,
+            snap.conns_rejected,
+        );
+    }
+    let runtime = handle.runtime_stats();
+    println!(
+        "servers stopped ({} requests served, {} cache entries retained).",
+        runtime.requests,
+        handle.cache_stats().entries
+    );
 }

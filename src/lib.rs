@@ -18,6 +18,7 @@
 //! | [`skyserver`] | `fp-skyserver` | the synthetic origin site (catalog, TVFs, executor) |
 //! | [`httpd`] | `fp-httpd` | minimal HTTP/1.1 server/client for the networked examples |
 //! | [`trace`] | `fp-trace` | calibrated Radial traces + the remote browser emulator |
+//! | [`edge`] | `fp-edge` | nonblocking epoll edge server: reactor + worker pool, admission control |
 //! | [`proxy`] | `funcproxy` | **the function proxy** — templates, cache, schemes, metrics |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fp_edge as edge;
 pub use fp_geometry as geometry;
 pub use fp_httpd as httpd;
 pub use fp_rtree as rtree;

@@ -1,0 +1,322 @@
+//! The nonblocking edge over real sockets: HTTP/1.1 keep-alive and
+//! pipelining, the slowloris read deadline, every admission-control
+//! gate, and graceful drain — all against a live `EdgeServer` on
+//! loopback TCP.
+
+use fp_suite::edge::{EdgeConfig, EdgeServer, EdgeService};
+use fp_suite::httpd::{HttpClient, Request, Response, Status};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A service whose behavior the tests control: `handle` sleeps for
+/// `delay` then echoes the path; `/fast/...` paths are served inline
+/// when `fast` is on.
+struct TestService {
+    delay: Duration,
+    fast: bool,
+}
+
+impl TestService {
+    fn instant() -> Arc<TestService> {
+        Arc::new(TestService {
+            delay: Duration::ZERO,
+            fast: false,
+        })
+    }
+
+    fn slow(delay: Duration) -> Arc<TestService> {
+        Arc::new(TestService { delay, fast: false })
+    }
+}
+
+impl EdgeService for TestService {
+    fn handle(&self, request: &Request) -> Response {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        Response::ok("text/plain", format!("handled:{}", request.path))
+    }
+
+    fn try_fast(&self, request: &Request) -> Option<Response> {
+        (self.fast && request.path.starts_with("/fast"))
+            .then(|| Response::ok("text/plain", format!("fast:{}", request.path)))
+    }
+}
+
+fn connect(server: &EdgeServer) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    stream
+}
+
+/// Reads until `predicate` is satisfied or the deadline passes; returns
+/// everything read. Tolerates read timeouts (the server is allowed to
+/// think).
+fn read_until(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    predicate: impl Fn(&[u8]) -> bool,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let end = Instant::now() + deadline;
+    while !predicate(&buf) && Instant::now() < end {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    buf
+}
+
+fn contains(haystack: &[u8], needle: &str) -> bool {
+    haystack
+        .windows(needle.len())
+        .any(|w| w == needle.as_bytes())
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::instant(),
+        EdgeConfig::default().with_workers(2),
+    )
+    .unwrap();
+    // One keep-alive client connection, several round trips.
+    let client = HttpClient::new(server.addr());
+    for i in 0..5 {
+        let response = client.get(&format!("/r{i}")).expect("request succeeds");
+        assert_eq!(response.status, Status::OK);
+        assert_eq!(response.body_text(), format!("handled:/r{i}"));
+    }
+    let snap = server.stats();
+    assert_eq!(snap.requests, 5);
+    assert_eq!(snap.conns_accepted, 1, "keep-alive reuses one connection");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_request_order() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::slow(Duration::from_millis(20)),
+        EdgeConfig::default().with_workers(4),
+    )
+    .unwrap();
+    let mut stream = connect(&server);
+    // Both requests in ONE write, before any response: real pipelining.
+    stream
+        .write_all(b"GET /first HTTP/1.1\r\nHost: t\r\n\r\nGET /second HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let buf = read_until(&mut stream, Duration::from_secs(5), |b| {
+        contains(b, "handled:/first") && contains(b, "handled:/second")
+    });
+    let text = String::from_utf8_lossy(&buf);
+    let first = text.find("handled:/first").expect("first answered");
+    let second = text.find("handled:/second").expect("second answered");
+    assert!(
+        first < second,
+        "responses must come back in request order:\n{text}"
+    );
+    let snap = server.stats();
+    assert_eq!(snap.requests, 2);
+    assert!(
+        snap.pipelined >= 1,
+        "second request parsed while first was in flight"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slowloris_dribble_gets_408_and_the_connection_closes() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::instant(),
+        EdgeConfig::default()
+            .with_workers(1)
+            .with_read_deadline(Duration::from_millis(150)),
+    )
+    .unwrap();
+    let mut stream = connect(&server);
+    // Dribble a request head byte by byte, never finishing it. Writes
+    // may start failing once the server gives up on us — that's the
+    // point.
+    for byte in b"GET / HT" {
+        if stream.write_all(&[*byte]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    // Past the deadline the server answers 408 and closes.
+    let buf = read_until(&mut stream, Duration::from_secs(5), |b| {
+        contains(b, "HTTP/1.1 408")
+    });
+    assert!(
+        contains(&buf, "HTTP/1.1 408"),
+        "expected 408, got: {}",
+        String::from_utf8_lossy(&buf)
+    );
+    // EOF follows: keep reading until close.
+    let rest = read_until(&mut stream, Duration::from_secs(2), |_| false);
+    let _ = rest;
+    assert_eq!(server.stats().read_timeouts, 1);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_with_503_and_retry_after() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::instant(),
+        EdgeConfig::default()
+            .with_workers(1)
+            .with_max_connections(1),
+    )
+    .unwrap();
+    // Occupy the single slot with a served keep-alive connection.
+    let client = HttpClient::new(server.addr());
+    assert_eq!(client.get("/hold").unwrap().status, Status::OK);
+    // The next connect is refused at accept.
+    let mut rejected = connect(&server);
+    let buf = read_until(&mut rejected, Duration::from_secs(5), |b| {
+        contains(b, "HTTP/1.1 503")
+    });
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.contains("HTTP/1.1 503"), "expected 503, got: {text}");
+    assert!(
+        text.to_ascii_lowercase().contains("retry-after: 1"),
+        "503 must carry Retry-After: {text}"
+    );
+    assert_eq!(server.stats().conns_rejected, 1);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_requests_with_503_retry_after() {
+    // Zero workers: jobs queue but are never served, so the second
+    // offload finds the 1-deep queue full and is shed.
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::instant(),
+        EdgeConfig::default().with_workers(0).with_queue_depth(1),
+    )
+    .unwrap();
+    let mut first = connect(&server);
+    first
+        .write_all(b"GET /queued HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    // Wait until the first request is actually queued.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().offloaded == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.stats().offloaded, 1);
+
+    let mut second = connect(&server);
+    second
+        .write_all(b"GET /shed HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let buf = read_until(&mut second, Duration::from_secs(5), |b| {
+        contains(b, "HTTP/1.1 503")
+    });
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.contains("HTTP/1.1 503"), "expected 503, got: {text}");
+    assert!(
+        text.to_ascii_lowercase().contains("retry-after"),
+        "shed must carry Retry-After: {text}"
+    );
+    assert_eq!(server.stats().shed_queue_full, 1);
+    // The shed connection stays usable — sheds do not close keep-alive.
+    server.shutdown();
+}
+
+#[test]
+fn fast_path_serves_inline_with_zero_workers() {
+    // No workers at all: only the reactor's inline path can answer.
+    let service = Arc::new(TestService {
+        delay: Duration::ZERO,
+        fast: true,
+    });
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        service,
+        EdgeConfig::default().with_workers(0),
+    )
+    .unwrap();
+    assert_eq!(server.thread_count(), 1, "reactor only");
+    let client = HttpClient::new(server.addr());
+    let response = client.get("/fast/x").expect("fast path answers");
+    assert_eq!(response.status, Status::OK);
+    assert_eq!(response.body_text(), "fast:/fast/x");
+    let snap = server.stats();
+    assert_eq!(snap.fast_path, 1);
+    assert_eq!(snap.offloaded, 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_gets_400_and_close() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::instant(),
+        EdgeConfig::default().with_workers(1),
+    )
+    .unwrap();
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"BLORP / HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let buf = read_until(&mut stream, Duration::from_secs(5), |b| {
+        contains(b, "HTTP/1.1 400")
+    });
+    assert!(
+        contains(&buf, "HTTP/1.1 400"),
+        "expected 400, got: {}",
+        String::from_utf8_lossy(&buf)
+    );
+    assert_eq!(server.stats().bad_requests, 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_in_flight_request() {
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        TestService::slow(Duration::from_millis(300)),
+        EdgeConfig::default().with_workers(1),
+    )
+    .unwrap();
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"GET /inflight HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    // Let the request reach the worker, then start the drain.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().offloaded == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let started = Instant::now();
+    server.shutdown_graceful(Duration::from_secs(5));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drain must finish well before the deadline"
+    );
+    // The in-flight response was flushed before the server exited.
+    let buf = read_until(&mut stream, Duration::from_secs(2), |b| {
+        contains(b, "handled:/inflight")
+    });
+    assert!(
+        contains(&buf, "handled:/inflight"),
+        "in-flight request must be answered during drain, got: {}",
+        String::from_utf8_lossy(&buf)
+    );
+}
