@@ -14,7 +14,9 @@
 //!   checktime     §4.2 cache-checking time, array vs R-tree
 //!   throughput    extension: multi-client qps/latency over the concurrent
 //!                 runtime, sweeping client counts up to --threads (default 8),
-//!                 then the edge-concurrency sweep below
+//!                 then the tiered and edge sweeps below
+//!   tiered        extension: hit rate vs RAM budget — RAM-only vs the
+//!                 disk-backed tier at equal RAM, with disk-tier hit latency
 //!   edge          extension: qps and tail latency of the nonblocking edge
 //!                 server over real sockets, sweeping keep-alive connection
 //!                 counts 64, 128, … up to --edge-conns (default 256)
@@ -115,12 +117,21 @@ fn main() {
         let t = exp.checktime();
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
     }
-    if want("throughput") {
+    // The budget sweep rides along with `throughput` (its rows are a
+    // section of the hit-latency artifact) and runs alone as `tiered`.
+    if want("throughput") || want("tiered") {
+        let sweep = exp.budget_sweep(threads);
+        print_block(
+            json,
+            &sweep,
+            &serde_json::to_string(&sweep).expect("serializes"),
+        );
         let t = exp.throughput(&thread_sweep(threads), Duration::from_millis(5));
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
-        // Persist the hit-path trajectory so successive changes to the
-        // columnar serve path can be compared on fixed axes.
-        let report = t.hit_latency();
+        // Persist the hit-path trajectory (plus the budget sweep) so
+        // successive changes to the columnar and disk-tier serve paths
+        // can be compared on fixed axes.
+        let report = t.hit_latency(&sweep);
         let path = "BENCH_hit_latency.json";
         match std::fs::write(path, serde_json::to_string(&report).expect("serializes")) {
             Ok(()) => eprintln!("# wrote {path}"),
@@ -185,6 +196,6 @@ fn print_usage() {
     eprintln!(
         "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--edge-conns N] \
          [--json] [--chaos] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|edge|chaos|all]..."
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|all]..."
     );
 }

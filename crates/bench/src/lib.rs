@@ -19,6 +19,8 @@
 //!   connections (see [`edge`]).
 //! * [`Experiment::chaos`] — extension: availability under a mid-trace
 //!   origin outage with the resilience layer engaged (see [`chaos`]).
+//! * [`Experiment::budget_sweep`] — extension: hit rate vs RAM budget,
+//!   RAM-only vs the disk-backed tier at equal RAM (see [`tiered`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,12 +28,14 @@
 pub mod chaos;
 pub mod edge;
 pub mod throughput;
+pub mod tiered;
 
 pub use chaos::ChaosReport;
 pub use edge::{conn_sweep, EdgeConcurrency, EdgeConcurrencyRow, EDGE_WORKERS};
 pub use throughput::{
     thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,
 };
+pub use tiered::{BudgetSweep, BudgetSweepRow, BUDGET_FRACTIONS};
 
 use fp_skyserver::{Catalog, CatalogSpec, SkySite};
 use fp_trace::{classify_trace, Rbe, Trace, TraceMix, TraceSpec};

@@ -70,6 +70,13 @@ pub struct ThroughputRow {
     pub hit_p50_ms: f64,
     /// 99th-percentile measured latency over those cache hits, ms.
     pub hit_p99_ms: f64,
+    /// Hits served from the disk tier's mmap'd slab (zero without a
+    /// tier configured).
+    pub disk_hits: usize,
+    /// Median measured latency over those disk-tier hits, ms.
+    pub disk_hit_p50_ms: f64,
+    /// 99th-percentile measured latency over those disk-tier hits, ms.
+    pub disk_hit_p99_ms: f64,
     /// Cached rows the local evaluator tested after micro-index pruning.
     pub rows_scanned: usize,
     /// Cached rows the per-entry micro-index skipped without testing.
@@ -151,6 +158,9 @@ pub struct HitLatencyReport {
     pub origin_delay_ms: u64,
     /// One entry per swept client count.
     pub rows: Vec<HitLatencyRow>,
+    /// The hit-rate-vs-RAM-budget sweep: RAM-only vs tiered at equal
+    /// RAM, one row per budget (see [`crate::tiered`]).
+    pub budget_sweep: Vec<crate::tiered::BudgetSweepRow>,
 }
 
 /// Per-client-count hit-path numbers extracted from a [`ThroughputRow`].
@@ -164,6 +174,13 @@ pub struct HitLatencyRow {
     pub hit_p50_ms: f64,
     /// 99th-percentile measured hit latency at the proxy, ms.
     pub hit_p99_ms: f64,
+    /// Hits served from the disk tier (zero in the untiered sweep; the
+    /// tiered numbers live in [`HitLatencyReport::budget_sweep`]).
+    pub disk_hits: usize,
+    /// Median measured disk-tier hit latency, ms.
+    pub disk_hit_p50_ms: f64,
+    /// 99th-percentile measured disk-tier hit latency, ms.
+    pub disk_hit_p99_ms: f64,
     /// Cached rows tested by the local evaluator after pruning.
     pub rows_scanned: usize,
     /// Cached rows the per-entry micro-index skipped without testing.
@@ -180,8 +197,9 @@ impl Throughput {
         }
     }
 
-    /// Projects the hit-path columns into the perf-trajectory artifact.
-    pub fn hit_latency(&self) -> HitLatencyReport {
+    /// Projects the hit-path columns into the perf-trajectory artifact,
+    /// attaching the hit-rate-vs-budget sweep as its own section.
+    pub fn hit_latency(&self, sweep: &crate::tiered::BudgetSweep) -> HitLatencyReport {
         HitLatencyReport {
             origin_delay_ms: self.origin_delay_ms,
             rows: self
@@ -192,10 +210,14 @@ impl Throughput {
                     hits: r.hits,
                     hit_p50_ms: r.hit_p50_ms,
                     hit_p99_ms: r.hit_p99_ms,
+                    disk_hits: r.disk_hits,
+                    disk_hit_p50_ms: r.disk_hit_p50_ms,
+                    disk_hit_p99_ms: r.disk_hit_p99_ms,
                     rows_scanned: r.rows_scanned,
                     rows_pruned: r.rows_pruned,
                 })
                 .collect(),
+            budget_sweep: sweep.rows.clone(),
         }
     }
 }
@@ -307,6 +329,15 @@ fn run_once(
         .collect();
     hit_latencies.sort_by(f64::total_cmp);
 
+    // Disk-tier hits in isolation (none unless a tier is configured —
+    // the column keeps the artifact schema uniform with the sweep).
+    let mut disk_latencies: Vec<f64> = metrics
+        .iter()
+        .filter(|m| m.disk_hit)
+        .map(|m| m.proxy_ms)
+        .collect();
+    disk_latencies.sort_by(f64::total_cmp);
+
     let snapshot: RuntimeSnapshot = handle.runtime_stats();
     let row = ThroughputRow {
         threads,
@@ -324,6 +355,9 @@ fn run_once(
         hits: hit_latencies.len(),
         hit_p50_ms: percentile(&hit_latencies, 0.50),
         hit_p99_ms: percentile(&hit_latencies, 0.99),
+        disk_hits: disk_latencies.len(),
+        disk_hit_p50_ms: percentile(&disk_latencies, 0.50),
+        disk_hit_p99_ms: percentile(&disk_latencies, 0.99),
         rows_scanned: metrics.iter().map(|m| m.rows_scanned).sum(),
         rows_pruned: metrics.iter().map(|m| m.rows_pruned).sum(),
         degraded_hits: snapshot.degraded_hits,
@@ -369,7 +403,7 @@ fn latency_row(handle: &ProxyHandle, threads: usize) -> LatencyPercentilesRow {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -5,10 +5,15 @@ mod entry;
 mod persist;
 mod replace;
 mod store;
+mod tier;
 
 pub use description::{ArrayDescription, CacheDescription, DescriptionKind, RTreeDescription};
 pub use entry::CacheEntry;
 pub(crate) use persist::{entry_from_xml, entry_to_xml};
 pub use persist::{region_from_xml, region_to_xml, SnapshotLoad};
 pub use replace::Replacement;
-pub use store::{CacheStats, CacheStore};
+pub use store::{CacheStats, CacheStore, ClassifyView};
+pub use tier::{
+    encode_payload, DemotedEntry, EvictionManager, SegRef, SlabFile, SlabSlice, TierConfig,
+    SLAB_MAGIC, SLAB_VERSION,
+};

@@ -2,11 +2,17 @@
 
 use crate::cache::description::{CacheDescription, DescriptionKind};
 use crate::cache::entry::CacheEntry;
+use crate::cache::persist::{entry_from_xml, entry_to_xml};
 use crate::cache::replace::{policy_key, select_victim, Replacement};
+use crate::cache::tier::{
+    encode_payload, DemotedEntry, EvictionManager, SegRef, SlabSlice, TierConfig,
+};
+use crate::lifecycle::snapshot::{read_snapshot_file, write_snapshot_file};
 use crate::lifecycle::{freshness_at, Freshness, LifecycleConfig, LifecycleStamp};
 use crate::resilience::Clock;
 use fp_geometry::Region;
 use fp_skyserver::{ColumnarRows, ResultSet};
+use fp_xmlite::Element;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,7 +20,7 @@ use std::time::Duration;
 /// Aggregate statistics of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Entries currently cached.
+    /// Entries currently cached in RAM (the hot tier).
     pub entries: usize,
     /// Bytes currently charged (XML size plus columnar heap).
     pub bytes: usize,
@@ -26,6 +32,42 @@ pub struct CacheStats {
     pub expired: usize,
     /// Entries retired by data-release epoch bumps.
     pub epoch_invalidations: usize,
+    /// Entries currently resident only on the disk tier.
+    pub disk_entries: usize,
+    /// Total size of the disk tier's slab file(s).
+    pub slab_bytes: usize,
+    /// Entries moved RAM → disk by the budget enforcer.
+    pub demotions: usize,
+    /// Entries moved disk → RAM after a disk-tier hit.
+    pub promotions: usize,
+    /// Slab compaction passes (dead-byte reclamation rewrites).
+    pub slab_compactions: usize,
+    /// Slab segments found damaged (bad CRC, torn tail) — counted and
+    /// skipped, never fatal.
+    pub slab_corrupt_segments: usize,
+}
+
+/// What classification needs to know about an entry, resident or
+/// demoted: its region, truncation flag, and row count. Relationship
+/// checking runs entirely on this view, so it never touches disk.
+#[derive(Debug)]
+pub struct ClassifyView<'a> {
+    /// The entry's spatial region.
+    pub region: &'a Region,
+    /// Whether the result may have been clipped by a `TOP` limit.
+    pub truncated: bool,
+    /// Result row count (smallest-containing-entry preference).
+    pub rows: usize,
+}
+
+/// Outcome of a disk-tier warm restart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierRecovery {
+    /// Entries restored (demoted or, when they have no columnar form,
+    /// resident).
+    pub recovered: usize,
+    /// Damaged slab/metadata segments skipped along the way.
+    pub corrupt: usize,
 }
 
 /// The proxy's cache: entries, the exact-match map, and one cache
@@ -62,6 +104,9 @@ pub struct CacheStore {
     /// Mutation counter (inserts/removes), letting the snapshot writer
     /// skip shards that have not changed since the last pass.
     generation: u64,
+    /// The disk tier, when configured: slab file, demoted entries, and
+    /// promotion/demotion bookkeeping. `None` = RAM-only store.
+    tier: Option<EvictionManager>,
 }
 
 impl CacheStore {
@@ -97,6 +142,7 @@ impl CacheStore {
             expired: 0,
             epoch_invalidations: 0,
             generation: 0,
+            tier: None,
         }
     }
 
@@ -124,14 +170,38 @@ impl CacheStore {
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
+        let mut stats = CacheStats {
             entries: self.entries.len(),
             bytes: self.total_bytes,
             evictions: self.evictions,
             compactions: self.compactions,
             expired: self.expired,
             epoch_invalidations: self.epoch_invalidations,
+            ..CacheStats::default()
+        };
+        if let Some(tier) = &self.tier {
+            stats.disk_entries = tier.demoted.len();
+            stats.slab_bytes = tier.slab.bytes() as usize;
+            stats.demotions = tier.demotions;
+            stats.promotions = tier.promotions;
+            stats.slab_compactions = tier.compactions;
+            stats.slab_corrupt_segments = tier.slab.corrupt_segments();
         }
+        stats
+    }
+
+    /// Attaches the disk tier (shard `i`'s slab under the tier
+    /// directory), turning this store into the hot tier of a two-level
+    /// cache. Call before inserting; does not recover — the runtime
+    /// calls `recover_tier` separately at build time.
+    pub fn attach_tier(&mut self, config: &TierConfig, shard: usize) -> std::io::Result<()> {
+        self.tier = Some(EvictionManager::open(config, shard)?);
+        Ok(())
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_tier(&self) -> bool {
+        self.tier.is_some()
     }
 
     /// The store's current data-release epoch.
@@ -153,8 +223,11 @@ impl CacheStore {
     /// entries without a deadline (or in a clock-free store) are
     /// perpetually [`Freshness::Fresh`].
     pub fn freshness(&self, id: u64) -> Option<Freshness> {
-        let entry = self.entries.get(&id)?;
-        let (Some(expires_at), Some(clock)) = (entry.expires_at, &self.time) else {
+        let expires_at = match self.entries.get(&id) {
+            Some(entry) => entry.expires_at,
+            None => self.tier.as_ref()?.demoted.get(&id)?.expires_at,
+        };
+        let (Some(expires_at), Some(clock)) = (expires_at, &self.time) else {
             return Some(Freshness::Fresh);
         };
         Some(freshness_at(
@@ -167,10 +240,15 @@ impl CacheStore {
 
     /// Entry age in milliseconds on the store's clock; `0` when unknown.
     pub fn entry_age_ms(&self, id: u64) -> f64 {
-        match (
-            self.entries.get(&id).and_then(|e| e.inserted_at),
-            &self.time,
-        ) {
+        let inserted_at = match self.entries.get(&id) {
+            Some(entry) => entry.inserted_at,
+            None => self
+                .tier
+                .as_ref()
+                .and_then(|t| t.demoted.get(&id))
+                .and_then(|d| d.inserted_at),
+        };
+        match (inserted_at, &self.time) {
             (Some(at), Some(clock)) => {
                 clock.now().saturating_duration_since(at).as_secs_f64() * 1000.0
             }
@@ -186,12 +264,20 @@ impl CacheStore {
             return 0;
         }
         self.epoch = epoch;
-        let outdated: Vec<u64> = self
+        let mut outdated: Vec<u64> = self
             .entries
             .values()
             .filter(|e| e.epoch < epoch)
             .map(|e| e.id)
             .collect();
+        if let Some(tier) = &self.tier {
+            outdated.extend(
+                tier.demoted
+                    .values()
+                    .filter(|d| d.epoch < epoch)
+                    .map(|d| d.id),
+            );
+        }
         let n = outdated.len();
         for id in outdated {
             self.remove(id);
@@ -272,9 +358,40 @@ impl CacheStore {
         let result: Arc<ResultSet> = result.into();
         let bytes = result.xml_bytes();
         let columnar = ColumnarRows::build(&result, coord_idx).map(Arc::new);
+        self.insert_prebuilt(
+            residual_key,
+            region,
+            result,
+            truncated,
+            exact_sql,
+            bytes,
+            columnar,
+        )
+    }
+
+    /// [`Self::insert_indexed`] with the serialized size and columnar
+    /// form already computed. The runtime prebuilds both *outside* the
+    /// shard lock (serialization and index construction are the
+    /// expensive parts of an insert), so the locked window here is just
+    /// map updates — this is what keeps concurrent hit latency flat
+    /// while misses land.
+    #[allow(clippy::too_many_arguments)] // insert_indexed minus the build work
+    pub(crate) fn insert_prebuilt(
+        &mut self,
+        residual_key: &str,
+        region: Region,
+        result: Arc<ResultSet>,
+        truncated: bool,
+        exact_sql: &str,
+        bytes: usize,
+        columnar: Option<Arc<ColumnarRows>>,
+    ) -> Option<u64> {
         let footprint = bytes + columnar.as_ref().map_or(0, |c| c.heap_bytes());
         if let Some(cap) = self.capacity {
-            if footprint > cap {
+            // Without a disk tier an entry bigger than the whole budget
+            // can never be cached; with one, it inserts and the budget
+            // enforcer demotes it to the slab.
+            if footprint > cap && self.tier.is_none() {
                 return None;
             }
         }
@@ -286,8 +403,7 @@ impl CacheStore {
                 let Some(victim) = self.lru_victim() else {
                     break;
                 };
-                self.remove(victim);
-                self.evictions += 1;
+                self.demote_or_evict(victim);
             }
         }
 
@@ -332,6 +448,13 @@ impl CacheStore {
             .insert((self.entry_key(self.clock, self.clock, footprint), id));
         self.entries.insert(id, entry);
         self.generation += 1;
+        // A tiered entry larger than the whole RAM budget lands here
+        // still over cap (the loop above ran out of victims): spill it.
+        if let Some(cap) = self.capacity {
+            if self.total_bytes > cap && self.tier.is_some() {
+                self.demote_or_evict(id);
+            }
+        }
         Some(id)
     }
 
@@ -417,20 +540,215 @@ impl CacheStore {
         victim
     }
 
-    /// Removes an entry by id; returns it when present.
+    /// Removes an entry by id, from whichever tier holds it. Returns
+    /// the entry when it was RAM-resident (demoted entries have no
+    /// `CacheEntry` to give back — their payload lives in the slab).
     pub fn remove(&mut self, id: u64) -> Option<CacheEntry> {
+        if let Some(entry) = self.remove_resident(id) {
+            return Some(entry);
+        }
+        self.remove_demoted(id);
+        None
+    }
+
+    fn remove_resident(&mut self, id: u64) -> Option<CacheEntry> {
         let entry = self.entries.remove(&id)?;
         self.total_bytes -= entry.footprint();
         if let Some((created, used)) = self.last_used.remove(&id) {
             self.victim_order
                 .remove(&(self.entry_key(created, used, entry.footprint()), id));
         }
-        self.exact.remove(&*entry.exact_sql);
+        // Guarded: a same-SQL replacement may already point the exact
+        // map at a newer id.
+        if self.exact.get(&*entry.exact_sql) == Some(&id) {
+            self.exact.remove(&*entry.exact_sql);
+        }
         if let Some(g) = self.groups.get_mut(&*entry.residual_key) {
             g.remove(id, &entry.bbox);
         }
+        self.drop_segment(id);
         self.generation += 1;
         Some(entry)
+    }
+
+    fn remove_demoted(&mut self, id: u64) -> bool {
+        let Some(d) = self.tier.as_mut().and_then(|t| t.demoted.remove(&id)) else {
+            return false;
+        };
+        if self.exact.get(&*d.exact_sql) == Some(&id) {
+            self.exact.remove(&*d.exact_sql);
+        }
+        if let Some(g) = self.groups.get_mut(&*d.residual_key) {
+            g.remove(id, &d.bbox);
+        }
+        self.drop_segment(id);
+        self.generation += 1;
+        true
+    }
+
+    /// Releases `id`'s slab segment (if any) and compacts the slab when
+    /// the dead-byte trigger fires.
+    fn drop_segment(&mut self, id: u64) {
+        let Some(tier) = self.tier.as_mut() else {
+            return;
+        };
+        if let Some(seg) = tier.refs.remove(&id) {
+            tier.slab.mark_dead(seg);
+        }
+        let lost = tier.maybe_compact();
+        // Segments that turned out unreadable during the rewrite take
+        // their (necessarily demoted) entries with them; recursion is
+        // safe because the fresh slab has zero dead bytes.
+        for id in lost {
+            self.remove(id);
+        }
+    }
+
+    /// Ensures `id` (RAM-resident) has a slab segment, appending one if
+    /// needed. Entries are immutable, so a segment written once stays
+    /// valid across any number of promote/demote cycles.
+    fn ensure_segment(&mut self, id: u64) -> bool {
+        let Some(tier) = self.tier.as_ref() else {
+            return false;
+        };
+        if tier.refs.contains_key(&id) {
+            return true;
+        }
+        let Some(entry) = self.entries.get(&id) else {
+            return false;
+        };
+        let xml = entry_to_xml(entry, self.now()).to_xml().into_bytes();
+        let row_slab = entry.columnar.as_ref().map_or(&[][..], |c| c.slab());
+        let payload = encode_payload(&xml, row_slab);
+        let tier = self.tier.as_mut().expect("checked above");
+        match tier.slab.append(&payload) {
+            Ok(seg) => {
+                tier.refs.insert(id, seg);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Moves a RAM-resident entry to the disk tier: its payload goes to
+    /// the slab (if not already there), its skeleton (columns, spans,
+    /// header, micro-index) stays resident, and its group/exact-map
+    /// registrations are untouched so classification keeps seeing it.
+    /// Returns `false` when the entry can't be demoted (no tier, no
+    /// columnar form, or the slab append failed) — the caller evicts
+    /// instead.
+    fn demote(&mut self, id: u64) -> bool {
+        if self.tier.is_none() {
+            return false;
+        }
+        let Some(entry) = self.entries.get(&id) else {
+            return false;
+        };
+        // No columnar form means no skeleton to select rows with; such
+        // entries stay RAM-or-nothing.
+        let Some(col) = entry.columnar.as_ref() else {
+            return false;
+        };
+        let skeleton = Arc::new(col.skeleton());
+        if !self.ensure_segment(id) {
+            return false;
+        }
+        let entry = self.entries.remove(&id).expect("present above");
+        self.total_bytes -= entry.footprint();
+        if let Some((created, used)) = self.last_used.remove(&id) {
+            self.victim_order
+                .remove(&(self.entry_key(created, used, entry.footprint()), id));
+        }
+        let demoted = DemotedEntry {
+            id,
+            residual_key: entry.residual_key,
+            region: entry.region,
+            bbox: entry.bbox,
+            skeleton,
+            rows: entry.result.len(),
+            bytes: entry.bytes,
+            truncated: entry.truncated,
+            exact_sql: entry.exact_sql,
+            epoch: entry.epoch,
+            inserted_at: entry.inserted_at,
+            expires_at: entry.expires_at,
+        };
+        let tier = self.tier.as_mut().expect("checked above");
+        tier.demoted.insert(id, demoted);
+        tier.demotions += 1;
+        self.generation += 1;
+        true
+    }
+
+    /// Budget enforcement on one victim: spill to the disk tier when
+    /// possible, evict otherwise.
+    fn demote_or_evict(&mut self, id: u64) {
+        if !self.demote(id) && self.remove_resident(id).is_some() {
+            self.evictions += 1;
+        }
+    }
+
+    /// Brings a demoted entry back to RAM with its rebuilt result and
+    /// columnar form (both parsed from the slab *outside* the shard
+    /// lock by the promotion worker). The entry keeps its id, lifecycle
+    /// stamps, and slab segment; the budget enforcer may demote other
+    /// entries to make room. Returns `false` when `id` is no longer
+    /// demoted (raced with a remove or another promotion).
+    pub(crate) fn promote(
+        &mut self,
+        id: u64,
+        result: Arc<ResultSet>,
+        columnar: Option<Arc<ColumnarRows>>,
+    ) -> bool {
+        let Some(d) = self.tier.as_mut().and_then(|t| t.demoted.remove(&id)) else {
+            return false;
+        };
+        let bytes = result.xml_bytes();
+        let footprint = bytes + columnar.as_ref().map_or(0, |c| c.heap_bytes());
+        let entry = CacheEntry {
+            id,
+            residual_key: d.residual_key,
+            region: d.region,
+            bbox: d.bbox,
+            result,
+            columnar,
+            bytes,
+            truncated: d.truncated,
+            exact_sql: d.exact_sql,
+            epoch: d.epoch,
+            inserted_at: d.inserted_at,
+            expires_at: d.expires_at,
+        };
+        self.total_bytes += footprint;
+        self.clock += 1;
+        self.last_used.insert(id, (self.clock, self.clock));
+        self.victim_order
+            .insert((self.entry_key(self.clock, self.clock, footprint), id));
+        self.entries.insert(id, entry);
+        self.tier.as_mut().expect("tier present").promotions += 1;
+        self.generation += 1;
+        if let Some(cap) = self.capacity {
+            while self.total_bytes > cap {
+                let Some(victim) = self.lru_victim() else {
+                    break;
+                };
+                self.demote_or_evict(victim);
+                if victim == id {
+                    break; // the promoted entry itself went straight back
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops a demoted entry whose slab payload failed to parse on
+    /// promotion, counting the damage.
+    pub(crate) fn drop_corrupt_demoted(&mut self, id: u64) {
+        if self.remove_demoted(id) {
+            if let Some(tier) = self.tier.as_mut() {
+                tier.slab.note_corrupt();
+            }
+        }
     }
 
     /// Removes entries subsumed by a region-containment merge, counting
@@ -465,6 +783,55 @@ impl CacheStore {
         self.entries.get(&id)
     }
 
+    /// What classification needs about `id`, whichever tier holds it.
+    /// Demoted entries answer from their resident metadata — this never
+    /// touches disk.
+    pub fn classify_view(&self, id: u64) -> Option<ClassifyView<'_>> {
+        if let Some(e) = self.entries.get(&id) {
+            return Some(ClassifyView {
+                region: &e.region,
+                truncated: e.truncated,
+                rows: e.result.len(),
+            });
+        }
+        let d = self.tier.as_ref()?.demoted.get(&id)?;
+        Some(ClassifyView {
+            region: &d.region,
+            truncated: d.truncated,
+            rows: d.rows,
+        })
+    }
+
+    /// The demoted entry for `id`, when it lives on the disk tier.
+    pub fn disk_entry(&self, id: u64) -> Option<&DemotedEntry> {
+        self.tier.as_ref()?.demoted.get(&id)
+    }
+
+    /// A zero-copy view of a demoted entry's slab payload, safe to
+    /// carry outside the shard lock (it pins the mmap, not the store).
+    /// `None` when `id` is not demoted or its segment is unreachable.
+    pub fn disk_slice(&mut self, id: u64) -> Option<SlabSlice> {
+        let tier = self.tier.as_mut()?;
+        if !tier.demoted.contains_key(&id) {
+            return None;
+        }
+        let seg = *tier.refs.get(&id)?;
+        tier.slab.slice(seg)
+    }
+
+    /// The exact normalized SQL of `id`, whichever tier holds it (the
+    /// revalidation path needs it for demoted entries too).
+    pub fn exact_sql_of(&self, id: u64) -> Option<Arc<str>> {
+        if let Some(e) = self.entries.get(&id) {
+            return Some(Arc::clone(&e.exact_sql));
+        }
+        self.tier
+            .as_ref()?
+            .demoted
+            .get(&id)
+            .map(|d| Arc::clone(&d.exact_sql))
+    }
+
     /// Exact-match lookup by canonical SQL text.
     pub fn lookup_exact(&self, sql: &str) -> Option<u64> {
         self.exact.get(sql).copied()
@@ -488,6 +855,283 @@ impl CacheStore {
     /// Number of indexed entries in a residual group (description size).
     pub fn group_len(&self, residual_key: &str) -> usize {
         self.groups.get(residual_key).map_or(0, |g| g.len())
+    }
+
+    fn seg_dead(&mut self, seg: SegRef, corrupt: bool) {
+        if let Some(tier) = self.tier.as_mut() {
+            tier.slab.mark_dead(seg);
+            if corrupt {
+                tier.slab.note_corrupt();
+            }
+        }
+    }
+
+    /// Writes this shard's warm-restart metadata snapshot: one tiny
+    /// record per live entry (slab segment location + lifecycle stamp)
+    /// instead of re-serializing payloads — snapshot cost becomes
+    /// proportional to entry *count*, not cached *bytes*. RAM-resident
+    /// entries get a slab segment appended first if they never spilled.
+    pub(crate) fn write_tier_meta(&mut self) -> std::io::Result<usize> {
+        if self.tier.is_none() {
+            return Ok(0);
+        }
+        // Spill in id (= insertion) order, not map order, so the slab's
+        // later-segments-win replay semantics line up with recency.
+        let mut resident: Vec<u64> = self.entries.keys().copied().collect();
+        resident.sort_unstable();
+        for id in resident {
+            self.ensure_segment(id);
+        }
+        let now = self.now();
+        let tier = self.tier.as_ref().expect("checked above");
+        let mut segments = Vec::new();
+        for (&id, &seg) in &tier.refs {
+            let stamp = if let Some(e) = self.entries.get(&id) {
+                (e.epoch, e.inserted_at, e.expires_at)
+            } else if let Some(d) = tier.demoted.get(&id) {
+                (d.epoch, d.inserted_at, d.expires_at)
+            } else {
+                continue; // ref without a live entry: dead weight
+            };
+            let (epoch, inserted_at, expires_at) = stamp;
+            let mut rec = Element::new("SlabEntry")
+                .with_attr("off", seg.off.to_string())
+                .with_attr("len", seg.len.to_string())
+                .with_attr("epoch", epoch.to_string());
+            if let (Some(now), Some(at)) = (now, inserted_at) {
+                rec = rec.with_attr(
+                    "age_ms",
+                    now.saturating_duration_since(at).as_millis().to_string(),
+                );
+            }
+            if let (Some(now), Some(deadline)) = (now, expires_at) {
+                let remaining_ms = if deadline >= now {
+                    i128::from(
+                        u64::try_from(deadline.duration_since(now).as_millis()).unwrap_or(u64::MAX),
+                    )
+                } else {
+                    -i128::from(
+                        u64::try_from(now.duration_since(deadline).as_millis()).unwrap_or(u64::MAX),
+                    )
+                };
+                rec = rec.with_attr("remaining_ms", remaining_ms.to_string());
+            }
+            segments.push(rec.to_xml().into_bytes());
+        }
+        let count = segments.len();
+        write_snapshot_file(&tier.meta_path, self.epoch, &segments)?;
+        Ok(count)
+    }
+
+    /// Warm-restarts this shard from its slab: one sequential
+    /// CRC-verifying scan of the file, then either the metadata
+    /// snapshot (precise lifecycle stamps, dead entries pre-filtered)
+    /// or — when no snapshot survived — a front-recoverable replay
+    /// where later segments win SQL collisions. Restored entries come
+    /// up *demoted* (RAM fills back up on access), except entries with
+    /// no columnar form, which restore resident.
+    pub(crate) fn recover_tier(&mut self) -> TierRecovery {
+        let mut outcome = TierRecovery::default();
+        let Some(tier) = self.tier.as_mut() else {
+            return outcome;
+        };
+        let corrupt_before = tier.slab.corrupt_segments();
+        let meta_path = tier.meta_path.clone();
+        let kept = tier.slab.replay();
+        let mut restored_offs: Vec<u64> = Vec::new();
+        match read_snapshot_file(&meta_path) {
+            Ok(meta) => {
+                outcome.corrupt += meta.corrupt_segments;
+                let by_off: HashMap<u64, &(SegRef, Vec<u8>)> =
+                    kept.iter().map(|pair| (pair.0.off, pair)).collect();
+                for record in &meta.segments {
+                    let parsed = std::str::from_utf8(record)
+                        .ok()
+                        .and_then(|text| Element::parse(text).ok());
+                    let Some(el) = parsed else {
+                        outcome.corrupt += 1;
+                        continue;
+                    };
+                    let loc = (
+                        el.attr("off").and_then(|v| v.parse::<u64>().ok()),
+                        el.attr("len").and_then(|v| v.parse::<u32>().ok()),
+                    );
+                    let (Some(off), Some(len)) = loc else {
+                        outcome.corrupt += 1;
+                        continue;
+                    };
+                    let Some((seg, payload)) = by_off.get(&off).filter(|(s, _)| s.len == len)
+                    else {
+                        // The segment the record points at did not
+                        // survive the scan (damaged or torn).
+                        outcome.corrupt += 1;
+                        continue;
+                    };
+                    let stamp = LifecycleStamp {
+                        epoch: el.attr("epoch").and_then(|v| v.parse().ok()).unwrap_or(0),
+                        age_ms: el.attr("age_ms").and_then(|v| v.parse().ok()),
+                        remaining_ms: el.attr("remaining_ms").and_then(|v| v.parse().ok()),
+                    };
+                    if self.restore_segment(*seg, payload, Some(&stamp)) {
+                        outcome.recovered += 1;
+                    }
+                    restored_offs.push(off);
+                }
+            }
+            Err(_) => {
+                // No metadata snapshot (first tier boot, or it was
+                // lost): replay everything, later segments winning.
+                for (seg, payload) in &kept {
+                    if self.restore_segment(*seg, payload, None) {
+                        outcome.recovered += 1;
+                    }
+                    restored_offs.push(seg.off);
+                }
+            }
+        }
+        // Segments nothing restored from are dead bytes now.
+        let restored: std::collections::HashSet<u64> = restored_offs.into_iter().collect();
+        for (seg, _) in &kept {
+            if !restored.contains(&seg.off) {
+                self.seg_dead(*seg, false);
+            }
+        }
+        let tier = self.tier.as_mut().expect("checked above");
+        outcome.corrupt += tier.slab.corrupt_segments() - corrupt_before;
+        let lost = tier.maybe_compact();
+        for id in lost {
+            self.remove(id);
+        }
+        outcome
+    }
+
+    /// Restores one slab segment into the store (demoted when it has a
+    /// columnar skeleton, resident otherwise). Returns `false` — after
+    /// marking the segment dead — when the entry is damaged, from an
+    /// older epoch, or already aged out.
+    fn restore_segment(
+        &mut self,
+        seg: SegRef,
+        payload: &[u8],
+        stamp_override: Option<&LifecycleStamp>,
+    ) -> bool {
+        // Payload framing: xml_len u32 LE · entry XML · row slab.
+        if payload.len() < 4 {
+            self.seg_dead(seg, true);
+            return false;
+        }
+        let xml_len = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        if 4 + xml_len > payload.len() {
+            self.seg_dead(seg, true);
+            return false;
+        }
+        let parsed = std::str::from_utf8(&payload[4..4 + xml_len])
+            .ok()
+            .and_then(|text| Element::parse(text).ok())
+            .and_then(|doc| entry_from_xml(&doc));
+        let Some(((residual_key, region, result, truncated, sql, coord_idx), embedded)) = parsed
+        else {
+            self.seg_dead(seg, true);
+            return false;
+        };
+        let stamp = stamp_override.unwrap_or(&embedded);
+        if stamp.epoch < self.epoch {
+            self.epoch_invalidations += 1;
+            self.seg_dead(seg, false);
+            return false;
+        }
+        let result: Arc<ResultSet> = Arc::new(result);
+        let Some(col) = ColumnarRows::build(&result, &coord_idx) else {
+            // No skeleton to serve rows from disk with: restore the
+            // entry RAM-resident through the stamped insert path.
+            match self.insert_restored(
+                &residual_key,
+                region,
+                result,
+                truncated,
+                &sql,
+                &coord_idx,
+                stamp,
+            ) {
+                Some(id) => {
+                    if let Some(tier) = self.tier.as_mut() {
+                        tier.refs.insert(id, seg);
+                    }
+                    return true;
+                }
+                None => {
+                    self.seg_dead(seg, false);
+                    return false;
+                }
+            }
+        };
+        // Re-anchor the persisted stamp on the store's clock, exactly
+        // like `insert_restored` does for resident entries.
+        let (inserted_at, expires_at) = match &self.time {
+            Some(clock) => {
+                let now = clock.now();
+                let inserted_at = match stamp.age_ms {
+                    Some(age) => now.checked_sub(Duration::from_millis(age)).or(Some(now)),
+                    None => Some(now),
+                };
+                let expires_at = match stamp.remaining_ms {
+                    Some(remaining) if remaining >= 0 => {
+                        Some(now + Duration::from_millis(remaining.unsigned_abs()))
+                    }
+                    Some(remaining) => {
+                        now.checked_sub(Duration::from_millis(remaining.unsigned_abs()))
+                    }
+                    None => self.lifecycle.ttl_for(&residual_key).map(|ttl| now + ttl),
+                };
+                (inserted_at, expires_at)
+            }
+            None => (None, None),
+        };
+        if let (Some(deadline), Some(clock)) = (expires_at, &self.time) {
+            let state = freshness_at(
+                deadline,
+                clock.now(),
+                self.lifecycle.stale_while_revalidate,
+                self.lifecycle.stale_if_error,
+            );
+            if state == Freshness::Dead {
+                self.expired += 1;
+                self.seg_dead(seg, false);
+                return false;
+            }
+        }
+        if let Some(&old) = self.exact.get(sql.as_str()) {
+            self.remove(old); // later segments win SQL collisions
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let residual_key: Arc<str> = Arc::from(residual_key.as_str());
+        let exact_sql: Arc<str> = Arc::from(sql.as_str());
+        let bbox = region.bounding_rect();
+        let demoted = DemotedEntry {
+            id,
+            residual_key: Arc::clone(&residual_key),
+            region,
+            bbox: bbox.clone(),
+            skeleton: Arc::new(col.skeleton()),
+            rows: result.len(),
+            bytes: result.xml_bytes(),
+            truncated,
+            exact_sql: Arc::clone(&exact_sql),
+            epoch: stamp.epoch,
+            inserted_at,
+            expires_at,
+        };
+        self.groups
+            .entry(residual_key)
+            .or_insert_with(|| self.kind.make(bbox.dims()))
+            .insert(id, bbox);
+        self.exact.insert(exact_sql, id);
+        let tier = self.tier.as_mut().expect("tier present");
+        tier.demoted.insert(id, demoted);
+        tier.refs.insert(id, seg);
+        self.generation += 1;
+        true
     }
 }
 
@@ -743,5 +1387,231 @@ mod tests {
         assert_eq!(s.group_len("g2"), 1);
         assert_eq!(s.group_len("g3"), 1);
         assert_eq!(s.candidates("g3", &r3).len(), 1);
+    }
+
+    // ---- disk-tier tests -------------------------------------------
+
+    fn tier_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fp_store_tier_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn coords() -> [String; 2] {
+        ["cx".to_string(), "cy".to_string()]
+    }
+
+    /// A tiered store sized to hold ~1.5 entries: the second insert
+    /// demotes the first. Returns `(store, id_a, id_b)` with A demoted
+    /// and B resident.
+    fn tiered_pair(dir: &std::path::Path) -> (CacheStore, u64, u64) {
+        let footprint = {
+            let mut probe = CacheStore::new(DescriptionKind::Array, None);
+            let id = probe
+                .insert("k", region(0.0, 10.0), rs_coords(10), false, "A", &coords())
+                .unwrap();
+            probe.peek(id).unwrap().footprint()
+        };
+        let mut s = CacheStore::new(DescriptionKind::Array, Some(footprint * 3 / 2));
+        s.attach_tier(&TierConfig::new(dir), 0).unwrap();
+        let a = s
+            .insert("k", region(0.0, 10.0), rs_coords(10), false, "A", &coords())
+            .unwrap();
+        let b = s
+            .insert(
+                "k",
+                region(20.0, 30.0),
+                rs_coords(10),
+                false,
+                "B",
+                &coords(),
+            )
+            .unwrap();
+        assert!(s.peek(a).is_none(), "A should be demoted, not resident");
+        assert!(s.peek(b).is_some(), "B stays resident");
+        (s, a, b)
+    }
+
+    /// Parses a demoted entry's slab payload back into its result and
+    /// columnar form, exactly like the promotion worker does off-lock.
+    fn parse_slice(slice: &SlabSlice) -> (Arc<ResultSet>, Option<Arc<ColumnarRows>>) {
+        let text = std::str::from_utf8(slice.xml()).unwrap();
+        let doc = Element::parse(text).unwrap();
+        let ((_, _, result, _, _, coord_idx), _) = entry_from_xml(&doc).unwrap();
+        let columnar = ColumnarRows::build(&result, &coord_idx).map(Arc::new);
+        (Arc::new(result), columnar)
+    }
+
+    #[test]
+    fn tier_demotes_over_budget_and_keeps_classification_resident() {
+        let dir = tier_dir("demote");
+        let (s, a, _b) = tiered_pair(&dir);
+        let st = s.stats();
+        assert_eq!(st.entries, 1);
+        assert_eq!(st.disk_entries, 1);
+        assert_eq!(st.demotions, 1);
+        assert_eq!(st.evictions, 0, "tiered store spills instead of evicting");
+        assert!(st.slab_bytes > 0);
+        // Classification metadata never left RAM.
+        let view = s
+            .classify_view(a)
+            .expect("demoted entry still classifiable");
+        assert_eq!(view.rows, 10);
+        assert!(!view.truncated);
+        assert_eq!(s.lookup_exact("A"), Some(a));
+        assert_eq!(s.candidates("k", &region(1.0, 2.0)), vec![a]);
+        assert!(s.disk_entry(a).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tier_slab_round_trip_and_promote() {
+        let dir = tier_dir("promote");
+        let (mut s, a, _b) = tiered_pair(&dir);
+        let slice = s.disk_slice(a).expect("demoted entry has a slab segment");
+        let (result, columnar) = parse_slice(&slice);
+        // The slab payload reproduces the original result exactly.
+        assert_eq!(*result, rs_coords(10));
+        assert_eq!(columnar.as_ref().unwrap().coord_idx(), &[1, 2]);
+        // And the demoted skeleton + mapped row slab rebuild the exact
+        // XML document the resident entry would have served.
+        let d = s.disk_entry(a).unwrap();
+        let doc = d.skeleton.full_document_with(slice.row_slab());
+        assert_eq!(doc, result.to_xml_string().into_bytes());
+
+        assert!(s.promote(a, result, columnar));
+        assert!(s.peek(a).is_some(), "promoted entry is resident again");
+        let st = s.stats();
+        assert_eq!(st.promotions, 1);
+        // Promotion re-applied the budget: something else got demoted.
+        assert_eq!(st.demotions, 2);
+        assert_eq!(st.entries + st.disk_entries, 2, "no entry lost");
+        // Promoting an id that is not demoted is a no-op.
+        assert!(!s.promote(a, Arc::new(rs_coords(1)), None));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tier_remove_and_epoch_bump_cover_demoted_entries() {
+        let dir = tier_dir("remove");
+        let (mut s, a, _b) = tiered_pair(&dir);
+        assert!(s.remove(a).is_none(), "demoted remove yields no entry");
+        assert_eq!(s.lookup_exact("A"), None);
+        assert!(s.candidates("k", &region(1.0, 2.0)).is_empty());
+        assert_eq!(s.stats().disk_entries, 0);
+        drop(s);
+
+        let dir2 = tier_dir("epoch");
+        let (mut s, _a, _b) = tiered_pair(&dir2);
+        assert_eq!(s.bump_epoch(1), 2, "bump retires demoted + resident");
+        let st = s.stats();
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.disk_entries, 0);
+        assert_eq!(st.epoch_invalidations, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn tier_same_sql_replaces_demoted_entry() {
+        let dir = tier_dir("replace");
+        let (mut s, a, _b) = tiered_pair(&dir);
+        let a2 = s
+            .insert("k", region(0.0, 10.0), rs_coords(12), false, "A", &coords())
+            .unwrap();
+        assert_ne!(a, a2);
+        assert_eq!(s.lookup_exact("A"), Some(a2));
+        assert_eq!(s.classify_view(a2).unwrap().rows, 12);
+        assert!(s.classify_view(a).is_none(), "old demoted entry retired");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tier_recovers_from_meta_snapshot_and_from_bare_replay() {
+        let dir = tier_dir("recover");
+        let config = TierConfig::new(&dir);
+        {
+            let mut s = CacheStore::new(DescriptionKind::Array, None);
+            s.attach_tier(&config, 0).unwrap();
+            s.insert("k", region(0.0, 10.0), rs_coords(10), false, "A", &coords())
+                .unwrap();
+            s.insert("k", region(20.0, 30.0), rs_coords(7), false, "B", &coords())
+                .unwrap();
+            // No coordinate columns: no columnar form, restores resident.
+            s.insert("k", region(40.0, 50.0), rs(3), false, "C", NO_COORDS)
+                .unwrap();
+            assert_eq!(s.write_tier_meta().unwrap(), 3);
+        }
+
+        // Meta-snapshot mode: precise recovery, entries come up demoted
+        // (except C, which has no skeleton to serve from disk).
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        s.attach_tier(&config, 0).unwrap();
+        let outcome = s.recover_tier();
+        assert_eq!(
+            outcome,
+            TierRecovery {
+                recovered: 3,
+                corrupt: 0
+            }
+        );
+        let st = s.stats();
+        assert_eq!(st.disk_entries, 2);
+        assert_eq!(st.entries, 1);
+        for sql in ["A", "B", "C"] {
+            assert!(s.lookup_exact(sql).is_some(), "{sql} survived restart");
+        }
+        let a = s.lookup_exact("A").unwrap();
+        let slice = s.disk_slice(a).expect("recovered demoted entry readable");
+        let (result, columnar) = parse_slice(&slice);
+        assert_eq!(*result, rs_coords(10));
+        assert!(s.promote(a, result, columnar));
+        drop(s);
+
+        // Replay mode: lose the metadata snapshot, scan the slab alone.
+        std::fs::remove_file(config.meta_path(0)).unwrap();
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        s.attach_tier(&config, 0).unwrap();
+        let outcome = s.recover_tier();
+        assert_eq!(outcome.recovered, 3);
+        for sql in ["A", "B", "C"] {
+            assert!(s.lookup_exact(sql).is_some(), "{sql} survived bare replay");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tier_corrupt_slab_tail_is_counted_not_fatal() {
+        let dir = tier_dir("corrupt");
+        let config = TierConfig::new(&dir);
+        {
+            let mut s = CacheStore::new(DescriptionKind::Array, None);
+            s.attach_tier(&config, 0).unwrap();
+            s.insert("k", region(0.0, 10.0), rs_coords(10), false, "A", &coords())
+                .unwrap();
+            s.insert("k", region(20.0, 30.0), rs_coords(7), false, "B", &coords())
+                .unwrap();
+            assert_eq!(s.write_tier_meta().unwrap(), 2);
+        }
+        // Tear the last segment: truncate mid-payload, as a crash would.
+        let slab_path = config.slab_path(0);
+        let len = std::fs::metadata(&slab_path).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&slab_path)
+            .unwrap();
+        file.set_len(len - 10).unwrap();
+        drop(file);
+
+        let mut s = CacheStore::new(DescriptionKind::Array, None);
+        s.attach_tier(&config, 0).unwrap();
+        let outcome = s.recover_tier();
+        assert_eq!(outcome.recovered, 1, "front segment survives the torn tail");
+        assert!(outcome.corrupt >= 1, "damage is counted, not fatal");
+        assert!(s.lookup_exact("A").is_some());
+        assert_eq!(s.lookup_exact("B"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

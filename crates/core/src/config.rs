@@ -1,11 +1,12 @@
 //! Proxy configuration.
 
-use crate::cache::{DescriptionKind, Replacement};
+use crate::cache::{DescriptionKind, Replacement, TierConfig};
 use crate::lifecycle::LifecycleConfig;
 use crate::observe::ObserveConfig;
 use crate::resilience::ResilienceConfig;
 use crate::schemes::Scheme;
 use crate::sim::CostModel;
+use std::path::PathBuf;
 
 /// Configuration of one proxy instance — the paper's "configuration"
 /// triple (caching scheme, cache description implementation, cache size)
@@ -43,6 +44,10 @@ pub struct ProxyConfig {
     /// Observability tuning: trace sampling rate and span retention.
     /// Latency histograms are always on regardless.
     pub observe: ObserveConfig,
+    /// Disk tier beneath the RAM cache: per-shard append-only slab
+    /// files that cold entries demote to (and serve from, via mmap)
+    /// when the RAM budget is exceeded. `None` (default) = RAM-only.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for ProxyConfig {
@@ -58,6 +63,7 @@ impl Default for ProxyConfig {
             resilience: None,
             lifecycle: LifecycleConfig::default(),
             observe: ObserveConfig::default(),
+            tier: None,
         }
     }
 }
@@ -114,6 +120,18 @@ impl ProxyConfig {
     /// Convenience builder for the observability tuning.
     pub fn with_observe(mut self, observe: ObserveConfig) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Convenience builder for the disk tier, rooted at `dir`.
+    pub fn with_tier(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.tier = Some(TierConfig::new(dir));
+        self
+    }
+
+    /// Convenience builder for a fully specified disk tier.
+    pub fn with_tier_config(mut self, tier: TierConfig) -> Self {
+        self.tier = Some(tier);
         self
     }
 }

@@ -88,6 +88,9 @@ pub struct QueryMetrics {
     /// clock; `0` when no cached data contributed or lifecycle timing
     /// is off.
     pub entry_age_ms: f64,
+    /// Whether the answer was served from the disk tier (a demoted
+    /// entry's mmap'd slab segment rather than RAM).
+    pub disk_hit: bool,
 }
 
 impl QueryMetrics {
@@ -139,6 +142,9 @@ pub struct TraceReport {
     /// Queries answered from expired entries (stale-while-revalidate or
     /// stale-if-error serving).
     pub stale_hits: usize,
+    /// Queries answered from the disk tier (demoted entries served out
+    /// of the mmap'd slab).
+    pub disk_hits: usize,
     /// Median response time, ms (nearest-rank over the exact per-query
     /// values — unlike the runtime histograms, nothing is bucketed).
     pub p50_response_ms: f64,
@@ -179,6 +185,7 @@ impl TraceReport {
             report.rows_scanned += m.rows_scanned;
             report.rows_pruned += m.rows_pruned;
             report.stale_hits += usize::from(m.stale);
+            report.disk_hits += usize::from(m.disk_hit);
             if m.degraded {
                 // Degraded answers are only ever produced on the merge
                 // paths (region containment / overlap), where they are
@@ -239,6 +246,7 @@ mod tests {
             degraded: false,
             stale: false,
             entry_age_ms: 0.0,
+            disk_hit: false,
         }
     }
 

@@ -54,11 +54,14 @@ pub enum Phase {
     /// Edge: time a finished response waited for the reactor to collect
     /// it from the completion queue (worker push to reactor drain).
     Handoff,
+    /// Serving a hit from the disk tier: slab slice + row splice from
+    /// the mmap'd segment (excludes the background promotion).
+    DiskServe,
 }
 
 impl Phase {
     /// Every phase, in rendering order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Classify,
         Phase::LocalEval,
         Phase::OriginFetch,
@@ -71,6 +74,7 @@ impl Phase {
         Phase::Parse,
         Phase::QueueWait,
         Phase::Handoff,
+        Phase::DiskServe,
     ];
 
     /// Stable snake_case label used in metric labels and JSON.
@@ -88,6 +92,7 @@ impl Phase {
             Phase::Parse => "parse",
             Phase::QueueWait => "queue_wait",
             Phase::Handoff => "handoff",
+            Phase::DiskServe => "disk_serve",
         }
     }
 
@@ -105,6 +110,7 @@ impl Phase {
             Phase::Parse => 9,
             Phase::QueueWait => 10,
             Phase::Handoff => 11,
+            Phase::DiskServe => 12,
         }
     }
 }

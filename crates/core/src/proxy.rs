@@ -500,6 +500,7 @@ impl FunctionProxy {
             degraded: false,
             stale: false,
             entry_age_ms: 0.0,
+            disk_hit: false,
         };
         ProxyResponse { result, metrics }
     }

@@ -65,11 +65,12 @@ pub fn classify_graded(store: &CacheStore, bound: &BoundQuery, allow_grace: bool
             Some(f) if f.serveable(allow_grace) => {}
             _ => continue,
         }
-        let Some(entry) = store.peek(id) else {
+        // The classify view covers both tiers from resident metadata —
+        // demoted entries participate without any disk access.
+        let Some(entry) = store.classify_view(id) else {
             continue;
         };
-        debug_assert_eq!(&*entry.residual_key, bound.residual_key);
-        match bound.region.relate(&entry.region) {
+        match bound.region.relate(entry.region) {
             Relation::Equal => {
                 // Equal region within one residual group means the same
                 // query; a truncated equal entry was clipped the same way.
@@ -80,8 +81,8 @@ pub fn classify_graded(store: &CacheStore, bound: &BoundQuery, allow_grace: bool
                 // scans fewer tuples.
                 match contained_by {
                     Some(prev) => {
-                        let prev_len = store.peek(prev).map_or(usize::MAX, |e| e.result.len());
-                        if entry.result.len() < prev_len {
+                        let prev_len = store.classify_view(prev).map_or(usize::MAX, |e| e.rows);
+                        if entry.rows < prev_len {
                             contained_by = Some(id);
                         }
                     }

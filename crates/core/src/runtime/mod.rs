@@ -72,6 +72,7 @@ pub struct RuntimeStats {
     degraded_partial_rows: AtomicUsize,
     stale_hits: AtomicUsize,
     revalidations: AtomicUsize,
+    disk_hits: AtomicUsize,
     snapshot_writes: AtomicUsize,
     recovered_entries: AtomicUsize,
     snapshot_corrupt_segments: AtomicUsize,
@@ -115,6 +116,10 @@ impl RuntimeStats {
 
     pub(crate) fn note_revalidation(&self) {
         self.revalidations.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Release);
     }
 
     pub(crate) fn note_snapshot_writes(&self, files: usize) {
@@ -181,6 +186,22 @@ pub struct RuntimeSnapshot {
     /// Background refreshes that reached the origin on behalf of stale
     /// entries.
     pub revalidations: usize,
+    /// Exact/contained hits served straight from the disk tier's
+    /// mmap'd slab (the demoted long tail).
+    pub disk_hits: usize,
+    /// Entries currently resident in the disk tier (across all shards).
+    pub disk_entries: usize,
+    /// Bytes held by the disk tier's slab files.
+    pub slab_bytes: usize,
+    /// RAM→disk demotions performed by the eviction manager.
+    pub demotions: usize,
+    /// Disk→RAM promotions performed on access.
+    pub promotions: usize,
+    /// Slab compaction passes that reclaimed dead segments.
+    pub slab_compactions: usize,
+    /// Slab segments skipped or dropped as corrupt (bad CRC, torn
+    /// tail, unreadable during compaction).
+    pub slab_corrupt_segments: usize,
     /// Entries retired by data-release epoch bumps (across all shards).
     pub epoch_invalidations: usize,
     /// Entries retired for aging past every staleness window.
@@ -215,6 +236,7 @@ impl RuntimeStats {
     pub fn snapshot(&self, in_flight_peak: usize, shards: usize) -> RuntimeSnapshot {
         let revalidations = self.revalidations.load(Ordering::Acquire);
         let stale_hits = self.stale_hits.load(Ordering::Acquire);
+        let disk_hits = self.disk_hits.load(Ordering::Acquire);
         let coalesced_exact = self.coalesced_exact.load(Ordering::Acquire);
         let coalesced_contained = self.coalesced_contained.load(Ordering::Acquire);
         let flights_led = self.flights_led.load(Ordering::Acquire);
@@ -250,6 +272,13 @@ impl RuntimeStats {
             breaker_retry_after_ms: 0,
             stale_hits,
             revalidations,
+            disk_hits,
+            disk_entries: 0,
+            slab_bytes: 0,
+            demotions: 0,
+            promotions: 0,
+            slab_compactions: 0,
+            slab_corrupt_segments: 0,
             epoch_invalidations: 0,
             entries_expired: 0,
             snapshot_writes,
@@ -308,6 +337,31 @@ impl RuntimeSnapshot {
             self.revalidations as f64,
         );
         counter(
+            "funcproxy_disk_hits_total",
+            "Hits served from the disk tier's mmap'd slab.",
+            self.disk_hits as f64,
+        );
+        counter(
+            "funcproxy_demotions_total",
+            "RAM-to-disk demotions by the eviction manager.",
+            self.demotions as f64,
+        );
+        counter(
+            "funcproxy_promotions_total",
+            "Disk-to-RAM promotions on access.",
+            self.promotions as f64,
+        );
+        counter(
+            "funcproxy_slab_compactions_total",
+            "Slab compaction passes.",
+            self.slab_compactions as f64,
+        );
+        counter(
+            "funcproxy_slab_corrupt_segments_total",
+            "Slab segments skipped or dropped as corrupt.",
+            self.slab_corrupt_segments as f64,
+        );
+        counter(
             "funcproxy_origin_timeouts_total",
             "Origin fetches whose deadline expired.",
             self.origin_timeouts as f64,
@@ -341,6 +395,20 @@ impl RuntimeSnapshot {
              # TYPE funcproxy_origin_backoff_hint_ms gauge\n\
              funcproxy_origin_backoff_hint_ms {}",
             self.origin_backoff_hint_ms,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_disk_entries Entries resident in the disk tier.\n\
+             # TYPE funcproxy_disk_entries gauge\n\
+             funcproxy_disk_entries {}",
+            self.disk_entries,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_slab_bytes Bytes held by disk-tier slab files.\n\
+             # TYPE funcproxy_slab_bytes gauge\n\
+             funcproxy_slab_bytes {}",
+            self.slab_bytes,
         );
         out
     }

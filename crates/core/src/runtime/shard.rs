@@ -42,8 +42,8 @@ impl ShardedStore {
         let per_shard = config.capacity.map(|total| (total / n).max(1));
         let lifecycle = Arc::new(config.lifecycle.clone());
         let shards = (0..n)
-            .map(|_| {
-                Mutex::new(if config.lifecycle.is_active() {
+            .map(|i| {
+                let mut store = if config.lifecycle.is_active() {
                     CacheStore::with_lifecycle(
                         config.description,
                         per_shard,
@@ -53,7 +53,14 @@ impl ShardedStore {
                     )
                 } else {
                     CacheStore::with_replacement(config.description, per_shard, config.replacement)
-                })
+                };
+                if let Some(tier) = &config.tier {
+                    // A tier that fails to open (permissions, foreign
+                    // file) degrades that shard to RAM-only rather
+                    // than refusing to serve.
+                    let _ = store.attach_tier(tier, i);
+                }
+                Mutex::new(store)
             })
             .collect();
         ShardedStore { shards }
@@ -99,6 +106,12 @@ impl ShardedStore {
             total.compactions += s.compactions;
             total.expired += s.expired;
             total.epoch_invalidations += s.epoch_invalidations;
+            total.disk_entries += s.disk_entries;
+            total.slab_bytes += s.slab_bytes;
+            total.demotions += s.demotions;
+            total.promotions += s.promotions;
+            total.slab_compactions += s.slab_compactions;
+            total.slab_corrupt_segments += s.slab_corrupt_segments;
         }
         total
     }

@@ -337,6 +337,7 @@ mod tests {
                 degraded: false,
                 stale: false,
                 entry_age_ms: 0.0,
+                disk_hit: false,
             },
         }
     }

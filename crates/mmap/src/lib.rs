@@ -1,0 +1,197 @@
+//! Read-only memory mapping for the tiered cache's slab files.
+//!
+//! The workspace's core crates all `forbid(unsafe_code)`, and the build
+//! environment has no crates.io access, so there is no `memmap2` (or
+//! even `libc`) to lean on. Like `fp-edge`'s `sys.rs`, this crate
+//! hand-declares the two stable-ABI prototypes it needs — `mmap` and
+//! `munmap` — and is the only place in the workspace's cache stack
+//! allowed to use `unsafe`. Everything it exports is safe:
+//!
+//! - Mappings are created `PROT_READ` + `MAP_SHARED` over a plain file,
+//!   so the memory is never writable through the map and appends to the
+//!   file by the owning process do not move already-mapped pages.
+//! - The mapping length is fixed at creation to a prefix the caller
+//!   promises is fully written (slab files are append-only; readers map
+//!   only up to the last durably framed segment). The file may keep
+//!   growing past the mapped prefix — those pages are simply not part
+//!   of this map. Slab files are never truncated in place (compaction
+//!   replaces them via rename, which leaves the mapped inode intact),
+//!   so the classic mmap SIGBUS-on-shrink hazard cannot arise.
+//! - Dropping the handle unmaps. The handle is `Send + Sync` because a
+//!   read-only shared mapping of an append-only file is plain immutable
+//!   memory from the process's point of view.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+
+// Protection and flag bits (uapi/asm-generic/mman-common.h).
+const PROT_READ: i32 = 0x1;
+const MAP_SHARED: i32 = 0x01;
+
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+}
+
+/// A read-only shared mapping of the first `len` bytes of a file.
+///
+/// See the crate docs for the invariants that make this safe to share
+/// across threads.
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+// SAFETY: the mapping is PROT_READ and the backing file is append-only
+// and never truncated in place (see crate docs), so the mapped bytes
+// are immutable for the life of the handle. Immutable memory may be
+// read from any thread.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — shared `&Mmap` only exposes `&[u8]` reads.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the first `len` bytes of `file` read-only.
+    ///
+    /// `len` must not exceed the file's current size (the caller owns
+    /// that bookkeeping; slab readers map up to the last framed
+    /// segment). Zero-length maps are rejected by the kernel, so this
+    /// returns `InvalidInput` for `len == 0` rather than asking.
+    pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map zero bytes",
+            ));
+        }
+        // SAFETY: null hint address, length checked non-zero, fd valid
+        // for the duration of the call (mappings outlive the fd by
+        // design — the kernel keeps the inode pinned).
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1.
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping covers zero bytes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes; the backing pages are immutable (see crate docs).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe a mapping we own and have not
+        // unmapped before. Failure here is unactionable in a destructor.
+        unsafe {
+            munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fp_mmap_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("exact");
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file, payload.len()).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(map.as_slice(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_prefix_survives_appends_and_fd_close() {
+        let path = temp_path("append");
+        std::fs::write(&path, b"prefix-bytes").unwrap();
+        let map = {
+            let file = File::open(&path).unwrap();
+            Mmap::map(&file, 12).unwrap()
+            // fd drops here; the mapping must stay valid.
+        };
+        let mut appender = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        appender.write_all(b"...and a long tail").unwrap();
+        drop(appender);
+        assert_eq!(map.as_slice(), b"prefix-bytes");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_length_map_is_rejected() {
+        let path = temp_path("zero");
+        std::fs::write(&path, b"").unwrap();
+        let file = File::open(&path).unwrap();
+        let err = Mmap::map(&file, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn map_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 131) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&file, payload.len()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                let want = payload.clone();
+                std::thread::spawn(move || assert_eq!(m.as_slice(), &want[..]))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -323,6 +323,15 @@ impl ColumnarRows {
     /// rows by copying byte ranges: header + each row's slab span +
     /// footer. No `Value` is touched and nothing is re-serialized.
     pub fn assemble_document(&self, rows: &[u32]) -> Vec<u8> {
+        self.assemble_document_with(&self.slab, rows)
+    }
+
+    /// [`Self::assemble_document`] over an external copy of the row slab
+    /// (e.g. an mmap'd byte slice of a demoted entry whose resident
+    /// skeleton dropped its own slab). The spans were computed for the
+    /// slab this form was built from, so `slab` must be byte-identical
+    /// to it.
+    pub fn assemble_document_with(&self, slab: &[u8], rows: &[u32]) -> Vec<u8> {
         let body: usize = rows
             .iter()
             .map(|&r| self.spans[r as usize].1 as usize)
@@ -331,7 +340,7 @@ impl ColumnarRows {
         out.extend_from_slice(&self.header);
         for &r in rows {
             let (off, len) = self.spans[r as usize];
-            out.extend_from_slice(&self.slab[off as usize..(off + len) as usize]);
+            out.extend_from_slice(&slab[off as usize..(off + len) as usize]);
         }
         out.extend_from_slice(FOOTER);
         out
@@ -340,11 +349,40 @@ impl ColumnarRows {
     /// Assembles the whole entry's document (exact-match hits): one
     /// straight copy of the slab between header and footer.
     pub fn full_document(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.header.len() + self.slab.len() + FOOTER.len());
+        self.full_document_with(&self.slab)
+    }
+
+    /// [`Self::full_document`] over an external copy of the row slab
+    /// (see [`Self::assemble_document_with`]).
+    pub fn full_document_with(&self, slab: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.header.len() + slab.len() + FOOTER.len());
         out.extend_from_slice(&self.header);
-        out.extend_from_slice(&self.slab);
+        out.extend_from_slice(slab);
         out.extend_from_slice(FOOTER);
         out
+    }
+
+    /// The pre-serialized row slab: every row's `<Row>…</Row>` fragment,
+    /// concatenated. This is the byte payload the tiered cache spills to
+    /// disk; [`Self::skeleton`] + this slab reconstruct every response.
+    pub fn slab(&self) -> &[u8] {
+        &self.slab
+    }
+
+    /// A copy of this form without the row slab: coordinate columns,
+    /// spans, header, and micro-index stay resident (classification and
+    /// region selection keep working), while response assembly needs an
+    /// external slab ([`Self::assemble_document_with`]). This is the
+    /// RAM-resident part of a disk-demoted cache entry.
+    pub fn skeleton(&self) -> ColumnarRows {
+        ColumnarRows {
+            coord_idx: self.coord_idx.clone(),
+            cols: self.cols.clone(),
+            slab: Vec::new(),
+            spans: self.spans.clone(),
+            header: self.header.clone(),
+            index: self.index.clone(),
+        }
     }
 
     /// Materializes the selected rows as a row-major result (for callers
@@ -659,6 +697,27 @@ mod tests {
             String::from_utf8(result_to_xml_bytes(&no_columns)).unwrap(),
             no_columns.to_xml().to_xml()
         );
+    }
+
+    #[test]
+    fn skeleton_assembles_with_external_slab() {
+        let base = rs(50);
+        let c = ColumnarRows::build(&base, &[1, 2]).unwrap();
+        let slab = c.slab().to_vec();
+        let sk = c.skeleton();
+        assert!(sk.slab().is_empty());
+        assert_eq!(sk.full_document_with(&slab), c.full_document());
+        let picked = [0u32, 7, 33];
+        assert_eq!(
+            sk.assemble_document_with(&slab, &picked),
+            c.assemble_document(&picked)
+        );
+        // The skeleton still selects (columns + index are resident) and
+        // charges less heap than the full form.
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        sk.select_region(&rect(0.4, 0.6), &mut out, &mut scratch);
+        assert!(!out.is_empty());
+        assert!(sk.heap_bytes() < c.heap_bytes());
     }
 
     #[test]

@@ -98,6 +98,59 @@ impl Rbe {
             .collect())
     }
 
+    /// [`Rbe::replay_shared`] over the bytes path: every client calls
+    /// [`ProxyHandle::handle_form_xml`], so hits — RAM and disk tier —
+    /// are served as pre-serialized XML without materializing tuples.
+    /// This is the path the HTTP front ends use; replaying through it
+    /// measures the zero-copy serve latencies rather than the
+    /// tuple-materializing ones. Deal and ordering are identical to
+    /// [`Rbe::replay_shared`].
+    ///
+    /// # Errors
+    /// Returns the first proxy error any client hit.
+    pub fn replay_shared_xml(
+        &self,
+        handle: &ProxyHandle,
+        trace: &Trace,
+        threads: usize,
+    ) -> Result<Vec<QueryMetrics>, ProxyError> {
+        let threads = threads.clamp(1, trace.len().max(1));
+        let form_path = &self.form_path;
+        let per_thread: Vec<Result<Vec<(usize, QueryMetrics)>, ProxyError>> =
+            std::thread::scope(|scope| {
+                let clients: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let handle = handle.clone();
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for (i, q) in trace.queries.iter().enumerate().skip(t).step_by(threads)
+                            {
+                                let response =
+                                    handle.handle_form_xml(form_path, &q.form_fields())?;
+                                out.push((i, response.metrics));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                clients
+                    .into_iter()
+                    .map(|c| c.join().expect("client thread panicked"))
+                    .collect()
+            });
+
+        let mut metrics: Vec<Option<QueryMetrics>> = vec![None; trace.len()];
+        for client in per_thread {
+            for (i, m) in client? {
+                metrics[i] = Some(m);
+            }
+        }
+        Ok(metrics
+            .into_iter()
+            .map(|m| m.expect("round-robin deal covers every query"))
+            .collect())
+    }
+
     /// [`Rbe::replay_shared`] plus aggregation.
     ///
     /// # Errors

@@ -8,6 +8,7 @@
 //! cargo run --example http_proxy [-- --ttl <secs>] [--snapshot-dir <path>] [--epoch <n>]
 //!                                [--serve] [--port <n>] [--trace-sample <n>]
 //!                                [--edge] [--workers <n>] [--max-conns <n>]
+//!                                [--cache-budget <bytes>] [--slab-dir <path>]
 //! ```
 //!
 //! `--ttl` gives every cached entry a freshness lifetime (expired entries
@@ -15,6 +16,13 @@
 //! persists the cache for a warm restart, and `--epoch` declares the
 //! origin's current data-release epoch (entries from older epochs are
 //! invalidated).
+//!
+//! `--cache-budget` caps the RAM the cache may hold (bytes; default
+//! unbounded) and `--slab-dir` attaches the disk tier: entries pushed
+//! over the budget demote to per-shard mmap'd slab files instead of
+//! being evicted, still answering exact and contained hits straight
+//! from the page cache. With `--slab-dir`, warm restarts recover from
+//! the slab plus a small metadata snapshot.
 //!
 //! `--edge` swaps the thread-per-connection front end for the
 //! nonblocking `fp-edge` reactor: one event-loop thread multiplexes
@@ -250,6 +258,8 @@ fn main() {
     let mut edge = false;
     let mut workers: usize = 4;
     let mut max_conns: usize = 1024;
+    let mut cache_budget: Option<usize> = None;
+    let mut slab_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -266,12 +276,15 @@ fn main() {
             "--max-conns" => {
                 max_conns = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
             }
+            "--cache-budget" => cache_budget = args.next().and_then(|s| s.parse().ok()),
+            "--slab-dir" => slab_dir = args.next().map(Into::into),
             other => {
                 eprintln!(
                     "unknown option `{other}` \
                      (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>, \
                      --serve, --port <n>, --trace-sample <n>, \
-                     --edge, --workers <n>, --max-conns <n>)"
+                     --edge, --workers <n>, --max-conns <n>, \
+                     --cache-budget <bytes>, --slab-dir <path>)"
                 );
                 std::process::exit(2);
             }
@@ -302,17 +315,24 @@ fn main() {
     let origin = HttpOrigin {
         client: HttpClient::new(origin_server.addr()),
     };
+    let mut config = ProxyConfig::default()
+        .with_scheme(Scheme::FullSemantic)
+        .with_cost(CostModel::free())
+        .with_lifecycle(lifecycle)
+        // Deadlines, retry/backoff and the circuit breaker on the
+        // origin path — also what feeds the Retry-After backoff hint.
+        .with_resilience(ResilienceConfig::default())
+        .with_observe(ObserveConfig::default().with_sample_every(trace_sample));
+    if cache_budget.is_some() {
+        config = config.with_capacity(cache_budget);
+    }
+    if let Some(dir) = &slab_dir {
+        config = config.with_tier(dir.clone());
+    }
     let handle = ProxyHandle::new(
         TemplateManager::with_sky_defaults(),
         Arc::new(origin),
-        ProxyConfig::default()
-            .with_scheme(Scheme::FullSemantic)
-            .with_cost(CostModel::free())
-            .with_lifecycle(lifecycle)
-            // Deadlines, retry/backoff and the circuit breaker on the
-            // origin path — also what feeds the Retry-After backoff hint.
-            .with_resilience(ResilienceConfig::default())
-            .with_observe(ObserveConfig::default().with_sample_every(trace_sample)),
+        config,
     );
     if handle.runtime_stats().recovered_entries > 0 {
         println!(
@@ -402,6 +422,17 @@ fn main() {
         stats.bytes as f64 / 1024.0,
         handle.shard_count()
     );
+    if slab_dir.is_some() {
+        println!(
+            "disk tier:   {} demoted entries, {:.1} KB slab \
+             ({} demotions, {} promotions, {} disk hits)",
+            stats.disk_entries,
+            stats.slab_bytes as f64 / 1024.0,
+            stats.demotions,
+            stats.promotions,
+            handle.runtime_stats().disk_hits,
+        );
+    }
 
     if serve {
         // SIGINT/SIGTERM set a flag instead of killing the process, so

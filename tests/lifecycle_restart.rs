@@ -70,6 +70,18 @@ fn trace() -> (Vec<Vec<(String, String)>>, usize) {
 }
 
 fn make_handle(clock: &Arc<MockClock>, snapshot_dir: Option<&Path>, shards: usize) -> ProxyHandle {
+    make_handle_with(clock, snapshot_dir, None, None, shards)
+}
+
+/// Like [`make_handle`], optionally bounding RAM (`budget`) and
+/// attaching the disk tier (`tier_dir`).
+fn make_handle_with(
+    clock: &Arc<MockClock>,
+    snapshot_dir: Option<&Path>,
+    tier_dir: Option<&Path>,
+    budget: Option<usize>,
+    shards: usize,
+) -> ProxyHandle {
     let mut lifecycle = LifecycleConfig::default()
         .with_default_ttl(Duration::from_secs(3600))
         .with_epoch(1);
@@ -78,13 +90,20 @@ fn make_handle(clock: &Arc<MockClock>, snapshot_dir: Option<&Path>, shards: usiz
         // `snapshot_now` only, deterministically.
         lifecycle = lifecycle.with_snapshot(dir.to_path_buf(), Duration::from_secs(3600));
     }
+    let mut config = ProxyConfig::default()
+        .with_scheme(Scheme::FullSemantic)
+        .with_cost(CostModel::free())
+        .with_lifecycle(lifecycle);
+    if budget.is_some() {
+        config = config.with_capacity(budget);
+    }
+    if let Some(dir) = tier_dir {
+        config = config.with_tier(dir.to_path_buf());
+    }
     ProxyHandle::with_shards_clocked(
         TemplateManager::with_sky_defaults(),
         Arc::new(SiteOrigin::new(site().clone())) as Arc<dyn Origin>,
-        ProxyConfig::default()
-            .with_scheme(Scheme::FullSemantic)
-            .with_cost(CostModel::free())
-            .with_lifecycle(lifecycle),
+        config,
         shards,
         Arc::clone(clock) as Arc<dyn Clock>,
     )
@@ -154,6 +173,92 @@ fn warm_restart_recovers_the_cache_and_its_hit_rate() {
         "hit rate drifted: baseline {baseline_rate:.2}, restarted {restart_rate:.2}"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill-restart with the disk tier attached: under a RAM budget tight
+/// enough to demote most entries to the slab, a restart must recover
+/// *everything* — demoted entries from their slab segments, resident
+/// ones via the tiny metadata snapshot — and keep serving byte-identical
+/// answers, now partly straight off the mmap'd slab. A second kill that
+/// also loses the metadata snapshot still recovers every entry whose
+/// payload reached the slab (bare replay mode).
+#[test]
+fn tiered_kill_restart_recovers_slab_and_meta() {
+    let (all, half) = trace();
+    let clock = MockClock::shared();
+
+    // Baseline bodies from a proxy that never restarted (unbounded RAM).
+    let baseline = make_handle(&clock, None, 2);
+    replay(&baseline, &all[..half]);
+    let (_, baseline_bodies) = replay(&baseline, &all[half..]);
+
+    // Size the budget to roughly a third of the warmed working set, so
+    // the tiered run must demote most entries.
+    let warmed_bytes = baseline.cache_stats().bytes.max(1);
+    let budget = warmed_bytes / 3;
+    drop(baseline);
+
+    let snap_dir = fresh_dir("fp_tier_restart_meta");
+    let tier_dir = fresh_dir("fp_tier_restart_slab");
+    let before = make_handle_with(&clock, Some(&snap_dir), Some(&tier_dir), Some(budget), 2);
+    replay(&before, &all[..half]);
+    before.quiesce_revalidations();
+    let warm_stats = before.cache_stats();
+    assert!(warm_stats.demotions > 0, "tight budget must demote");
+    assert!(warm_stats.disk_entries > 0, "slab must hold entries");
+    assert!(
+        before.snapshot_now().expect("tier meta writes") >= 1,
+        "tiered shards must write their metadata snapshots"
+    );
+    drop(before);
+
+    // Restart #1: slab + metadata snapshot → full recovery.
+    let after = make_handle_with(&clock, Some(&snap_dir), Some(&tier_dir), Some(budget), 2);
+    let stats = after.runtime_stats();
+    assert_eq!(
+        stats.recovered_entries, half,
+        "slab + meta must recover every entry"
+    );
+    assert_eq!(stats.snapshot_corrupt_segments, 0);
+    let (restart_hits, restart_bodies) = replay(&after, &all[half..]);
+    for (i, (got, want)) in restart_bodies.iter().zip(&baseline_bodies).enumerate() {
+        assert_eq!(
+            got, want,
+            "query {i}: tiered restart diverged from baseline"
+        );
+    }
+    assert!(
+        restart_hits >= half,
+        "every repeated query must hit after the tiered restart, got {restart_hits}"
+    );
+    after.quiesce_revalidations();
+    assert!(
+        after.runtime_stats().disk_hits > 0,
+        "some recovered entries must serve from the slab before promotion"
+    );
+    drop(after);
+
+    // Restart #2: the metadata snapshots are gone (crash before the
+    // final snapshot pass). Bare slab replay still recovers everything
+    // demoted or previously snapshotted — and stays byte-identical.
+    for i in 0..2 {
+        std::fs::remove_file(tier_dir.join(format!("shard_{i}.fpmeta"))).ok();
+    }
+    let replayed = make_handle_with(&clock, Some(&snap_dir), Some(&tier_dir), Some(budget), 2);
+    let stats = replayed.runtime_stats();
+    assert!(
+        stats.recovered_entries >= warm_stats.disk_entries,
+        "bare replay must recover at least the demoted entries: {} < {}",
+        stats.recovered_entries,
+        warm_stats.disk_entries
+    );
+    let (_, replay_bodies) = replay(&replayed, &all[half..]);
+    for (i, (got, want)) in replay_bodies.iter().zip(&baseline_bodies).enumerate() {
+        assert_eq!(got, want, "query {i}: bare-replay restart diverged");
+    }
+    replayed.quiesce_revalidations();
+    std::fs::remove_dir_all(&snap_dir).ok();
+    std::fs::remove_dir_all(&tier_dir).ok();
 }
 
 #[test]

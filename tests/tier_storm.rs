@@ -1,0 +1,136 @@
+//! Concurrency storm for the disk tier: eight client threads hammer a
+//! tiered cache whose RAM budget holds only a fraction of the working
+//! set, so entries continuously demote to the slab and promote back on
+//! access while other threads are mid-read. The pinned invariant is
+//! byte-identity: every response must equal the origin's answer for that
+//! query no matter which tier served it or what churn was in flight —
+//! demote/promote moves bytes, never changes them.
+
+use fp_suite::proxy::template::TemplateManager;
+use fp_suite::proxy::{CostModel, Origin, ProxyConfig, ProxyHandle, Scheme, SiteOrigin};
+use fp_suite::skyserver::{Catalog, CatalogSpec, SkySite};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 6;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Twenty well-separated radial queries — each its own exact-match
+/// entry, so every repeat is an exact hit from RAM or from the slab.
+fn queries() -> Vec<Vec<(String, String)>> {
+    (0..20)
+        .map(|i| {
+            vec![
+                (
+                    "ra".to_string(),
+                    format!("{:.4}", 15.0 + 16.0 * f64::from(i)),
+                ),
+                (
+                    "dec".to_string(),
+                    format!("{:.4}", -30.0 + 3.0 * f64::from(i)),
+                ),
+                ("radius".to_string(), "7.0000".to_string()),
+            ]
+        })
+        .collect()
+}
+
+fn make_handle(site: &SkySite, budget: Option<usize>, tier_dir: Option<&PathBuf>) -> ProxyHandle {
+    let mut config = ProxyConfig::default()
+        .with_scheme(Scheme::FullSemantic)
+        .with_cost(CostModel::free());
+    if budget.is_some() {
+        config = config.with_capacity(budget);
+    }
+    if let Some(dir) = tier_dir {
+        config = config.with_tier(dir.clone());
+    }
+    ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::new(SiteOrigin::new(site.clone())) as Arc<dyn Origin>,
+        config,
+        2, // few shards → heavy churn per shard
+    )
+}
+
+#[test]
+fn eight_thread_storm_stays_byte_identical_under_tier_churn() {
+    let site = SkySite::new(Catalog::generate(&CatalogSpec {
+        seed: 77,
+        objects: 9_000,
+        ..CatalogSpec::default()
+    }));
+    let queries = queries();
+
+    // Oracle bodies from an unbounded RAM-only proxy, and the working
+    // set size the storm budget is derived from.
+    let oracle = make_handle(&site, None, None);
+    let truth: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            oracle
+                .handle_form_xml("/search/radial", q)
+                .expect("oracle serves")
+                .body
+        })
+        .collect();
+    let working_set = oracle.cache_stats().bytes.max(1);
+    drop(oracle);
+
+    // The storm handle holds roughly a quarter of the working set in
+    // RAM; the rest lives on the slab and churns on every access.
+    let tier_dir = fresh_dir("fp_tier_storm");
+    let handle = make_handle(&site, Some(working_set / 4), Some(&tier_dir));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let handle = handle.clone();
+            let queries = &queries;
+            let truth = &truth;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Each thread walks the query list at its own
+                    // rotation so threads constantly collide on entries
+                    // the budget enforcer is moving between tiers.
+                    for i in 0..queries.len() {
+                        let k = (i + t * 3 + round) % queries.len();
+                        let r = handle
+                            .handle_form_xml("/search/radial", &queries[k])
+                            .expect("storm request serves");
+                        assert_eq!(
+                            r.body, truth[k],
+                            "thread {t} round {round} query {k}: \
+                             response bytes diverged from the origin's answer"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    handle.quiesce_revalidations();
+
+    // The storm must actually have exercised the tier, not just RAM.
+    let cache = handle.cache_stats();
+    let runtime = handle.runtime_stats();
+    assert!(cache.demotions > 0, "budget must demote under the storm");
+    assert!(
+        runtime.disk_hits > 0,
+        "some answers must be served from the slab"
+    );
+    assert!(
+        cache.promotions > 0,
+        "hot demoted entries must promote back to RAM"
+    );
+    assert_eq!(
+        runtime.requests,
+        queries.len() * THREADS * ROUNDS,
+        "every storm request must be accounted for"
+    );
+    std::fs::remove_dir_all(&tier_dir).ok();
+}
