@@ -23,10 +23,13 @@
 //!   chaos         extension: availability under a mid-trace origin outage
 //!                 with deadlines, retries and the circuit breaker engaged
 //!                 (`--chaos` is an alias)
+//!   cluster       extension: proxy-fleet sweep over 1, 2, 4, … up to
+//!                 --nodes (default 8) slot-sharded peers with gossip
+//!                 membership, plus a mid-trace peer kill on a 3-node fleet
 //!   all           everything above
 //! ```
 
-use fp_bench::{conn_sweep, thread_sweep, Experiment, Scale};
+use fp_bench::{conn_sweep, fleet_sweep, thread_sweep, Experiment, Scale};
 use std::time::Duration;
 
 fn main() {
@@ -34,6 +37,7 @@ fn main() {
     let mut json = false;
     let mut threads = 8usize;
     let mut edge_conns = 256usize;
+    let mut nodes = 8usize;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -44,6 +48,7 @@ fn main() {
             "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
             "--threads" => threads = parse_num(args.next(), "--threads"),
             "--edge-conns" => edge_conns = parse_num(args.next(), "--edge-conns"),
+            "--nodes" => nodes = parse_num(args.next(), "--nodes"),
             "--json" => json = true,
             "--chaos" => experiments.push("chaos".to_string()),
             "--help" | "-h" => {
@@ -175,6 +180,17 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     }
+    if want("cluster") {
+        let t = exp.cluster(&fleet_sweep(nodes));
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist the fleet axes (origin fetches vs fleet size, kill-run
+        // availability and failover time) for run-over-run comparison.
+        let path = "BENCH_cluster.json";
+        match std::fs::write(path, serde_json::to_string(&t).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
 }
 
 fn print_block(json: bool, table: &dyn std::fmt::Display, json_text: &str) {
@@ -195,7 +211,7 @@ fn parse_num(v: Option<String>, flag: &str) -> usize {
 fn print_usage() {
     eprintln!(
         "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--edge-conns N] \
-         [--json] [--chaos] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|all]..."
+         [--nodes N] [--json] [--chaos] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|cluster|all]..."
     );
 }

@@ -21,16 +21,20 @@
 //!   origin outage with the resilience layer engaged (see [`chaos`]).
 //! * [`Experiment::budget_sweep`] — extension: hit rate vs RAM budget,
 //!   RAM-only vs the disk-backed tier at equal RAM (see [`tiered`]).
+//! * [`Experiment::cluster`] — extension: fleet-size sweep and mid-trace
+//!   peer kill over the slot-sharded proxy cluster (see [`cluster`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod edge;
 pub mod throughput;
 pub mod tiered;
 
 pub use chaos::ChaosReport;
+pub use cluster::{fleet_sweep, ClusterBench, ClusterRow, KillReport, FLEET_SIZES};
 pub use edge::{conn_sweep, EdgeConcurrency, EdgeConcurrencyRow, EDGE_WORKERS};
 pub use throughput::{
     thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,

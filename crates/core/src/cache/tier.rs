@@ -323,8 +323,16 @@ impl SlabFile {
 
     /// Front-recoverable scan of the whole file: yields every intact
     /// segment in append order, counts damaged ones (bad CRC keeps the
-    /// stream aligned and is skipped; a torn tail stops the scan), and
-    /// resets the live/dead accounting to "everything intact is live".
+    /// stream aligned and is skipped; a torn tail — whether the crash
+    /// cut the *payload* or the 8-byte *length/CRC frame header* itself
+    /// — stops the scan), and resets the live/dead accounting to
+    /// "everything intact is live".
+    ///
+    /// A torn tail is also **healed**: the file is truncated back to
+    /// the last intact frame boundary, so segments appended after
+    /// recovery land on a valid boundary instead of being orphaned
+    /// behind the tear (where the *next* replay's scan would stop
+    /// before ever reaching them).
     pub fn replay(&mut self) -> Vec<(SegRef, Vec<u8>)> {
         let data = match std::fs::read(&self.path) {
             Ok(data) => data,
@@ -333,9 +341,13 @@ impl SlabFile {
         let mut out = Vec::new();
         let mut live = 0u64;
         let mut pos = HEADER_LEN as usize;
+        let mut torn_at = None;
         while pos < data.len() {
             if pos + FRAME_LEN as usize > data.len() {
-                self.corrupt_segments += 1; // truncated mid-frame
+                // Truncated frame header: the crash cut the length/CRC
+                // fields themselves.
+                self.corrupt_segments += 1;
+                torn_at = Some(pos);
                 break;
             }
             let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
@@ -343,10 +355,12 @@ impl SlabFile {
             let start = pos + FRAME_LEN as usize;
             let Some(end) = start.checked_add(len as usize) else {
                 self.corrupt_segments += 1;
+                torn_at = Some(pos);
                 break;
             };
             if end > data.len() {
-                self.corrupt_segments += 1; // torn tail (crash mid-spill)
+                self.corrupt_segments += 1; // torn payload (crash mid-spill)
+                torn_at = Some(pos);
                 break;
             }
             let payload = &data[start..end];
@@ -363,6 +377,16 @@ impl SlabFile {
                 self.corrupt_segments += 1; // damaged payload; stream stays aligned
             }
             pos = end;
+        }
+        if let Some(tear) = torn_at {
+            // Heal: drop the torn bytes so future appends extend a
+            // valid stream. Best-effort — if the truncate fails the
+            // file is no worse than before. The mapping is dropped
+            // because it may cover the truncated range.
+            if self.file.set_len(tear as u64).is_ok() {
+                self.len = tear as u64;
+                self.map = None;
+            }
         }
         self.live_bytes = live;
         self.dead_bytes = 0;
@@ -641,6 +665,47 @@ mod tests {
         assert_eq!(kept[1].0, c);
         assert_eq!(kept[1].1, p3);
         assert_eq!(slab.corrupt_segments(), 2); // bad crc + torn tail
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_heals_a_tail_torn_inside_the_frame_header() {
+        let dir = temp_dir("torn_header");
+        let path = dir.join("slab_0.fpslab");
+        let mut slab = SlabFile::open(&path).unwrap();
+        let p1 = payload(1, 64);
+        let a = slab.append(&p1).unwrap();
+        slab.append(&payload(2, 64)).unwrap();
+        drop(slab);
+
+        // Tear *inside the 8-byte length/CRC frame header* of segment 2
+        // (not its payload): only 3 header bytes survive the crash.
+        let second_frame = a.off + u64::from(a.len);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.truncate(second_frame as usize + 3);
+        std::fs::write(&path, &raw).unwrap();
+
+        let mut slab = SlabFile::open(&path).unwrap();
+        let kept = slab.replay();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].1, p1);
+        assert_eq!(slab.corrupt_segments(), 1); // counted, not an error
+                                                // Healed: the partial header is gone, so a post-recovery append
+                                                // starts on a valid frame boundary...
+        assert_eq!(slab.bytes(), second_frame);
+        let p3 = payload(3, 64);
+        let s3 = slab.append(&p3).unwrap();
+        assert_eq!(slab.read_segment(s3).unwrap(), p3);
+        drop(slab);
+
+        // ...and the *next* replay recovers it instead of stopping at
+        // the (formerly orphaning) tear.
+        let mut slab = SlabFile::open(&path).unwrap();
+        let kept = slab.replay();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].1, p1);
+        assert_eq!(kept[1].1, p3);
+        assert_eq!(slab.corrupt_segments(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,200 @@
+//! Gossip state: what nodes say about each other, and the merge rules
+//! that make every node's view converge.
+//!
+//! Each node maintains one [`GossipEntry`] per known peer (including
+//! itself) and piggybacks the full digest on every ping. Conflicting
+//! claims are resolved SWIM-style:
+//!
+//! * A **higher incarnation** always wins — incarnations are bumped
+//!   only by the node itself (to refute a false suspicion, or on
+//!   rejoin), so a higher number is strictly fresher information.
+//! * At **equal incarnation**, the stronger status wins:
+//!   `Dead > Suspect > Alive`. A node can only clear a suspicion about
+//!   itself by re-announcing with a bumped incarnation.
+//!
+//! Two cluster-wide facts ride along on every entry so invalidation
+//! and outage handling need no extra protocol:
+//!
+//! * the node's current **data-release epoch** (PR 4) — a node that
+//!   hears of a higher epoch adopts it and retires its stale entries
+//!   before serving another query, so a rejoiner with a stale cache
+//!   heals on its first gossip exchange;
+//! * the node's **origin circuit-breaker state** (PR 3) — peers learn
+//!   the origin is struggling before their own breakers trip, and
+//!   operators see fleet-wide origin pressure on any node's metrics.
+//!
+//! Entries cross process boundaries as one compact text line each
+//! (`node:incarnation:status:epoch:breaker`), hand-parsed so the wire
+//! format works over the bare `httpd` stack with no serde round trip.
+
+use super::slots::NodeId;
+
+/// Liveness verdict for one node, ordered by strength at equal
+/// incarnation (`Alive < Suspect < Dead`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeStatus {
+    /// Responding to pings (directly or through an indirect probe).
+    Alive,
+    /// Failed a direct ping and every indirect probe; its slots have
+    /// already failed over, pending confirmation or refutation.
+    Suspect,
+    /// Suspicion outlived the suspect timeout (or the node was declared
+    /// dead by a peer with the same incarnation); slots stay failed
+    /// over until the node rejoins with a higher incarnation.
+    Dead,
+}
+
+impl NodeStatus {
+    /// Stable label used on the wire and in metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeStatus::Alive => "alive",
+            NodeStatus::Suspect => "suspect",
+            NodeStatus::Dead => "dead",
+        }
+    }
+
+    fn parse(s: &str) -> Option<NodeStatus> {
+        match s {
+            "alive" => Some(NodeStatus::Alive),
+            "suspect" => Some(NodeStatus::Suspect),
+            "dead" => Some(NodeStatus::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One node's claim about one peer: the unit of gossip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipEntry {
+    /// Which node the claim is about.
+    pub node: NodeId,
+    /// The subject's incarnation number at the time of the claim.
+    pub incarnation: u64,
+    /// The claimed liveness.
+    pub status: NodeStatus,
+    /// The subject's data-release epoch, for cluster-wide invalidation.
+    pub epoch: u64,
+    /// Whether the subject's origin circuit breaker was open.
+    pub breaker_open: bool,
+}
+
+impl GossipEntry {
+    /// Whether this claim supersedes `other` (about the same node)
+    /// under the SWIM precedence rules.
+    pub fn supersedes(&self, other: &GossipEntry) -> bool {
+        debug_assert_eq!(self.node, other.node);
+        self.incarnation > other.incarnation
+            || (self.incarnation == other.incarnation && self.status > other.status)
+    }
+
+    /// Encodes the entry as one wire line:
+    /// `node:incarnation:status:epoch:breaker`.
+    pub fn encode(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.node.0,
+            self.incarnation,
+            self.status.label(),
+            self.epoch,
+            u8::from(self.breaker_open),
+        )
+    }
+
+    /// Parses one wire line; `None` on any malformed field (a damaged
+    /// digest is dropped, never trusted).
+    pub fn decode(line: &str) -> Option<GossipEntry> {
+        let mut parts = line.trim().split(':');
+        let node = NodeId(parts.next()?.parse().ok()?);
+        let incarnation = parts.next()?.parse().ok()?;
+        let status = NodeStatus::parse(parts.next()?)?;
+        let epoch = parts.next()?.parse().ok()?;
+        let breaker_open = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(GossipEntry {
+            node,
+            incarnation,
+            status,
+            epoch,
+            breaker_open,
+        })
+    }
+}
+
+/// Encodes a digest as newline-separated wire lines.
+pub fn encode_digest(entries: &[GossipEntry]) -> String {
+    let mut out = String::with_capacity(entries.len() * 16);
+    for e in entries {
+        out.push_str(&e.encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a newline-separated digest, skipping malformed lines.
+pub fn decode_digest(text: &str) -> Vec<GossipEntry> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(GossipEntry::decode)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: u16, inc: u64, status: NodeStatus) -> GossipEntry {
+        GossipEntry {
+            node: NodeId(node),
+            incarnation: inc,
+            status,
+            epoch: 3,
+            breaker_open: false,
+        }
+    }
+
+    #[test]
+    fn precedence_prefers_incarnation_then_strength() {
+        let alive1 = entry(0, 1, NodeStatus::Alive);
+        let suspect1 = entry(0, 1, NodeStatus::Suspect);
+        let dead1 = entry(0, 1, NodeStatus::Dead);
+        let alive2 = entry(0, 2, NodeStatus::Alive);
+        assert!(suspect1.supersedes(&alive1));
+        assert!(dead1.supersedes(&suspect1));
+        assert!(!alive1.supersedes(&suspect1));
+        // A bumped incarnation clears any verdict at the old one.
+        assert!(alive2.supersedes(&dead1));
+        assert!(!dead1.supersedes(&alive2));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let entries = vec![
+            GossipEntry {
+                node: NodeId(0),
+                incarnation: 7,
+                status: NodeStatus::Alive,
+                epoch: 42,
+                breaker_open: true,
+            },
+            entry(3, 1, NodeStatus::Dead),
+        ];
+        let text = encode_digest(&entries);
+        assert_eq!(decode_digest(&text), entries);
+    }
+
+    #[test]
+    fn malformed_lines_are_dropped() {
+        let text = "0:1:alive:2:0\ngarbage\n1:2:zombie:0:0\n2:2:dead:0:9\n\n3:3:suspect:1:1\n";
+        let decoded = decode_digest(text);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].node, NodeId(0));
+        assert_eq!(decoded[1].node, NodeId(3));
+    }
+}

@@ -1,0 +1,450 @@
+//! SWIM-style failure detection on the injectable clock: each node runs
+//! one [`Membership`] instance holding its local view of the fleet.
+//!
+//! The protocol loop ([`Membership::tick`]) is deliberately synchronous
+//! and clock-driven — no background threads — so the whole state
+//! machine runs deterministically on a
+//! [`MockClock`](crate::resilience::MockClock) in tests and on the
+//! system clock in a real fleet (a thread calling `tick` at its own
+//! pace):
+//!
+//! 1. Every `ping_interval`, pick the next peer round-robin and ping it
+//!    with the full gossip digest; a successful exchange merges the
+//!    peer's digest back.
+//! 2. On a failed direct ping, ask up to `indirect_probes` other live
+//!    peers to probe the target on our behalf (routing around a broken
+//!    link between us and an otherwise healthy peer).
+//! 3. If direct and indirect probes all fail, the target becomes
+//!    **Suspect**; after `suspect_timeout` without a refutation it is
+//!    declared **Dead** and its slots stay failed over.
+//! 4. A suspected node that hears the rumor about itself refutes it by
+//!    bumping its incarnation; a killed node rejoins the same way
+//!    (incarnation + 1), which reclaims its slots everywhere the
+//!    refreshed entry gossips to.
+//!
+//! The membership owns no sockets and no proxy handle: all I/O goes
+//! through the [`PeerTransport`] passed into `tick`, and every state
+//! transition with side effects outside this view (epoch adoption,
+//! failover logging, metrics) is surfaced as a [`MembershipEvent`] for
+//! the caller to apply. That keeps the state machine a pure function of
+//! (clock, transport answers) — the property the deterministic test
+//! matrix leans on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::gossip::{GossipEntry, NodeStatus};
+use super::peer::PeerTransport;
+use super::slots::NodeId;
+use crate::resilience::Clock;
+
+/// Tunables of the failure detector. All durations are measured on the
+/// injected clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// How often `tick` pings the next peer.
+    pub ping_interval: Duration,
+    /// How long a Suspect verdict stands before hardening to Dead.
+    pub suspect_timeout: Duration,
+    /// How many live peers to route indirect probes through after a
+    /// failed direct ping.
+    pub indirect_probes: usize,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            ping_interval: Duration::from_secs(1),
+            suspect_timeout: Duration::from_secs(3),
+            indirect_probes: 2,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Aggressive timings for virtual-clock tests: ping every 20 ms,
+    /// suspects harden after 60 ms.
+    pub fn fast_test() -> Self {
+        MembershipConfig {
+            ping_interval: Duration::from_millis(20),
+            suspect_timeout: Duration::from_millis(60),
+            indirect_probes: 2,
+        }
+    }
+}
+
+/// What this view believes about one peer.
+#[derive(Debug, Clone, Copy)]
+struct MemberState {
+    incarnation: u64,
+    status: NodeStatus,
+    /// When `status` was last (re)entered, for the suspect timer.
+    since: Instant,
+    epoch: u64,
+    breaker_open: bool,
+}
+
+/// A state transition worth acting on outside the membership view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A peer failed direct + indirect probes; its slots fail over now
+    /// rather than waiting out the suspect timer (suspicion is cheap to
+    /// refute, a hung client request is not).
+    Suspected(NodeId),
+    /// A suspicion outlived `suspect_timeout` (or a peer relayed a Dead
+    /// verdict at the same incarnation).
+    Died(NodeId),
+    /// A previously Suspect/Dead peer re-announced with a higher
+    /// incarnation; its slots are reclaimed.
+    Rejoined(NodeId),
+    /// Gossip carried a data-release epoch newer than any seen before;
+    /// the caller must advance its proxy handle (retiring stale
+    /// entries) before serving another query.
+    EpochAdvanced(u64),
+    /// Someone is spreading a Suspect/Dead rumor about *this* node; the
+    /// view refuted it by bumping its own incarnation.
+    SelfRefuted,
+}
+
+/// One node's live view of the fleet: the SWIM state machine.
+pub struct Membership {
+    self_id: NodeId,
+    cfg: MembershipConfig,
+    clock: Arc<dyn Clock>,
+    members: BTreeMap<NodeId, MemberState>,
+    /// This node's own incarnation (authoritative; only we bump it).
+    incarnation: u64,
+    /// Our own epoch/breaker facts, refreshed by the caller before
+    /// each tick and gossiped outward.
+    self_epoch: u64,
+    self_breaker_open: bool,
+    /// Highest epoch ever observed (ours or gossiped), so
+    /// `EpochAdvanced` fires exactly once per advance.
+    max_epoch: u64,
+    /// Round-robin ping cursor.
+    next_ping_at: Instant,
+    ping_cursor: usize,
+}
+
+impl Membership {
+    /// A view for `self_id` over a fleet of `peers` (self included or
+    /// not; it is tracked either way), all initially Alive at
+    /// incarnation 0.
+    pub fn new(
+        self_id: NodeId,
+        peers: &[NodeId],
+        cfg: MembershipConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Membership {
+        let now = clock.now();
+        let mut members = BTreeMap::new();
+        for &peer in peers.iter().chain(std::iter::once(&self_id)) {
+            members.insert(
+                peer,
+                MemberState {
+                    incarnation: 0,
+                    status: NodeStatus::Alive,
+                    since: now,
+                    epoch: 0,
+                    breaker_open: false,
+                },
+            );
+        }
+        Membership {
+            self_id,
+            cfg,
+            next_ping_at: now,
+            clock,
+            members,
+            incarnation: 0,
+            self_epoch: 0,
+            self_breaker_open: false,
+            max_epoch: 0,
+            ping_cursor: 0,
+        }
+    }
+
+    /// This view's owner.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// This node's current incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Refreshes the facts gossiped about this node itself: its current
+    /// data-release epoch and whether its origin breaker is open.
+    /// Callers do this before each tick (and after local epoch bumps).
+    pub fn set_self_state(&mut self, epoch: u64, breaker_open: bool) {
+        self.self_epoch = epoch;
+        self.self_breaker_open = breaker_open;
+        self.max_epoch = self.max_epoch.max(epoch);
+    }
+
+    /// Re-announces this node after a restart or a network heal: bumps
+    /// the incarnation so the fresh Alive claim supersedes any Suspect
+    /// or Dead verdict peers hold at the old incarnation.
+    pub fn rejoin(&mut self) {
+        self.incarnation += 1;
+    }
+
+    /// The status this view currently assigns `node`.
+    pub fn status_of(&self, node: NodeId) -> Option<NodeStatus> {
+        if node == self.self_id {
+            return Some(NodeStatus::Alive);
+        }
+        self.members.get(&node).map(|m| m.status)
+    }
+
+    /// Every node this view considers Alive, self always included,
+    /// sorted by id. Suspects are excluded: a suspected peer's slots
+    /// have already failed over (routing to it would hang clients on a
+    /// probably-dead box; if it was healthy all along it refutes and
+    /// reclaims within one gossip round).
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let mut live: Vec<NodeId> = self
+            .members
+            .iter()
+            .filter(|(&id, m)| id == self.self_id || m.status == NodeStatus::Alive)
+            .map(|(&id, _)| id)
+            .collect();
+        if !live.contains(&self.self_id) {
+            live.push(self.self_id);
+            live.sort();
+        }
+        live
+    }
+
+    /// How many peers (self included) currently gossip an open origin
+    /// circuit breaker — fleet-wide origin pressure at a glance.
+    pub fn breaker_open_count(&self) -> usize {
+        let peers_open = self
+            .members
+            .iter()
+            .filter(|(&id, m)| {
+                id != self.self_id && m.status == NodeStatus::Alive && m.breaker_open
+            })
+            .count();
+        peers_open + usize::from(self.self_breaker_open)
+    }
+
+    /// The highest data-release epoch this view has observed anywhere
+    /// in the fleet.
+    pub fn max_epoch(&self) -> u64 {
+        self.max_epoch
+    }
+
+    /// The full gossip digest: one entry per known node, with this
+    /// node's own entry carrying its authoritative incarnation and
+    /// freshest epoch/breaker facts.
+    pub fn digest(&self) -> Vec<GossipEntry> {
+        self.members
+            .iter()
+            .map(|(&id, m)| {
+                if id == self.self_id {
+                    GossipEntry {
+                        node: id,
+                        incarnation: self.incarnation,
+                        status: NodeStatus::Alive,
+                        epoch: self.self_epoch,
+                        breaker_open: self.self_breaker_open,
+                    }
+                } else {
+                    GossipEntry {
+                        node: id,
+                        incarnation: m.incarnation,
+                        status: m.status,
+                        epoch: m.epoch,
+                        breaker_open: m.breaker_open,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Merges a received digest under the SWIM precedence rules,
+    /// returning every transition the caller must act on.
+    pub fn merge(&mut self, digest: &[GossipEntry]) -> Vec<MembershipEvent> {
+        let now = self.clock.now();
+        let mut events = Vec::new();
+        for entry in digest {
+            if entry.epoch > self.max_epoch {
+                self.max_epoch = entry.epoch;
+                events.push(MembershipEvent::EpochAdvanced(entry.epoch));
+            }
+            if entry.node == self.self_id {
+                // Rumors about us: refute anything not Alive at our
+                // current (or a newer) incarnation.
+                if entry.status != NodeStatus::Alive && entry.incarnation >= self.incarnation {
+                    self.incarnation = entry.incarnation + 1;
+                    events.push(MembershipEvent::SelfRefuted);
+                }
+                continue;
+            }
+            let member = self
+                .members
+                .entry(entry.node)
+                .or_insert_with(|| MemberState {
+                    incarnation: entry.incarnation,
+                    status: entry.status,
+                    since: now,
+                    epoch: entry.epoch,
+                    breaker_open: entry.breaker_open,
+                });
+            let current = GossipEntry {
+                node: entry.node,
+                incarnation: member.incarnation,
+                status: member.status,
+                epoch: member.epoch,
+                breaker_open: member.breaker_open,
+            };
+            if entry.supersedes(&current) {
+                let was = member.status;
+                member.incarnation = entry.incarnation;
+                member.status = entry.status;
+                member.since = now;
+                match (was, entry.status) {
+                    (NodeStatus::Alive, NodeStatus::Suspect) => {
+                        events.push(MembershipEvent::Suspected(entry.node));
+                    }
+                    (NodeStatus::Alive | NodeStatus::Suspect, NodeStatus::Dead) => {
+                        events.push(MembershipEvent::Died(entry.node));
+                    }
+                    (NodeStatus::Suspect | NodeStatus::Dead, NodeStatus::Alive) => {
+                        events.push(MembershipEvent::Rejoined(entry.node));
+                    }
+                    _ => {}
+                }
+            }
+            if member.status == NodeStatus::Alive {
+                // Epoch/breaker facts are monotone-fresh from the
+                // subject itself via its own digest entry.
+                member.epoch = member.epoch.max(entry.epoch);
+                member.breaker_open = entry.breaker_open;
+            }
+        }
+        events
+    }
+
+    /// Direct evidence from the serving path: a peer probe (not a ping)
+    /// failed its deadline and retry. Treated like a failed ping —
+    /// suspicion now, slots fail over now — without waiting for the
+    /// detector's next round.
+    pub fn note_probe_failure(&mut self, peer: NodeId) -> Vec<MembershipEvent> {
+        self.fail_peer(peer)
+    }
+
+    fn fail_peer(&mut self, peer: NodeId) -> Vec<MembershipEvent> {
+        let now = self.clock.now();
+        let mut events = Vec::new();
+        if let Some(member) = self.members.get_mut(&peer) {
+            if member.status == NodeStatus::Alive {
+                member.status = NodeStatus::Suspect;
+                member.since = now;
+                events.push(MembershipEvent::Suspected(peer));
+            }
+        }
+        events
+    }
+
+    /// One protocol round: ping the next peer if the interval elapsed,
+    /// escalate failed pings through indirect probes, and harden
+    /// overdue suspicions to Dead. Cheap when called early (one clock
+    /// read), so callers may tick on every request or on a timer.
+    pub fn tick(&mut self, transport: &dyn PeerTransport) -> Vec<MembershipEvent> {
+        let now = self.clock.now();
+        let mut events = Vec::new();
+
+        // Harden overdue suspects first, so a node that stayed silent a
+        // whole timeout is Dead even if the ping cursor never returned
+        // to it.
+        let overdue: Vec<NodeId> = self
+            .members
+            .iter()
+            .filter(|(&id, m)| {
+                id != self.self_id
+                    && m.status == NodeStatus::Suspect
+                    && now.duration_since(m.since) >= self.cfg.suspect_timeout
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in overdue {
+            if let Some(m) = self.members.get_mut(&id) {
+                m.status = NodeStatus::Dead;
+                m.since = now;
+                events.push(MembershipEvent::Died(id));
+            }
+        }
+
+        if now < self.next_ping_at {
+            return events;
+        }
+        self.next_ping_at = now + self.cfg.ping_interval;
+
+        // Round-robin target over every non-self member that is not
+        // already Dead (Dead nodes are only revived by their own
+        // higher-incarnation announcement, which reaches us by gossip
+        // or by their ping to us).
+        let candidates: Vec<NodeId> = self
+            .members
+            .iter()
+            .filter(|(&id, m)| id != self.self_id && m.status != NodeStatus::Dead)
+            .map(|(&id, _)| id)
+            .collect();
+        if candidates.is_empty() {
+            return events;
+        }
+        let target = candidates[self.ping_cursor % candidates.len()];
+        self.ping_cursor = self.ping_cursor.wrapping_add(1);
+
+        let digest = self.digest();
+        match transport.ping(self.self_id, target, &digest) {
+            Ok(answer) => {
+                // A successful exchange is proof of life at the
+                // incarnation the peer itself reports.
+                if let Some(own) = answer.iter().find(|e| e.node == target) {
+                    let alive = GossipEntry {
+                        status: NodeStatus::Alive,
+                        ..*own
+                    };
+                    events.extend(self.merge(&[alive]));
+                }
+                events.extend(self.merge(&answer));
+            }
+            Err(_) => {
+                // Route around a possibly-broken direct link before
+                // accusing the target.
+                let vias: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        id != target
+                            && self.members.get(&id).map(|m| m.status) == Some(NodeStatus::Alive)
+                    })
+                    .take(self.cfg.indirect_probes)
+                    .collect();
+                let reachable = vias
+                    .iter()
+                    .any(|&via| transport.ping_req(self.self_id, via, target).is_ok());
+                if !reachable {
+                    events.extend(self.fail_peer(target));
+                }
+            }
+        }
+        events
+    }
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Membership")
+            .field("self_id", &self.self_id)
+            .field("incarnation", &self.incarnation)
+            .field("live", &self.live_nodes())
+            .field("max_epoch", &self.max_epoch)
+            .finish()
+    }
+}

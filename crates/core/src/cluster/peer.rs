@@ -1,0 +1,200 @@
+//! The transport seam between cluster nodes.
+//!
+//! All inter-node traffic — failure-detector pings, indirect probe
+//! requests, and cache probes on the serving path — goes through the
+//! [`PeerTransport`] trait, so the same membership and routing code
+//! runs over an in-process node table in tests (`InProcessTransport`
+//! in `router.rs`), over HTTP in the example proxy, and under injected
+//! packet loss via [`LossyTransport`] in chaos runs.
+//!
+//! Transport errors are *evidence*, not failures: a [`PeerError`] from
+//! a ping feeds the failure detector, and one from a serving-path probe
+//! makes the router fall through to its local origin path. Neither ever
+//! reaches a client.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use super::gossip::GossipEntry;
+use super::slots::NodeId;
+use crate::runtime::XmlResponse;
+
+/// Why a peer exchange failed. Coarse on purpose: the caller's response
+/// is the same (count it, route around it) regardless of the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerError {
+    /// The exchange missed its deadline (or was dropped by a lossy
+    /// link, which is indistinguishable from the caller's side).
+    Timeout,
+    /// The peer could not be reached at all (connection refused, node
+    /// marked down, no route).
+    Unreachable(String),
+    /// The peer answered with something unintelligible.
+    Protocol(String),
+}
+
+impl std::fmt::Display for PeerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerError::Timeout => write!(f, "peer exchange timed out"),
+            PeerError::Unreachable(why) => write!(f, "peer unreachable: {why}"),
+            PeerError::Protocol(why) => write!(f, "peer protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PeerError {}
+
+/// How one node talks to another. Implementations must be cheap to call
+/// from the serving path and must enforce their own deadlines — a
+/// `probe` that can block unboundedly would defeat the router's
+/// never-hang guarantee.
+pub trait PeerTransport: Send + Sync {
+    /// Failure-detector ping from `from` to `to`, piggybacking `from`'s
+    /// gossip digest. A healthy peer merges the digest and answers with
+    /// its own.
+    fn ping(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        digest: &[GossipEntry],
+    ) -> Result<Vec<GossipEntry>, PeerError>;
+
+    /// Indirect probe: ask `via` to ping `target` on `from`'s behalf.
+    /// `Ok(())` means `via` reached `target`.
+    fn ping_req(&self, from: NodeId, via: NodeId, target: NodeId) -> Result<(), PeerError>;
+
+    /// Serving-path cache probe: ask `to` whether its cache alone (no
+    /// origin traffic, fresh entries only) can answer `sql`.
+    /// `Ok(None)` is a clean miss; `Err` is transport trouble and feeds
+    /// the failure detector.
+    fn probe(&self, from: NodeId, to: NodeId, sql: &str) -> Result<Option<XmlResponse>, PeerError>;
+}
+
+/// A transport wrapper that drops a seeded pseudo-random fraction of
+/// exchanges, for chaos tests: dropped calls surface as
+/// [`PeerError::Timeout`], exactly what a flaky network looks like from
+/// the caller's side.
+pub struct LossyTransport {
+    inner: Arc<dyn PeerTransport>,
+    /// Probability of dropping any one exchange, in [0, 1].
+    drop_rate: f64,
+    rng: Mutex<u64>,
+}
+
+impl LossyTransport {
+    /// Wraps `inner`, dropping `drop_rate` of exchanges using a seeded
+    /// xorshift stream (deterministic per seed).
+    pub fn new(inner: Arc<dyn PeerTransport>, drop_rate: f64, seed: u64) -> LossyTransport {
+        LossyTransport {
+            inner,
+            drop_rate: drop_rate.clamp(0.0, 1.0),
+            rng: Mutex::new(seed.max(1)),
+        }
+    }
+
+    fn dropped(&self) -> bool {
+        let mut state = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64 % 1.0 < self.drop_rate
+    }
+}
+
+impl PeerTransport for LossyTransport {
+    fn ping(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        digest: &[GossipEntry],
+    ) -> Result<Vec<GossipEntry>, PeerError> {
+        if self.dropped() {
+            return Err(PeerError::Timeout);
+        }
+        self.inner.ping(from, to, digest)
+    }
+
+    fn ping_req(&self, from: NodeId, via: NodeId, target: NodeId) -> Result<(), PeerError> {
+        if self.dropped() {
+            return Err(PeerError::Timeout);
+        }
+        self.inner.ping_req(from, via, target)
+    }
+
+    fn probe(&self, from: NodeId, to: NodeId, sql: &str) -> Result<Option<XmlResponse>, PeerError> {
+        if self.dropped() {
+            return Err(PeerError::Timeout);
+        }
+        self.inner.probe(from, to, sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysOk;
+
+    impl PeerTransport for AlwaysOk {
+        fn ping(
+            &self,
+            _from: NodeId,
+            _to: NodeId,
+            _digest: &[GossipEntry],
+        ) -> Result<Vec<GossipEntry>, PeerError> {
+            Ok(Vec::new())
+        }
+
+        fn ping_req(&self, _from: NodeId, _via: NodeId, _target: NodeId) -> Result<(), PeerError> {
+            Ok(())
+        }
+
+        fn probe(
+            &self,
+            _from: NodeId,
+            _to: NodeId,
+            _sql: &str,
+        ) -> Result<Option<XmlResponse>, PeerError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn lossy_transport_drops_roughly_the_configured_fraction() {
+        let lossy = LossyTransport::new(Arc::new(AlwaysOk), 0.3, 0xBADCAB);
+        let trials = 2000;
+        let mut drops = 0;
+        for _ in 0..trials {
+            if lossy.ping(NodeId(0), NodeId(1), &[]).is_err() {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / trials as f64;
+        assert!((0.2..0.4).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_drops_nothing_and_full_rate_drops_everything() {
+        let clean = LossyTransport::new(Arc::new(AlwaysOk), 0.0, 7);
+        let dead = LossyTransport::new(Arc::new(AlwaysOk), 1.0, 7);
+        for _ in 0..100 {
+            assert!(clean.ping_req(NodeId(0), NodeId(1), NodeId(2)).is_ok());
+            assert!(matches!(
+                dead.probe(NodeId(0), NodeId(1), "SELECT 1"),
+                Err(PeerError::Timeout)
+            ));
+        }
+    }
+
+    #[test]
+    fn lossy_stream_is_deterministic_per_seed() {
+        let a = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 42);
+        let b = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 42);
+        for _ in 0..256 {
+            assert_eq!(a.dropped(), b.dropped());
+        }
+    }
+}

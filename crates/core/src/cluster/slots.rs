@@ -1,0 +1,227 @@
+//! The consistent slot map: routing keys → slots → owning nodes.
+//!
+//! Partitioning is two-level, Redis-cluster style. A query's [routing
+//! key](routing_key) — its residual key refined with the coarse
+//! spatial cell of its region — hashes to one of [`SLOT_COUNT`] fixed
+//! slots, and each slot is assigned to a node by
+//! **highest-random-weight (rendezvous) hashing** over the set of live
+//! nodes: the owner of slot `s` is the node `n` maximizing
+//! `hash(s, n)`.
+//!
+//! Rendezvous hashing gives the two properties the fleet needs without
+//! any coordination state:
+//!
+//! * **Minimal remap** — adding or removing one node only moves the
+//!   slots that node wins or owned (an expected `1/N` fraction);
+//!   every other slot's argmax is unchanged.
+//! * **Total coverage** — the argmax over a non-empty node set always
+//!   exists, so no slot is ever unowned while at least one node lives.
+//!
+//! The full preference order of a slot (nodes sorted by descending
+//! weight) doubles as its **failover chain**: when the owner is
+//! suspected or dead, the slot falls to the next live node in the
+//! chain, deterministically and identically on every node that shares
+//! the same live view.
+
+use fp_geometry::Region;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::Write;
+use std::hash::{Hash, Hasher};
+
+/// Number of hash slots residual keys are partitioned into. Fixed for
+/// the life of a cluster (like Redis Cluster's 16384); 256 keeps the
+/// per-node slot counts well concentrated for small fleets while
+/// keeping preference-list computation trivial.
+pub const SLOT_COUNT: u16 = 256;
+
+/// Identity of one proxy node in the fleet: its index into the shared,
+/// ordered peer list (every node is configured with the same list, so
+/// ids agree fleet-wide without a registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Width of the spatial cell folded into [`routing_key`], in the
+/// region's native coordinate units. Celestial query regions live in
+/// unit-sphere chord space, where `0.03125` subtends roughly 1.8
+/// degrees of arc — comparable to the largest query diameters (radii
+/// of tens of arcminutes are chords under `0.02`). That balances the
+/// partition's two pressures: cells fine enough that a sky hotspot
+/// spreads over many owners instead of melting one node's cache, yet
+/// wide enough that a contained query — whose center lies inside its
+/// coverer's region — usually shares the coverer's cell, and therefore
+/// its node, preserving the semantic cache's containment hits under
+/// partitioning. The fleet sweep in `fp-bench` is the tuning evidence:
+/// coarser cells plateau origin fetches past 4 nodes, finer ones trade
+/// away 2- and 4-node gains.
+pub const ROUTE_CELL: f64 = 0.03125;
+
+/// The key a request is routed by: the residual key (queries are only
+/// semantically related within equal residual keys) refined with the
+/// coarse spatial cell of the query region's center.
+///
+/// The residual key alone identifies a *template family* — on a
+/// single-template workload every request would hash to one slot and
+/// one node would own the entire fleet's traffic. The cell suffix
+/// spreads a family across the fleet by sky position while keeping
+/// nearby (containment-related) queries on the same owner.
+pub fn routing_key(residual_key: &str, region: &Region) -> String {
+    let center = region.bounding_rect().center();
+    let mut key = String::with_capacity(residual_key.len() + 24);
+    key.push_str(residual_key);
+    key.push_str("|cell=");
+    for (i, c) in center.coords().iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let cell = (c / ROUTE_CELL).floor() as i64;
+        let _ = write!(key, "{cell}");
+    }
+    key
+}
+
+/// The slot a routing key belongs to. Deterministic across nodes and
+/// runs (`DefaultHasher` with default keys, the same choice the shard
+/// router makes), so every node routes a key identically.
+pub fn slot_of(routing_key: &str) -> u16 {
+    let mut hasher = DefaultHasher::new();
+    routing_key.hash(&mut hasher);
+    (hasher.finish() % u64::from(SLOT_COUNT)) as u16
+}
+
+/// The rendezvous weight of `node` for `slot`.
+fn weight(slot: u16, node: NodeId) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    slot.hash(&mut hasher);
+    node.0.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The slot's full preference order over `nodes`: descending rendezvous
+/// weight, node id breaking ties. The head is the owner; the tail is
+/// the failover chain.
+pub fn preference(slot: u16, nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut ranked: Vec<NodeId> = nodes.to_vec();
+    ranked.sort_by_key(|&n| (std::cmp::Reverse(weight(slot, n)), n));
+    ranked.dedup();
+    ranked
+}
+
+/// The live owner of `slot`: the highest-weight node among `live`.
+/// `None` only when `live` is empty — while at least one node is live,
+/// every slot has an owner.
+pub fn owner(slot: u16, live: &[NodeId]) -> Option<NodeId> {
+    live.iter()
+        .copied()
+        .max_by_key(|&n| (weight(slot, n), std::cmp::Reverse(n)))
+}
+
+/// The live owner of a routing key — [`slot_of`] composed with
+/// [`owner`].
+pub fn owner_of_key(routing_key: &str, live: &[NodeId]) -> Option<NodeId> {
+    owner(slot_of(routing_key), live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: u16) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn slots_are_deterministic_and_in_range() {
+        for key in ["radial|top=5", "radial|top=10", "rect|", ""] {
+            let s = slot_of(key);
+            assert_eq!(s, slot_of(key));
+            assert!(s < SLOT_COUNT);
+        }
+    }
+
+    #[test]
+    fn routing_keys_spread_one_template_family_across_the_fleet() {
+        use fp_geometry::celestial::radial_query_sphere;
+        use std::collections::HashSet;
+
+        // One template family ("radial|top=None"), query centers swept
+        // around the sky: the cells must differ and the owners must
+        // spread — the single-slot pathology the cell suffix exists to
+        // prevent.
+        let live = fleet(4);
+        let mut keys = HashSet::new();
+        let mut owners = HashSet::new();
+        for step in 0..24 {
+            let ra = f64::from(step) * 15.0 + 1.0;
+            let sphere = radial_query_sphere(ra, 0.0, 30.0).expect("valid radial query");
+            let key = routing_key("radial|top=None", &Region::Sphere(sphere));
+            assert!(key.starts_with("radial|top=None|cell="));
+            keys.insert(key.clone());
+            owners.insert(owner_of_key(&key, &live).unwrap());
+        }
+        assert!(
+            keys.len() >= 16,
+            "only {} distinct cells in 24 bands",
+            keys.len()
+        );
+        assert!(owners.len() >= 3, "owners {owners:?} too concentrated");
+
+        // Stability: a contained query near the same center routes to
+        // the same owner as its coverer.
+        let coverer = radial_query_sphere(100.0, 10.0, 60.0).expect("valid radial query");
+        let contained = radial_query_sphere(100.1, 10.1, 5.0).expect("valid radial query");
+        assert_eq!(
+            routing_key("radial|top=None", &Region::Sphere(coverer)),
+            routing_key("radial|top=None", &Region::Sphere(contained))
+        );
+    }
+
+    #[test]
+    fn every_slot_owned_while_any_node_lives() {
+        for n in 1..=8 {
+            let live = fleet(n);
+            for slot in 0..SLOT_COUNT {
+                assert!(owner(slot, &live).is_some());
+            }
+        }
+        assert_eq!(owner(0, &[]), None);
+    }
+
+    #[test]
+    fn owner_is_head_of_preference() {
+        let nodes = fleet(5);
+        for slot in 0..SLOT_COUNT {
+            let pref = preference(slot, &nodes);
+            assert_eq!(pref.len(), 5);
+            assert_eq!(owner(slot, &nodes), Some(pref[0]));
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_own_slots() {
+        let all = fleet(6);
+        let survivors: Vec<NodeId> = all.iter().copied().filter(|n| n.0 != 2).collect();
+        for slot in 0..SLOT_COUNT {
+            let before = owner(slot, &all).unwrap();
+            let after = owner(slot, &survivors).unwrap();
+            if before.0 != 2 {
+                assert_eq!(before, after, "slot {slot} moved without cause");
+            }
+        }
+    }
+
+    #[test]
+    fn failover_goes_to_the_next_preference_entry() {
+        let nodes = fleet(4);
+        for slot in 0..SLOT_COUNT {
+            let pref = preference(slot, &nodes);
+            let live: Vec<NodeId> = nodes.iter().copied().filter(|&n| n != pref[0]).collect();
+            assert_eq!(owner(slot, &live), Some(pref[1]));
+        }
+    }
+}

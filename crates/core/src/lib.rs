@@ -49,11 +49,17 @@
 //! * [`observe`] — per-phase latency histograms, outcome-class latency
 //!   distributions, and sampled trace spans behind the `/metrics` and
 //!   `/debug/trace` endpoints.
+//! * [`cluster`] — the proxy fleet: residual keys slot-sharded across
+//!   N nodes by rendezvous hashing, SWIM-style gossip membership with
+//!   failure detection on the injectable clock, and peer-assisted
+//!   misses that probe the owning node's cache before paying for
+//!   origin traffic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 pub mod config;
 pub mod lifecycle;
 pub mod metrics;
@@ -67,6 +73,7 @@ pub mod schemes;
 pub mod sim;
 pub mod template;
 
+pub use cluster::{ClusterConfig, ClusterResponse, ClusterRouter, NodeId, ServedBy};
 pub use config::ProxyConfig;
 pub use lifecycle::{Freshness, LifecycleConfig, SnapshotPolicy};
 pub use observe::{LatencySummary, ObserveConfig, Observer};

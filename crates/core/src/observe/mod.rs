@@ -57,11 +57,14 @@ pub enum Phase {
     /// Serving a hit from the disk tier: slab slice + row splice from
     /// the mmap'd segment (excludes the background promotion).
     DiskServe,
+    /// Cluster: probing the slot owner's cache on a local miss
+    /// (transport round trip including the retry, hit or not).
+    PeerProbe,
 }
 
 impl Phase {
     /// Every phase, in rendering order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Classify,
         Phase::LocalEval,
         Phase::OriginFetch,
@@ -75,6 +78,7 @@ impl Phase {
         Phase::QueueWait,
         Phase::Handoff,
         Phase::DiskServe,
+        Phase::PeerProbe,
     ];
 
     /// Stable snake_case label used in metric labels and JSON.
@@ -93,6 +97,7 @@ impl Phase {
             Phase::QueueWait => "queue_wait",
             Phase::Handoff => "handoff",
             Phase::DiskServe => "disk_serve",
+            Phase::PeerProbe => "peer_probe",
         }
     }
 
@@ -111,6 +116,7 @@ impl Phase {
             Phase::QueueWait => 10,
             Phase::Handoff => 11,
             Phase::DiskServe => 12,
+            Phase::PeerProbe => 13,
         }
     }
 }

@@ -524,6 +524,20 @@ impl ProxyHandle {
         out
     }
 
+    /// Counts a cluster peer-cache probe issued by this node's serving
+    /// path (`hit` when the remote cache answered it). Called by the
+    /// cluster router, which owns the probe; the handle only keeps the
+    /// per-node books.
+    pub fn note_peer_probe(&self, hit: bool) {
+        self.inner.stats.note_peer_probe(hit);
+    }
+
+    /// Counts a peer probe that failed transport after its retries and
+    /// fell through to the local origin path.
+    pub fn note_peer_probe_failure(&self) {
+        self.inner.stats.note_peer_probe_failure();
+    }
+
     /// Buffered trace spans as a chrome://tracing JSON document.
     pub fn trace_chrome_json(&self) -> String {
         self.inner.observe.spans().chrome_json()

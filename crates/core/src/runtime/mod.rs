@@ -76,6 +76,9 @@ pub struct RuntimeStats {
     snapshot_writes: AtomicUsize,
     recovered_entries: AtomicUsize,
     snapshot_corrupt_segments: AtomicUsize,
+    peer_probes: AtomicUsize,
+    peer_hits: AtomicUsize,
+    peer_probe_failures: AtomicUsize,
 }
 
 impl RuntimeStats {
@@ -133,6 +136,18 @@ impl RuntimeStats {
     pub(crate) fn note_snapshot_corrupt(&self, segments: usize) {
         self.snapshot_corrupt_segments
             .fetch_add(segments, Ordering::Release);
+    }
+
+    pub(crate) fn note_peer_probe(&self, hit: bool) {
+        self.peer_probes.fetch_add(1, Ordering::Release);
+        if hit {
+            self.peer_hits.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn note_peer_probe_failure(&self) {
+        self.peer_probes.fetch_add(1, Ordering::Release);
+        self.peer_probe_failures.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -217,6 +232,16 @@ pub struct RuntimeSnapshot {
     /// retrying the origin, in milliseconds (`0` without a resilience
     /// layer) — the `Retry-After` fallback when the breaker is closed.
     pub origin_backoff_hint_ms: u64,
+    /// Cluster peer-cache probes this node issued on local misses
+    /// (hits + clean misses + transport failures; zero outside a
+    /// fleet).
+    pub peer_probes: usize,
+    /// Peer probes a remote cache answered (each saved one origin
+    /// fetch).
+    pub peer_hits: usize,
+    /// Peer probes that failed transport after retries and fell
+    /// through to the local origin path.
+    pub peer_probe_failures: usize,
     /// Measured end-to-end latency quantiles over every served request.
     pub request_latency: LatencySummary,
     /// Measured latency quantiles over fresh cache hits (exact +
@@ -248,6 +273,9 @@ impl RuntimeStats {
         let snapshot_writes = self.snapshot_writes.load(Ordering::Acquire);
         let recovered_entries = self.recovered_entries.load(Ordering::Acquire);
         let snapshot_corrupt_segments = self.snapshot_corrupt_segments.load(Ordering::Acquire);
+        let peer_hits = self.peer_hits.load(Ordering::Acquire);
+        let peer_probe_failures = self.peer_probe_failures.load(Ordering::Acquire);
+        let peer_probes = self.peer_probes.load(Ordering::Acquire);
         // Read last: every derived increment observed above was preceded
         // by its request's `note_request`, so this load sees it too.
         let requests = self.requests.load(Ordering::Acquire);
@@ -285,6 +313,9 @@ impl RuntimeStats {
             recovered_entries,
             snapshot_corrupt_segments,
             origin_backoff_hint_ms: 0,
+            peer_probes,
+            peer_hits,
+            peer_probe_failures,
             request_latency: LatencySummary::default(),
             hit_latency: LatencySummary::default(),
             origin_fetch_latency: LatencySummary::default(),
@@ -375,6 +406,21 @@ impl RuntimeSnapshot {
             "funcproxy_breaker_opens_total",
             "Times the circuit breaker opened.",
             self.breaker_opens as f64,
+        );
+        counter(
+            "funcproxy_peer_probes_total",
+            "Cluster peer-cache probes issued on local misses.",
+            self.peer_probes as f64,
+        );
+        counter(
+            "funcproxy_peer_hits_total",
+            "Peer probes answered from a remote cache.",
+            self.peer_hits as f64,
+        );
+        counter(
+            "funcproxy_peer_probe_failures_total",
+            "Peer probes that failed transport and fell through.",
+            self.peer_probe_failures as f64,
         );
         counter(
             "funcproxy_lock_wait_seconds_total",

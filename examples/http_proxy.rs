@@ -9,6 +9,7 @@
 //!                                [--serve] [--port <n>] [--trace-sample <n>]
 //!                                [--edge] [--workers <n>] [--max-conns <n>]
 //!                                [--cache-budget <bytes>] [--slab-dir <path>]
+//!                                [--peers ip:port,ip:port,…] [--node-id <n>]
 //! ```
 //!
 //! `--ttl` gives every cached entry a freshness lifetime (expired entries
@@ -44,20 +45,49 @@
 //! disables tracing). `--serve` keeps the proxy running after the
 //! scripted demo so the endpoints can be scraped; `--port N` pins the
 //! proxy's listen port (default: an ephemeral port).
+//!
+//! Health: `GET /healthz` answers 200 while the process lives (a
+//! liveness probe), `GET /readyz` answers 503 once a drain began
+//! (SIGINT/SIGTERM received) or while the origin circuit breaker is
+//! open (with a `Retry-After` hint) — the signal a load balancer uses
+//! to eject a node without dropping in-flight requests.
+//!
+//! Fleet mode: `--peers ip:port,ip:port,…` (the full fleet address
+//! list, this node included) plus `--node-id N` (this node's index into
+//! that list) turn N such processes into one slot-sharded proxy fleet.
+//! Every process runs a SWIM failure detector over HTTP: a background
+//! thread pings one peer per second through `GET /peer?gossip=…`,
+//! piggybacking the gossip digest (membership, incarnations,
+//! data-release epochs, breaker state). On a local cache miss the
+//! serving path hashes the query's routing key to its owning peer and
+//! probes that peer's cache (`GET /peer?cmd=…`, cache-only, tight
+//! deadline, one retry) before paying for an origin fetch; probe
+//! failures suspect the peer — failing its slots over to the next node
+//! in each slot's preference chain — and fall through to the local
+//! origin path, so peer trouble is never a client error. Fleet mode
+//! uses the threaded front end (`--edge` is rejected).
 
 use fp_suite::edge::sys::install_interrupt_flag;
 use fp_suite::edge::{EdgeConfig, EdgeServer, ProxyEdgeService};
 use fp_suite::httpd::{HttpClient, HttpServer, Request, Response, Router, Status};
+use fp_suite::proxy::cluster::{
+    decode_digest, encode_digest, owner_of_key, routing_key, GossipEntry, Membership,
+    MembershipConfig, MembershipEvent, NodeId, PeerError, PeerTransport,
+};
+use fp_suite::proxy::metrics::{Outcome, QueryMetrics};
+use fp_suite::proxy::resilience::SystemClock;
 use fp_suite::proxy::template::TemplateManager;
 use fp_suite::proxy::{
     CostModel, LifecycleConfig, ObserveConfig, Origin, OriginError, ProxyConfig, ProxyError,
-    ProxyHandle, ResilienceConfig, Scheme,
+    ProxyHandle, ResilienceConfig, Scheme, XmlResponse,
 };
 use fp_suite::skyserver::result::QueryOutcome;
 use fp_suite::skyserver::{Catalog, CatalogSpec, ExecStats, ResultSet, SkySite};
 use fp_suite::sqlmini::Query;
 use fp_suite::xmlite::Element;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The origin web site's HTTP face: the free-form SQL page
 /// (`GET /sql?cmd=<urlencoded sql>`), returning the XML result document
@@ -122,6 +152,188 @@ impl Origin for HttpOrigin {
     }
 }
 
+/// One cross-process fleet node's view: who the peers are (addresses
+/// indexed by node id, this node included), what this node currently
+/// believes about them, and the proxy whose epoch/breaker facts it
+/// gossips.
+struct FleetState {
+    self_id: NodeId,
+    addrs: Vec<std::net::SocketAddr>,
+    membership: Mutex<Membership>,
+    handle: ProxyHandle,
+}
+
+impl FleetState {
+    /// A short-deadline client for `to` — peer exchanges must give up
+    /// fast enough that a dead peer never hangs a client request.
+    fn client(&self, to: NodeId) -> Option<HttpClient> {
+        let addr = *self.addrs.get(usize::from(to.0))?;
+        Some(HttpClient::new(addr).with_timeout(Duration::from_millis(500)))
+    }
+
+    fn lock_membership(&self) -> std::sync::MutexGuard<'_, Membership> {
+        self.membership.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies the membership events with proxy side effects: an epoch
+    /// gossiped from the fleet retires this node's stale entries before
+    /// the next query is served (the stale-rejoiner rule).
+    fn apply(&self, events: &[MembershipEvent]) {
+        for event in events {
+            if let MembershipEvent::EpochAdvanced(epoch) = event {
+                self.handle.set_epoch(*epoch);
+            }
+        }
+    }
+
+    /// The owner-probe leg of the serving path: one probe plus one
+    /// retry against the slot owner's cache. Transport failure suspects
+    /// the owner (its slots fail over fleet-wide on the next gossip
+    /// round) and returns `None` — the caller falls through to its
+    /// local origin path, so peer trouble never surfaces to the client.
+    fn probe_owner(self: &Arc<Self>, owner: NodeId, sql: &str) -> Option<XmlResponse> {
+        let transport = HttpPeerTransport {
+            fleet: Arc::clone(self),
+        };
+        for attempt in 0..2 {
+            match transport.probe(self.self_id, owner, sql) {
+                Ok(hit) => {
+                    self.handle.note_peer_probe(hit.is_some());
+                    return hit;
+                }
+                Err(_) if attempt == 0 => continue,
+                Err(_) => {
+                    self.handle.note_peer_probe_failure();
+                    let events = self.lock_membership().note_probe_failure(owner);
+                    self.apply(&events);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// [`PeerTransport`] over plain HTTP: every exchange is a GET against
+/// the peer's `/peer` endpoint on a tight timeout — the same trait the
+/// in-process test fleet runs on, now crossing process boundaries.
+struct HttpPeerTransport {
+    fleet: Arc<FleetState>,
+}
+
+impl HttpPeerTransport {
+    fn client(&self, to: NodeId) -> Result<HttpClient, PeerError> {
+        self.fleet
+            .client(to)
+            .ok_or_else(|| PeerError::Unreachable(format!("{to} not in --peers")))
+    }
+}
+
+impl PeerTransport for HttpPeerTransport {
+    fn ping(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        digest: &[GossipEntry],
+    ) -> Result<Vec<GossipEntry>, PeerError> {
+        let url = format!(
+            "/peer?from={}&gossip={}",
+            from.0,
+            fp_suite::httpd::urlenc::encode_component(&encode_digest(digest))
+        );
+        let response = self
+            .client(to)?
+            .get(&url)
+            .map_err(|e| PeerError::Unreachable(e.to_string()))?;
+        if !response.status.is_success() {
+            return Err(PeerError::Protocol(format!(
+                "ping answered {}",
+                response.status.0
+            )));
+        }
+        Ok(decode_digest(&response.body_text()))
+    }
+
+    fn ping_req(&self, _from: NodeId, via: NodeId, target: NodeId) -> Result<(), PeerError> {
+        let response = self
+            .client(via)?
+            .get(&format!("/peer?pingreq={}", target.0))
+            .map_err(|e| PeerError::Unreachable(e.to_string()))?;
+        if response.status.is_success() {
+            Ok(())
+        } else {
+            Err(PeerError::Unreachable(format!(
+                "{target} unreachable via {via}"
+            )))
+        }
+    }
+
+    fn probe(
+        &self,
+        _from: NodeId,
+        to: NodeId,
+        sql: &str,
+    ) -> Result<Option<XmlResponse>, PeerError> {
+        let url = format!(
+            "/peer?cmd={}",
+            fp_suite::httpd::urlenc::encode_component(sql)
+        );
+        let response = self.client(to)?.get(&url).map_err(|_| PeerError::Timeout)?;
+        if response.status == Status::NOT_FOUND {
+            return Ok(None); // clean cache miss on the peer
+        }
+        if !response.status.is_success() {
+            return Err(PeerError::Protocol(format!(
+                "probe answered {}",
+                response.status.0
+            )));
+        }
+        let metrics = peer_hit_metrics(&response);
+        Ok(Some(XmlResponse {
+            body: response.body,
+            metrics,
+        }))
+    }
+}
+
+/// Reconstructs per-query metrics from a peer probe response's headers
+/// (the peer's own timings stay on the peer; what travels is the
+/// outcome, row count and freshness flags the client-facing headers
+/// need).
+fn peer_hit_metrics(response: &Response) -> QueryMetrics {
+    let outcome = match response.headers.get("X-Cache-Outcome") {
+        Some("exact") => Outcome::Exact,
+        Some("contained") => Outcome::Contained,
+        Some("region-containment") => Outcome::RegionContainment,
+        Some("overlap") => Outcome::Overlap,
+        _ => Outcome::Forwarded,
+    };
+    let flag = |name: &str| response.headers.get(name) == Some("true");
+    let rows = response
+        .headers
+        .get("X-Rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    QueryMetrics {
+        outcome,
+        response_ms: 0.0,
+        sim_ms: 0.0,
+        proxy_ms: 0.0,
+        check_ms: 0.0,
+        local_ms: 0.0,
+        rows_total: rows,
+        rows_from_cache: rows,
+        coalesced: false,
+        lock_wait_ms: 0.0,
+        rows_scanned: 0,
+        rows_pruned: 0,
+        local_fallback: false,
+        degraded: flag("X-Degraded"),
+        stale: flag("X-Stale"),
+        entry_age_ms: 0.0,
+        disk_hit: false,
+    }
+}
+
 /// Maps a proxy error onto the HTTP status the browser should see: a
 /// transient origin failure (outage, deadline, open breaker) becomes
 /// `503 Service Unavailable` with a `Retry-After` hint, a permanent
@@ -148,16 +360,55 @@ fn error_response(handle: &ProxyHandle, error: &ProxyError) -> Response {
     }
 }
 
+/// The client-facing response for a Radial answer, wherever it came
+/// from: the XML body plus the cache-outcome headers, `X-Served-By`
+/// naming the peer when a fleet probe answered, and the RFC 9111
+/// staleness warning when applicable.
+fn radial_response(r: XmlResponse, peer: Option<NodeId>) -> Response {
+    let mut resp = Response::ok("text/xml", r.body);
+    resp.headers
+        .set("X-Cache-Outcome", r.metrics.outcome.label());
+    resp.headers
+        .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
+    resp.headers
+        .set("X-Coalesced", r.metrics.coalesced.to_string());
+    resp.headers
+        .set("X-Degraded", r.metrics.degraded.to_string());
+    resp.headers.set("X-Stale", r.metrics.stale.to_string());
+    if let Some(owner) = peer {
+        resp.headers.set("X-Served-By", owner.to_string());
+    }
+    if r.metrics.stale || r.metrics.degraded {
+        // RFC 9111 §5.5: 110 = "Response is Stale". Covers both an
+        // expired entry being revalidated and a degraded (partial,
+        // origin-down) answer.
+        resp.headers
+            .set("Warning", "110 funcproxy \"Response is stale\"");
+    }
+    resp
+}
+
 /// The proxy's HTTP face: the Radial search form plus a pass-through SQL
 /// page, exactly the two entry points the paper's SkyServer deployment
-/// had. Each connection thread serves through its own clone of the
-/// shared [`ProxyHandle`] — no global lock around the proxy. Bodies come
-/// from the byte-serving entry points: cache hits ship pre-assembled XML
-/// copied out of the entry's columnar slab, never re-serialized.
-fn proxy_router(handle: ProxyHandle) -> Router {
+/// had — plus the operational endpoints: `/healthz` and `/readyz` for
+/// the load balancer, `/peer` for the fleet (cache probes, gossip
+/// exchanges, indirect pings). Each connection thread serves through its
+/// own clone of the shared [`ProxyHandle`] — no global lock around the
+/// proxy. Bodies come from the byte-serving entry points: cache hits
+/// ship pre-assembled XML copied out of the entry's columnar slab,
+/// never re-serialized.
+fn proxy_router(
+    handle: ProxyHandle,
+    draining: &'static AtomicBool,
+    fleet: Option<Arc<FleetState>>,
+) -> Router {
     let form_handle = handle.clone();
+    let form_fleet = fleet.clone();
     let metrics_handle = handle.clone();
     let trace_handle = handle.clone();
+    let ready_handle = handle.clone();
+    let peer_handle = handle.clone();
+    let peer_fleet = fleet;
     Router::new()
         .route("/metrics", move |_req: &Request| {
             Response::ok(
@@ -176,29 +427,128 @@ fn proxy_router(handle: ProxyHandle) -> Router {
                 Response::ok("application/json", trace_handle.trace_chrome_json())
             }
         })
+        .route("/healthz", move |_req: &Request| {
+            Response::ok("text/plain", "ok")
+        })
+        .route("/readyz", move |_req: &Request| {
+            if draining.load(Ordering::Relaxed) {
+                return Response::error(Status::SERVICE_UNAVAILABLE, "draining");
+            }
+            if let Some(secs) = ready_handle.breaker_shed_hint() {
+                let mut resp =
+                    Response::error(Status::SERVICE_UNAVAILABLE, "origin circuit breaker open");
+                resp.headers.set("Retry-After", secs.to_string());
+                return resp;
+            }
+            Response::ok("text/plain", "ready")
+        })
+        .route("/peer", move |req: &Request| {
+            let params = req.query_params();
+            let param = |name: &str| {
+                params
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.clone())
+            };
+            if let Some(sql) = param("cmd") {
+                // Cache-only probe from a peer: answer from fresh local
+                // entries alone, never touching the origin; a miss is a
+                // clean 404 the prober falls through on.
+                return match peer_handle.try_sql_xml_cached(&sql) {
+                    Some(r) => {
+                        let mut resp = Response::ok("text/xml", r.body);
+                        resp.headers.set("X-Peer-Hit", "true");
+                        resp.headers
+                            .set("X-Cache-Outcome", r.metrics.outcome.label());
+                        resp.headers.set("X-Rows", r.metrics.rows_total.to_string());
+                        resp.headers
+                            .set("X-Degraded", r.metrics.degraded.to_string());
+                        resp.headers.set("X-Stale", r.metrics.stale.to_string());
+                        resp
+                    }
+                    None => {
+                        let mut resp = Response::error(Status::NOT_FOUND, "cache miss");
+                        resp.headers.set("X-Peer-Hit", "false");
+                        resp
+                    }
+                };
+            }
+            let Some(fleet) = &peer_fleet else {
+                return Response::error(
+                    Status::NOT_FOUND,
+                    "not running as a fleet (start with --peers)",
+                );
+            };
+            if let Some(digest) = param("gossip") {
+                // A peer's failure-detector ping: merge its digest into
+                // our view and answer with ours (refreshed with our own
+                // epoch/breaker facts first). `try_lock`, not `lock`:
+                // our own gossip thread holds this mutex *across its
+                // outbound ping*, so two nodes pinging each other in
+                // the same round would deadlock until both timeouts
+                // fire — and mutual ping timeouts every round mean
+                // perpetual mutual suspicion. An empty 200 breaks the
+                // cycle: it still proves liveness (all the ping needs),
+                // it just skips rumor exchange for this round.
+                let Ok(mut m) = fleet.membership.try_lock() else {
+                    return Response::ok("text/plain", Vec::new());
+                };
+                let events = m.merge(&decode_digest(&digest));
+                m.set_self_state(
+                    peer_handle.current_epoch(),
+                    peer_handle.breaker_shed_hint().is_some(),
+                );
+                let answer = encode_digest(&m.digest());
+                drop(m);
+                fleet.apply(&events);
+                return Response::ok("text/plain", answer);
+            }
+            if let Some(target) = param("pingreq") {
+                // Indirect probe on a third node's behalf: can *we*
+                // reach the target it failed to ping directly?
+                let Some(id) = target.parse::<u16>().ok().map(NodeId) else {
+                    return Response::error(Status::BAD_REQUEST, "bad pingreq target");
+                };
+                let reached = fleet
+                    .client(id)
+                    .and_then(|client| client.get("/healthz").ok())
+                    .is_some_and(|r| r.status.is_success());
+                return if reached {
+                    Response::ok("text/plain", "reached")
+                } else {
+                    Response::error(Status::BAD_GATEWAY, "target unreachable")
+                };
+            }
+            Response::error(Status::BAD_REQUEST, "expected cmd=, gossip= or pingreq=")
+        })
         .route("/search/radial", move |req: &Request| {
             let fields = req.query_params();
-            match form_handle.handle_form_xml("/search/radial", &fields) {
-                Ok(r) => {
-                    let mut resp = Response::ok("text/xml", r.body);
-                    resp.headers
-                        .set("X-Cache-Outcome", r.metrics.outcome.label());
-                    resp.headers
-                        .set("X-Sim-Response-Ms", format!("{:.0}", r.metrics.response_ms));
-                    resp.headers
-                        .set("X-Coalesced", r.metrics.coalesced.to_string());
-                    resp.headers
-                        .set("X-Degraded", r.metrics.degraded.to_string());
-                    resp.headers.set("X-Stale", r.metrics.stale.to_string());
-                    if r.metrics.stale || r.metrics.degraded {
-                        // RFC 9111 §5.5: 110 = "Response is Stale". Covers
-                        // both an expired entry being revalidated and a
-                        // degraded (partial, origin-down) answer.
-                        resp.headers
-                            .set("Warning", "110 funcproxy \"Response is stale\"");
+            // 1. Local fresh cache — the common case once the fleet is
+            //    warm, since the edge routes keys to their owners.
+            if let Some(r) = form_handle.try_form_xml_cached("/search/radial", &fields) {
+                return radial_response(r, None);
+            }
+            // 2. Owner-cache probe: hash the routing key to its owning
+            //    peer and ask its cache (fresh-only, zero origin
+            //    traffic) before paying for an origin fetch.
+            if let Some(fleet) = &form_fleet {
+                if let Ok(bound) = form_handle
+                    .manager()
+                    .resolve_form("/search/radial", &fields)
+                {
+                    let live = fleet.lock_membership().live_nodes();
+                    let key = routing_key(&bound.residual_key, &bound.region);
+                    if let Some(owner) = owner_of_key(&key, &live).filter(|&o| o != fleet.self_id) {
+                        if let Some(r) = fleet.probe_owner(owner, &bound.sql) {
+                            return radial_response(r, Some(owner));
+                        }
                     }
-                    resp
                 }
+            }
+            // 3. The full local pipeline: origin fetch with deadlines,
+            //    retries and the breaker, degraded serving on outages.
+            match form_handle.handle_form_xml("/search/radial", &fields) {
+                Ok(r) => radial_response(r, None),
                 Err(e) => error_response(&form_handle, &e),
             }
         })
@@ -260,9 +610,22 @@ fn main() {
     let mut max_conns: usize = 1024;
     let mut cache_budget: Option<usize> = None;
     let mut slab_dir: Option<std::path::PathBuf> = None;
+    let mut peers: Vec<std::net::SocketAddr> = Vec::new();
+    let mut node_id: u16 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--peers" => {
+                peers = args
+                    .next()
+                    .map(|list| {
+                        list.split(',')
+                            .map(|a| a.trim().parse().expect("--peers takes ip:port,ip:port,…"))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            "--node-id" => node_id = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             "--ttl" => ttl_secs = args.next().and_then(|s| s.parse().ok()),
             "--snapshot-dir" => snapshot_dir = args.next().map(Into::into),
             "--epoch" => epoch = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
@@ -284,12 +647,35 @@ fn main() {
                      (supported: --ttl <secs>, --snapshot-dir <path>, --epoch <n>, \
                      --serve, --port <n>, --trace-sample <n>, \
                      --edge, --workers <n>, --max-conns <n>, \
-                     --cache-budget <bytes>, --slab-dir <path>)"
+                     --cache-budget <bytes>, --slab-dir <path>, \
+                     --peers ip:port,ip:port,…, --node-id <n>)"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if !peers.is_empty() {
+        if edge {
+            eprintln!("--peers requires the threaded front end; drop --edge");
+            std::process::exit(2);
+        }
+        if usize::from(node_id) >= peers.len() {
+            eprintln!(
+                "--node-id {node_id} is out of range for a {}-entry --peers list",
+                peers.len()
+            );
+            std::process::exit(2);
+        }
+        if port == 0 {
+            // Default the listen port to this node's own --peers entry,
+            // so the fleet's address list is the only configuration.
+            port = peers[usize::from(node_id)].port();
+        }
+    }
+    // Install the SIGINT/SIGTERM flag up front: it doubles as the
+    // draining signal `/readyz` reports, so a load balancer stops
+    // sending traffic the moment a drain begins.
+    let interrupted = install_interrupt_flag();
     let mut lifecycle = LifecycleConfig::default().with_epoch(epoch);
     if let Some(secs) = ttl_secs {
         let ttl = std::time::Duration::from_secs(secs.max(1));
@@ -344,6 +730,36 @@ fn main() {
                 .display()
         );
     }
+    // Fleet mode: one SWIM membership view over the configured peer
+    // list, gossiped over HTTP by a background thread below.
+    let fleet = if peers.is_empty() {
+        None
+    } else {
+        let ids: Vec<NodeId> = (0..peers.len() as u16).map(NodeId).collect();
+        let self_id = NodeId(node_id);
+        let membership = Membership::new(
+            self_id,
+            &ids,
+            MembershipConfig::default(),
+            Arc::new(SystemClock),
+        );
+        println!(
+            "fleet  {self_id} of {} nodes: {}",
+            peers.len(),
+            peers
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        Some(Arc::new(FleetState {
+            self_id,
+            addrs: peers.clone(),
+            membership: Mutex::new(membership),
+            handle: handle.clone(),
+        }))
+    };
+
     let bind_addr = format!("127.0.0.1:{port}");
     let proxy_server = if edge {
         // The nonblocking front end: every connection multiplexed on one
@@ -366,8 +782,11 @@ fn main() {
         );
         FrontEnd::Edge(server)
     } else {
-        let server =
-            HttpServer::bind(&bind_addr, proxy_router(handle.clone())).expect("proxy binds");
+        let server = HttpServer::bind(
+            &bind_addr,
+            proxy_router(handle.clone(), interrupted, fleet.clone()),
+        )
+        .expect("proxy binds");
         println!(
             "proxy  listening on http://{} ({} cache shards)\n",
             server.addr(),
@@ -375,6 +794,32 @@ fn main() {
         );
         FrontEnd::Threaded(server)
     };
+
+    // The failure detector's heartbeat: one protocol round every 250 ms
+    // on the system clock (pings fire at the membership's own
+    // `ping_interval`; the extra calls are one clock read each). Stops
+    // at drain time so shutdown never races a ping.
+    let gossip_stop = Arc::new(AtomicBool::new(false));
+    let gossip_thread = fleet.clone().map(|fleet| {
+        let stop = Arc::clone(&gossip_stop);
+        std::thread::spawn(move || {
+            let transport = HttpPeerTransport {
+                fleet: Arc::clone(&fleet),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                let events = {
+                    let mut m = fleet.lock_membership();
+                    m.set_self_state(
+                        fleet.handle.current_epoch(),
+                        fleet.handle.breaker_shed_hint().is_some(),
+                    );
+                    m.tick(&transport)
+                };
+                fleet.apply(&events);
+            }
+        })
+    });
 
     // 3. A browser-like client issues Radial form requests to the proxy
     //    over one keep-alive connection.
@@ -435,9 +880,9 @@ fn main() {
     }
 
     if serve {
-        // SIGINT/SIGTERM set a flag instead of killing the process, so
+        // SIGINT/SIGTERM set the flag instead of killing the process
+        // (installed at startup; `/readyz` watches the same flag), so
         // the drain below always runs.
-        let interrupted = install_interrupt_flag();
         println!(
             "\nserving until interrupted: curl http://{0}/metrics, \
              curl http://{0}/debug/trace?format=jsonl",
@@ -451,7 +896,13 @@ fn main() {
 
     // Graceful shutdown, identical for both front ends: stop accepting,
     // let in-flight requests finish, then quiesce background
-    // revalidations so no origin fetch is abandoned mid-flight.
+    // revalidations so no origin fetch is abandoned mid-flight. The
+    // gossip thread stops first — peers will suspect this node and fail
+    // its slots over, which is exactly what a drain means fleet-wide.
+    gossip_stop.store(true, Ordering::Relaxed);
+    if let Some(thread) = gossip_thread {
+        let _ = thread.join();
+    }
     let edge_summary = proxy_server.shutdown_graceful();
     handle.quiesce_revalidations();
     if snapshot_dir.is_some() {

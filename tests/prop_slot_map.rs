@@ -1,0 +1,132 @@
+//! Property tests for the cluster slot map (satellite of the fleet PR):
+//! the rendezvous-hashing invariants the failover design leans on.
+//!
+//! 1. **Total coverage** — for any non-empty live set, every slot (and
+//!    so every residual key) has exactly one owner, and the owner is
+//!    the head of the slot's preference list restricted to live nodes.
+//! 2. **Minimal remap** — removing (or adding) one node moves only the
+//!    slots that node owned (or wins): over random keys, the remapped
+//!    fraction stays near `1/N`, never a wholesale reshuffle.
+//! 3. **View agreement** — ownership is a pure function of the live
+//!    set, so any two nodes sharing a view route every key identically
+//!    (ownership is independent of the order the live list is given
+//!    in).
+
+use fp_suite::proxy::cluster::{owner, owner_of_key, preference, slot_of, NodeId, SLOT_COUNT};
+use proptest::prelude::*;
+
+fn fleet(n: u16) -> Vec<NodeId> {
+    (0..n).map(NodeId).collect()
+}
+
+/// Strategy: a residual-key-shaped string (template name + predicate
+/// residue), arbitrary enough to exercise the hash.
+fn residual_key() -> impl Strategy<Value = String> {
+    ("[a-z]{1,8}", 0u32..1_000_000u32).prop_map(|(tpl, residue)| format!("{tpl}|top={residue}"))
+}
+
+proptest! {
+    #[test]
+    fn every_key_has_exactly_one_owner_while_any_node_lives(
+        key in residual_key(),
+        n in 1u16..=12,
+    ) {
+        let live = fleet(n);
+        let slot = slot_of(&key);
+        prop_assert!(slot < SLOT_COUNT);
+        let who = owner_of_key(&key, &live);
+        prop_assert!(who.is_some());
+        // The owner is the head of the slot's preference chain.
+        let pref = preference(slot, &live);
+        prop_assert_eq!(who, pref.first().copied());
+    }
+
+    #[test]
+    fn removing_one_node_remaps_about_one_nth_of_keys(
+        keys in proptest::collection::vec(residual_key(), 200..400),
+        n in 2u16..=10,
+        victim in 0u16..10,
+    ) {
+        let victim = victim % n;
+        let all = fleet(n);
+        let survivors: Vec<NodeId> =
+            all.iter().copied().filter(|node| node.0 != victim).collect();
+        let mut moved = 0usize;
+        for key in &keys {
+            let before = owner_of_key(key, &all).unwrap();
+            let after = owner_of_key(key, &survivors).unwrap();
+            if before != after {
+                // Only the victim's keys may move, and they must land
+                // on the next live entry of their slot's chain.
+                prop_assert_eq!(before, NodeId(victim));
+                let pref = preference(slot_of(key), &all);
+                let next = pref
+                    .iter()
+                    .copied()
+                    .find(|node| node.0 != victim)
+                    .unwrap();
+                prop_assert_eq!(after, next);
+                moved += 1;
+            }
+        }
+        // Expected fraction is 1/n; allow generous sampling slack
+        // (keys are few and the hash is not perfectly uniform).
+        let frac = moved as f64 / keys.len() as f64;
+        let bound = 1.0 / f64::from(n) + 0.2;
+        prop_assert!(
+            frac <= bound,
+            "removal of 1/{} remapped {:.0}% of keys",
+            n,
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn adding_one_node_steals_at_most_about_one_nth(
+        keys in proptest::collection::vec(residual_key(), 200..400),
+        n in 1u16..=9,
+    ) {
+        let before_fleet = fleet(n);
+        let after_fleet = fleet(n + 1);
+        let newcomer = NodeId(n);
+        let mut moved = 0usize;
+        for key in &keys {
+            let before = owner_of_key(key, &before_fleet).unwrap();
+            let after = owner_of_key(key, &after_fleet).unwrap();
+            if before != after {
+                // A key only moves *to* the newcomer.
+                prop_assert_eq!(after, newcomer);
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / keys.len() as f64;
+        let bound = 1.0 / f64::from(n + 1) + 0.2;
+        prop_assert!(
+            frac <= bound,
+            "adding node {} stole {:.0}% of keys",
+            n,
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn ownership_is_independent_of_live_list_order(
+        key in residual_key(),
+        n in 1u16..=8,
+        seed in any::<u64>(),
+    ) {
+        let live = fleet(n);
+        // A cheap seeded shuffle (xorshift swaps).
+        let mut shuffled = live.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        prop_assert_eq!(owner_of_key(&key, &live), owner_of_key(&key, &shuffled));
+        let slot = slot_of(&key);
+        prop_assert_eq!(owner(slot, &live), owner(slot, &shuffled));
+    }
+}
