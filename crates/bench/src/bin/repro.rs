@@ -26,14 +26,22 @@
 //!   cluster       extension: proxy-fleet sweep over 1, 2, 4, … up to
 //!                 --nodes (default 8) slot-sharded peers with gossip
 //!                 membership, plus a mid-trace peer kill on a 3-node fleet
+//!   torture       extension: seeded whole-stack torture runs — origin
+//!                 outage, packet loss/delay, an asymmetric partition,
+//!                 slab I/O faults and corruption, and a mid-trace
+//!                 kill/revive, with soundness/staleness/availability/
+//!                 durability oracles. Replays the committed seed corpus;
+//!                 with an explicit --seed N, replays exactly that seed
+//!                 (byte-deterministically) and prints its event log
 //!   all           everything above
 //! ```
 
-use fp_bench::{conn_sweep, fleet_sweep, thread_sweep, Experiment, Scale};
+use fp_bench::{conn_sweep, fleet_sweep, thread_sweep, Experiment, Scale, SEED_CORPUS};
 use std::time::Duration;
 
 fn main() {
     let mut scale = Scale::default();
+    let mut seed_set = false;
     let mut json = false;
     let mut threads = 8usize;
     let mut edge_conns = 256usize;
@@ -45,7 +53,10 @@ fn main() {
         match arg.as_str() {
             "--objects" => scale.objects = parse_num(args.next(), "--objects"),
             "--queries" => scale.queries = parse_num(args.next(), "--queries"),
-            "--seed" => scale.seed = parse_num(args.next(), "--seed") as u64,
+            "--seed" => {
+                scale.seed = parse_num(args.next(), "--seed") as u64;
+                seed_set = true;
+            }
             "--threads" => threads = parse_num(args.next(), "--threads"),
             "--edge-conns" => edge_conns = parse_num(args.next(), "--edge-conns"),
             "--nodes" => nodes = parse_num(args.next(), "--nodes"),
@@ -180,6 +191,33 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     }
+    if want("torture") {
+        // An explicit --seed narrows the run to exactly that seed (the
+        // byte-deterministic replay path); otherwise the committed
+        // regression corpus runs.
+        let t = if seed_set {
+            let run = exp.torture(scale.seed);
+            if !json {
+                println!("\n# torture event log, seed {}", scale.seed);
+                for line in &run.events {
+                    println!("{line}");
+                }
+            }
+            fp_bench::TortureBench {
+                rows: vec![run.row],
+            }
+        } else {
+            exp.torture_corpus(&SEED_CORPUS)
+        };
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist availability, soundness, repair, and recovery axes
+        // per seed for run-over-run comparison.
+        let path = "BENCH_torture.json";
+        match std::fs::write(path, serde_json::to_string(&t).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
     if want("cluster") {
         let t = exp.cluster(&fleet_sweep(nodes));
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
@@ -212,6 +250,6 @@ fn print_usage() {
     eprintln!(
         "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--edge-conns N] \
          [--nodes N] [--json] [--chaos] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|cluster|all]..."
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|cluster|torture|all]..."
     );
 }

@@ -208,8 +208,8 @@ impl Experiment {
 
     /// Oracle pass: the objID set every query answers when nothing is
     /// cached and nothing fails, keyed by query string (the trace
-    /// repeats queries).
-    fn oracle_object_ids(&self) -> HashMap<String, Vec<fp_sqlmini::Value>> {
+    /// repeats queries). Shared with the torture harness.
+    pub(crate) fn oracle_object_ids(&self) -> HashMap<String, Vec<fp_sqlmini::Value>> {
         let rbe = Rbe::default();
         let mut oracle = crate::make_proxy(
             &self.site,
@@ -429,14 +429,14 @@ impl Experiment {
 
 /// Parses a served XML body back into rows (the client's view of the
 /// answer, whichever node or cache produced it).
-fn parse_result(body: &[u8]) -> Option<ResultSet> {
+pub(crate) fn parse_result(body: &[u8]) -> Option<ResultSet> {
     let text = std::str::from_utf8(body).ok()?;
     let doc = Element::parse(text).ok()?;
     ResultSet::from_xml(&doc)
 }
 
 /// Whether every key of `result` appears in the oracle's objID set.
-fn is_subset(result: &ResultSet, oracle: &[fp_sqlmini::Value]) -> bool {
+pub(crate) fn is_subset(result: &ResultSet, oracle: &[fp_sqlmini::Value]) -> bool {
     let Some(key_col) = result.column_index("objID") else {
         return result.is_empty();
     };

@@ -23,6 +23,9 @@
 //!   RAM-only vs the disk-backed tier at equal RAM (see [`tiered`]).
 //! * [`Experiment::cluster`] — extension: fleet-size sweep and mid-trace
 //!   peer kill over the slot-sharded proxy cluster (see [`cluster`]).
+//! * [`Experiment::torture`] — extension: seeded whole-stack torture runs
+//!   injecting origin, network, storage, and process faults at once while
+//!   invariant oracles watch every answer (see [`torture`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod cluster;
 pub mod edge;
 pub mod throughput;
 pub mod tiered;
+pub mod torture;
 
 pub use chaos::ChaosReport;
 pub use cluster::{fleet_sweep, ClusterBench, ClusterRow, KillReport, FLEET_SIZES};
@@ -40,6 +44,7 @@ pub use throughput::{
     thread_sweep, HitLatencyReport, HitLatencyRow, Throughput, ThroughputRow, THROUGHPUT_SHARDS,
 };
 pub use tiered::{BudgetSweep, BudgetSweepRow, BUDGET_FRACTIONS};
+pub use torture::{TortureBench, TortureRow, TortureRun, AVAILABILITY_FLOOR, SEED_CORPUS};
 
 use fp_skyserver::{Catalog, CatalogSpec, SkySite};
 use fp_trace::{classify_trace, Rbe, Trace, TraceMix, TraceSpec};

@@ -14,6 +14,6 @@ pub use persist::{region_from_xml, region_to_xml, SnapshotLoad};
 pub use replace::Replacement;
 pub use store::{CacheStats, CacheStore, ClassifyView};
 pub use tier::{
-    encode_payload, DemotedEntry, EvictionManager, SegRef, SlabFile, SlabSlice, TierConfig,
-    SLAB_MAGIC, SLAB_VERSION,
+    encode_payload, DemotedEntry, EvictionManager, IoFault, IoOp, SegRef, SlabFile, SlabIo,
+    SlabSlice, TierConfig, SLAB_MAGIC, SLAB_VERSION,
 };

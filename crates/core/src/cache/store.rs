@@ -45,6 +45,15 @@ pub struct CacheStats {
     /// Slab segments found damaged (bad CRC, torn tail) — counted and
     /// skipped, never fatal.
     pub slab_corrupt_segments: usize,
+    /// Times the tier entered eviction-only degraded mode (persistent
+    /// slab I/O errors or ENOSPC; demotion suspended, never
+    /// client-visible).
+    pub tier_degraded: usize,
+    /// Times a degraded tier's re-probe append succeeded and demotion
+    /// resumed.
+    pub tier_recoveries: usize,
+    /// Slab I/O errors observed (failed appends and compactions).
+    pub slab_io_errors: usize,
 }
 
 /// What classification needs to know about an entry, resident or
@@ -186,6 +195,9 @@ impl CacheStore {
             stats.promotions = tier.promotions;
             stats.slab_compactions = tier.compactions;
             stats.slab_corrupt_segments = tier.slab.corrupt_segments();
+            stats.tier_degraded = tier.degrade_events;
+            stats.tier_recoveries = tier.recoveries;
+            stats.slab_io_errors = tier.io_errors;
         }
         stats
     }
@@ -621,12 +633,21 @@ impl CacheStore {
         let row_slab = entry.columnar.as_ref().map_or(&[][..], |c| c.slab());
         let payload = encode_payload(&xml, row_slab);
         let tier = self.tier.as_mut().expect("checked above");
+        // Eviction-only degraded mode: skip the append (the caller
+        // evicts instead) until the periodic re-probe goes through.
+        if !tier.admit_append() {
+            return false;
+        }
         match tier.slab.append(&payload) {
             Ok(seg) => {
+                tier.note_append_ok();
                 tier.refs.insert(id, seg);
                 true
             }
-            Err(_) => false,
+            Err(_) => {
+                tier.note_append_err();
+                false
+            }
         }
     }
 
@@ -749,6 +770,21 @@ impl CacheStore {
                 tier.slab.note_corrupt();
             }
         }
+    }
+
+    /// Quarantines a demoted entry whose slab segment failed its CRC
+    /// or parse: the entry is removed, its segment marked dead and
+    /// counted corrupt, and its exact SQL handed back so the runtime
+    /// can read-repair — re-fetch from origin through the resilient
+    /// path and rewrite — instead of losing the entry silently.
+    pub(crate) fn quarantine_corrupt_demoted(&mut self, id: u64) -> Option<Arc<str>> {
+        let sql = self
+            .tier
+            .as_ref()
+            .and_then(|t| t.demoted.get(&id))
+            .map(|d| Arc::clone(&d.exact_sql));
+        self.drop_corrupt_demoted(id);
+        sql
     }
 
     /// Removes entries subsumed by a region-containment merge, counting
@@ -919,6 +955,7 @@ impl CacheStore {
             segments.push(rec.to_xml().into_bytes());
         }
         let count = segments.len();
+        tier.io.meta_write_check()?;
         write_snapshot_file(&tier.meta_path, self.epoch, &segments)?;
         Ok(count)
     }

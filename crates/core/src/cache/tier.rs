@@ -51,7 +51,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fp_geometry::{HyperRect, Region};
@@ -68,6 +68,175 @@ pub const SLAB_VERSION: u32 = 1;
 const HEADER_LEN: u64 = 8 + 4;
 const FRAME_LEN: u64 = 4 + 4;
 
+/// Which tier file operation a fault applies to. The classes mirror the
+/// distinct failure surfaces a real filesystem exposes: tail appends,
+/// metadata snapshot writes, compaction staging, the compaction commit
+/// rename, and durability barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Slab segment appends (demotion spills and meta-pass spills).
+    Append,
+    /// `.fpmeta` warm-restart metadata snapshot writes.
+    MetaWrite,
+    /// Compaction staging: creating and filling the `.tmp` file.
+    CompactWrite,
+    /// Compaction commit: the rename of the `.tmp` over the slab. A
+    /// fault here models a crash after the staging write completed but
+    /// before the commit — the classic torn-rename crash point.
+    CompactRename,
+    /// Durability barriers (`sync_all` during compaction staging).
+    Fsync,
+}
+
+const IO_OPS: usize = 5;
+
+impl IoOp {
+    fn idx(self) -> usize {
+        match self {
+            IoOp::Append => 0,
+            IoOp::MetaWrite => 1,
+            IoOp::CompactWrite => 2,
+            IoOp::CompactRename => 3,
+            IoOp::Fsync => 4,
+        }
+    }
+}
+
+/// The fault an armed operation suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Generic I/O error (errno `EIO`).
+    Eio,
+    /// Out of space (errno `ENOSPC`).
+    Enospc,
+    /// A torn write: the first `n` bytes land on disk, then the write
+    /// fails — what a crash or short `write(2)` mid-append leaves
+    /// behind. Non-write operations treat this as `Eio`.
+    Torn(usize),
+}
+
+impl IoFault {
+    fn to_error(self) -> io::Error {
+        match self {
+            // Real errnos so callers can't tell injected faults from
+            // the filesystem's own: EIO = 5, ENOSPC = 28.
+            IoFault::Eio | IoFault::Torn(_) => io::Error::from_raw_os_error(5),
+            IoFault::Enospc => io::Error::from_raw_os_error(28),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SlabIoState {
+    /// Sticky fault per operation class (`None` = healthy).
+    sticky: [Option<IoFault>; IO_OPS],
+    /// Total faults actually delivered to an operation.
+    injected: usize,
+}
+
+/// The storage fault-injection seam every tier file operation consults.
+///
+/// A `SlabIo` is a cheaply cloneable handle to shared fault state; the
+/// default handle is a pass-through (no locks are even taken unless a
+/// fault has ever been armed — the hot path stays one relaxed atomic
+/// load). Torture harnesses clone the handle into [`TierConfig`] and
+/// arm faults mid-run: `inject` makes an operation class fail stickily
+/// until `heal`/`heal_all`.
+#[derive(Debug, Clone, Default)]
+pub struct SlabIo {
+    state: Arc<SlabIoShared>,
+}
+
+#[derive(Debug, Default)]
+struct SlabIoShared {
+    /// Fast-path gate: set while any fault is armed.
+    armed: std::sync::atomic::AtomicBool,
+    state: Mutex<SlabIoState>,
+}
+
+impl PartialEq for SlabIo {
+    fn eq(&self, other: &SlabIo) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+}
+
+impl SlabIo {
+    /// A pass-through seam (no faults armed).
+    pub fn healthy() -> SlabIo {
+        SlabIo::default()
+    }
+
+    /// Arms a sticky fault: every subsequent `op` fails with `fault`
+    /// until healed.
+    pub fn inject(&self, op: IoOp, fault: IoFault) {
+        let mut s = self.state.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.sticky[op.idx()] = Some(fault);
+        self.state
+            .armed
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Heals one operation class.
+    pub fn heal(&self, op: IoOp) {
+        let mut s = self.state.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.sticky[op.idx()] = None;
+        if s.sticky.iter().all(Option::is_none) {
+            self.state
+                .armed
+                .store(false, std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// Heals every operation class.
+    pub fn heal_all(&self) {
+        let mut s = self.state.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.sticky = [None; IO_OPS];
+        self.state
+            .armed
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Total faults delivered so far (for harness assertions).
+    pub fn faults_injected(&self) -> usize {
+        self.state
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .injected
+    }
+
+    /// The fault armed for a write-class `op`, if any (and counts it
+    /// delivered). Write paths call this so a [`IoFault::Torn`] can
+    /// land its partial bytes before failing.
+    fn write_fault(&self, op: IoOp) -> Option<IoFault> {
+        if !self.state.armed.load(std::sync::atomic::Ordering::Acquire) {
+            return None;
+        }
+        let mut s = self.state.state.lock().unwrap_or_else(|e| e.into_inner());
+        let fault = s.sticky[op.idx()];
+        if fault.is_some() {
+            s.injected += 1;
+        }
+        fault
+    }
+
+    /// Fails `op` if a fault is armed for it (non-write operations:
+    /// renames, fsyncs, whole-file meta writes).
+    fn check(&self, op: IoOp) -> io::Result<()> {
+        match self.write_fault(op) {
+            Some(fault) => Err(fault.to_error()),
+            None => Ok(()),
+        }
+    }
+
+    /// Fails if a `MetaWrite` fault is armed — consulted by the store's
+    /// `.fpmeta` snapshot writer, which goes through the lifecycle
+    /// snapshot helper rather than the slab file.
+    pub(crate) fn meta_write_check(&self) -> io::Result<()> {
+        self.check(IoOp::MetaWrite)
+    }
+}
+
 /// Configuration for the disk tier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierConfig {
@@ -77,6 +246,9 @@ pub struct TierConfig {
     /// Compact a shard's slab when at least this fraction of its
     /// payload bytes belong to removed entries (dead ÷ (live + dead)).
     pub compact_ratio: f64,
+    /// The storage fault-injection seam every file operation of this
+    /// tier consults; pass-through unless a harness armed it.
+    pub io: SlabIo,
 }
 
 impl TierConfig {
@@ -86,12 +258,20 @@ impl TierConfig {
         TierConfig {
             dir: dir.into(),
             compact_ratio: 0.5,
+            io: SlabIo::healthy(),
         }
     }
 
     /// Overrides the dead-byte fraction that triggers compaction.
     pub fn with_compact_ratio(mut self, ratio: f64) -> TierConfig {
         self.compact_ratio = ratio.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Shares a fault-injection seam with the tier (torture harnesses
+    /// keep a clone to arm faults mid-run).
+    pub fn with_io(mut self, io: SlabIo) -> TierConfig {
+        self.io = io;
         self
     }
 
@@ -197,6 +377,7 @@ pub struct SlabFile {
     live_bytes: u64,
     dead_bytes: u64,
     corrupt_segments: usize,
+    io: SlabIo,
 }
 
 impl SlabFile {
@@ -206,7 +387,16 @@ impl SlabFile {
     /// should treat the file as not ours and run untiered rather than
     /// overwrite it.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<SlabFile> {
+        Self::open_with(path, SlabIo::healthy())
+    }
+
+    /// [`SlabFile::open`] with a fault-injection seam. Also sweeps up a
+    /// stale compaction `.tmp` left by a crash between the staging
+    /// write and the commit rename — the original slab is authoritative
+    /// and recovers by bare replay.
+    pub fn open_with(path: impl Into<PathBuf>, io: SlabIo) -> io::Result<SlabFile> {
         let path = path.into();
+        let _ = std::fs::remove_file(path.with_extension("fpslab.tmp"));
         let mut file = OpenOptions::new()
             .read(true)
             .append(true)
@@ -243,10 +433,16 @@ impl SlabFile {
             live_bytes: 0,
             dead_bytes: 0,
             corrupt_segments,
+            io,
         })
     }
 
     /// Appends one framed segment and returns where its payload landed.
+    ///
+    /// A failed append never leaves torn bytes behind: whatever prefix
+    /// of the frame landed before the error is truncated away, so the
+    /// tail stays on a valid frame boundary and later appends (or the
+    /// next replay) see a clean stream.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<SegRef> {
         let len = u32::try_from(payload.len())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "segment too large"))?;
@@ -254,7 +450,10 @@ impl SlabFile {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.write_frame(&frame) {
+            let _ = self.file.set_len(self.len);
+            return Err(e);
+        }
         let seg = SegRef {
             off: self.len + FRAME_LEN,
             len,
@@ -262,6 +461,21 @@ impl SlabFile {
         self.len += frame.len() as u64;
         self.live_bytes += u64::from(len);
         Ok(seg)
+    }
+
+    /// One frame write through the fault seam: a [`IoFault::Torn`]
+    /// lands its partial prefix before failing, exactly what a crash
+    /// mid-`write(2)` leaves on disk.
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        match self.io.write_fault(IoOp::Append) {
+            None => self.file.write_all(frame),
+            Some(IoFault::Torn(n)) => {
+                let n = n.min(frame.len());
+                self.file.write_all(&frame[..n])?;
+                Err(IoFault::Eio.to_error())
+            }
+            Some(fault) => Err(fault.to_error()),
+        }
     }
 
     /// A zero-copy view of `seg`'s payload, remapping if the current
@@ -435,10 +649,17 @@ impl SlabFile {
         }
         let tmp = self.path.with_extension("fpslab.tmp");
         {
+            self.io.check(IoOp::CompactWrite)?;
             let mut file = File::create(&tmp)?;
             file.write_all(&out)?;
+            self.io.check(IoOp::Fsync)?;
             file.sync_all()?;
         }
+        // The torn-rename crash point: with a `CompactRename` fault the
+        // staged `.tmp` is complete on disk but the commit never
+        // happens — the old slab stays authoritative, exactly like a
+        // crash here would leave things.
+        self.io.check(IoOp::CompactRename)?;
         std::fs::rename(&tmp, &self.path)?;
         self.file = OpenOptions::new()
             .read(true)
@@ -538,14 +759,37 @@ pub struct EvictionManager {
     pub(crate) demotions: usize,
     pub(crate) promotions: usize,
     pub(crate) compactions: usize,
+    /// The fault seam, shared with the slab (consulted directly for
+    /// `.fpmeta` writes, which bypass the slab file).
+    pub(crate) io: SlabIo,
+    /// `true` while the tier is in eviction-only degraded mode: slab
+    /// appends have been failing (EIO/ENOSPC), so demotion is skipped —
+    /// entries fall back to plain eviction, which is never
+    /// client-visible — until a periodic re-probe append succeeds.
+    pub(crate) degraded: bool,
+    /// Demote attempts skipped since the last degraded-mode re-probe.
+    pub(crate) skipped_since_probe: usize,
+    /// Times the tier entered degraded mode (monotone).
+    pub(crate) degrade_events: usize,
+    /// Times a re-probe append succeeded and the tier left degraded
+    /// mode (monotone).
+    pub(crate) recoveries: usize,
+    /// Slab I/O errors observed (appends and compactions; injected or
+    /// real).
+    pub(crate) io_errors: usize,
 }
+
+/// How many demote attempts degraded mode skips between re-probe
+/// appends. Attempt-counted rather than timed so torture replays stay
+/// deterministic under a virtual clock.
+pub(crate) const DEGRADED_REPROBE_AFTER: usize = 8;
 
 impl EvictionManager {
     /// Opens shard `i`'s slab under the tier directory (creating both
     /// as needed).
     pub fn open(config: &TierConfig, shard: usize) -> io::Result<EvictionManager> {
         std::fs::create_dir_all(&config.dir)?;
-        let slab = SlabFile::open(config.slab_path(shard))?;
+        let slab = SlabFile::open_with(config.slab_path(shard), config.io.clone())?;
         Ok(EvictionManager {
             compact_ratio: config.compact_ratio,
             meta_path: config.meta_path(shard),
@@ -555,7 +799,51 @@ impl EvictionManager {
             demotions: 0,
             promotions: 0,
             compactions: 0,
+            io: config.io.clone(),
+            degraded: false,
+            skipped_since_probe: 0,
+            degrade_events: 0,
+            recoveries: 0,
+            io_errors: 0,
         })
+    }
+
+    /// Whether a slab append should be attempted right now. Healthy:
+    /// always. Degraded: skip (the caller evicts instead), except every
+    /// [`DEGRADED_REPROBE_AFTER`]th attempt, which goes through as the
+    /// re-probe that detects the disk recovering.
+    pub(crate) fn admit_append(&mut self) -> bool {
+        if !self.degraded {
+            return true;
+        }
+        self.skipped_since_probe += 1;
+        if self.skipped_since_probe >= DEGRADED_REPROBE_AFTER {
+            self.skipped_since_probe = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful slab append; a success while degraded is
+    /// the re-probe landing, so the tier resumes demotion.
+    pub(crate) fn note_append_ok(&mut self) {
+        if self.degraded {
+            self.degraded = false;
+            self.skipped_since_probe = 0;
+            self.recoveries += 1;
+        }
+    }
+
+    /// Records a failed slab append and enters eviction-only degraded
+    /// mode. Never client-visible: the caller falls back to eviction
+    /// and the entry is simply refetched from origin on its next miss.
+    pub(crate) fn note_append_err(&mut self) {
+        self.io_errors += 1;
+        if !self.degraded {
+            self.degraded = true;
+            self.skipped_since_probe = 0;
+            self.degrade_events += 1;
+        }
     }
 
     /// Compacts the slab if the dead-byte trigger has fired. Returns
@@ -581,7 +869,10 @@ impl EvictionManager {
             }
             // Compaction failure is not fatal: the old file and refs
             // stay valid; we'll retry at the next trigger.
-            Err(_) => Vec::new(),
+            Err(_) => {
+                self.io_errors += 1;
+                Vec::new()
+            }
         }
     }
 }
@@ -738,6 +1029,152 @@ mod tests {
         assert_eq!(v3.payload(), &p3[..]);
         // The pre-compaction mapping still serves the old bytes.
         assert_eq!(pinned.payload(), &p1[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_faults_fail_with_real_errnos_and_leave_no_tail() {
+        let dir = temp_dir("io_faults");
+        let path = dir.join("slab_0.fpslab");
+        let io = SlabIo::healthy();
+        let mut slab = SlabFile::open_with(&path, io.clone()).unwrap();
+        let p1 = payload(1, 128);
+        let s1 = slab.append(&p1).unwrap();
+        let clean_len = slab.bytes();
+
+        io.inject(IoOp::Append, IoFault::Enospc);
+        let err = slab.append(&payload(2, 128)).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(slab.bytes(), clean_len, "ENOSPC left bytes behind");
+
+        // A torn write lands partial bytes; the self-heal truncates
+        // them back off so the on-disk stream stays frame-aligned.
+        io.inject(IoOp::Append, IoFault::Torn(5));
+        let err = slab.append(&payload(3, 128)).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert_eq!(slab.bytes(), clean_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(io.faults_injected(), 2);
+
+        // Healed: appends work again and nothing was corrupted.
+        io.heal_all();
+        let p4 = payload(4, 128);
+        let s4 = slab.append(&p4).unwrap();
+        assert_eq!(slab.read_segment(s1).unwrap(), p1);
+        assert_eq!(slab.read_segment(s4).unwrap(), p4);
+        drop(slab);
+        let mut slab = SlabFile::open_with(&path, SlabIo::healthy()).unwrap();
+        assert_eq!(slab.replay().len(), 2);
+        assert_eq!(slab.corrupt_segments(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: the torn-rename crash point. A fault between the
+    /// staging write and the rename leaves a *complete* `.tmp` next to
+    /// the untouched slab — recovery must sweep the tmp, replay the
+    /// bare slab with zero entry loss, and count zero corruption (a
+    /// failed compaction is not damage, and must not double-count).
+    #[test]
+    fn torn_rename_crash_point_loses_nothing_and_counts_nothing() {
+        let dir = temp_dir("torn_rename");
+        let path = dir.join("slab_0.fpslab");
+        let io = SlabIo::healthy();
+        let mut slab = SlabFile::open_with(&path, io.clone()).unwrap();
+        let p1 = payload(1, 900);
+        let p2 = payload(2, 900);
+        let p3 = payload(3, 900);
+        let s1 = slab.append(&p1).unwrap();
+        let s2 = slab.append(&p2).unwrap();
+        let s3 = slab.append(&p3).unwrap();
+        slab.mark_dead(s1);
+        slab.mark_dead(s2);
+
+        io.inject(IoOp::CompactRename, IoFault::Eio);
+        let err = slab.compact(&[(3, s3)]).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        let tmp = path.with_extension("fpslab.tmp");
+        assert!(tmp.exists(), "staging completed before the crash point");
+        // The old slab stays authoritative: the old ref still reads.
+        assert_eq!(slab.read_segment(s3).unwrap(), p3);
+        assert_eq!(
+            slab.corrupt_segments(),
+            0,
+            "a failed compaction is not corruption"
+        );
+
+        // "Crash" and restart: reopen sweeps the stale tmp; the bare
+        // replay recovers every intact segment.
+        drop(slab);
+        let mut slab = SlabFile::open_with(&path, SlabIo::healthy()).unwrap();
+        assert!(!tmp.exists(), "stale staging file swept at open");
+        let kept = slab.replay();
+        assert_eq!(kept.len(), 3, "entry loss across the crash point");
+        assert_eq!(kept[2].1, p3);
+        assert_eq!(slab.corrupt_segments(), 0, "double-counted corruption");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_staging_and_fsync_faults_leave_the_old_slab_authoritative() {
+        let dir = temp_dir("compact_faults");
+        let io = SlabIo::healthy();
+        let mut slab = SlabFile::open_with(dir.join("slab_0.fpslab"), io.clone()).unwrap();
+        let p = payload(7, 600);
+        let s = slab.append(&p).unwrap();
+
+        for fault_op in [IoOp::CompactWrite, IoOp::Fsync] {
+            io.inject(fault_op, IoFault::Enospc);
+            let err = slab.compact(&[(7, s)]).unwrap_err();
+            assert_eq!(err.raw_os_error(), Some(28));
+            assert_eq!(slab.read_segment(s).unwrap(), p, "{fault_op:?}");
+            io.heal_all();
+        }
+        // Healed, the same compaction goes through.
+        let (new_refs, dropped) = slab.compact(&[(7, s)]).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(slab.read_segment(new_refs[0].1).unwrap(), p);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The eviction-only degraded mode: after an append failure the
+    /// tier stops attempting appends except for a periodic re-probe,
+    /// and one successful re-probe restores full service. Counters
+    /// record one degrade event per outage, not per skipped append.
+    #[test]
+    fn degraded_tier_reprobes_periodically_and_recovers() {
+        let dir = temp_dir("degrade");
+        let cfg = TierConfig::new(&dir);
+        let mut tier = EvictionManager::open(&cfg, 0).unwrap();
+        assert!(tier.admit_append(), "healthy tier admits every append");
+
+        tier.note_append_err();
+        assert_eq!(tier.degrade_events, 1);
+        let admitted: Vec<bool> = (0..DEGRADED_REPROBE_AFTER)
+            .map(|_| tier.admit_append())
+            .collect();
+        assert!(
+            admitted[..DEGRADED_REPROBE_AFTER - 1].iter().all(|a| !a),
+            "degraded tier must skip appends"
+        );
+        assert!(
+            admitted[DEGRADED_REPROBE_AFTER - 1],
+            "every {DEGRADED_REPROBE_AFTER}th attempt re-probes the disk"
+        );
+
+        // The re-probe fails: still one outage, not a new degrade event.
+        tier.note_append_err();
+        assert_eq!(tier.degrade_events, 1);
+        assert_eq!(tier.io_errors, 2);
+
+        // Next re-probe succeeds: demotion resumes immediately.
+        for _ in 0..DEGRADED_REPROBE_AFTER - 1 {
+            assert!(!tier.admit_append());
+        }
+        assert!(tier.admit_append());
+        tier.note_append_ok();
+        assert_eq!(tier.recoveries, 1);
+        assert!(tier.admit_append(), "recovered tier admits every append");
+        assert!(tier.admit_append());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -12,11 +12,14 @@
 //! makes the router fall through to its local origin path. Neither ever
 //! reaches a client.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Duration;
 
 use super::gossip::GossipEntry;
 use super::slots::NodeId;
+use crate::resilience::Clock;
 use crate::runtime::XmlResponse;
 
 /// Why a peer exchange failed. Coarse on purpose: the caller's response
@@ -71,15 +74,31 @@ pub trait PeerTransport: Send + Sync {
     fn probe(&self, from: NodeId, to: NodeId, sql: &str) -> Result<Option<XmlResponse>, PeerError>;
 }
 
-/// A transport wrapper that drops a seeded pseudo-random fraction of
-/// exchanges, for chaos tests: dropped calls surface as
-/// [`PeerError::Timeout`], exactly what a flaky network looks like from
-/// the caller's side.
+/// A transport wrapper that injects network faults for chaos and
+/// torture runs, deterministically per seed:
+///
+/// - **drops**: a seeded pseudo-random fraction of exchanges surface
+///   as [`PeerError::Timeout`], exactly what a flaky network looks
+///   like from the caller's side;
+/// - **delays** (optional): a seeded fraction of the surviving
+///   exchanges sleep on an injected [`Clock`] before delivery — inert
+///   wall-clock-wise under a virtual clock, but it advances the timing
+///   budget the failure detector runs on, modeling a slow link;
+/// - **asymmetric partitions**: individual *directed* links can be
+///   severed mid-run (`block(a, b)` kills a→b while b→a still works),
+///   which is the partition shape that trips naive failure detectors.
 pub struct LossyTransport {
     inner: Arc<dyn PeerTransport>,
     /// Probability of dropping any one exchange, in [0, 1].
     drop_rate: f64,
     rng: Mutex<u64>,
+    /// `(rate, delay, clock)`: fraction of delivered exchanges that
+    /// sleep `delay` on `clock` first. `None` = no delay faults (and no
+    /// extra rng draws, so pre-existing seeds keep their streams).
+    delay: Option<(f64, Duration, Arc<dyn Clock>)>,
+    /// Severed directed links: an exchange whose path crosses a blocked
+    /// direction times out.
+    blocked: Mutex<HashSet<(NodeId, NodeId)>>,
 }
 
 impl LossyTransport {
@@ -90,17 +109,78 @@ impl LossyTransport {
             inner,
             drop_rate: drop_rate.clamp(0.0, 1.0),
             rng: Mutex::new(seed.max(1)),
+            delay: None,
+            blocked: Mutex::new(HashSet::new()),
         }
     }
 
-    fn dropped(&self) -> bool {
+    /// Adds delay faults: `rate` of the exchanges that survive the drop
+    /// draw sleep `delay` on `clock` before being delivered.
+    pub fn with_delay(mut self, rate: f64, delay: Duration, clock: Arc<dyn Clock>) -> Self {
+        self.delay = Some((rate.clamp(0.0, 1.0), delay, clock));
+        self
+    }
+
+    /// Severs the directed link `from` → `to` (the reverse direction is
+    /// untouched — block both to model a full partition).
+    pub fn block(&self, from: NodeId, to: NodeId) {
+        self.blocked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((from, to));
+    }
+
+    /// Restores the directed link `from` → `to`.
+    pub fn unblock(&self, from: NodeId, to: NodeId) {
+        self.blocked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(from, to));
+    }
+
+    /// Restores every severed link.
+    pub fn heal_partitions(&self) {
+        self.blocked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Whether the directed link `from` → `to` is currently severed.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&(from, to))
+    }
+
+    fn draw(&self) -> f64 {
         let mut state = self.rng.lock().unwrap_or_else(|e| e.into_inner());
         let mut x = *state;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
         *state = x;
-        (x >> 11) as f64 / (1u64 << 53) as f64 % 1.0 < self.drop_rate
+        (x >> 11) as f64 / (1u64 << 53) as f64 % 1.0
+    }
+
+    fn dropped(&self) -> bool {
+        self.draw() < self.drop_rate
+    }
+
+    /// The drop/delay gauntlet for one delivered exchange. Partition
+    /// checks are set lookups, not rng draws, so arming a partition
+    /// mid-run never perturbs the seeded stream.
+    fn deliver(&self) -> Result<(), PeerError> {
+        if self.dropped() {
+            return Err(PeerError::Timeout);
+        }
+        if let Some((rate, delay, clock)) = &self.delay {
+            if self.draw() < *rate {
+                clock.sleep(*delay);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -111,23 +191,28 @@ impl PeerTransport for LossyTransport {
         to: NodeId,
         digest: &[GossipEntry],
     ) -> Result<Vec<GossipEntry>, PeerError> {
-        if self.dropped() {
+        if self.is_blocked(from, to) {
             return Err(PeerError::Timeout);
         }
+        self.deliver()?;
         self.inner.ping(from, to, digest)
     }
 
     fn ping_req(&self, from: NodeId, via: NodeId, target: NodeId) -> Result<(), PeerError> {
-        if self.dropped() {
+        // An indirect probe crosses two links: the request to the via
+        // and the via's ping of the target.
+        if self.is_blocked(from, via) || self.is_blocked(via, target) {
             return Err(PeerError::Timeout);
         }
+        self.deliver()?;
         self.inner.ping_req(from, via, target)
     }
 
     fn probe(&self, from: NodeId, to: NodeId, sql: &str) -> Result<Option<XmlResponse>, PeerError> {
-        if self.dropped() {
+        if self.is_blocked(from, to) {
             return Err(PeerError::Timeout);
         }
+        self.deliver()?;
         self.inner.probe(from, to, sql)
     }
 }
@@ -194,6 +279,61 @@ mod tests {
         let a = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 42);
         let b = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 42);
         for _ in 0..256 {
+            assert_eq!(a.dropped(), b.dropped());
+        }
+    }
+
+    #[test]
+    fn asymmetric_partition_severs_one_direction_only() {
+        let lossy = LossyTransport::new(Arc::new(AlwaysOk), 0.0, 7);
+        lossy.block(NodeId(0), NodeId(1));
+        assert!(matches!(
+            lossy.ping(NodeId(0), NodeId(1), &[]),
+            Err(PeerError::Timeout)
+        ));
+        assert!(lossy.ping(NodeId(1), NodeId(0), &[]).is_ok());
+        lossy.unblock(NodeId(0), NodeId(1));
+        assert!(lossy.ping(NodeId(0), NodeId(1), &[]).is_ok());
+    }
+
+    #[test]
+    fn indirect_probe_needs_both_legs_of_the_relay_path() {
+        let lossy = LossyTransport::new(Arc::new(AlwaysOk), 0.0, 7);
+        // Sever requester → via: the relay request itself can't get out.
+        lossy.block(NodeId(0), NodeId(2));
+        assert!(lossy.ping_req(NodeId(0), NodeId(2), NodeId(1)).is_err());
+        lossy.heal_partitions();
+        // Sever via → target: the relay can't complete its ping.
+        lossy.block(NodeId(2), NodeId(1));
+        assert!(lossy.ping_req(NodeId(0), NodeId(2), NodeId(1)).is_err());
+        // A different via with clean links still works.
+        assert!(lossy.ping_req(NodeId(0), NodeId(3), NodeId(1)).is_ok());
+    }
+
+    #[test]
+    fn delay_faults_sleep_on_the_injected_clock() {
+        let clock = crate::resilience::MockClock::shared();
+        let lossy = LossyTransport::new(Arc::new(AlwaysOk), 0.0, 7).with_delay(
+            1.0,
+            Duration::from_millis(40),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let before = clock.now();
+        assert!(lossy.ping(NodeId(0), NodeId(1), &[]).is_ok());
+        assert_eq!(clock.now() - before, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn arming_partitions_mid_run_never_perturbs_the_seeded_stream() {
+        let a = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 99);
+        let b = LossyTransport::new(Arc::new(AlwaysOk), 0.5, 99);
+        // `b` takes blocked exchanges interleaved with its draws; the
+        // drop stream for delivered exchanges must still match `a`.
+        b.block(NodeId(8), NodeId(9));
+        for i in 0..256 {
+            if i % 3 == 0 {
+                assert!(b.ping(NodeId(8), NodeId(9), &[]).is_err());
+            }
             assert_eq!(a.dropped(), b.dropped());
         }
     }

@@ -354,6 +354,19 @@ impl ClusterRouter {
         self
     }
 
+    /// Like [`Self::with_loss`], but the caller builds the lossy layer
+    /// (delay, drop rate) around the router's current transport and
+    /// gets the handle back, so partitions can be armed and healed
+    /// mid-run. This is the torture harness's hook.
+    pub fn with_faulty_transport(
+        mut self,
+        build: impl FnOnce(Arc<dyn PeerTransport>) -> LossyTransport,
+    ) -> (ClusterRouter, Arc<LossyTransport>) {
+        let lossy = Arc::new(build(Arc::clone(&self.transport)));
+        self.transport = Arc::clone(&lossy) as Arc<dyn PeerTransport>;
+        (self, lossy)
+    }
+
     /// Number of nodes (live or not).
     pub fn len(&self) -> usize {
         self.nodes.len()

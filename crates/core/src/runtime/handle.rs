@@ -481,6 +481,9 @@ impl ProxyHandle {
         snapshot.promotions = cache.promotions;
         snapshot.slab_compactions = cache.slab_compactions;
         snapshot.slab_corrupt_segments = cache.slab_corrupt_segments;
+        snapshot.tier_degraded = cache.tier_degraded;
+        snapshot.tier_recoveries = cache.tier_recoveries;
+        snapshot.slab_io_errors = cache.slab_io_errors;
         let obs = &self.inner.observe;
         snapshot.request_latency = obs.request_summary();
         snapshot.hit_latency = obs.hit_summary();
@@ -1306,7 +1309,12 @@ impl ProxyHandle {
                 life,
             })),
             None => {
-                store.drop_corrupt_demoted(id);
+                // Read-repair: quarantine the unreadable segment; the
+                // forward plan below re-fetches from origin and its
+                // insert rewrites the entry.
+                if store.quarantine_corrupt_demoted(id).is_some() {
+                    self.inner.stats.note_read_repair();
+                }
                 LockedPhase::Origin(OriginPlan::forward(bound, Vec::new()))
             }
         }
@@ -1383,7 +1391,11 @@ impl ProxyHandle {
         let Some(((_, _, result, _, _, coord_idx), _stamp)) = parsed else {
             let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
             self.note_lock_wait(timing, wait);
-            store.drop_corrupt_demoted(plan.id);
+            // Read-repair: quarantine, then let the forward plan's
+            // origin fetch and insert rewrite the entry.
+            if store.quarantine_corrupt_demoted(plan.id).is_some() {
+                self.inner.stats.note_read_repair();
+            }
             return Phase::Origin(OriginPlan::forward(bound, Vec::new()));
         };
         let result = Arc::new(result);
@@ -2116,8 +2128,20 @@ impl ProxyHandle {
                 store.promote(id, result, columnar);
             }
             None => {
-                let (mut store, _) = self.inner.store.lock(residual_key);
-                store.drop_corrupt_demoted(id);
+                // Read-repair: no client request is waiting on this
+                // background promotion, so the rewrite must be spawned
+                // explicitly — quarantine, then re-fetch the entry's
+                // own SQL through the resilient origin path and
+                // reinsert (the revalidation machinery is exactly that
+                // fetch-and-replace).
+                let repair = {
+                    let (mut store, _) = self.inner.store.lock(residual_key);
+                    store.quarantine_corrupt_demoted(id)
+                };
+                if let Some(sql) = repair {
+                    self.inner.stats.note_read_repair();
+                    self.spawn_revalidation(sql.to_string());
+                }
             }
         }
         self.inner
@@ -2315,23 +2339,33 @@ impl ProxyHandle {
     /// many shard files were written; unchanged shards are skipped.
     ///
     /// # Errors
-    /// Propagates filesystem errors. A partially completed pass leaves
-    /// every already-written shard file valid (each is written to a
-    /// temporary file and atomically renamed).
+    /// Never fails today: a shard whose snapshot write errors (ENOSPC,
+    /// EIO) is counted (`snapshot_io_errors`), left dirty so the next
+    /// pass retries it, and skipped — a failed snapshot must never
+    /// poison the serving path, which keeps answering from RAM. The
+    /// `Result` stays for callers that match on it. A partially
+    /// completed pass leaves every already-written shard file valid
+    /// (each is written to a temporary file and atomically renamed).
     pub fn snapshot_now(&self) -> io::Result<usize> {
         let (Some(sched), Some(policy)) = (&self.inner.snap, &self.inner.config.lifecycle.snapshot)
         else {
             return Ok(0);
         };
         let mut s = sched.lock().unwrap_or_else(|e| e.into_inner());
-        self.write_snapshots(&policy.dir, &mut s.written_gens)
+        Ok(self.write_snapshots(&policy.dir, &mut s.written_gens))
     }
 
     /// One snapshot pass: serialize each dirty shard's entries (with
     /// relative lifecycle stamps) into the checksummed segment format.
-    fn write_snapshots(&self, dir: &Path, written_gens: &mut [u64]) -> io::Result<usize> {
+    /// Write errors never escape: the shard stays dirty (its previous
+    /// snapshot generation stays on disk, so at worst a restart replays
+    /// older metadata) and the error is counted.
+    fn write_snapshots(&self, dir: &Path, written_gens: &mut [u64]) -> usize {
         let pass_start = Instant::now();
-        std::fs::create_dir_all(dir)?;
+        if std::fs::create_dir_all(dir).is_err() {
+            self.inner.stats.note_snapshot_io_error();
+            return 0;
+        }
         let epoch = self.current_epoch();
         let mut written = 0;
         for (i, written_gen) in written_gens.iter_mut().enumerate() {
@@ -2345,9 +2379,13 @@ impl ProxyHandle {
                     // the slab, so the snapshot is one tiny record per
                     // entry (segment location + lifecycle stamp) —
                     // proportional to entry count, not cached bytes.
-                    store.write_tier_meta()?;
-                    *written_gen = generation;
-                    written += 1;
+                    match store.write_tier_meta() {
+                        Ok(_) => {
+                            *written_gen = generation;
+                            written += 1;
+                        }
+                        Err(_) => self.inner.stats.note_snapshot_io_error(),
+                    }
                     None
                 } else {
                     let now = store.now();
@@ -2361,9 +2399,13 @@ impl ProxyHandle {
             let Some((generation, segments)) = dirty else {
                 continue;
             };
-            write_snapshot_file(&dir.join(format!("shard_{i}.fpsnap")), epoch, &segments)?;
-            *written_gen = generation;
-            written += 1;
+            match write_snapshot_file(&dir.join(format!("shard_{i}.fpsnap")), epoch, &segments) {
+                Ok(()) => {
+                    *written_gen = generation;
+                    written += 1;
+                }
+                Err(_) => self.inner.stats.note_snapshot_io_error(),
+            }
         }
         if written > 0 {
             self.inner.stats.note_snapshot_writes(written);
@@ -2381,7 +2423,7 @@ impl ProxyHandle {
                 || Some(format!("files={written}")),
             );
         }
-        Ok(written)
+        written
     }
 
     /// Startup recovery: load every `*.fpsnap` file in `dir`,

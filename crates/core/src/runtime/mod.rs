@@ -79,6 +79,8 @@ pub struct RuntimeStats {
     peer_probes: AtomicUsize,
     peer_hits: AtomicUsize,
     peer_probe_failures: AtomicUsize,
+    read_repairs: AtomicUsize,
+    snapshot_io_errors: AtomicUsize,
 }
 
 impl RuntimeStats {
@@ -148,6 +150,14 @@ impl RuntimeStats {
     pub(crate) fn note_peer_probe_failure(&self) {
         self.peer_probes.fetch_add(1, Ordering::Release);
         self.peer_probe_failures.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_read_repair(&self) {
+        self.read_repairs.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_snapshot_io_error(&self) {
+        self.snapshot_io_errors.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -242,6 +252,20 @@ pub struct RuntimeSnapshot {
     /// Peer probes that failed transport after retries and fell
     /// through to the local origin path.
     pub peer_probe_failures: usize,
+    /// CRC-failing slab segments read-repaired: quarantined, re-fetched
+    /// from origin through the resilient path, and rewritten.
+    pub read_repairs: usize,
+    /// Snapshot/`.fpmeta` writes that failed (ENOSPC, EIO) — counted
+    /// and retried next pass, never surfaced to the serving path.
+    pub snapshot_io_errors: usize,
+    /// Times the disk tier entered eviction-only degraded mode
+    /// (persistent slab I/O errors; demotion suspended).
+    pub tier_degraded: usize,
+    /// Times a degraded tier's re-probe append succeeded and demotion
+    /// resumed.
+    pub tier_recoveries: usize,
+    /// Slab I/O errors observed (failed appends and compactions).
+    pub slab_io_errors: usize,
     /// Measured end-to-end latency quantiles over every served request.
     pub request_latency: LatencySummary,
     /// Measured latency quantiles over fresh cache hits (exact +
@@ -276,6 +300,8 @@ impl RuntimeStats {
         let peer_hits = self.peer_hits.load(Ordering::Acquire);
         let peer_probe_failures = self.peer_probe_failures.load(Ordering::Acquire);
         let peer_probes = self.peer_probes.load(Ordering::Acquire);
+        let read_repairs = self.read_repairs.load(Ordering::Acquire);
+        let snapshot_io_errors = self.snapshot_io_errors.load(Ordering::Acquire);
         // Read last: every derived increment observed above was preceded
         // by its request's `note_request`, so this load sees it too.
         let requests = self.requests.load(Ordering::Acquire);
@@ -316,6 +342,11 @@ impl RuntimeStats {
             peer_probes,
             peer_hits,
             peer_probe_failures,
+            read_repairs,
+            snapshot_io_errors,
+            tier_degraded: 0,
+            tier_recoveries: 0,
+            slab_io_errors: 0,
             request_latency: LatencySummary::default(),
             hit_latency: LatencySummary::default(),
             origin_fetch_latency: LatencySummary::default(),
@@ -391,6 +422,31 @@ impl RuntimeSnapshot {
             "funcproxy_slab_corrupt_segments_total",
             "Slab segments skipped or dropped as corrupt.",
             self.slab_corrupt_segments as f64,
+        );
+        counter(
+            "funcproxy_tier_degraded_total",
+            "Times the disk tier entered eviction-only degraded mode.",
+            self.tier_degraded as f64,
+        );
+        counter(
+            "funcproxy_tier_recoveries_total",
+            "Times a degraded disk tier recovered and resumed demotion.",
+            self.tier_recoveries as f64,
+        );
+        counter(
+            "funcproxy_slab_io_errors_total",
+            "Slab I/O errors observed (failed appends and compactions).",
+            self.slab_io_errors as f64,
+        );
+        counter(
+            "funcproxy_read_repairs_total",
+            "Corrupt slab segments quarantined and re-fetched from origin.",
+            self.read_repairs as f64,
+        );
+        counter(
+            "funcproxy_snapshot_io_errors_total",
+            "Snapshot/.fpmeta writes that failed and were retried later.",
+            self.snapshot_io_errors as f64,
         );
         counter(
             "funcproxy_origin_timeouts_total",

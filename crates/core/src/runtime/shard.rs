@@ -112,6 +112,9 @@ impl ShardedStore {
             total.promotions += s.promotions;
             total.slab_compactions += s.slab_compactions;
             total.slab_corrupt_segments += s.slab_corrupt_segments;
+            total.tier_degraded += s.tier_degraded;
+            total.tier_recoveries += s.tier_recoveries;
+            total.slab_io_errors += s.slab_io_errors;
         }
         total
     }

@@ -24,6 +24,7 @@
 use std::fs::File;
 use std::io;
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 // Protection and flag bits (uapi/asm-generic/mman-common.h).
 const PROT_READ: i32 = 0x1;
@@ -32,6 +33,27 @@ const MAP_SHARED: i32 = 0x01;
 extern "C" {
     fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
     fn munmap(addr: *mut u8, len: usize) -> i32;
+}
+
+/// Remaining `map` calls to fail with EIO, process-wide. Torture and
+/// fault-injection tests arm this to force callers onto their owned-read
+/// fallback path; zero (the normal state) costs one relaxed load.
+static FAIL_NEXT_MAPS: AtomicUsize = AtomicUsize::new(0);
+
+/// Makes the next `n` calls to [`Mmap::map`] (process-wide) fail with
+/// `EIO` before touching the kernel. Fault injection for tests: callers
+/// must treat a failed map as a soft error and fall back to owned reads.
+pub fn fail_next_maps(n: usize) {
+    FAIL_NEXT_MAPS.store(n, Ordering::SeqCst);
+}
+
+fn injected_failure() -> bool {
+    if FAIL_NEXT_MAPS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    FAIL_NEXT_MAPS
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 /// A read-only shared mapping of the first `len` bytes of a file.
@@ -70,6 +92,9 @@ impl Mmap {
                 io::ErrorKind::InvalidInput,
                 "cannot map zero bytes",
             ));
+        }
+        if injected_failure() {
+            return Err(io::Error::from_raw_os_error(5));
         }
         // SAFETY: null hint address, length checked non-zero, fd valid
         // for the duration of the call (mappings outlive the fd by
@@ -123,6 +148,11 @@ impl Drop for Mmap {
 mod tests {
     use super::*;
     use std::io::Write;
+    use std::sync::Mutex;
+
+    /// `FAIL_NEXT_MAPS` is process-wide, so every test that calls `map`
+    /// serializes here to keep injected failures from leaking across.
+    static SERIAL: Mutex<()> = Mutex::new(());
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -131,7 +161,25 @@ mod tests {
     }
 
     #[test]
+    fn injected_map_failures_consume_their_budget_then_clear() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let path = temp_path("inject");
+        std::fs::write(&path, b"some bytes here").unwrap();
+        let file = File::open(&path).unwrap();
+        fail_next_maps(2);
+        let err = Mmap::map(&file, 4).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(Mmap::map(&file, 4).is_err());
+        // Budget spent: mapping works again without re-arming.
+        let map = Mmap::map(&file, 4).unwrap();
+        assert_eq!(map.as_slice(), b"some");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn maps_file_contents_exactly() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let path = temp_path("exact");
         let payload: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
         std::fs::write(&path, &payload).unwrap();
@@ -146,6 +194,7 @@ mod tests {
 
     #[test]
     fn mapped_prefix_survives_appends_and_fd_close() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let path = temp_path("append");
         std::fs::write(&path, b"prefix-bytes").unwrap();
         let map = {
@@ -166,6 +215,7 @@ mod tests {
 
     #[test]
     fn zero_length_map_is_rejected() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let path = temp_path("zero");
         std::fs::write(&path, b"").unwrap();
         let file = File::open(&path).unwrap();
@@ -176,6 +226,7 @@ mod tests {
 
     #[test]
     fn map_is_shareable_across_threads() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         let path = temp_path("threads");
         let payload: Vec<u8> = (0..4096u32).map(|i| (i % 131) as u8).collect();
         std::fs::write(&path, &payload).unwrap();

@@ -1,0 +1,291 @@
+//! Storage-fault integration tests: the disk tier under injected I/O
+//! errors, end to end through the serving path.
+//!
+//! Three pinned behaviors:
+//!
+//! 1. **ENOSPC never costs a request.** A full disk degrades the tier
+//!    to eviction-only mode — every query still answers byte-identically
+//!    (availability 1.000) — and when the disk heals, a periodic
+//!    re-probe restores demotion. The `tier_degraded` /
+//!    `tier_recoveries` / `slab_io_errors` counters prove the round
+//!    trip.
+//! 2. **Snapshot write errors never poison serving.** A failing
+//!    `.fpmeta` write is logged and counted (`snapshot_io_errors`); the
+//!    proxy keeps answering from RAM and the next healthy pass writes
+//!    the metadata.
+//! 3. **Corrupted slab segments are read-repaired.** A CRC-failing
+//!    demoted segment is quarantined and refetched through the
+//!    resilient path — the client still gets the right bytes, and
+//!    `read_repairs` counts the heal.
+
+use fp_suite::proxy::cache::{IoFault, IoOp, SlabIo, TierConfig};
+use fp_suite::proxy::template::TemplateManager;
+use fp_suite::proxy::{
+    CostModel, CountingOrigin, LifecycleConfig, Origin, ProxyConfig, ProxyHandle, Scheme,
+    SiteOrigin,
+};
+use fp_suite::skyserver::{Catalog, CatalogSpec, SkySite};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Well-separated radial queries — each its own exact-match entry.
+fn queries(n: usize) -> Vec<Vec<(String, String)>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                ("ra".to_string(), format!("{:.4}", 15.0 + 16.0 * (i as f64))),
+                (
+                    "dec".to_string(),
+                    format!("{:.4}", -30.0 + 3.0 * (i as f64)),
+                ),
+                ("radius".to_string(), "7.0000".to_string()),
+            ]
+        })
+        .collect()
+}
+
+fn site() -> SkySite {
+    SkySite::new(Catalog::generate(&CatalogSpec {
+        seed: 77,
+        objects: 9_000,
+        ..CatalogSpec::default()
+    }))
+}
+
+fn make_handle(
+    site: &SkySite,
+    budget: Option<usize>,
+    tier: Option<(&Path, &SlabIo)>,
+    snap_dir: Option<&Path>,
+) -> (ProxyHandle, Arc<CountingOrigin>) {
+    let origin = Arc::new(CountingOrigin::new(Arc::new(SiteOrigin::new(site.clone()))));
+    let mut config = ProxyConfig::default()
+        .with_scheme(Scheme::FullSemantic)
+        .with_cost(CostModel::free())
+        .with_capacity(budget);
+    if let Some((dir, io)) = tier {
+        config = config.with_tier_config(TierConfig::new(dir).with_io(io.clone()));
+    }
+    if let Some(dir) = snap_dir {
+        config = config.with_lifecycle(
+            LifecycleConfig::default()
+                .with_default_ttl(Duration::from_secs(3600))
+                .with_epoch(1)
+                // Long interval: snapshots happen via snapshot_now only.
+                .with_snapshot(dir, Duration::from_secs(3600)),
+        );
+    }
+    let handle = ProxyHandle::with_shards(
+        TemplateManager::with_sky_defaults(),
+        Arc::clone(&origin) as Arc<dyn Origin>,
+        config,
+        2,
+    );
+    (handle, origin)
+}
+
+/// Oracle bodies and the working-set size, from an unbounded RAM proxy.
+fn oracle(site: &SkySite, queries: &[Vec<(String, String)>]) -> (Vec<Vec<u8>>, usize) {
+    let (handle, _) = make_handle(site, None, None, None);
+    let truth: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            handle
+                .handle_form_xml("/search/radial", q)
+                .expect("oracle serves")
+                .body
+        })
+        .collect();
+    let working_set = handle.cache_stats().bytes.max(1);
+    (truth, working_set)
+}
+
+/// ENOSPC acceptance: with every slab append failing, the tier degrades
+/// to eviction-only mode and **no request is lost** — then a heal plus
+/// continued traffic re-probes the disk and recovery resumes demotion.
+#[test]
+fn enospc_degrades_to_eviction_only_with_full_availability() {
+    let site = site();
+    let queries = queries(20);
+    let (truth, working_set) = oracle(&site, &queries);
+
+    let tier_dir = fresh_dir("fp_enospc");
+    let io = SlabIo::healthy();
+    // Disk full from the very first demotion attempt.
+    io.inject(IoOp::Append, IoFault::Enospc);
+    let (handle, _) = make_handle(&site, Some(working_set / 4), Some((&tier_dir, &io)), None);
+
+    // Three full passes under ENOSPC: the budget wants to demote on
+    // every pass, every attempt fails, and every answer stays right.
+    for round in 0..3 {
+        for (k, q) in queries.iter().enumerate() {
+            let r = handle
+                .handle_form_xml("/search/radial", q)
+                .expect("request must serve under ENOSPC");
+            assert_eq!(
+                r.body, truth[k],
+                "round {round} query {k}: wrong bytes under a full disk"
+            );
+        }
+    }
+    handle.quiesce_revalidations();
+    let mid = handle.runtime_stats();
+    assert!(
+        mid.tier_degraded >= 1,
+        "persistent ENOSPC must trip eviction-only mode"
+    );
+    assert!(
+        mid.slab_io_errors >= 1,
+        "failed appends must be counted, got {}",
+        mid.slab_io_errors
+    );
+    assert_eq!(mid.tier_recoveries, 0, "disk has not healed yet");
+
+    // The disk heals. Demotion pressure continues; within a few passes
+    // a re-probe append lands and the tier recovers.
+    io.heal_all();
+    for _ in 0..6 {
+        for (k, q) in queries.iter().enumerate() {
+            let r = handle
+                .handle_form_xml("/search/radial", q)
+                .expect("request must serve after heal");
+            assert_eq!(r.body, truth[k]);
+        }
+    }
+    handle.quiesce_revalidations();
+    let end = handle.runtime_stats();
+    assert!(
+        end.tier_recoveries >= 1,
+        "the re-probe must detect the healed disk (degraded={}, io_errors={})",
+        end.tier_degraded,
+        end.slab_io_errors
+    );
+    assert!(
+        handle.cache_stats().demotions > 0,
+        "demotion must resume after recovery"
+    );
+    assert!(io.faults_injected() > 0);
+    std::fs::remove_dir_all(&tier_dir).ok();
+}
+
+/// Satellite: `.fpmeta` snapshot write errors are counted and isolated
+/// — `snapshot_now` still returns Ok, serving continues from RAM, and
+/// the next healthy pass writes the metadata for real.
+#[test]
+fn snapshot_write_faults_never_poison_serving() {
+    let site = site();
+    let queries = queries(6);
+    let (truth, _) = oracle(&site, &queries);
+
+    let tier_dir = fresh_dir("fp_snapfault_tier");
+    let snap_dir = fresh_dir("fp_snapfault_snap");
+    let io = SlabIo::healthy();
+    let (handle, _) = make_handle(&site, None, Some((&tier_dir, &io)), Some(&snap_dir));
+    for q in &queries {
+        handle.handle_form_xml("/search/radial", q).expect("serves");
+    }
+    handle.quiesce_revalidations();
+
+    // Disk full exactly when the tier metadata is being written.
+    io.inject(IoOp::MetaWrite, IoFault::Enospc);
+    let written = handle
+        .snapshot_now()
+        .expect("a failed snapshot must never surface as an error");
+    assert_eq!(written, 0, "no shard may claim a write that failed");
+    let stats = handle.runtime_stats();
+    assert!(
+        stats.snapshot_io_errors >= 1,
+        "the failed meta write must be counted"
+    );
+
+    // Serving is untouched: every answer still comes out of RAM.
+    for (k, q) in queries.iter().enumerate() {
+        let r = handle.handle_form_xml("/search/radial", q).expect("serves");
+        assert_eq!(
+            r.body, truth[k],
+            "query {k}: snapshot failure leaked into the serving path"
+        );
+    }
+
+    // Healed: the shards are still dirty, so the retry writes them.
+    io.heal_all();
+    let written = handle.snapshot_now().expect("healthy snapshot");
+    assert!(
+        written >= 1,
+        "the failed shards must stay dirty and retry on the next pass"
+    );
+    std::fs::remove_dir_all(&tier_dir).ok();
+    std::fs::remove_dir_all(&snap_dir).ok();
+}
+
+/// A demoted segment whose bytes rot on disk fails its CRC at serve
+/// time: the entry is quarantined and refetched from origin — the
+/// client sees the right bytes, never the rotten ones, and the repair
+/// is counted.
+#[test]
+fn corrupted_demoted_segment_is_read_repaired() {
+    let site = site();
+    let queries = queries(20);
+    let (truth, working_set) = oracle(&site, &queries);
+
+    let tier_dir = fresh_dir("fp_readrepair");
+    let io = SlabIo::healthy();
+    let (handle, _) = make_handle(&site, Some(working_set / 4), Some((&tier_dir, &io)), None);
+
+    // Two passes so the budget demotes the long tail to the slab.
+    for _ in 0..2 {
+        for q in &queries {
+            handle.handle_form_xml("/search/radial", q).expect("serves");
+        }
+    }
+    handle.quiesce_revalidations();
+    assert!(
+        handle.cache_stats().disk_entries > 0,
+        "the long tail must live on the slab for this test to bite"
+    );
+
+    // Rot one byte in the middle of every slab shard — the middle of
+    // the file is payload bytes of some demoted entry, so at least one
+    // live segment's CRC breaks.
+    let mut rotted = 0;
+    for entry in std::fs::read_dir(&tier_dir).expect("tier dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("fpslab") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).expect("slab readable");
+        if bytes.len() <= 64 {
+            continue;
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("slab writable");
+        rotted += 1;
+    }
+    assert!(rotted > 0, "no slab file grew enough to corrupt");
+
+    // Re-serve everything: the rotten segment is detected, repaired,
+    // and the client still gets byte-identical answers.
+    for (k, q) in queries.iter().enumerate() {
+        let r = handle.handle_form_xml("/search/radial", q).expect("serves");
+        assert_eq!(
+            r.body, truth[k],
+            "query {k}: a rotten slab byte reached the client"
+        );
+    }
+    handle.quiesce_revalidations();
+    let stats = handle.runtime_stats();
+    assert!(
+        stats.read_repairs >= 1,
+        "the CRC failure must be repaired and counted (corrupt_segments={})",
+        handle.cache_stats().slab_corrupt_segments
+    );
+    std::fs::remove_dir_all(&tier_dir).ok();
+}
