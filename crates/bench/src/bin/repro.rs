@@ -33,6 +33,10 @@
 //!                 durability oracles. Replays the committed seed corpus;
 //!                 with an explicit --seed N, replays exactly that seed
 //!                 (byte-deterministically) and prints its event log
+//!   adaptive      extension: adaptive scheme selection vs every static
+//!                 scheme under cost-aware replacement, on the standard
+//!                 and a Zipf-skewed trace, every answer checked against
+//!                 a no-cache oracle (`--adaptive` is an alias)
 //!   all           everything above
 //! ```
 
@@ -62,6 +66,7 @@ fn main() {
             "--nodes" => nodes = parse_num(args.next(), "--nodes"),
             "--json" => json = true,
             "--chaos" => experiments.push("chaos".to_string()),
+            "--adaptive" => experiments.push("adaptive".to_string()),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -218,6 +223,17 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     }
+    if want("adaptive") {
+        let t = exp.adaptive();
+        print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
+        // Persist the adaptive-vs-static axes (hit rate, origin time,
+        // soundness verdicts) for run-over-run comparison.
+        let path = "BENCH_adaptive.json";
+        match std::fs::write(path, serde_json::to_string(&t).expect("serializes")) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    }
     if want("cluster") {
         let t = exp.cluster(&fleet_sweep(nodes));
         print_block(json, &t, &serde_json::to_string(&t).expect("serializes"));
@@ -249,7 +265,7 @@ fn parse_num(v: Option<String>, flag: &str) -> usize {
 fn print_usage() {
     eprintln!(
         "usage: repro [--objects N] [--queries N] [--seed S] [--threads K] [--edge-conns N] \
-         [--nodes N] [--json] [--chaos] \
-         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|cluster|torture|all]..."
+         [--nodes N] [--json] [--chaos] [--adaptive] \
+         [trace-stats|table1|figure5|figure6|compaction|replacement|coverage|checktime|throughput|tiered|edge|chaos|cluster|torture|adaptive|all]..."
     );
 }

@@ -26,10 +26,15 @@
 //! * [`Experiment::torture`] — extension: seeded whole-stack torture runs
 //!   injecting origin, network, storage, and process faults at once while
 //!   invariant oracles watch every answer (see [`torture`]).
+//! * [`Experiment::adaptive`] — extension: adaptive scheme selection vs
+//!   every static scheme under cost-aware replacement, on the standard
+//!   and a Zipf-skewed trace, each answer checked against a no-cache
+//!   oracle (see [`adaptive`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod chaos;
 pub mod cluster;
 pub mod edge;
@@ -37,6 +42,10 @@ pub mod throughput;
 pub mod tiered;
 pub mod torture;
 
+pub use adaptive::{
+    AdaptiveBench, AdaptiveRow, AdaptiveSection, ADAPTIVE_CACHE_FRACTION, ADAPTIVE_HIT_TOLERANCE,
+    ADAPTIVE_ORIGIN_TOLERANCE,
+};
 pub use chaos::ChaosReport;
 pub use cluster::{fleet_sweep, ClusterBench, ClusterRow, KillReport, FLEET_SIZES};
 pub use edge::{conn_sweep, EdgeConcurrency, EdgeConcurrencyRow, EDGE_WORKERS};
@@ -249,7 +258,8 @@ impl Experiment {
     pub fn replacement(&self) -> ReplacementAblation {
         let cap = Some(self.capacity_for(1.0 / 6.0));
         let rows = Replacement::all()
-            .map(|policy| {
+            .iter()
+            .map(|&policy| {
                 let mut proxy = FunctionProxy::new(
                     TemplateManager::with_sky_defaults(),
                     Arc::new(SiteOrigin::new(self.site.clone())),
@@ -270,7 +280,7 @@ impl Experiment {
                     evictions: stats.evictions,
                 }
             })
-            .to_vec();
+            .collect();
         ReplacementAblation { rows }
     }
 

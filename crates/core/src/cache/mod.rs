@@ -3,6 +3,7 @@
 mod description;
 mod entry;
 mod persist;
+mod profit;
 mod replace;
 mod store;
 mod tier;
@@ -11,6 +12,7 @@ pub use description::{ArrayDescription, CacheDescription, DescriptionKind, RTree
 pub use entry::CacheEntry;
 pub(crate) use persist::{entry_from_xml, entry_to_xml};
 pub use persist::{region_from_xml, region_to_xml, SnapshotLoad};
+pub use profit::{ProfitEstimate, ProfitModel, ProfitParams};
 pub use replace::Replacement;
 pub use store::{CacheStats, CacheStore, ClassifyView};
 pub use tier::{

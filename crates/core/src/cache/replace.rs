@@ -6,6 +6,13 @@
 //! web caches never see: a *large* entry is expensive to hold but answers
 //! many future subsumed queries, a *small* one is cheap but only helps
 //! near-duplicates. `repro replacement` runs the comparison.
+//!
+//! [`Replacement::CostAware`] closes the loop with measurement: each
+//! entry carries a decayed reuse weight and the measured cost of
+//! re-fetching it from the origin, and the victim is the entry with the
+//! least *profit density* — expected time saved per byte held. This is
+//! the GDSF idea (greedy-dual-size-frequency) specialised to semantic
+//! caching, where "cost to refetch" varies wildly between templates.
 
 use serde::{Deserialize, Serialize};
 
@@ -23,16 +30,22 @@ pub enum Replacement {
     /// Evict the smallest entry (hoards big, containment-friendly
     /// entries; can thrash when many small entries arrive).
     SmallestFirst,
+    /// Evict the entry with the least profit density: decayed reuse
+    /// weight × measured refetch cost ÷ footprint. Keeps whatever is
+    /// both hot and expensive to rebuild, regardless of size.
+    CostAware,
 }
 
 impl Replacement {
-    /// All policies, for sweeps.
-    pub fn all() -> [Replacement; 4] {
-        [
+    /// All policies, for sweeps. A slice, not a fixed-size array, so
+    /// call sites survive new policies being added.
+    pub fn all() -> &'static [Replacement] {
+        &[
             Replacement::Lru,
             Replacement::Fifo,
             Replacement::LargestFirst,
             Replacement::SmallestFirst,
+            Replacement::CostAware,
         ]
     }
 }
@@ -44,49 +57,139 @@ impl std::fmt::Display for Replacement {
             Replacement::Fifo => "fifo",
             Replacement::LargestFirst => "largest-first",
             Replacement::SmallestFirst => "smallest-first",
+            Replacement::CostAware => "cost-aware",
         })
     }
 }
 
-/// Selects the victim among `(id, created_seq, last_used_seq, bytes)`
-/// tuples. Returns `None` for an empty iterator.
+/// Per-entry replacement bookkeeping: sequence stamps plus the cost
+/// signals [`Replacement::CostAware`] ranks by. The reuse weight decays
+/// only when the entry is touched (halving per [`REUSE_HALF_LIFE`]
+/// elapsed store-clock ticks), so an entry's [`policy_key`] is stable
+/// between touches — the invariant the store's incremental victim set
+/// depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EntryCost {
+    /// Monotone insert sequence number (unique per entry).
+    pub created: u64,
+    /// Monotone last-touch sequence number (unique per entry).
+    pub used: u64,
+    /// Decayed reuse weight, milli-units: 1000 ≈ one recent touch.
+    pub reuse_milli: u64,
+    /// Measured (or estimated) cost to refetch this entry from the
+    /// origin, in microseconds.
+    pub refetch_us: u64,
+}
+
+/// Store-clock ticks for the reuse weight to halve. The clock advances
+/// once per insert or touch, so this is "64 cache operations", not wall
+/// time — a workload-relative decay, like GDSF's inflation clock.
+pub(crate) const REUSE_HALF_LIFE: u64 = 64;
+
+impl EntryCost {
+    /// A fresh entry: one touch of reuse weight, `refetch_us` as
+    /// measured by the caller (or estimated from size when no
+    /// measurement exists yet).
+    pub(crate) fn new(clock: u64, refetch_us: u64) -> Self {
+        EntryCost {
+            created: clock,
+            used: clock,
+            reuse_milli: 1000,
+            refetch_us,
+        }
+    }
+
+    /// Size-proportional fallback refetch estimate for entries inserted
+    /// without a measured origin cost (snapshot restores, tests): a
+    /// fixed request overhead plus a per-byte transfer term, so the
+    /// cost-aware key degrades to decayed-LFU rather than collapsing
+    /// to zero.
+    pub(crate) fn default_refetch_us(bytes: usize) -> u64 {
+        1000 + bytes as u64
+    }
+
+    /// Marks a touch at store-clock `clock`: the reuse weight halves
+    /// once per [`REUSE_HALF_LIFE`] ticks since the previous touch,
+    /// then gains a full touch.
+    pub(crate) fn touch(&mut self, clock: u64) {
+        let elapsed = clock.saturating_sub(self.used);
+        let halvings = (elapsed / REUSE_HALF_LIFE).min(63) as u32;
+        self.reuse_milli = (self.reuse_milli >> halvings) + 1000;
+        self.used = clock;
+    }
+}
+
+/// Selects the victim among `(id, cost, footprint_bytes)` candidates.
+/// Returns `None` for an empty iterator.
 ///
 /// This is the O(n) reference scan; the store keeps an incremental
 /// [`policy_key`]-ordered set instead and only cross-checks against this
-/// in debug builds.
+/// in debug builds. Ties (possible under the size and cost policies —
+/// `created`/`used` are unique) break by entry id, ascending, exactly as
+/// the store's `(policy_key, id)` set does.
 pub(crate) fn select_victim(
     policy: Replacement,
-    candidates: impl Iterator<Item = (u64, u64, u64, usize)>,
+    candidates: impl Iterator<Item = (u64, EntryCost, usize)>,
 ) -> Option<u64> {
     match policy {
-        Replacement::Lru => candidates.min_by_key(|(_, _, used, _)| *used),
-        Replacement::Fifo => candidates.min_by_key(|(_, created, _, _)| *created),
-        Replacement::LargestFirst => candidates.max_by_key(|(_, _, _, bytes)| *bytes),
-        Replacement::SmallestFirst => candidates.min_by_key(|(_, _, _, bytes)| *bytes),
+        Replacement::Lru => candidates.min_by_key(|(id, c, _)| (c.used, *id)),
+        Replacement::Fifo => candidates.min_by_key(|(id, c, _)| (c.created, *id)),
+        Replacement::LargestFirst => {
+            candidates.min_by_key(|(id, _, bytes)| (std::cmp::Reverse(*bytes), *id))
+        }
+        Replacement::SmallestFirst => candidates.min_by_key(|(id, _, bytes)| (*bytes, *id)),
+        Replacement::CostAware => {
+            candidates.min_by_key(|(id, c, bytes)| (profit_density(c, *bytes), *id))
+        }
     }
-    .map(|(id, _, _, _)| id)
+    .map(|(id, _, _)| id)
 }
 
 /// Ordering key for the store's incremental victim set: the entry with
-/// the *smallest* key is the next victim. `created`/`used` are unique
-/// monotone sequence numbers, so ties arise only under the size policies
-/// and break deterministically by entry id in the set.
-pub(crate) fn policy_key(policy: Replacement, created: u64, used: u64, bytes: usize) -> u64 {
+/// the *smallest* `(key, id)` pair is the next victim. `created`/`used`
+/// are unique monotone sequence numbers, so ties arise only under the
+/// size and cost policies and break deterministically by entry id.
+pub(crate) fn policy_key(policy: Replacement, cost: &EntryCost, bytes: usize) -> u64 {
     match policy {
-        Replacement::Lru => used,
-        Replacement::Fifo => created,
+        Replacement::Lru => cost.used,
+        Replacement::Fifo => cost.created,
         Replacement::LargestFirst => u64::MAX - bytes as u64,
         Replacement::SmallestFirst => bytes as u64,
+        Replacement::CostAware => profit_density(cost, bytes),
     }
+}
+
+/// Profit density of holding an entry: decayed reuse weight × refetch
+/// cost ÷ footprint, i.e. expected microseconds of origin time saved
+/// per byte held (in milli-touch units). Computed in u128 so hot,
+/// expensive entries can't overflow, then saturated into the u64 key
+/// space. Both the reference scan and the incremental key use this one
+/// function, so they cannot disagree on quantisation.
+fn profit_density(cost: &EntryCost, bytes: usize) -> u64 {
+    let profit = (cost.reuse_milli as u128) * (cost.refetch_us as u128) / (bytes as u128 + 1);
+    profit.min(u64::MAX as u128) as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
-    fn candidates() -> Vec<(u64, u64, u64, usize)> {
-        // (id, created, last_used, bytes)
-        vec![(1, 10, 50, 300), (2, 20, 40, 100), (3, 30, 60, 500)]
+    fn cost(created: u64, used: u64, reuse_milli: u64, refetch_us: u64) -> EntryCost {
+        EntryCost {
+            created,
+            used,
+            reuse_milli,
+            refetch_us,
+        }
+    }
+
+    fn candidates() -> Vec<(u64, EntryCost, usize)> {
+        vec![
+            (1, cost(10, 50, 1000, 2000), 300),
+            (2, cost(20, 40, 1000, 9000), 100),
+            (3, cost(30, 60, 3000, 100), 500),
+        ]
     }
 
     #[test]
@@ -107,16 +210,70 @@ mod tests {
             select_victim(Replacement::SmallestFirst, candidates().into_iter()),
             Some(2)
         );
+        // Profit densities: id 1 → 1000·2000/301 ≈ 6644, id 2 →
+        // 1000·9000/101 ≈ 89108, id 3 → 3000·100/501 ≈ 598: the cheap-
+        // to-refetch entry goes first despite being the hottest.
+        assert_eq!(
+            select_victim(Replacement::CostAware, candidates().into_iter()),
+            Some(3)
+        );
         assert_eq!(select_victim(Replacement::Lru, std::iter::empty()), None);
     }
 
     #[test]
+    fn touch_decays_then_recharges() {
+        let mut c = EntryCost::new(100, 5000);
+        assert_eq!(c.reuse_milli, 1000);
+        // Touch shortly after: no halving, one touch gained.
+        c.touch(110);
+        assert_eq!(c.reuse_milli, 2000);
+        assert_eq!(c.used, 110);
+        // Touch two half-lives later: 2000 >> 2, plus the new touch.
+        c.touch(110 + 2 * REUSE_HALF_LIFE);
+        assert_eq!(c.reuse_milli, 500 + 1000);
+        // created never moves.
+        assert_eq!(c.created, 100);
+    }
+
+    /// Regression for the tie-break bug: equal-size entries fed in
+    /// non-id order. `max_by_key` keeps the *last* maximum and
+    /// `min_by_key` the *first* minimum, so the old scan's answer
+    /// depended on iterator order; the store's `(policy_key, id)` set
+    /// always picks the smallest id among tied keys.
+    #[test]
+    fn size_policy_ties_break_by_id_regardless_of_iteration_order() {
+        let tied = vec![
+            (7, cost(70, 70, 1000, 1000), 256),
+            (2, cost(20, 21, 1000, 1000), 256),
+            (5, cost(50, 51, 1000, 1000), 256),
+        ];
+        let mut reversed = tied.clone();
+        reversed.reverse();
+        for policy in [
+            Replacement::LargestFirst,
+            Replacement::SmallestFirst,
+            Replacement::CostAware,
+        ] {
+            assert_eq!(
+                select_victim(policy, tied.clone().into_iter()),
+                Some(2),
+                "{policy}: smallest id wins the tie"
+            );
+            assert_eq!(
+                select_victim(policy, reversed.clone().into_iter()),
+                Some(2),
+                "{policy}: answer must not depend on iteration order"
+            );
+        }
+    }
+
+    #[test]
     fn policy_key_agrees_with_reference_scan() {
-        for policy in Replacement::all() {
+        for &policy in Replacement::all() {
             let victim = select_victim(policy, candidates().into_iter()).unwrap();
             let by_key = candidates()
                 .into_iter()
-                .min_by_key(|(id, c, u, b)| (policy_key(policy, *c, *u, *b), *id))
+                .min_by_key(|(id, c, b)| (policy_key(policy, c, *b), *id))
                 .unwrap()
                 .0;
             assert_eq!(by_key, victim, "{policy}");
@@ -126,6 +283,42 @@ mod tests {
     #[test]
     fn display_and_sweep() {
         assert_eq!(Replacement::Lru.to_string(), "lru");
-        assert_eq!(Replacement::all().len(), 4);
+        assert_eq!(Replacement::CostAware.to_string(), "cost-aware");
+        assert_eq!(Replacement::all().len(), 5);
+    }
+
+    proptest! {
+        /// `(policy_key, id)` ordering must agree with the O(n)
+        /// reference scan for every policy — including ties, which the
+        /// generator makes likely by drawing sizes and costs from tiny
+        /// domains.
+        #[test]
+        fn prop_policy_key_matches_reference_scan(
+            entries in proptest::collection::vec(
+                (0u64..6, 0u64..6, 1u64..4, 0u64..4, 0usize..3),
+                1..12,
+            )
+        ) {
+            // Unique ids, shuffled arrival order via the drawn key; the
+            // sequence stamps may collide on purpose (the store never
+            // produces that, but the scan must still be deterministic).
+            let candidates: Vec<(u64, EntryCost, usize)> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(created, used, reuse, refetch, bytes))| {
+                    // Spread ids non-monotonically over the index space.
+                    let id = ((i as u64) * 7 + 3) % 101;
+                    (id, cost(created, used, reuse * 500, refetch * 700), bytes * 128)
+                })
+                .collect();
+            for &policy in Replacement::all() {
+                let scan = select_victim(policy, candidates.clone().into_iter());
+                let by_key = candidates
+                    .iter()
+                    .min_by_key(|(id, c, b)| (policy_key(policy, c, *b), *id))
+                    .map(|(id, _, _)| *id);
+                prop_assert_eq!(scan, by_key, "{}", policy);
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 use crate::cache::description::{CacheDescription, DescriptionKind};
 use crate::cache::entry::CacheEntry;
 use crate::cache::persist::{entry_from_xml, entry_to_xml};
-use crate::cache::replace::{policy_key, select_victim, Replacement};
+use crate::cache::replace::{policy_key, select_victim, EntryCost, Replacement};
 use crate::cache::tier::{
     encode_payload, DemotedEntry, EvictionManager, SegRef, SlabSlice, TierConfig,
 };
@@ -87,9 +87,10 @@ pub struct CacheStore {
     capacity: Option<usize>,
     replacement: Replacement,
     entries: HashMap<u64, CacheEntry>,
-    /// Replacement bookkeeping: `(created_seq, last_used_seq)` per id,
-    /// monotone sequence numbers.
-    last_used: HashMap<u64, (u64, u64)>,
+    /// Replacement bookkeeping per id: monotone `created`/`used`
+    /// sequence stamps plus the decayed-reuse and refetch-cost signals
+    /// the cost-aware policy ranks by.
+    last_used: HashMap<u64, EntryCost>,
     /// `(policy_key, id)` pairs ordered so the first element is the next
     /// victim — maintained on insert/remove/touch, making victim
     /// selection O(log n) instead of a full-entry scan per eviction.
@@ -455,9 +456,10 @@ impl CacheStore {
         self.exact.insert(exact_sql, id);
         self.total_bytes += footprint;
         self.clock += 1;
-        self.last_used.insert(id, (self.clock, self.clock));
+        let cost = EntryCost::new(self.clock, EntryCost::default_refetch_us(footprint));
         self.victim_order
-            .insert((self.entry_key(self.clock, self.clock, footprint), id));
+            .insert((self.entry_key(&cost, footprint), id));
+        self.last_used.insert(id, cost);
         self.entries.insert(id, entry);
         self.generation += 1;
         // A tiered entry larger than the whole RAM budget lands here
@@ -523,8 +525,29 @@ impl CacheStore {
         Some(id)
     }
 
-    fn entry_key(&self, created: u64, used: u64, footprint: usize) -> u64 {
-        policy_key(self.replacement, created, used, footprint)
+    fn entry_key(&self, cost: &EntryCost, footprint: usize) -> u64 {
+        policy_key(self.replacement, cost, footprint)
+    }
+
+    /// Records the measured origin cost of (re)building entry `id`, in
+    /// microseconds — the runtime calls this right after an insert,
+    /// with the simulated origin-fetch time it just charged. Replaces
+    /// the size-proportional estimate the entry was inserted with and
+    /// re-keys the victim set (the refetch cost is part of the
+    /// cost-aware policy key).
+    pub fn note_refetch_cost(&mut self, id: u64, refetch_us: u64) {
+        let Some(footprint) = self.entries.get(&id).map(|e| e.footprint()) else {
+            return;
+        };
+        if let Some(cost) = self.last_used.get_mut(&id) {
+            let old_key = policy_key(self.replacement, cost, footprint);
+            cost.refetch_us = refetch_us;
+            let new_key = policy_key(self.replacement, cost, footprint);
+            if new_key != old_key {
+                self.victim_order.remove(&(old_key, id));
+                self.victim_order.insert((new_key, id));
+            }
+        }
     }
 
     /// The next victim under the configured replacement policy, if any:
@@ -532,21 +555,14 @@ impl CacheStore {
     fn lru_victim(&self) -> Option<u64> {
         let victim = self.victim_order.first().map(|&(_, id)| id);
         debug_assert_eq!(
-            victim.map(|id| {
-                let (c, u) = self.last_used[&id];
-                self.entry_key(c, u, self.entries[&id].footprint())
-            }),
+            victim,
             select_victim(
                 self.replacement,
-                self.last_used.iter().map(|(id, (created, used))| {
+                self.last_used.iter().map(|(id, cost)| {
                     let fp = self.entries.get(id).map_or(0, |e| e.footprint());
-                    (*id, *created, *used, fp)
+                    (*id, *cost, fp)
                 }),
-            )
-            .map(|id| {
-                let (c, u) = self.last_used[&id];
-                self.entry_key(c, u, self.entries[&id].footprint())
-            }),
+            ),
             "incremental victim order diverged from reference scan"
         );
         victim
@@ -566,9 +582,9 @@ impl CacheStore {
     fn remove_resident(&mut self, id: u64) -> Option<CacheEntry> {
         let entry = self.entries.remove(&id)?;
         self.total_bytes -= entry.footprint();
-        if let Some((created, used)) = self.last_used.remove(&id) {
+        if let Some(cost) = self.last_used.remove(&id) {
             self.victim_order
-                .remove(&(self.entry_key(created, used, entry.footprint()), id));
+                .remove(&(self.entry_key(&cost, entry.footprint()), id));
         }
         // Guarded: a same-SQL replacement may already point the exact
         // map at a newer id.
@@ -676,9 +692,9 @@ impl CacheStore {
         }
         let entry = self.entries.remove(&id).expect("present above");
         self.total_bytes -= entry.footprint();
-        if let Some((created, used)) = self.last_used.remove(&id) {
+        if let Some(cost) = self.last_used.remove(&id) {
             self.victim_order
-                .remove(&(self.entry_key(created, used, entry.footprint()), id));
+                .remove(&(self.entry_key(&cost, entry.footprint()), id));
         }
         let demoted = DemotedEntry {
             id,
@@ -742,9 +758,10 @@ impl CacheStore {
         };
         self.total_bytes += footprint;
         self.clock += 1;
-        self.last_used.insert(id, (self.clock, self.clock));
+        let cost = EntryCost::new(self.clock, EntryCost::default_refetch_us(footprint));
         self.victim_order
-            .insert((self.entry_key(self.clock, self.clock, footprint), id));
+            .insert((self.entry_key(&cost, footprint), id));
+        self.last_used.insert(id, cost);
         self.entries.insert(id, entry);
         self.tier.as_mut().expect("tier present").promotions += 1;
         self.generation += 1;
@@ -802,12 +819,12 @@ impl CacheStore {
         if let Some(footprint) = self.entries.get(&id).map(|e| e.footprint()) {
             self.clock += 1;
             let clock = self.clock;
-            if let Some((created, used)) = self.last_used.get_mut(&id) {
+            if let Some(cost) = self.last_used.get_mut(&id) {
                 self.victim_order
-                    .remove(&(policy_key(self.replacement, *created, *used, footprint), id));
-                *used = clock;
+                    .remove(&(policy_key(self.replacement, cost, footprint), id));
+                cost.touch(clock);
                 self.victim_order
-                    .insert((policy_key(self.replacement, *created, *used, footprint), id));
+                    .insert((policy_key(self.replacement, cost, footprint), id));
             }
         }
         self.entries.get(&id)
@@ -1317,7 +1334,7 @@ mod tests {
         // Heavy churn across policies: the debug_assert in lru_victim
         // cross-checks the incremental order against the O(n) scan on
         // every eviction.
-        for policy in Replacement::all() {
+        for &policy in Replacement::all() {
             let cap = rs(8).xml_bytes() * 4;
             let mut s = CacheStore::with_replacement(DescriptionKind::Array, Some(cap), policy);
             for i in 0..100u64 {
@@ -1342,6 +1359,88 @@ mod tests {
             assert!(s.stats().evictions > 0, "{policy}: no evictions");
             assert!(s.stats().bytes <= cap, "{policy}: over capacity");
         }
+    }
+
+    /// Regression: equal-size entries under the size policies used to
+    /// make the debug cross-check in `lru_victim` fire spuriously — the
+    /// reference scan broke ties by HashMap iteration order while the
+    /// incremental set breaks them by `(policy_key, id)`. With keys all
+    /// tied, the victim must now deterministically be the smallest id.
+    #[test]
+    fn equal_size_ties_evict_smallest_id() {
+        for &policy in &[Replacement::LargestFirst, Replacement::SmallestFirst] {
+            let bytes = rs(6).xml_bytes();
+            let mut s =
+                CacheStore::with_replacement(DescriptionKind::Array, Some(bytes * 4), policy);
+            let ids: Vec<u64> = (0..4)
+                .map(|i| {
+                    s.insert(
+                        "k",
+                        region(i as f64 * 10.0, i as f64 * 10.0 + 1.0),
+                        rs(6),
+                        false,
+                        &format!("Q{i}"),
+                        NO_COORDS,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            // Touch the candidates in reverse so recency disagrees with
+            // id order (the tie-break must not depend on either use
+            // order or map iteration order).
+            for id in ids.iter().rev() {
+                s.get(*id);
+            }
+            s.insert("k", region(100.0, 101.0), rs(6), false, "Q-last", NO_COORDS)
+                .unwrap();
+            assert!(
+                s.peek(ids[0]).is_none(),
+                "{policy}: smallest id loses the all-tied round"
+            );
+            for id in &ids[1..] {
+                assert!(s.peek(*id).is_some(), "{policy}: larger ids survive");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_aware_keeps_expensive_entries() {
+        let bytes = rs(6).xml_bytes();
+        let mut s = CacheStore::with_replacement(
+            DescriptionKind::Array,
+            Some(bytes * 2),
+            Replacement::CostAware,
+        );
+        let a = s
+            .insert("k", region(0.0, 1.0), rs(6), false, "A", NO_COORDS)
+            .unwrap();
+        let b = s
+            .insert("k", region(10.0, 11.0), rs(6), false, "B", NO_COORDS)
+            .unwrap();
+        // A is expensive to refetch, B nearly free; equal size & reuse.
+        s.note_refetch_cost(a, 5_000_000);
+        s.note_refetch_cost(b, 10);
+        s.insert("k", region(20.0, 21.0), rs(6), false, "C", NO_COORDS)
+            .unwrap();
+        assert!(s.peek(a).is_some(), "expensive entry survives");
+        assert!(s.peek(b).is_none(), "cheap-to-refetch entry is the victim");
+
+        // Reuse outranks idle age: touch the survivor repeatedly, then
+        // insert two more — the newest untouched entries go first.
+        for _ in 0..5 {
+            s.get(a);
+        }
+        let d = s
+            .insert("k", region(30.0, 31.0), rs(6), false, "D", NO_COORDS)
+            .unwrap();
+        s.note_refetch_cost(d, 5_000_000);
+        s.insert("k", region(40.0, 41.0), rs(6), false, "E", NO_COORDS)
+            .unwrap();
+        assert!(
+            s.peek(a).is_some(),
+            "hot expensive entry outlives equal-cost cold one"
+        );
+        assert!(s.peek(d).is_none(), "cold equal-cost entry is the victim");
     }
 
     #[test]

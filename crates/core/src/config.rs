@@ -1,12 +1,32 @@
 //! Proxy configuration.
 
-use crate::cache::{DescriptionKind, Replacement, TierConfig};
+use crate::cache::{DescriptionKind, ProfitParams, Replacement, TierConfig};
 use crate::lifecycle::LifecycleConfig;
 use crate::observe::ObserveConfig;
 use crate::resilience::ResilienceConfig;
 use crate::schemes::Scheme;
 use crate::sim::CostModel;
 use std::path::PathBuf;
+
+/// How the runtime picks the caching scheme for a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeChoice {
+    /// Every template serves with the one configured scheme — the
+    /// paper's static configurations.
+    Fixed(Scheme),
+    /// Each template's scheme is chosen at runtime by the per-template
+    /// profit model (ROADMAP item 4): templates explore under full
+    /// semantic caching, then commit to whichever scheme the measured
+    /// workload makes cheapest, re-exploring periodically.
+    Adaptive(ProfitParams),
+}
+
+impl SchemeChoice {
+    /// The adaptive choice with default tunables.
+    pub fn adaptive() -> Self {
+        SchemeChoice::Adaptive(ProfitParams::default())
+    }
+}
 
 /// Configuration of one proxy instance — the paper's "configuration"
 /// triple (caching scheme, cache description implementation, cache size)
@@ -15,6 +35,16 @@ use std::path::PathBuf;
 pub struct ProxyConfig {
     /// Which caching scheme runs.
     pub scheme: Scheme,
+    /// Whether `scheme` is served as-is or overridden per template by
+    /// the runtime profit model. [`SchemeChoice::Fixed`] of `scheme`
+    /// by default; [`ProxyConfig::with_adaptive_scheme`] switches to
+    /// runtime selection. (Only the concurrent [`ProxyHandle`] runtime
+    /// consults this; the single-threaded [`FunctionProxy`] always
+    /// serves its fixed `scheme`.)
+    ///
+    /// [`ProxyHandle`]: crate::runtime::ProxyHandle
+    /// [`FunctionProxy`]: crate::proxy::FunctionProxy
+    pub scheme_choice: SchemeChoice,
     /// Array ("ACNR") or R-tree ("ACR") cache description.
     pub description: DescriptionKind,
     /// Cache capacity in bytes (`None` = unlimited).
@@ -54,6 +84,7 @@ impl Default for ProxyConfig {
     fn default() -> Self {
         ProxyConfig {
             scheme: Scheme::FullSemantic,
+            scheme_choice: SchemeChoice::Fixed(Scheme::FullSemantic),
             description: DescriptionKind::Array,
             capacity: None,
             replacement: Replacement::Lru,
@@ -69,9 +100,28 @@ impl Default for ProxyConfig {
 }
 
 impl ProxyConfig {
-    /// Convenience builder for the scheme.
+    /// Convenience builder for the scheme. Also pins the scheme choice
+    /// to [`SchemeChoice::Fixed`] of it.
     pub fn with_scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = scheme;
+        self.scheme_choice = SchemeChoice::Fixed(scheme);
+        self
+    }
+
+    /// Convenience builder for adaptive runtime scheme selection with
+    /// default tunables. `scheme` stays as the exploration fallback
+    /// (full semantic caching observes every relationship class).
+    pub fn with_adaptive_scheme(mut self) -> Self {
+        self.scheme_choice = SchemeChoice::adaptive();
+        self.scheme = Scheme::FullSemantic;
+        self
+    }
+
+    /// Convenience builder for adaptive scheme selection with explicit
+    /// profit-model tunables.
+    pub fn with_adaptive_params(mut self, params: ProfitParams) -> Self {
+        self.scheme_choice = SchemeChoice::Adaptive(params);
+        self.scheme = Scheme::FullSemantic;
         self
     }
 

@@ -73,8 +73,9 @@ pub mod schemes;
 pub mod sim;
 pub mod template;
 
+pub use cache::{ProfitEstimate, ProfitModel, ProfitParams};
 pub use cluster::{ClusterConfig, ClusterResponse, ClusterRouter, NodeId, ServedBy};
-pub use config::ProxyConfig;
+pub use config::{ProxyConfig, SchemeChoice};
 pub use lifecycle::{Freshness, LifecycleConfig, SnapshotPolicy};
 pub use observe::{LatencySummary, ObserveConfig, Observer};
 pub use origin::{CountingOrigin, Origin, OriginError, SiteOrigin};

@@ -177,7 +177,7 @@ impl FunctionProxy {
         let (result, sim_ms) = self.forward(&bound.query, false)?;
         let truncated = self.is_truncated(bound, &result);
         let result = Arc::new(result);
-        self.store.insert(
+        let inserted = self.store.insert(
             &bound.residual_key,
             bound.region.clone(),
             Arc::clone(&result),
@@ -185,6 +185,9 @@ impl FunctionProxy {
             &bound.sql,
             &bound.reg.coord_columns,
         );
+        if let Some(id) = inserted {
+            self.store.note_refetch_cost(id, (sim_ms * 1000.0) as u64);
+        }
         Ok(self.respond(result, Outcome::Forwarded, 0, sim_ms, start, check_ms, 0.0))
     }
 
@@ -395,7 +398,7 @@ impl FunctionProxy {
         // The merged result is complete for the new region: cache it and,
         // in the region-containment case, drop the now-redundant entries.
         let result = Arc::new(result);
-        self.store.insert(
+        let inserted = self.store.insert(
             &bound.residual_key,
             bound.region.clone(),
             Arc::clone(&result),
@@ -403,6 +406,10 @@ impl FunctionProxy {
             &bound.sql,
             &bound.reg.coord_columns,
         );
+        if let Some(id) = inserted {
+            self.store
+                .note_refetch_cost(id, (origin_sim_ms * 1000.0) as u64);
+        }
         if !probe_filters {
             self.store.compact(&ids);
         }
@@ -438,7 +445,7 @@ impl FunctionProxy {
         let truncated = self.is_truncated(bound, &result);
         let result = Arc::new(result);
         if self.config.scheme.caches() {
-            self.store.insert(
+            let inserted = self.store.insert(
                 &bound.residual_key,
                 bound.region.clone(),
                 Arc::clone(&result),
@@ -446,6 +453,9 @@ impl FunctionProxy {
                 &bound.sql,
                 &bound.reg.coord_columns,
             );
+            if let Some(id) = inserted {
+                self.store.note_refetch_cost(id, (sim_ms * 1000.0) as u64);
+            }
         }
         Ok(self.respond(
             result,

@@ -35,8 +35,10 @@
 //! (a partial answer must not masquerade as a complete entry). Only
 //! rejections and true disjoint misses surface the error.
 
-use crate::cache::{entry_from_xml, entry_to_xml, CacheStats, CacheStore, SlabSlice};
-use crate::config::ProxyConfig;
+use crate::cache::{
+    entry_from_xml, entry_to_xml, CacheStats, CacheStore, ProfitEstimate, ProfitModel, SlabSlice,
+};
+use crate::config::{ProxyConfig, SchemeChoice};
 use crate::lifecycle::snapshot::{read_snapshot_file, write_snapshot_file};
 use crate::lifecycle::Freshness;
 use crate::metrics::{Outcome, QueryMetrics};
@@ -44,8 +46,8 @@ use crate::observe::{Observer, OutcomeClass, PathClass, Phase as ObsPhase};
 use crate::origin::Origin;
 use crate::proxy::ProxyResponse;
 use crate::query::{
-    classify, classify_graded, eval_entry_region, merge_results, remainder_query, EvalScratch,
-    QueryStatus,
+    classify, classify_graded, eval_entry_region, merge_results, region_inside_predicate,
+    remainder_query, EvalScratch, QueryStatus,
 };
 use crate::resilience::{Clock, ResilientOrigin, SystemClock};
 use crate::runtime::shard::ShardedStore;
@@ -54,15 +56,16 @@ use crate::runtime::{RuntimeSnapshot, RuntimeStats};
 use crate::schemes::Scheme;
 use crate::template::{BoundQuery, TemplateManager};
 use crate::ProxyError;
+use fp_geometry::Region;
 use fp_skyserver::{ColumnarRows, ResultSet};
-use fp_sqlmini::Query;
+use fp_sqlmini::{BinOp, Expr, Query, TableSource};
 use fp_xmlite::Element;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -126,9 +129,180 @@ struct Runtime {
     reval_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Snapshot schedule state; `None` when persistence is off.
     snap: Option<Mutex<SnapSched>>,
+    /// The adaptive scheme selector; `Some` iff the config's
+    /// `scheme_choice` is [`SchemeChoice::Adaptive`]. Consulted once
+    /// per request and fed once per finished request.
+    profit: Option<ProfitModel>,
+    /// In-flight overlap remainder batches, keyed by residual key.
+    /// While one request's remainder fetch is out, later overlap
+    /// misses on the same key park their remainder queries here; the
+    /// finishing leader answers the whole queue with a single combined
+    /// origin round trip.
+    remainder_batches: Mutex<HashMap<String, RemainderBatch>>,
     /// The observability hub: per-phase latency histograms and the
     /// sampled span recorder, shared with the resilience layer.
     observe: Arc<Observer>,
+}
+
+/// One in-flight overlap remainder batch: followers that missed on
+/// the same residual key while the leading remainder fetch was out.
+/// A shared residual key pins the template, the non-spatial bindings,
+/// and the select list, so the queued queries differ only in their
+/// spatial predicates — which is what makes OR-combining them sound.
+struct RemainderBatch {
+    waiters: Vec<BatchTicket>,
+}
+
+/// A parked follower: its own remainder query and query region, plus
+/// the slot the leader fills with the shared combined result.
+struct BatchTicket {
+    query: Query,
+    region: Region,
+    slot: Arc<BatchSlot>,
+}
+
+/// What a batch leader hands each follower: the shared combined
+/// result set and its simulated fetch cost.
+type BatchResult = Result<(Arc<ResultSet>, f64), ProxyError>;
+
+/// The rendezvous between a batch leader and one follower.
+struct BatchSlot {
+    ready: Mutex<Option<BatchResult>>,
+    cv: Condvar,
+}
+
+impl BatchSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(BatchSlot {
+            ready: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: BatchResult) {
+        *self.ready.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> BatchResult {
+        let mut ready = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = ready.take() {
+                return result;
+            }
+            ready = self.cv.wait(ready).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Synthesizes the one origin query answering every parked remainder.
+///
+/// A remainder query's spatial restriction is the table-valued function
+/// call in its `FROM` clause, so OR-ing the waiters' `WHERE` clauses
+/// under any single waiter's `FROM` would pin the candidate rows to
+/// that waiter's region. Instead the combined query scans the joined
+/// base table directly and carries each waiter's region as an explicit
+/// predicate:
+///
+/// ```sql
+/// SELECT … FROM <base table> <alias>
+/// WHERE (inside(region_1) AND <remainder predicates_1>)
+///    OR (inside(region_2) AND <remainder predicates_2>) …
+/// ```
+///
+/// This is sound because [`region_inside_predicate`]'s closed
+/// inequalities are exactly the function's declared region test (the
+/// same equivalence the probe/remainder split already relies on), and
+/// the shared residual key pins every non-spatial predicate. The
+/// rewrite drops the function and its semijoin, so it only applies
+/// when the query shape proves nothing else reads the function's rows:
+/// one plain-table join over the registered coordinate alias, joined by
+/// a single key equality, with every other column reference qualified
+/// by that alias. Returns `None` otherwise.
+fn combined_batch_query(bound: &BoundQuery, waiters: &[BatchTicket]) -> Option<Query> {
+    let reg = &bound.reg;
+    let first = &waiters[0].query;
+    if !matches!(first.from, TableSource::Function { .. }) {
+        return None;
+    }
+    let fn_binding = first.from.binding_name();
+    let [join] = first.joins.as_slice() else {
+        return None;
+    };
+    if !matches!(join.source, TableSource::Table { .. })
+        || join.source.binding_name() != reg.coord_alias
+        || !is_key_equijoin(&join.on, fn_binding, &reg.coord_alias)
+    {
+        return None;
+    }
+    let reads_only_alias = |e: &Expr| {
+        let mut ok = true;
+        e.walk(&mut |n| {
+            if let Expr::Column { qualifier, .. } = n {
+                ok &= qualifier.as_deref() == Some(reg.coord_alias.as_str());
+            }
+        });
+        ok
+    };
+    let projectable = first.select.iter().all(|item| match item {
+        fp_sqlmini::SelectItem::Wildcard => false,
+        fp_sqlmini::SelectItem::QualifiedWildcard(a) => *a == reg.coord_alias,
+        fp_sqlmini::SelectItem::Expr { expr, .. } => reads_only_alias(expr),
+    });
+    if !projectable || first.order_by.is_some() {
+        return None;
+    }
+    for w in waiters {
+        if !w.query.where_clause.iter().all(&reads_only_alias) {
+            return None;
+        }
+    }
+
+    let mut combined = first.clone();
+    combined.from = join.source.clone();
+    combined.joins.clear();
+    let mut pred: Option<Expr> = None;
+    for w in waiters {
+        let inside = region_inside_predicate(&w.region, &reg.coord_alias, &reg.coord_columns);
+        let branch = match &w.query.where_clause {
+            Some(clause) => Expr::binary(BinOp::And, inside, clause.clone()),
+            None => inside,
+        };
+        pred = Some(match pred {
+            Some(acc) => Expr::binary(BinOp::Or, acc, branch),
+            None => branch,
+        });
+    }
+    combined.where_clause = pred;
+    Some(combined)
+}
+
+/// Whether `on` is exactly `<fn_binding>.k = <alias>.k` (either order):
+/// the key semijoin that restricting the base table to the query region
+/// replaces.
+fn is_key_equijoin(on: &Expr, fn_binding: &str, alias: &str) -> bool {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = on
+    else {
+        return false;
+    };
+    let (
+        Expr::Column {
+            qualifier: Some(lq),
+            name: ln,
+        },
+        Expr::Column {
+            qualifier: Some(rq),
+            name: rn,
+        },
+    ) = (left.as_ref(), right.as_ref())
+    else {
+        return false;
+    };
+    ln == rn && ((lq == fn_binding && rq == alias) || (lq == alias && rq == fn_binding))
 }
 
 /// Mutable snapshot-scheduler state (behind a `try_lock` so the serve
@@ -369,6 +543,10 @@ impl ProxyHandle {
             })
         });
         let snapshot_dir = config.lifecycle.snapshot.as_ref().map(|p| p.dir.clone());
+        let profit = match config.scheme_choice {
+            SchemeChoice::Adaptive(params) => Some(ProfitModel::new(params)),
+            SchemeChoice::Fixed(_) => None,
+        };
         let handle = ProxyHandle {
             inner: Arc::new(Runtime {
                 manager,
@@ -383,6 +561,8 @@ impl ProxyHandle {
                 promoting: Mutex::new(HashSet::new()),
                 reval_threads: Mutex::new(Vec::new()),
                 snap,
+                profit,
+                remainder_batches: Mutex::new(HashMap::new()),
                 observe,
                 clock,
                 config,
@@ -488,7 +668,38 @@ impl ProxyHandle {
         snapshot.request_latency = obs.request_summary();
         snapshot.hit_latency = obs.hit_summary();
         snapshot.origin_fetch_latency = obs.origin_fetch_summary();
+        if let Some(profit) = &self.inner.profit {
+            snapshot.scheme_switches = profit.switches();
+            snapshot.adaptive_templates = profit.templates_tracked();
+        }
         snapshot
+    }
+
+    /// The adaptive profit model's current estimate for `template`.
+    /// `None` when the runtime is fixed-scheme or the template has not
+    /// been observed yet.
+    pub fn profit_estimate(&self, template: &str) -> Option<ProfitEstimate> {
+        self.inner.profit.as_ref()?.estimate(template)
+    }
+
+    /// The scheme this request serves under: the configured scheme,
+    /// or the profit model's current per-template choice when the
+    /// config asked for adaptive selection. Resolved once per request
+    /// so one request never straddles a scheme switch.
+    fn effective_scheme(&self, bound: &BoundQuery) -> Scheme {
+        match &self.inner.profit {
+            Some(profit) => profit.scheme_for(&bound.reg.template.name),
+            None => self.inner.config.scheme,
+        }
+    }
+
+    /// End-of-request adaptive accounting: tally the serve under the
+    /// scheme that produced it and feed the profit model's estimates.
+    fn note_served(&self, template: &str, scheme: Scheme, metrics: &QueryMetrics) {
+        self.inner.stats.note_scheme_serve(scheme);
+        if let Some(profit) = &self.inner.profit {
+            profit.observe(template, metrics);
+        }
     }
 
     /// The observe layer behind this handle: per-phase and per-outcome
@@ -679,7 +890,12 @@ impl ProxyHandle {
     pub fn handle_bound(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
         let _trace = self.inner.observe.begin_trace();
         let started = Instant::now();
-        let response = self.handle_bound_inner(bound);
+        let reg = Arc::clone(&bound.reg);
+        let scheme = self.effective_scheme(&bound);
+        let response = self.handle_bound_inner(bound, scheme);
+        if let Ok(r) = &response {
+            self.note_served(&reg.template.name, scheme, &r.metrics);
+        }
         self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
         self.maybe_snapshot();
         response
@@ -725,9 +941,13 @@ impl ProxyHandle {
         });
     }
 
-    fn handle_bound_inner(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+    fn handle_bound_inner(
+        &self,
+        bound: BoundQuery,
+        scheme: Scheme,
+    ) -> Result<ProxyResponse, ProxyError> {
         self.inner.stats.note_request();
-        match self.inner.config.scheme {
+        match scheme {
             Scheme::NoCache => {
                 let timing = Timing::begin();
                 let (result, sim_ms) = self.fetch(&bound.query, false, PathClass::Miss)?;
@@ -740,7 +960,7 @@ impl ProxyHandle {
                     false,
                 ))
             }
-            _ => self.serve_caching(bound),
+            _ => self.serve_caching(bound, scheme),
         }
     }
 
@@ -811,15 +1031,24 @@ impl ProxyHandle {
     fn serve_xml(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
         let _trace = self.inner.observe.begin_trace();
         let started = Instant::now();
-        let response = self.serve_xml_inner(bound);
+        let reg = Arc::clone(&bound.reg);
+        let scheme = self.effective_scheme(&bound);
+        let response = self.serve_xml_inner(bound, scheme);
+        if let Ok(r) = &response {
+            self.note_served(&reg.template.name, scheme, &r.metrics);
+        }
         self.observe_request(started, response.as_ref().ok().map(|r| &r.metrics));
         self.maybe_snapshot();
         response
     }
 
-    fn serve_xml_inner(&self, bound: BoundQuery) -> Result<XmlResponse, ProxyError> {
+    fn serve_xml_inner(
+        &self,
+        bound: BoundQuery,
+        scheme: Scheme,
+    ) -> Result<XmlResponse, ProxyError> {
         self.inner.stats.note_request();
-        if self.inner.config.scheme == Scheme::NoCache {
+        if scheme == Scheme::NoCache {
             let timing = Timing::begin();
             let (result, sim_ms) = self.fetch(&bound.query, false, PathClass::Miss)?;
             let response = self.respond(
@@ -834,12 +1063,12 @@ impl ProxyHandle {
         }
 
         let mut timing = Timing::begin();
-        match self.try_locked_hit(&bound, &mut timing, false) {
+        match self.try_locked_hit(&bound, scheme, &mut timing, false) {
             Some(response) => Ok(response),
             // Malformed entry or miss: rejoin the ordinary loop (it
             // re-runs the cache phase under the flight table, which is
             // what closes the fetch/join race).
-            None => Ok(self.xml_from_rows(self.serve_caching(bound)?)),
+            None => Ok(self.xml_from_rows(self.serve_caching(bound, scheme)?)),
         }
     }
 
@@ -851,10 +1080,11 @@ impl ProxyHandle {
     fn try_locked_hit(
         &self,
         bound: &BoundQuery,
+        scheme: Scheme,
         timing: &mut Timing,
         fresh_only: bool,
     ) -> Option<XmlResponse> {
-        match self.cache_phase_locked(bound, timing) {
+        match self.cache_phase_locked(bound, scheme, timing) {
             LockedPhase::Exact {
                 result,
                 columnar,
@@ -930,18 +1160,20 @@ impl ProxyHandle {
     }
 
     fn try_cached_xml(&self, bound: BoundQuery) -> Option<XmlResponse> {
-        if self.inner.config.scheme == Scheme::NoCache {
+        let scheme = self.effective_scheme(&bound);
+        if scheme == Scheme::NoCache {
             return None;
         }
         let _trace = self.inner.observe.begin_trace();
         let started = Instant::now();
         let mut timing = Timing::begin();
-        let response = self.try_locked_hit(&bound, &mut timing, true)?;
+        let response = self.try_locked_hit(&bound, scheme, &mut timing, true)?;
         // Count the request only once it is actually served here; a
         // declined probe is re-served (and counted) by the blocking
         // path. Snapshot scheduling is deliberately skipped — the
         // reactor thread must not absorb file I/O.
         self.inner.stats.note_request();
+        self.note_served(&bound.reg.template.name, scheme, &response.metrics);
         self.observe_request(started, Some(&response.metrics));
         Some(response)
     }
@@ -1007,14 +1239,18 @@ impl ProxyHandle {
 
     /// The caching schemes' request loop: cache phase, then flight
     /// phase, retried while coalescing fails to help.
-    fn serve_caching(&self, bound: BoundQuery) -> Result<ProxyResponse, ProxyError> {
+    fn serve_caching(
+        &self,
+        bound: BoundQuery,
+        scheme: Scheme,
+    ) -> Result<ProxyResponse, ProxyError> {
         let mut timing = Timing::begin();
         // Passive caching cannot answer a query from a containing
         // entry, so it must not wait on a merely containing flight.
-        let allow_contained = self.inner.config.scheme != Scheme::Passive;
+        let allow_contained = scheme != Scheme::Passive;
 
         // Fast path: a cache hit needs no flight-table traffic.
-        if let Phase::Served(response) = self.cache_phase(&bound, &mut timing, false) {
+        if let Phase::Served(response) = self.cache_phase(&bound, scheme, &mut timing, false) {
             return Ok(response);
         }
 
@@ -1030,10 +1266,10 @@ impl ProxyHandle {
                     // Re-check under the registered flight: a fetch that
                     // landed between our miss and this join is visible
                     // now, because leaders insert before resolving.
-                    let response = match self.cache_phase(&bound, &mut timing, false) {
+                    let response = match self.cache_phase(&bound, scheme, &mut timing, false) {
                         Phase::Served(response) => response,
                         Phase::Origin(plan) => {
-                            return self.lead_origin(&bound, *plan, lease, &mut timing)
+                            return self.lead_origin(&bound, scheme, *plan, lease, &mut timing)
                         }
                     };
                     lease.resolve(response.clone());
@@ -1061,11 +1297,11 @@ impl ProxyHandle {
                         // degraded serving.
                         Err(error) => {
                             if let Phase::Served(response) =
-                                self.cache_phase(&bound, &mut timing, false)
+                                self.cache_phase(&bound, scheme, &mut timing, false)
                             {
                                 return Ok(response);
                             }
-                            return self.serve_after_failure(&bound, error, &mut timing);
+                            return self.serve_after_failure(&bound, scheme, error, &mut timing);
                         }
                     }
                 }
@@ -1082,7 +1318,7 @@ impl ProxyHandle {
                     match waited {
                         Ok(_) => {
                             if let Phase::Served(response) =
-                                self.cache_phase(&bound, &mut timing, true)
+                                self.cache_phase(&bound, scheme, &mut timing, true)
                             {
                                 self.inner.stats.note_coalesced_contained();
                                 return Ok(response);
@@ -1092,11 +1328,11 @@ impl ProxyHandle {
                         }
                         Err(error) => {
                             if let Phase::Served(response) =
-                                self.cache_phase(&bound, &mut timing, false)
+                                self.cache_phase(&bound, scheme, &mut timing, false)
                             {
                                 return Ok(response);
                             }
-                            return self.serve_after_failure(&bound, error, &mut timing);
+                            return self.serve_after_failure(&bound, scheme, error, &mut timing);
                         }
                     }
                 }
@@ -1104,11 +1340,11 @@ impl ProxyHandle {
         }
 
         // Coalescing kept failing; serve uncoalesced rather than loop.
-        match self.cache_phase(&bound, &mut timing, false) {
+        match self.cache_phase(&bound, scheme, &mut timing, false) {
             Phase::Served(response) => Ok(response),
-            Phase::Origin(plan) => match self.execute_plan(&bound, *plan, &mut timing) {
+            Phase::Origin(plan) => match self.execute_plan(&bound, scheme, *plan, &mut timing) {
                 Ok(response) => Ok(response),
-                Err(error) => self.serve_after_failure(&bound, error, &mut timing),
+                Err(error) => self.serve_after_failure(&bound, scheme, error, &mut timing),
             },
         }
     }
@@ -1120,12 +1356,13 @@ impl ProxyHandle {
     fn lead_origin(
         &self,
         bound: &BoundQuery,
+        scheme: Scheme,
         plan: OriginPlan,
         lease: FlightLease<'_>,
         timing: &mut Timing,
     ) -> Result<ProxyResponse, ProxyError> {
         let lead_start = Instant::now();
-        match self.execute_plan(bound, plan, timing) {
+        match self.execute_plan(bound, scheme, plan, timing) {
             Ok(response) => {
                 self.inner.observe.span(
                     "flight.lead",
@@ -1146,7 +1383,7 @@ impl ProxyHandle {
                     || Some("failed".into()),
                 );
                 lease.fail(error.clone());
-                self.serve_after_failure(bound, error, timing)
+                self.serve_after_failure(bound, scheme, error, timing)
             }
         }
     }
@@ -1158,12 +1395,13 @@ impl ProxyHandle {
     fn serve_after_failure(
         &self,
         bound: &BoundQuery,
+        scheme: Scheme,
         error: ProxyError,
         timing: &mut Timing,
     ) -> Result<ProxyResponse, ProxyError> {
         let transient = matches!(&error, ProxyError::Origin(e) if e.is_transient());
         if transient {
-            if let Some(response) = self.degraded_phase(bound, timing) {
+            if let Some(response) = self.degraded_phase(bound, scheme, timing) {
                 return Ok(response);
             }
         }
@@ -1172,8 +1410,14 @@ impl ProxyHandle {
 
     /// One pass over the shard, then off-lock local evaluation: classify
     /// and either answer from the cache or plan the origin work.
-    fn cache_phase(&self, bound: &BoundQuery, timing: &mut Timing, coalesced: bool) -> Phase {
-        match self.cache_phase_locked(bound, timing) {
+    fn cache_phase(
+        &self,
+        bound: &BoundQuery,
+        scheme: Scheme,
+        timing: &mut Timing,
+        coalesced: bool,
+    ) -> Phase {
+        match self.cache_phase_locked(bound, scheme, timing) {
             LockedPhase::Exact {
                 result,
                 sim_ms,
@@ -1196,7 +1440,12 @@ impl ProxyHandle {
     /// snapshots of whatever entries the answer needs. Never fetches,
     /// never scans tuples — contained-hit selection and overlap probe
     /// filtering both run after the lock is released.
-    fn cache_phase_locked(&self, bound: &BoundQuery, timing: &mut Timing) -> LockedPhase {
+    fn cache_phase_locked(
+        &self,
+        bound: &BoundQuery,
+        scheme: Scheme,
+        timing: &mut Timing,
+    ) -> LockedPhase {
         let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
         self.note_lock_wait(timing, wait);
         let config = &self.inner.config;
@@ -1215,7 +1464,7 @@ impl ProxyHandle {
                 QueryStatus::ExactMatch(id)
             }
             // Passive caching only ever matches exact text.
-            _ if config.scheme == Scheme::Passive => QueryStatus::Disjoint,
+            _ if scheme == Scheme::Passive => QueryStatus::Disjoint,
             _ => classify(&store, bound),
         };
         timing.check_ms += ms_since(check_start);
@@ -1252,15 +1501,14 @@ impl ProxyHandle {
                 }
             }
 
-            QueryStatus::RegionContainment(ids) if config.scheme.handles_region_containment() => {
+            QueryStatus::RegionContainment(ids) if scheme.handles_region_containment() => {
                 self.merge_plan(
                     &mut store, bound, ids, /*probe_filters=*/ false, timing,
                 )
             }
 
             QueryStatus::Overlapping(ids)
-                if config.scheme.handles_overlap()
-                    && coverage_worthwhile(config, &store, bound, &ids) =>
+                if scheme.handles_overlap() && coverage_worthwhile(config, &store, bound, &ids) =>
             {
                 self.merge_plan(&mut store, bound, ids, /*probe_filters=*/ true, timing)
             }
@@ -1510,11 +1758,16 @@ impl ProxyHandle {
     /// the whole answer. Degraded responses are **never** inserted into
     /// the cache. Returns `None` when the cache cannot contribute
     /// (disjoint, passive scheme, nothing usable).
-    fn degraded_phase(&self, bound: &BoundQuery, timing: &mut Timing) -> Option<ProxyResponse> {
+    fn degraded_phase(
+        &self,
+        bound: &BoundQuery,
+        scheme: Scheme,
+        timing: &mut Timing,
+    ) -> Option<ProxyResponse> {
         let config = &self.inner.config;
         // Passive caching cannot reason spatially; its only possible
         // hit (exact text) was already checked before the fetch.
-        if !config.scheme.caches() || config.scheme == Scheme::Passive {
+        if !scheme.caches() || scheme == Scheme::Passive {
             return None;
         }
 
@@ -1588,10 +1841,10 @@ impl ProxyHandle {
                     Phase::Origin(_) => None,
                 };
             }
-            QueryStatus::RegionContainment(ids) if config.scheme.handles_region_containment() => {
+            QueryStatus::RegionContainment(ids) if scheme.handles_region_containment() => {
                 (ids, false, Outcome::RegionContainment)
             }
-            QueryStatus::Overlapping(ids) if config.scheme.handles_overlap() => {
+            QueryStatus::Overlapping(ids) if scheme.handles_overlap() => {
                 (ids, true, Outcome::Overlap)
             }
             _ => return None,
@@ -1806,6 +2059,7 @@ impl ProxyHandle {
     fn execute_plan(
         &self,
         bound: &BoundQuery,
+        scheme: Scheme,
         mut plan: OriginPlan,
         timing: &mut Timing,
     ) -> Result<ProxyResponse, ProxyError> {
@@ -1881,8 +2135,13 @@ impl ProxyHandle {
             timing.local_ms += ms_since(local_start);
         }
 
-        let (fetched, origin_sim_ms) =
-            self.fetch(&plan.query, plan.is_remainder, PathClass::Miss)?;
+        // Overlap remainders are batchable: concurrent overlap misses
+        // sharing the residual key ride one combined origin round trip.
+        let (fetched, origin_sim_ms) = if plan.is_remainder && plan.outcome == Outcome::Overlap {
+            self.fetch_overlap_remainder(bound, &plan.query)?
+        } else {
+            self.fetch(&plan.query, plan.is_remainder, PathClass::Miss)?
+        };
 
         let (result, rows_from_cache, truncated) = match cached_part {
             Some(part) => {
@@ -1904,7 +2163,7 @@ impl ProxyHandle {
         // Building them under the shard lock made every miss landing
         // serialize the shard's concurrent hits: the 8-thread hit p99
         // sat three orders of magnitude above single-thread.
-        let prebuilt = if self.inner.config.scheme.caches() {
+        let prebuilt = if scheme.caches() {
             let build_start = Instant::now();
             let coord_idx: Option<Vec<usize>> = bound
                 .reg
@@ -1925,7 +2184,7 @@ impl ProxyHandle {
             let (mut store, wait) = self.inner.store.lock(&bound.residual_key);
             self.note_lock_wait(timing, wait);
             if let Some((bytes, columnar)) = prebuilt {
-                store.insert_prebuilt(
+                let inserted = store.insert_prebuilt(
                     &bound.residual_key,
                     bound.region.clone(),
                     Arc::clone(&result),
@@ -1934,6 +2193,12 @@ impl ProxyHandle {
                     bytes,
                     columnar,
                 );
+                // Seed the entry's measured refetch cost for the
+                // cost-aware replacement policy: what this fetch just
+                // charged is what re-acquiring the entry would cost.
+                if let Some(id) = inserted {
+                    store.note_refetch_cost(id, (origin_sim_ms * 1000.0) as u64);
+                }
             }
             // Some ids may have been evicted while we fetched; compact
             // skips missing entries, and ids are never reused.
@@ -1980,6 +2245,141 @@ impl ProxyHandle {
         ProxyResponse {
             result: leader.result,
             metrics,
+        }
+    }
+
+    /// The overlap path's origin interaction, with cross-request
+    /// remainder batching. The first remainder out for a residual key
+    /// fetches alone; remainders that arrive while it is in flight
+    /// park in the batch table, and the finishing leader serves the
+    /// whole queue with **one** combined round trip — the OR of their
+    /// remainder predicates (sound because a shared residual key pins
+    /// everything but the spatial clauses). Each follower then filters
+    /// the shared result down to its own region; rows the filter
+    /// admits beyond the follower's remainder are already covered by
+    /// its cached probe parts and deduplicate in the key-based merge.
+    fn fetch_overlap_remainder(
+        &self,
+        bound: &BoundQuery,
+        query: &Query,
+    ) -> Result<(ResultSet, f64), ProxyError> {
+        let enlisted = {
+            let mut table = self
+                .inner
+                .remainder_batches
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match table.get_mut(&bound.residual_key) {
+                None => {
+                    table.insert(
+                        bound.residual_key.clone(),
+                        RemainderBatch {
+                            waiters: Vec::new(),
+                        },
+                    );
+                    None
+                }
+                Some(batch) => {
+                    let slot = BatchSlot::new();
+                    batch.waiters.push(BatchTicket {
+                        query: query.clone(),
+                        region: bound.region.clone(),
+                        slot: Arc::clone(&slot),
+                    });
+                    Some(slot)
+                }
+            }
+        };
+
+        let Some(slot) = enlisted else {
+            // Leader: own fetch first, then serve whoever queued up
+            // meanwhile. The batch entry is removed in `drain`
+            // regardless of the fetch's outcome, so a failed leader
+            // never wedges the key.
+            let own = self.fetch(query, true, PathClass::Miss);
+            let waiters = self.drain_batch(&bound.residual_key);
+            if !waiters.is_empty() {
+                match &own {
+                    Ok(_) => self.serve_batch(bound, waiters),
+                    // Origin just failed; followers decide their own
+                    // fate with their own (likely also failing, but
+                    // independently retried/breakered) attempts.
+                    Err(e) => {
+                        for w in waiters {
+                            w.slot.fill(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            return own;
+        };
+
+        // Follower: wait out the leader's combined fetch.
+        match slot.wait() {
+            Ok((combined, sim_ms)) => {
+                let coord_idx: Option<Vec<usize>> = bound
+                    .reg
+                    .coord_columns
+                    .iter()
+                    .map(|c| combined.column_index(c))
+                    .collect();
+                let filtered = coord_idx.and_then(|idx| {
+                    with_scratch(|scratch| {
+                        eval_entry_region(&combined, None, &idx, &bound.region, scratch)
+                    })
+                });
+                match filtered {
+                    // The follower waited out the combined fetch, so it
+                    // is charged that fetch's simulated cost (the same
+                    // convention as coalesced exact followers).
+                    Some(eval) => Ok((eval.result, sim_ms)),
+                    // The combined result cannot map the coordinate
+                    // columns: fetch solo rather than serve bad rows.
+                    None => self.fetch(query, true, PathClass::Miss),
+                }
+            }
+            Err(_) => self.fetch(query, true, PathClass::Miss),
+        }
+    }
+
+    /// Removes and returns the batch queue for `residual_key`.
+    fn drain_batch(&self, residual_key: &str) -> Vec<BatchTicket> {
+        let mut table = self
+            .inner
+            .remainder_batches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        table
+            .remove(residual_key)
+            .map_or_else(Vec::new, |b| b.waiters)
+    }
+
+    /// The leader's follower service: one combined fetch covering
+    /// every parked remainder, distributed through their slots.
+    fn serve_batch(&self, bound: &BoundQuery, waiters: Vec<BatchTicket>) {
+        let Some(combined) = combined_batch_query(bound, &waiters) else {
+            // The queries' shape defeats the rewrite; every follower
+            // falls back to its own solo fetch.
+            let e = ProxyError::Template("remainder batch is not combinable".into());
+            for w in waiters {
+                w.slot.fill(Err(e.clone()));
+            }
+            return;
+        };
+        self.inner.stats.note_remainder_batch(waiters.len());
+
+        match self.fetch(&combined, true, PathClass::Miss) {
+            Ok((result, sim_ms)) => {
+                let shared = Arc::new(result);
+                for w in waiters {
+                    w.slot.fill(Ok((Arc::clone(&shared), sim_ms)));
+                }
+            }
+            Err(e) => {
+                for w in waiters {
+                    w.slot.fill(Err(e.clone()));
+                }
+            }
         }
     }
 
@@ -2651,6 +3051,209 @@ mod tests {
         let hit = radial(&clone, 185.0, 0.0, 20.0);
         assert_eq!(hit.metrics.outcome, Outcome::Exact);
         assert_eq!(clone.runtime_stats().requests, 2);
+    }
+
+    /// A [`SiteOrigin`] behind a closable gate: while closed, `execute`
+    /// blocks (after counting its arrival) until the gate reopens — the
+    /// measuring device for the remainder-batching rendezvous.
+    struct GateOrigin {
+        site: SiteOrigin,
+        open: Mutex<bool>,
+        cv: Condvar,
+        executes: std::sync::atomic::AtomicUsize,
+    }
+
+    impl GateOrigin {
+        fn new() -> Self {
+            let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+            GateOrigin {
+                site: SiteOrigin::new(site),
+                open: Mutex::new(true),
+                cv: Condvar::new(),
+                executes: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        fn set_open(&self, open: bool) {
+            *self.open.lock().unwrap() = open;
+            self.cv.notify_all();
+        }
+
+        fn executes(&self) -> usize {
+            self.executes.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Origin for GateOrigin {
+        fn execute(
+            &self,
+            query: &Query,
+        ) -> Result<fp_skyserver::result::QueryOutcome, crate::origin::OriginError> {
+            self.executes.fetch_add(1, Ordering::SeqCst);
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.site.execute(query)
+        }
+    }
+
+    fn spin_until(deadline_ms: u64, mut done: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !done() {
+            assert!(
+                start.elapsed().as_millis() < deadline_ms as u128,
+                "condition not reached within {deadline_ms}ms"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn concurrent_overlap_remainders_share_one_combined_round_trip() {
+        let origin = Arc::new(GateOrigin::new());
+        let h = ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::clone(&origin) as Arc<dyn Origin>,
+            ProxyConfig::default()
+                .with_scheme(Scheme::FullSemantic)
+                .with_cost(CostModel::free()),
+            1,
+        );
+
+        // Seed one cached entry every later query overlaps.
+        radial(&h, 185.0, 0.0, 20.0);
+        assert_eq!(origin.executes(), 1);
+
+        // Close the gate and launch the batch leader: its remainder
+        // fetch parks inside the origin, holding the batch open.
+        origin.set_open(false);
+        let queries = [
+            (185.0 + 25.0 / 60.0, 0.0, 15.0),
+            (185.0 - 25.0 / 60.0, 0.1, 15.0),
+            (185.0, 0.4, 15.0),
+        ];
+        let spawn = |&(ra, dec, r): &(f64, f64, f64)| {
+            let h = h.clone();
+            std::thread::spawn(move || radial(&h, ra, dec, r))
+        };
+        let leader = spawn(&queries[0]);
+        spin_until(10_000, || origin.executes() == 2);
+
+        // Two more overlap misses arrive mid-flight and must enlist.
+        let followers: Vec<_> = queries[1..].iter().map(spawn).collect();
+        spin_until(10_000, || {
+            let table = h.inner.remainder_batches.lock().unwrap();
+            table.values().map(|b| b.waiters.len()).sum::<usize>() == 2
+        });
+
+        origin.set_open(true);
+        let mut responses = vec![leader.join().unwrap()];
+        for f in followers {
+            responses.push(f.join().unwrap());
+        }
+
+        // Seed + leader remainder + ONE combined fetch for both
+        // followers: three origin round trips, not four.
+        assert_eq!(origin.executes(), 3);
+        let stats = h.runtime_stats();
+        assert_eq!(stats.remainder_batches, 1);
+        assert_eq!(stats.batched_remainders, 2);
+
+        // Soundness: every batched answer is row-identical to a
+        // no-cache oracle's.
+        let oracle = handle(Scheme::NoCache);
+        for (response, &(ra, dec, r)) in responses.iter().zip(&queries) {
+            assert_eq!(response.metrics.outcome, Outcome::Overlap);
+            assert!(response.metrics.rows_from_cache > 0);
+            assert_eq!(ids_of(response), ids_of(&radial(&oracle, ra, dec, r)));
+        }
+    }
+
+    #[test]
+    fn adaptive_handle_abandons_expensive_overlap_handling() {
+        // Remainder trips cost a fortune, plain forwards are cheap:
+        // the paper's "First loses" regime. The adaptive runtime must
+        // discover this and stop taking the overlap path.
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        let cost = CostModel {
+            rtt_ms: 100.0,
+            remainder_overhead_ms: 10_000.0,
+            ..CostModel::free()
+        };
+        let h = ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default()
+                .with_adaptive_params(crate::cache::ProfitParams {
+                    explore_samples: 12,
+                    refresh_samples: 4,
+                    reeval_every: 1000,
+                    ..Default::default()
+                })
+                .with_cost(cost),
+            2,
+        );
+
+        // Exploration: rotations of fresh-forward, exact repeat, and
+        // overlap keep every relationship class observable.
+        for i in 0..8 {
+            let far = 100.0 + i as f64;
+            radial(&h, far, 30.0, 5.0);
+            radial(&h, far, 30.0, 5.0);
+            radial(&h, 185.0 + i as f64 * 0.05, 0.0, 15.0);
+        }
+
+        let est = h.profit_estimate("radial").expect("template observed");
+        assert!(!est.exploring, "24 samples exceed the 12-sample window");
+        assert!(
+            !est.scheme.handles_overlap(),
+            "10s remainders vs 100ms forwards must turn overlap handling off, got {}",
+            est.scheme
+        );
+        let stats = h.runtime_stats();
+        assert!(stats.scheme_switches >= 1);
+        assert_eq!(stats.adaptive_templates, 1);
+        assert!(stats.scheme_serves[Scheme::FullSemantic.index()] > 0);
+
+        // Committed: a fresh overlapping query now forwards instead of
+        // paying the remainder price.
+        let post = radial(&h, 185.0 - 0.03, 0.01, 15.0);
+        assert_eq!(post.metrics.outcome, Outcome::Forwarded);
+        assert!(stats.scheme_serves.iter().sum::<usize>() >= 24);
+    }
+
+    #[test]
+    fn fixed_configs_never_consult_the_profit_model() {
+        let h = handle(Scheme::FullSemantic);
+        radial(&h, 185.0, 0.0, 20.0);
+        radial(&h, 185.0, 0.0, 20.0);
+        assert!(h.profit_estimate("radial").is_none());
+        let stats = h.runtime_stats();
+        assert_eq!(stats.scheme_switches, 0);
+        assert_eq!(stats.adaptive_templates, 0);
+        assert_eq!(stats.scheme_serves[Scheme::FullSemantic.index()], 2);
+    }
+
+    #[test]
+    fn origin_fetches_seed_measured_refetch_costs() {
+        // With a real (non-free) cost model, the inserted entry's
+        // refetch estimate must come from the measured fetch, not the
+        // size-proportional default.
+        let site = SkySite::new(Catalog::generate(&CatalogSpec::small_test()));
+        let h = ProxyHandle::with_shards(
+            TemplateManager::with_sky_defaults(),
+            Arc::new(SiteOrigin::new(site)),
+            ProxyConfig::default()
+                .with_scheme(Scheme::FullSemantic)
+                .with_replacement(crate::cache::Replacement::CostAware),
+            1,
+        );
+        let r = radial(&h, 185.0, 0.0, 20.0);
+        assert!(r.metrics.sim_ms > 0.0);
+        let again = radial(&h, 185.0, 0.0, 20.0);
+        assert_eq!(again.metrics.outcome, Outcome::Exact);
     }
 
     #[test]

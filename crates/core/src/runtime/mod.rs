@@ -81,6 +81,16 @@ pub struct RuntimeStats {
     peer_probe_failures: AtomicUsize,
     read_repairs: AtomicUsize,
     snapshot_io_errors: AtomicUsize,
+    /// Requests served under each scheme, indexed by
+    /// [`crate::schemes::Scheme::index`] — all in one bucket under a
+    /// fixed scheme, spread across buckets under adaptive selection.
+    scheme_serves: [AtomicUsize; 5],
+    /// Combined remainder round trips executed on behalf of queued
+    /// overlap requests (each replaced ≥ 2 would-be origin trips).
+    remainder_batches: AtomicUsize,
+    /// Overlap requests whose remainder was answered from a combined
+    /// round trip instead of a solo origin fetch.
+    batched_remainders: AtomicUsize,
 }
 
 impl RuntimeStats {
@@ -158,6 +168,16 @@ impl RuntimeStats {
 
     pub(crate) fn note_snapshot_io_error(&self) {
         self.snapshot_io_errors.fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_scheme_serve(&self, scheme: crate::schemes::Scheme) {
+        self.scheme_serves[scheme.index()].fetch_add(1, Ordering::Release);
+    }
+
+    pub(crate) fn note_remainder_batch(&self, waiters: usize) {
+        self.remainder_batches.fetch_add(1, Ordering::Release);
+        self.batched_remainders
+            .fetch_add(waiters, Ordering::Release);
     }
 }
 
@@ -266,6 +286,22 @@ pub struct RuntimeSnapshot {
     pub tier_recoveries: usize,
     /// Slab I/O errors observed (failed appends and compactions).
     pub slab_io_errors: usize,
+    /// Requests served under each scheme, indexed by
+    /// [`crate::schemes::Scheme::index`] (declaration order: no-cache,
+    /// passive, full-semantic, region-containment, containment-only).
+    /// One bucket under a fixed scheme; spread across buckets when the
+    /// adaptive profit model is choosing per template.
+    pub scheme_serves: [usize; 5],
+    /// Times any template's committed scheme changed (adaptive mode).
+    pub scheme_switches: usize,
+    /// Templates the profit model is currently tracking.
+    pub adaptive_templates: usize,
+    /// Combined remainder round trips executed for queued overlap
+    /// requests.
+    pub remainder_batches: usize,
+    /// Overlap requests answered from a combined remainder round trip
+    /// rather than a solo origin fetch.
+    pub batched_remainders: usize,
     /// Measured end-to-end latency quantiles over every served request.
     pub request_latency: LatencySummary,
     /// Measured latency quantiles over fresh cache hits (exact +
@@ -302,6 +338,12 @@ impl RuntimeStats {
         let peer_probes = self.peer_probes.load(Ordering::Acquire);
         let read_repairs = self.read_repairs.load(Ordering::Acquire);
         let snapshot_io_errors = self.snapshot_io_errors.load(Ordering::Acquire);
+        let mut scheme_serves = [0usize; 5];
+        for (slot, counter) in scheme_serves.iter_mut().zip(&self.scheme_serves) {
+            *slot = counter.load(Ordering::Acquire);
+        }
+        let remainder_batches = self.remainder_batches.load(Ordering::Acquire);
+        let batched_remainders = self.batched_remainders.load(Ordering::Acquire);
         // Read last: every derived increment observed above was preceded
         // by its request's `note_request`, so this load sees it too.
         let requests = self.requests.load(Ordering::Acquire);
@@ -347,6 +389,11 @@ impl RuntimeStats {
             tier_degraded: 0,
             tier_recoveries: 0,
             slab_io_errors: 0,
+            scheme_serves,
+            scheme_switches: 0,
+            adaptive_templates: 0,
+            remainder_batches,
+            batched_remainders,
             request_latency: LatencySummary::default(),
             hit_latency: LatencySummary::default(),
             origin_fetch_latency: LatencySummary::default(),
@@ -483,6 +530,33 @@ impl RuntimeSnapshot {
             "Total time spent waiting on cache shard locks.",
             self.lock_wait_ms / 1e3,
         );
+        counter(
+            "funcproxy_scheme_switches_total",
+            "Times the adaptive profit model changed a template's scheme.",
+            self.scheme_switches as f64,
+        );
+        counter(
+            "funcproxy_remainder_batches_total",
+            "Combined remainder round trips executed for queued overlaps.",
+            self.remainder_batches as f64,
+        );
+        counter(
+            "funcproxy_batched_remainders_total",
+            "Overlap requests answered from a combined remainder trip.",
+            self.batched_remainders as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP funcproxy_scheme_serves_total Requests served under each caching scheme.\n\
+             # TYPE funcproxy_scheme_serves_total counter"
+        );
+        for scheme in crate::schemes::Scheme::all() {
+            let _ = writeln!(
+                out,
+                "funcproxy_scheme_serves_total{{scheme=\"{scheme}\"}} {}",
+                self.scheme_serves[scheme.index()],
+            );
+        }
         let _ = writeln!(
             out,
             "# HELP funcproxy_breaker_open Whether the circuit breaker is open.\n\

@@ -59,6 +59,18 @@ impl Scheme {
         }
     }
 
+    /// A stable dense index for per-scheme counters, in declaration
+    /// order (`no-cache` = 0 … `containment-only` = 4).
+    pub fn index(self) -> usize {
+        match self {
+            Scheme::NoCache => 0,
+            Scheme::Passive => 1,
+            Scheme::FullSemantic => 2,
+            Scheme::RegionContainment => 3,
+            Scheme::ContainmentOnly => 4,
+        }
+    }
+
     /// All five schemes, in the paper's presentation order.
     pub fn all() -> [Scheme; 5] {
         [

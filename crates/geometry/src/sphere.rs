@@ -2,7 +2,7 @@
 
 use crate::point::{dist2_slices, Point};
 use crate::rect::HyperRect;
-use crate::{approx_eq, approx_le, GeometryError, Result};
+use crate::{approx_eq, approx_le, GeometryError, Result, EPS};
 use serde::{Deserialize, Serialize};
 
 /// A closed ball `{x : |x - center| <= radius}` in d dimensions.
@@ -118,20 +118,17 @@ impl HyperSphere {
         })
     }
 
-    /// Tight axis-aligned bounding box of the ball.
+    /// Axis-aligned bounding box of every point [`Self::contains_coords`]
+    /// accepts. Membership is ε-tolerant (`d² ≤ r² + EPS`), so the box
+    /// half-width is `√(r² + EPS)`, not `r`: an exact `c ± r` box would
+    /// silently drop fringe points, and a candidate search pruned by it
+    /// (the origin's spatial index) would disagree with the membership
+    /// test it feeds. At arcminute chord scales `EPS` on `d²` is ~0.3 %
+    /// of the radius — large enough to lose real boundary objects.
     pub fn bounding_rect(&self) -> HyperRect {
-        let lo: Vec<f64> = self
-            .center
-            .coords()
-            .iter()
-            .map(|c| c - self.radius)
-            .collect();
-        let hi: Vec<f64> = self
-            .center
-            .coords()
-            .iter()
-            .map(|c| c + self.radius)
-            .collect();
+        let half = (self.radius * self.radius + EPS).sqrt();
+        let lo: Vec<f64> = self.center.coords().iter().map(|c| c - half).collect();
+        let hi: Vec<f64> = self.center.coords().iter().map(|c| c + half).collect();
         HyperRect::new(lo, hi).expect("ball bounding box is well-formed")
     }
 }
@@ -202,11 +199,22 @@ mod tests {
     }
 
     #[test]
-    fn bounding_rect_is_tight() {
+    fn bounding_rect_covers_everything_membership_accepts() {
         let b = ball(&[1.0, 2.0, 3.0], 0.5);
         let r = b.bounding_rect();
-        assert_eq!(r.lo(), &[0.5, 1.5, 2.5]);
-        assert_eq!(r.hi(), &[1.5, 2.5, 3.5]);
+        // Near-tight: within the ε fringe of the exact c ± r box.
+        for d in 0..3 {
+            assert!(r.lo()[d] <= b.center().coords()[d] - 0.5);
+            assert!(r.hi()[d] >= b.center().coords()[d] + 0.5);
+            assert!((r.lo()[d] - (b.center().coords()[d] - 0.5)).abs() < 1e-8);
+            assert!((r.hi()[d] - (b.center().coords()[d] + 0.5)).abs() < 1e-8);
+        }
+        // Regression: a point the ε-tolerant membership accepts just
+        // outside the exact radius must be inside the box, or index
+        // pruning drops rows the membership filter would keep.
+        let fringe = [1.0 + (0.25_f64 + crate::EPS / 2.0).sqrt(), 2.0, 3.0];
+        assert!(b.contains_coords(&fringe));
+        assert!(r.contains_coords(&fringe));
     }
 
     #[test]

@@ -233,6 +233,35 @@ mod tests {
     }
 
     #[test]
+    fn spatial_cover_includes_the_membership_fringe() {
+        let c = small();
+        // Aim a query due south of a real object and size the radius so
+        // the object lands in the ε fringe of ball membership: strictly
+        // outside the exact radius, accepted by the ε-tolerant
+        // contains. The index cover must still produce the object as a
+        // candidate, or the origin silently loses a boundary row that
+        // locally-evaluated cache hits keep — the two answer paths
+        // would disagree on the same query.
+        let row = 42;
+        let (ra, dec) = c.radec(row);
+        let center = radec_to_unit(ra, dec - 0.02);
+        let obj = c.unit_coords(row);
+        let d2 = fp_geometry::point::dist2_slices(&center, &obj);
+        let r = (d2 - 0.999 * fp_geometry::EPS).sqrt();
+        let ball = fp_geometry::HyperSphere::new(
+            fp_geometry::Point::new(center.to_vec()).expect("finite center"),
+            r,
+        )
+        .expect("valid fringe ball");
+        assert!(d2 > r * r, "object sits strictly outside the exact radius");
+        assert!(ball.contains_coords(&obj), "membership accepts the fringe");
+        assert!(
+            c.spatial_candidates(&ball.bounding_rect()).contains(&row),
+            "index cover must include every point membership accepts"
+        );
+    }
+
+    #[test]
     fn spatial_index_matches_full_scan() {
         let c = small();
         let ball = radial_query_sphere(185.0, 0.5, 20.0).unwrap();

@@ -33,7 +33,7 @@ pub enum RelationKind {
 }
 
 /// Generation parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceSpec {
     /// RNG seed (identical specs generate identical traces).
     pub seed: u64,
@@ -57,6 +57,36 @@ pub struct TraceSpec {
     pub hotspots: usize,
     /// Fraction of fresh queries aimed at a hot spot.
     pub hotspot_fraction: f64,
+    /// Zipf exponent skewing hot-spot popularity: hot spot `i` is chosen
+    /// with weight `1/(i+1)^s`. `0.0` (the default) keeps the historical
+    /// uniform choice; larger values concentrate traffic on the first
+    /// few spots, the regime where replacement policy quality shows.
+    pub hotspot_zipf: f64,
+}
+
+// Hand-written so specs predating `hotspot_zipf` keep parsing (the
+// vendored serde_derive has no `#[serde(default)]`); a missing exponent
+// means the historical uniform hot-spot popularity.
+impl Deserialize for TraceSpec {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let entries = content.as_map("struct TraceSpec")?;
+        Ok(TraceSpec {
+            seed: serde::get_field(entries, "TraceSpec", "seed")?,
+            queries: serde::get_field(entries, "TraceSpec", "queries")?,
+            window: serde::get_field(entries, "TraceSpec", "window")?,
+            exact: serde::get_field(entries, "TraceSpec", "exact")?,
+            contained: serde::get_field(entries, "TraceSpec", "contained")?,
+            overlap: serde::get_field(entries, "TraceSpec", "overlap")?,
+            covering: serde::get_field(entries, "TraceSpec", "covering")?,
+            radius_arcmin: serde::get_field(entries, "TraceSpec", "radius_arcmin")?,
+            hotspots: serde::get_field(entries, "TraceSpec", "hotspots")?,
+            hotspot_fraction: serde::get_field(entries, "TraceSpec", "hotspot_fraction")?,
+            hotspot_zipf: match entries.iter().find(|(k, _)| k == "hotspot_zipf") {
+                Some((_, v)) => Deserialize::deserialize(v)?,
+                None => 0.0,
+            },
+        })
+    }
 }
 
 impl Default for TraceSpec {
@@ -72,6 +102,7 @@ impl Default for TraceSpec {
             radius_arcmin: (2.0, 20.0),
             hotspots: 16,
             hotspot_fraction: 0.7,
+            hotspot_zipf: 0.0,
         }
     }
 }
@@ -115,10 +146,26 @@ impl TraceSpec {
             })
             .collect();
 
+        // Cumulative Zipf weights over the hot spots (uniform when the
+        // exponent is zero: every weight is 1).
+        let mut hotspot_cdf: Vec<f64> = hotspots
+            .iter()
+            .enumerate()
+            .scan(0.0, |acc, (i, _)| {
+                *acc += 1.0 / ((i + 1) as f64).powf(self.hotspot_zipf);
+                Some(*acc)
+            })
+            .collect();
+        let total = *hotspot_cdf.last().expect("at least one hot spot");
+        for w in &mut hotspot_cdf {
+            *w /= total;
+        }
+
         let mut gen = Generator {
             spec: self,
             rng,
             hotspots,
+            hotspot_cdf,
             emitted: Vec::new(),
             index: RTree::with_capacity_params(3, 16),
         };
@@ -134,6 +181,8 @@ struct Generator<'a> {
     spec: &'a TraceSpec,
     rng: StdRng,
     hotspots: Vec<(f64, f64)>,
+    /// Normalized cumulative popularity of each hot spot.
+    hotspot_cdf: Vec<f64>,
     emitted: Vec<(RadialQuery, Region)>,
     /// Bounding boxes of emitted regions → index into `emitted`.
     index: RTree<usize>,
@@ -189,9 +238,20 @@ impl Generator<'_> {
         (self.rng.gen_range(lo.ln()..=hi.ln())).exp()
     }
 
+    /// Picks a hot spot by inverse-CDF over the Zipf weights.
+    fn draw_hotspot(&mut self) -> (f64, f64) {
+        let x: f64 = self.rng.gen();
+        let idx = self
+            .hotspot_cdf
+            .iter()
+            .position(|&w| x < w)
+            .unwrap_or(self.hotspots.len() - 1);
+        self.hotspots[idx]
+    }
+
     fn fresh_draw(&mut self) -> RadialQuery {
         let (ra, dec) = if self.rng.gen_bool(self.spec.hotspot_fraction) {
-            let (hra, hdec) = self.hotspots[self.rng.gen_range(0..self.hotspots.len())];
+            let (hra, hdec) = self.draw_hotspot();
             // Jitter around the hot spot by up to ±0.5°.
             (
                 (hra + self.rng.gen_range(-0.5..0.5))
@@ -415,6 +475,79 @@ mod tests {
         // The census folds covering into overlap, as the paper does.
         let overlap_target = spec.overlap + spec.covering;
         assert!((overlap - overlap_target).abs() < 0.04, "overlap {overlap}");
+    }
+
+    #[test]
+    fn zipf_exponent_skews_hotspot_popularity() {
+        // All-fresh traffic so every query goes through the hot-spot
+        // draw; compare the most-popular spot's share under uniform vs
+        // skewed popularity.
+        let base = TraceSpec {
+            seed: 11,
+            queries: 800,
+            exact: 0.0,
+            contained: 0.0,
+            overlap: 0.0,
+            covering: 0.0,
+            hotspots: 8,
+            hotspot_fraction: 1.0,
+            ..TraceSpec::default()
+        };
+        let skewed = TraceSpec {
+            hotspot_zipf: 1.5,
+            ..base.clone()
+        };
+
+        // The hot-spot coordinates only depend on (seed, hotspots, window),
+        // so both traces share them.
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let spots: Vec<(f64, f64)> = (0..base.hotspots)
+            .map(|_| {
+                (
+                    rng.gen_range(base.window.ra_min..base.window.ra_max),
+                    rng.gen_range(base.window.dec_min..base.window.dec_max),
+                )
+            })
+            .collect();
+        let share_of_first = |t: &Trace| {
+            let near_first = t
+                .queries
+                .iter()
+                .filter(|q| {
+                    let nearest = spots
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            let da = (q.ra - a.0).powi(2) + (q.dec - a.1).powi(2);
+                            let db = (q.ra - b.0).powi(2) + (q.dec - b.1).powi(2);
+                            da.total_cmp(&db)
+                        })
+                        .map(|(i, _)| i);
+                    nearest == Some(0)
+                })
+                .count();
+            near_first as f64 / t.len() as f64
+        };
+
+        let uniform_share = share_of_first(&base.generate());
+        let skewed_share = share_of_first(&skewed.generate());
+        assert!(
+            skewed_share > uniform_share + 0.15,
+            "zipf 1.5 should concentrate traffic on the first spot \
+             (uniform {uniform_share:.2}, skewed {skewed_share:.2})"
+        );
+    }
+
+    #[test]
+    fn zipf_field_defaults_for_old_specs() {
+        let json = r#"{
+            "seed": 1, "queries": 10,
+            "window": {"ra_min": 180.0, "ra_max": 190.0, "dec_min": -5.0, "dec_max": 5.0},
+            "exact": 0.1, "contained": 0.2, "overlap": 0.05, "covering": 0.02,
+            "radius_arcmin": [2.0, 20.0], "hotspots": 4, "hotspot_fraction": 0.5
+        }"#;
+        let spec: TraceSpec = serde_json::from_str(json).expect("old spec still parses");
+        assert_eq!(spec.hotspot_zipf, 0.0);
     }
 
     #[test]
